@@ -1,0 +1,28 @@
+//! Fig. 1: performance improvement over LRU on a 16-core system,
+//! homogeneous SPEC workload mixes (the paper's motivating headline).
+
+use chrome_bench::{all_schemes, geomean, run_workload, RunParams, TableWriter};
+use chrome_traces::spec::spec_workloads;
+
+fn main() {
+    let mut params = RunParams::from_args();
+    if params.cores == 4 {
+        params.cores = 16; // figure default unless overridden
+    }
+    let schemes = all_schemes();
+    let mut table = TableWriter::new("fig01_16core", &["scheme", "speedup_over_lru_pct"]);
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
+    for wl in spec_workloads() {
+        let base = run_workload(&params, wl, "LRU");
+        for (i, scheme) in schemes.iter().skip(1).enumerate() {
+            let r = run_workload(&params, wl, scheme);
+            per_scheme[i].push(r.weighted_speedup_vs(&base));
+        }
+        eprintln!("done {wl}");
+    }
+    for (i, scheme) in schemes.iter().skip(1).enumerate() {
+        let g = geomean(&per_scheme[i]);
+        table.row_f(scheme, &[(g - 1.0) * 100.0]);
+    }
+    table.finish().expect("write results");
+}

@@ -1,0 +1,31 @@
+//! Fig. 7: LLC demand miss ratio for 4-core SPEC homogeneous mixes.
+
+use chrome_bench::{all_schemes, run_workload, RunParams, TableWriter};
+use chrome_traces::spec::spec_workloads;
+
+fn main() {
+    let params = RunParams::from_args();
+    let schemes = all_schemes();
+    let mut table = TableWriter::new("fig07_demand_miss", &{
+        let mut h = vec!["workload"];
+        h.extend(schemes.iter().copied());
+        h
+    });
+    let mut sums = vec![0.0; schemes.len()];
+    let mut count = 0u32;
+    for wl in spec_workloads() {
+        let mut cells = Vec::new();
+        for (i, scheme) in schemes.iter().enumerate() {
+            let r = run_workload(&params, wl, scheme);
+            let m = r.results.llc.demand_miss_ratio();
+            sums[i] += m;
+            cells.push(m);
+        }
+        count += 1;
+        table.row_f(wl, &cells);
+        eprintln!("done {wl}");
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
+    table.row_f("AVERAGE", &avg);
+    table.finish().expect("write results");
+}

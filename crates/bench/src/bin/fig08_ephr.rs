@@ -1,0 +1,32 @@
+//! Fig. 8: effective prefetch hit ratio (EPHR) at the LLC for 4-core
+//! SPEC homogeneous mixes.
+
+use chrome_bench::{all_schemes, run_workload, RunParams, TableWriter};
+use chrome_traces::spec::spec_workloads;
+
+fn main() {
+    let params = RunParams::from_args();
+    let schemes = all_schemes();
+    let mut table = TableWriter::new("fig08_ephr", &{
+        let mut h = vec!["workload"];
+        h.extend(schemes.iter().copied());
+        h
+    });
+    let mut sums = vec![0.0; schemes.len()];
+    let mut count = 0u32;
+    for wl in spec_workloads() {
+        let mut cells = Vec::new();
+        for (i, scheme) in schemes.iter().enumerate() {
+            let r = run_workload(&params, wl, scheme);
+            let e = r.results.llc.ephr();
+            sums[i] += e;
+            cells.push(e);
+        }
+        count += 1;
+        table.row_f(wl, &cells);
+        eprintln!("done {wl}");
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
+    table.row_f("AVERAGE", &avg);
+    table.finish().expect("write results");
+}

@@ -1,0 +1,56 @@
+//! Fig. 9: bypass coverage and bypass efficiency for the two bypassing
+//! schemes (Mockingjay and CHROME) on 4-core SPEC homogeneous mixes.
+//!
+//! Coverage = fraction of incoming blocks bypassed. Efficiency =
+//! fraction of bypassed blocks never demanded again before the window
+//! closes — measured here via the evicted-unused tracker's
+//! requested-again statistics applied to bypassed lines (we re-run with
+//! unused-block tracking and report the fraction of bypassed lines not
+//! re-requested).
+
+use chrome_bench::runner::run_workload_tracked;
+use chrome_bench::{RunParams, TableWriter};
+use chrome_traces::spec::spec_workloads;
+
+fn main() {
+    let params = RunParams::from_args();
+    let schemes = ["Mockingjay", "CHROME"];
+    let mut table = TableWriter::new(
+        "fig09_bypass",
+        &[
+            "workload",
+            "mockingjay_coverage",
+            "mockingjay_efficiency",
+            "chrome_coverage",
+            "chrome_efficiency",
+        ],
+    );
+    let mut sums = [0.0f64; 4];
+    let mut count = 0u32;
+    for wl in spec_workloads() {
+        let mut cells = Vec::new();
+        for scheme in schemes {
+            let r = run_workload_tracked(&params, wl, scheme, true);
+            let coverage = r.results.llc.bypass_coverage();
+            // efficiency: of the bypassed lines, how many were never
+            // demanded again (the bypass was the right call)
+            let (again, never, _) = r.results.bypassed_outcome;
+            let efficiency = if again + never == 0 {
+                0.0
+            } else {
+                never as f64 / (again + never) as f64
+            };
+            cells.push(coverage);
+            cells.push(efficiency);
+        }
+        for (i, v) in cells.iter().enumerate() {
+            sums[i] += v;
+        }
+        count += 1;
+        table.row_f(wl, &cells);
+        eprintln!("done {wl}");
+    }
+    let avg: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
+    table.row_f("AVERAGE", &avg);
+    table.finish().expect("write results");
+}

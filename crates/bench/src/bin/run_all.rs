@@ -1,0 +1,41 @@
+//! Replays every experiment binary in sequence (the full reproduction).
+//! Pass `--quick` to forward a reduced instruction budget to each.
+
+use std::process::Command;
+
+// fig06_4core_spec emits the Fig. 7/8/9 tables from the same pass, so
+// their standalone binaries are not replayed here.
+const EXPERIMENTS: &[&str] = &[
+    "tab03_overhead",
+    "tab04_overhead_cmp",
+    "fig06_4core_spec",
+    "fig02_unused_blocks",
+    "fig03_prefetcher_sensitivity",
+    "fig10_hetero_4core",
+    "fig12_nchrome",
+    "fig15_features",
+    "fig14_prefetch_schemes",
+    "tab07_fifo_size",
+    "fig16_hyperparams",
+    "fig11_scalability",
+    "fig13_gap",
+    "fig01_16core",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for exp in EXPERIMENTS {
+        println!("\n########## {exp} ##########");
+        let status = Command::new(exe_dir.join(exp))
+            .args(&forwarded)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        assert!(status.success(), "{exp} failed");
+    }
+    println!("\nAll experiments complete; tables in results/*.tsv");
+}

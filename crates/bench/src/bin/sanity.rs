@@ -1,0 +1,33 @@
+//! Quick end-to-end sanity check: CHROME vs LRU on a few workloads.
+//! Not a paper experiment; used to validate the stack and gauge speed.
+
+use std::time::Instant;
+
+use chrome_bench::{run_workload, RunParams};
+
+fn main() {
+    let params = RunParams::from_args();
+    println!("params: {params:?}");
+    for wl in ["libquantum", "mcf", "soplex", "gcc"] {
+        for scheme in ["LRU", "SHiP++", "Hawkeye", "Glider", "Mockingjay", "CARE", "CHROME"] {
+            let t0 = Instant::now();
+            let r = run_workload(&params, wl, scheme);
+            let dt = t0.elapsed().as_secs_f64();
+            let l1 = &r.results.l1d[0];
+            println!(
+                "{wl:<12} {scheme:<11} ipc={:.3} llcM%={:.0} ephr={:.2} byp={:.2} \
+                 l1m%={:.0} l1pf={} llc_dA={} llc_pA={} dram_r={} dlat={:.0} [{dt:.1}s]",
+                r.ipc_sum(),
+                100.0 * r.results.llc.demand_miss_ratio(),
+                r.results.llc.ephr(),
+                r.results.llc.bypass_coverage(),
+                100.0 * l1.demand_miss_ratio(),
+                l1.prefetch_fills,
+                r.results.llc.demand_accesses,
+                r.results.llc.prefetch_accesses,
+                r.results.dram_reads,
+                r.results.dram_avg_latency,
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Table VII: EQ FIFO-size sweep — speedup over LRU, Q-table updates
+//! per kilo sampled accesses (UPKSA), and the EQ storage overhead.
+
+use chrome_bench::{geomean, run_workload, RunParams, TableWriter};
+use chrome_traces::spec::spec_workloads;
+
+fn main() {
+    let params = RunParams::from_args_ignoring(&["--homo-workloads"]);
+    let homo_count = RunParams::arg_usize("--homo-workloads", 8);
+    let workloads: Vec<&str> = spec_workloads().into_iter().take(homo_count).collect();
+    let bases: Vec<_> = workloads.iter().map(|wl| run_workload(&params, wl, "LRU")).collect();
+    let mut table = TableWriter::new(
+        "tab07_fifo_size",
+        &["fifo_size", "speedup_pct", "upksa", "overhead_kb_64q"],
+    );
+    for fifo in [12usize, 16, 20, 24, 28, 32, 36] {
+        let scheme = format!("CHROME-fifo={fifo}");
+        let mut speedups = Vec::new();
+        let mut upksa_sum = 0.0;
+        let mut n = 0u32;
+        for (wl, base) in workloads.iter().zip(&bases) {
+            let r = run_workload(&params, wl, &scheme);
+            speedups.push(r.weighted_speedup_vs(base));
+            if let Some((_, v)) = r.report.iter().find(|(k, _)| k == "upksa") {
+                upksa_sum += v;
+                n += 1;
+            }
+        }
+        // Table VII reports the EQ storage at the paper's 64 queues
+        let overhead_kb = 64.0 * fifo as f64 * 58.0 / 8.0 / 1024.0;
+        table.row_f(
+            &fifo.to_string(),
+            &[
+                (geomean(&speedups) - 1.0) * 100.0,
+                upksa_sum / n.max(1) as f64,
+                overhead_kb,
+            ],
+        );
+        eprintln!("done fifo={fifo}");
+    }
+    table.finish().expect("write results");
+}

@@ -1,0 +1,44 @@
+//! Internal tuning utility: compare CHROME variants against LRU on a
+//! subset of workloads. Not a paper experiment.
+
+use chrome_bench::{geomean, run_workload, RunParams};
+
+fn main() {
+    let mut params = RunParams::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut schemes: Vec<&str> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--instructions" => {
+                i += 1;
+                params.instructions = args[i].parse().expect("number");
+            }
+            "--warmup" => {
+                i += 1;
+                params.warmup = args[i].parse().expect("number");
+            }
+            "--cores" => {
+                i += 1;
+                params.cores = args[i].parse().expect("number");
+            }
+            s if !s.starts_with("--") => schemes.push(&args[i]),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    let workloads = ["gcc", "mcf", "soplex", "omnetpp", "milc", "hmmer"];
+    let bases: Vec<_> = workloads.iter().map(|wl| run_workload(&params, wl, "LRU")).collect();
+    for scheme in schemes {
+        let mut speedups = Vec::new();
+        for (wl, base) in workloads.iter().zip(&bases) {
+            let r = run_workload(&params, wl, scheme);
+            speedups.push(r.weighted_speedup_vs(base));
+        }
+        println!(
+            "{scheme:<20} geomean={:.4}  per-wl={:?}",
+            geomean(&speedups),
+            speedups.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! # chrome-bench — the experiment harness
+//!
+//! One binary per paper figure/table (see `src/bin/`), plus this library
+//! of shared runner utilities: a unified policy registry (baselines +
+//! CHROME variants), simulation runners with warmup/measure phases,
+//! speedup computation against the LRU baseline, and TSV/console table
+//! output.
+
+pub mod registry;
+pub mod runner;
+pub mod table;
+
+pub use registry::{all_schemes, build_any_policy};
+pub use runner::{geomean, run_mix, run_workload, RunParams, SchemeResult};
+pub use table::TableWriter;

@@ -1,0 +1,248 @@
+//! Simulation runners shared by all experiment binaries.
+
+use chrome_sim::{PrefetcherConfig, SimConfig, SimResults, System};
+use chrome_traces::mix;
+
+use crate::registry::build_any_policy;
+
+/// Parameters for one experiment run. Command-line parsing for the
+/// experiment binaries lives in [`RunParams::from_args`].
+#[derive(Debug, Clone)]
+pub struct RunParams {
+    /// Cores in the simulated system.
+    pub cores: usize,
+    /// Measured instructions per core.
+    pub instructions: u64,
+    /// Warmup instructions per core.
+    pub warmup: u64,
+    /// Prefetcher configuration.
+    pub prefetchers: PrefetcherConfig,
+    /// Base seed for workload generators.
+    pub seed: u64,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            cores: 4,
+            instructions: 3_000_000,
+            warmup: 600_000,
+            prefetchers: PrefetcherConfig::default_paper(),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RunParams {
+    /// Parse common experiment flags from `std::env::args`:
+    /// `--cores N`, `--instructions N`, `--warmup N`, `--quick`
+    /// (divides the instruction budget by 10), `--full` (multiplies it
+    /// by 10), `--seed N`.
+    pub fn from_args() -> Self {
+        Self::from_args_ignoring(&[])
+    }
+
+    /// Like [`RunParams::from_args`], but skips the listed
+    /// experiment-specific flags (each consuming one value argument);
+    /// read those with [`RunParams::arg_usize`].
+    pub fn from_args_ignoring(extra_value_flags: &[&str]) -> Self {
+        let mut p = RunParams::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            if extra_value_flags.contains(&args[i].as_str()) {
+                i += 2;
+                continue;
+            }
+            match args[i].as_str() {
+                "--cores" => {
+                    i += 1;
+                    p.cores = args[i].parse().expect("--cores takes a number");
+                }
+                "--instructions" => {
+                    i += 1;
+                    p.instructions = args[i].parse().expect("--instructions takes a number");
+                }
+                "--warmup" => {
+                    i += 1;
+                    p.warmup = args[i].parse().expect("--warmup takes a number");
+                }
+                "--seed" => {
+                    i += 1;
+                    p.seed = args[i].parse().expect("--seed takes a number");
+                }
+                "--quick" => {
+                    p.instructions /= 10;
+                    p.warmup /= 10;
+                }
+                "--full" => {
+                    p.instructions *= 10;
+                    p.warmup *= 10;
+                }
+                other => panic!("unknown flag {other}"),
+            }
+            i += 1;
+        }
+        p
+    }
+
+    /// Read an experiment-specific `--flag N` from the command line.
+    pub fn arg_usize(name: &str, default: usize) -> usize {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The [`SimConfig`] this run implies.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::with_cores(self.cores);
+        cfg.prefetchers = self.prefetchers;
+        cfg
+    }
+}
+
+/// The results of running one scheme on one workload/mix.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Scheme name.
+    pub scheme: String,
+    /// Raw simulation results.
+    pub results: SimResults,
+    /// Scheme-specific report metrics (e.g. CHROME's UPKSA).
+    pub report: Vec<(String, f64)>,
+}
+
+impl SchemeResult {
+    /// Sum of per-core IPCs.
+    pub fn ipc_sum(&self) -> f64 {
+        self.results.ipc_sum()
+    }
+
+    /// Normalized weighted speedup against a baseline run of the same
+    /// mix: `(1/n) Σ IPC_i / IPC_i^base`.
+    pub fn weighted_speedup_vs(&self, base: &SchemeResult) -> f64 {
+        let n = self.results.per_core.len() as f64;
+        self.results
+            .per_core
+            .iter()
+            .zip(&base.results.per_core)
+            .map(|(a, b)| {
+                let (ia, ib) = (a.ipc(), b.ipc());
+                if ib > 0.0 {
+                    ia / ib
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// Run `scheme` on a homogeneous mix of `workload` (`cores` copies).
+///
+/// # Panics
+///
+/// Panics if the workload or scheme name is unknown.
+pub fn run_workload(params: &RunParams, workload: &str, scheme: &str) -> SchemeResult {
+    run_workload_tracked(params, workload, scheme, false)
+}
+
+/// [`run_workload`] with optional Fig.-2 evicted-unused tracking.
+pub fn run_workload_tracked(
+    params: &RunParams,
+    workload: &str,
+    scheme: &str,
+    track_unused: bool,
+) -> SchemeResult {
+    let traces = mix::homogeneous(workload, params.cores, params.seed)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    run_traces(params, traces, scheme, track_unused)
+}
+
+/// Run `scheme` on a named heterogeneous mix.
+///
+/// # Panics
+///
+/// Panics if any workload or the scheme name is unknown.
+pub fn run_mix(params: &RunParams, names: &[&str], scheme: &str) -> SchemeResult {
+    let traces =
+        mix::build_mix(names, params.seed).unwrap_or_else(|| panic!("unknown mix {names:?}"));
+    run_traces(params, traces, scheme, false)
+}
+
+fn run_traces(
+    params: &RunParams,
+    traces: Vec<Box<dyn chrome_sim::trace::TraceSource>>,
+    scheme: &str,
+    track_unused: bool,
+) -> SchemeResult {
+    let policy =
+        build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let mut sys = System::with_policy(params.sim_config(), traces, policy);
+    if track_unused {
+        sys.enable_unused_tracking();
+    }
+    let results = sys.run(params.instructions, params.warmup);
+    let report = sys.hierarchy().llc.policy.report();
+    SchemeResult { scheme: scheme.to_string(), results, report }
+}
+
+/// Geometric mean of a slice (ignores non-positive values defensively).
+pub fn geomean(values: &[f64]) -> f64 {
+    let vals: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunParams {
+        RunParams {
+            cores: 1,
+            instructions: 30_000,
+            warmup: 3_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_workload_produces_results() {
+        let r = run_workload(&quick(), "libquantum", "LRU");
+        assert!(r.ipc_sum() > 0.0);
+        assert!(r.results.llc.demand_accesses > 0);
+    }
+
+    #[test]
+    fn weighted_speedup_vs_self_is_one() {
+        let r = run_workload(&quick(), "gcc", "LRU");
+        assert!((r.weighted_speedup_vs(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_report_is_populated() {
+        let r = run_workload(&quick(), "mcf", "CHROME");
+        assert!(r.report.iter().any(|(k, _)| k == "upksa"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 0.0]) - 2.0).abs() < 1e-12); // ignores zero
+    }
+
+    #[test]
+    fn mix_runs_multiple_cores() {
+        let params = RunParams { cores: 2, instructions: 20_000, warmup: 2_000, ..Default::default() };
+        let r = run_mix(&params, &["mcf", "libquantum"], "LRU");
+        assert_eq!(r.results.per_core.len(), 2);
+    }
+}

@@ -1,0 +1,636 @@
+//! The CHROME agent: an [`LlcPolicy`] that implements Algorithm 1 of the
+//! paper — the RL decision task (ε-greedy action selection over the
+//! Q-table on every LLC access) and the RL training task (reward
+//! assignment through the Evaluation Queue and SARSA updates).
+
+use chrome_sim::overhead::StorageOverhead;
+use chrome_sim::policy::{
+    sampled_index, AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
+};
+use chrome_sim::types::{mix64, LineAddr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{ChromeConfig, FeatureSelection};
+use crate::eq::{EqEntry, EvalQueue};
+use crate::qtable::{QTable, NUM_ACTIONS};
+
+/// Highest eviction-priority value (2-bit EPV, three levels 0..=2).
+pub const EPV_MAX: u8 = 2;
+
+// Action encoding: 0 = bypass; 1..=3 = insert with EPV (a-1);
+// 4..=6 = re-assign EPV (a-4) on a hit.
+const ACTION_BYPASS: usize = 0;
+const MISS_ACTIONS: [usize; 4] = [0, 1, 2, 3];
+const HIT_ACTIONS: [usize; 3] = [4, 5, 6];
+const ACTION_HIT_EPVH: usize = 6;
+
+/// Counters the agent keeps about its own operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChromeStats {
+    /// Accesses observed on sampled sets.
+    pub sampled_accesses: u64,
+    /// SARSA updates applied to the Q-table.
+    pub q_updates: u64,
+    /// ε-greedy explorations taken.
+    pub explorations: u64,
+    /// Bypass actions chosen.
+    pub bypasses: u64,
+    /// Rewards assigned by address match (re-requested within window).
+    pub matched_rewards: u64,
+    /// Rewards assigned at EQ eviction (never re-requested).
+    pub unmatched_rewards: u64,
+}
+
+impl ChromeStats {
+    /// Q-table updates per kilo sampled accesses (paper Table VII).
+    pub fn upksa(&self) -> f64 {
+        if self.sampled_accesses == 0 {
+            0.0
+        } else {
+            self.q_updates as f64 * 1000.0 / self.sampled_accesses as f64
+        }
+    }
+}
+
+/// The CHROME policy (also serves as N-CHROME via
+/// [`ChromeConfig::n_chrome`]).
+pub struct Chrome {
+    cfg: ChromeConfig,
+    qtable: QTable,
+    eq: EvalQueue,
+    epv: Vec<u8>,
+    num_sets: usize,
+    ways: usize,
+    multicore: bool,
+    rng: SmallRng,
+    pending_epv: u8,
+    /// Per-core last accessed line (for the delta feature).
+    last_line: Vec<u64>,
+    /// Per-core rolling hash of the last four PCs (for the PC-sequence
+    /// feature).
+    pc_history: Vec<[u64; 4]>,
+    /// Agent-internal statistics.
+    pub stats: ChromeStats,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for Chrome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chrome")
+            .field("name", &self.name)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Chrome {
+    /// Create a CHROME agent with the given configuration.
+    pub fn new(cfg: ChromeConfig) -> Self {
+        let qtable = QTable::new(
+            cfg.features.count(),
+            cfg.sub_tables,
+            cfg.sub_table_entries,
+            cfg.q_init(),
+        );
+        let eq = EvalQueue::new(cfg.sampled_sets, cfg.eq_fifo_len);
+        let name = if cfg.concurrency_aware { "CHROME" } else { "N-CHROME" };
+        Chrome {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            qtable,
+            eq,
+            epv: Vec::new(),
+            num_sets: 0,
+            ways: 0,
+            multicore: false,
+            pending_epv: 1,
+            last_line: Vec::new(),
+            pc_history: Vec::new(),
+            stats: ChromeStats::default(),
+            name,
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ChromeConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Extract the state feature vector for an access (paper §IV-A):
+    /// PC signature hashed with the hit/miss bit, the is_prefetch bit
+    /// and (in multicore systems) the core id; plus the physical page
+    /// number. Returns the features in a fixed buffer.
+    fn state_of(&mut self, info: &AccessInfo, hit: bool) -> ([u64; 2], usize) {
+        let core_part = if self.multicore { (info.core as u64 + 1) << 24 } else { 0 };
+        let pc_sig = mix64(
+            info.pc
+                ^ ((hit as u64) << 62)
+                ^ ((info.is_prefetch as u64) << 61)
+                ^ core_part,
+        );
+        let pn = info.line.page_number();
+        let core = info.core.min(self.last_line.len().saturating_sub(1));
+        let state = match self.cfg.features {
+            FeatureSelection::PcOnly => ([pc_sig, 0], 1),
+            FeatureSelection::PnOnly => ([pn, 0], 1),
+            FeatureSelection::PcAndPn => ([pc_sig, pn], 2),
+            FeatureSelection::PcAndDelta => {
+                let delta = info.line.0.wrapping_sub(self.last_line[core]);
+                ([pc_sig, mix64(info.pc ^ delta.wrapping_mul(0x9E37))], 2)
+            }
+            FeatureSelection::PcSeqAndPn => {
+                let h = &self.pc_history[core];
+                let seq = mix64(h[0] ^ h[1].rotate_left(13) ^ h[2].rotate_left(27)
+                    ^ h[3].rotate_left(41) ^ core_part);
+                ([seq, pn], 2)
+            }
+            FeatureSelection::PcOffsetAndPn => {
+                let offset = info.line.0 & 0x3F; // line offset within page
+                ([mix64(pc_sig ^ (offset << 48)), pn], 2)
+            }
+        };
+        // update the per-core feature history
+        self.last_line[core] = info.line.0;
+        let h = &mut self.pc_history[core];
+        h.rotate_right(1);
+        h[0] = info.pc;
+        state
+    }
+
+    /// ε-greedy action selection among `legal` actions. Exact Q ties —
+    /// common under optimistic initialization — break uniformly at
+    /// random, so an untrained agent does not collapse onto one action.
+    fn select_action(&mut self, state: &[u64], legal: &[usize]) -> usize {
+        if self.rng.gen::<f64>() < self.cfg.epsilon {
+            self.stats.explorations += 1;
+            return legal[self.rng.gen_range(0..legal.len())];
+        }
+        let mut best = [0usize; 8];
+        let mut n = 0;
+        let mut best_q = f64::NEG_INFINITY;
+        for &a in legal {
+            let q = self.qtable.q_state(state, a);
+            if q > best_q + 1e-9 {
+                best_q = q;
+                best[0] = a;
+                n = 1;
+            } else if (q - best_q).abs() <= 1e-9 {
+                best[n] = a;
+                n += 1;
+            }
+        }
+        if n == 1 {
+            return best[0];
+        }
+        // Exact Q ties are the signature of an untrained state. Break
+        // them by a fixed, defensive preference — insert at mid priority
+        // on a miss, keep (lowest eviction priority) on a hit, bypass
+        // last — so undertrained states behave like SRRIP instead of
+        // acting randomly. *Learned* preferences still win outright: a
+        // thrashing state's insert actions are driven negative while
+        // bypass keeps its optimistic initial value, so bypass is chosen
+        // without ever being tie-broken.
+        const TIE_RANK: [u8; NUM_ACTIONS] = [
+            3, // bypass: last resort
+            1, // insert at EPV0 (protect)
+            0, // insert at EPV1 (neutral default)
+            2, // insert at EPV2 (evict-first)
+            0, // hit: EPV0 (keep)
+            1, // hit: EPV1
+            2, // hit: EPV2 (mark dead)
+        ];
+        *best[..n]
+            .iter()
+            .min_by_key(|&&a| TIE_RANK[a])
+            .expect("nonempty tie set")
+    }
+
+    /// Reward-match step (Algorithm 1, lines 3–8): if this access's
+    /// address sits unrewarded in the sampled set's FIFO, the earlier
+    /// action is now evaluated by whether the access hit.
+    fn match_reward(&mut self, si: usize, info: &AccessInfo, hit: bool) {
+        let reward = if hit {
+            self.cfg.rewards.requested_hit(info.is_prefetch)
+        } else {
+            self.cfg.rewards.requested_miss(info.is_prefetch)
+        };
+        if let Some(entry) = self.eq.fifo(si).find_unrewarded(info.line.0) {
+            entry.reward = Some(reward);
+            self.stats.matched_rewards += 1;
+        }
+    }
+
+    /// Record the executed action in the EQ and, on FIFO overflow,
+    /// finalize the evicted entry's reward and run the SARSA update
+    /// (Algorithm 1, lines 21–38).
+    fn record_and_train(
+        &mut self,
+        si: usize,
+        state: &[u64],
+        action: usize,
+        trigger_hit: bool,
+        info: &AccessInfo,
+        feedback: &SystemFeedback,
+    ) {
+        let entry = EqEntry {
+            state: state.to_vec(),
+            action,
+            trigger_hit,
+            line: info.line.0,
+            core: info.core,
+            reward: None,
+        };
+        let capacity = self.eq.capacity();
+        if let Some((mut evicted, next)) = self.eq.fifo(si).push(entry, capacity) {
+            if evicted.reward.is_none() {
+                let accurate = if evicted.trigger_hit {
+                    evicted.action == ACTION_HIT_EPVH
+                } else {
+                    evicted.action == ACTION_BYPASS
+                };
+                let obstructed =
+                    self.cfg.concurrency_aware && feedback.is_obstructed(evicted.core);
+                evicted.reward = Some(self.cfg.rewards.not_requested(accurate, obstructed));
+                self.stats.unmatched_rewards += 1;
+            }
+            let reward = evicted.reward.expect("assigned above");
+            let target = match next {
+                Some((next_state, next_action)) => {
+                    reward + self.cfg.gamma * self.qtable.q_state(&next_state, next_action)
+                }
+                None => reward,
+            };
+            self.qtable.update(&evicted.state, evicted.action, target, self.cfg.alpha);
+            self.stats.q_updates += 1;
+        }
+    }
+}
+
+impl LlcPolicy for Chrome {
+    fn initialize(&mut self, num_sets: usize, ways: usize, cores: usize) {
+        self.num_sets = num_sets;
+        self.ways = ways;
+        self.multicore = cores > 1;
+        self.epv = vec![EPV_MAX; num_sets * ways];
+        self.last_line = vec![0; cores.max(1)];
+        self.pc_history = vec![[0; 4]; cores.max(1)];
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, feedback: &SystemFeedback) {
+        let si = sampled_index(set, self.num_sets, self.cfg.sampled_sets);
+        if let Some(si) = si {
+            self.stats.sampled_accesses += 1;
+            self.match_reward(si, info, true);
+        }
+        let (buf, n) = self.state_of(info, true);
+        let state = &buf[..n];
+        let action = self.select_action(state, &HIT_ACTIONS);
+        let i = self.idx(set, way);
+        self.epv[i] = (action - 4) as u8;
+        if let Some(si) = si {
+            self.record_and_train(si, state, action, true, info, feedback);
+        }
+    }
+
+    fn on_miss(&mut self, set: usize, info: &AccessInfo, feedback: &SystemFeedback)
+        -> FillDecision {
+        let si = sampled_index(set, self.num_sets, self.cfg.sampled_sets);
+        if let Some(si) = si {
+            self.stats.sampled_accesses += 1;
+            self.match_reward(si, info, false);
+        }
+        let (buf, n) = self.state_of(info, false);
+        let state = &buf[..n];
+        let action = self.select_action(state, &MISS_ACTIONS);
+        if let Some(si) = si {
+            self.record_and_train(si, state, action, false, info, feedback);
+        }
+        if action == ACTION_BYPASS {
+            self.stats.bypasses += 1;
+            FillDecision::Bypass
+        } else {
+            self.pending_epv = (action - 1) as u8;
+            FillDecision::Insert
+        }
+    }
+
+    fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
+        // Victim = block with the highest EPV; age the set (RRIP-style)
+        // until some block reaches EPV_MAX.
+        let max = c
+            .iter()
+            .map(|cand| self.epv[self.idx(set, cand.way)])
+            .max()
+            .expect("candidates nonempty");
+        if max < EPV_MAX {
+            let bump = EPV_MAX - max;
+            for cand in c {
+                let i = self.idx(set, cand.way);
+                self.epv[i] = (self.epv[i] + bump).min(EPV_MAX);
+            }
+        }
+        c.iter()
+            .find(|cand| self.epv[self.idx(set, cand.way)] >= EPV_MAX)
+            .expect("aging guarantees a max-EPV block")
+            .way
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _: &AccessInfo, _: &SystemFeedback) {
+        let i = self.idx(set, way);
+        self.epv[i] = self.pending_epv;
+    }
+
+    fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn report(&self) -> Vec<(String, f64)> {
+        vec![
+            ("upksa".into(), self.stats.upksa()),
+            ("q_updates".into(), self.stats.q_updates as f64),
+            ("sampled_accesses".into(), self.stats.sampled_accesses as f64),
+            ("explorations".into(), self.stats.explorations as f64),
+            ("agent_bypasses".into(), self.stats.bypasses as f64),
+        ]
+    }
+
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        let mut o = StorageOverhead::new();
+        o.add_table(
+            "Q-Table",
+            (self.cfg.features.count() * self.cfg.sub_tables * self.cfg.sub_table_entries)
+                as u64,
+            16,
+        );
+        o.add_table("EQ", (self.cfg.sampled_sets * self.cfg.eq_fifo_len) as u64, 58);
+        o.add_table("EPV metadata", llc_blocks as u64, 2);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(line: u64, pc: u64, core: usize, prefetch: bool) -> AccessInfo {
+        AccessInfo {
+            core,
+            pc,
+            line: LineAddr(line),
+            is_prefetch: prefetch,
+            is_write: false,
+            cycle: 0,
+        }
+    }
+
+    fn cands(n: usize) -> Vec<CandidateLine> {
+        (0..n)
+            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .collect()
+    }
+
+    fn mk() -> (Chrome, SystemFeedback) {
+        let mut cfg = ChromeConfig::default();
+        cfg.sampled_sets = 16; // sample every 4th of 64 sets
+        let mut p = Chrome::new(cfg);
+        p.initialize(64, 4, 1);
+        (p, SystemFeedback::new(1))
+    }
+
+    #[test]
+    fn names_reflect_awareness() {
+        assert_eq!(Chrome::new(ChromeConfig::default()).name(), "CHROME");
+        assert_eq!(Chrome::new(ChromeConfig::n_chrome()).name(), "N-CHROME");
+    }
+
+    #[test]
+    fn sampled_accesses_counted_only_on_sampled_sets() {
+        let (mut p, fb) = mk();
+        p.on_miss(0, &info(1, 0x400, 0, false), &fb); // set 0 sampled
+        p.on_miss(1, &info(2, 0x400, 0, false), &fb); // set 1 not
+        assert_eq!(p.stats.sampled_accesses, 1);
+    }
+
+    #[test]
+    fn fill_applies_chosen_epv() {
+        let (mut p, fb) = mk();
+        let d = p.on_miss(2, &info(1, 0x400, 0, false), &fb);
+        if d == FillDecision::Insert {
+            p.on_fill(2, 0, &info(1, 0x400, 0, false), &fb);
+            assert!(p.epv[p.idx(2, 0)] <= EPV_MAX);
+        }
+    }
+
+    #[test]
+    fn victim_prefers_high_epv() {
+        let (mut p, _fb) = mk();
+        let (i0, i1, i2, i3) = (p.idx(3, 0), p.idx(3, 1), p.idx(3, 2), p.idx(3, 3));
+        p.epv[i0] = 0;
+        p.epv[i1] = 2;
+        p.epv[i2] = 1;
+        p.epv[i3] = 0;
+        assert_eq!(p.choose_victim(3, &cands(4), &info(9, 0, 0, false)), 1);
+    }
+
+    #[test]
+    fn victim_ages_when_no_max() {
+        let (mut p, _fb) = mk();
+        for w in 0..4 {
+            let i = p.idx(3, w);
+            p.epv[i] = 0;
+        }
+        let v = p.choose_victim(3, &cands(4), &info(9, 0, 0, false));
+        assert_eq!(v, 0); // all aged to 2, first wins
+        for w in 0..4 {
+            assert_eq!(p.epv[p.idx(3, w)], 2);
+        }
+    }
+
+    #[test]
+    fn q_updates_happen_after_fifo_overflow() {
+        let mut cfg = ChromeConfig::default();
+        cfg.sampled_sets = 16;
+        cfg.eq_fifo_len = 4;
+        let mut p = Chrome::new(cfg);
+        p.initialize(64, 4, 1);
+        let fb = SystemFeedback::new(1);
+        for l in 0..20u64 {
+            p.on_miss(0, &info(l * 64, 0x400, 0, false), &fb);
+        }
+        assert!(p.stats.q_updates >= 10, "updates = {}", p.stats.q_updates);
+        assert!(p.stats.unmatched_rewards > 0);
+    }
+
+    #[test]
+    fn rerequested_address_gets_matched_reward() {
+        let (mut p, fb) = mk();
+        p.on_miss(0, &info(64, 0x400, 0, false), &fb);
+        p.on_hit(0, 0, &info(64, 0x400, 0, false), &fb);
+        assert_eq!(p.stats.matched_rewards, 1);
+    }
+
+    #[test]
+    fn scanning_pattern_learns_bypass() {
+        // feed a pure scan (no reuse) through one sampled set: the agent
+        // should learn that bypassing maximizes reward
+        let mut cfg = ChromeConfig::default();
+        cfg.sampled_sets = 64;
+        cfg.epsilon = 0.05; // explore a bit faster in this tiny test
+        let mut p = Chrome::new(cfg);
+        p.initialize(64, 4, 1);
+        let fb = SystemFeedback::new(1);
+        for l in 0..60_000u64 {
+            let set = (l % 64) as usize;
+            p.on_miss(set, &info(l * 64, 0x400, 0, false), &fb);
+        }
+        let late_bypass_rate = {
+            let before = p.stats.bypasses;
+            let before_total = 10_000u64;
+            for l in 0..before_total {
+                let set = (l % 64) as usize;
+                p.on_miss(set, &info((1 << 40) + l * 64, 0x400, 0, false), &fb);
+            }
+            (p.stats.bypasses - before) as f64 / before_total as f64
+        };
+        assert!(
+            late_bypass_rate > 0.5,
+            "agent should bypass a pure scan, rate = {late_bypass_rate}"
+        );
+    }
+
+    #[test]
+    fn reused_pattern_learns_to_insert() {
+        let mut cfg = ChromeConfig::default();
+        cfg.sampled_sets = 64;
+        let mut p = Chrome::new(cfg);
+        p.initialize(64, 4, 1);
+        let fb = SystemFeedback::new(1);
+        // alternate misses and hits on the same small line set: inserting
+        // pays off (hits earn R_AC for the previous action)
+        for rep in 0..3000u64 {
+            let l = rep % 4;
+            if rep < 8 {
+                p.on_miss((l % 64) as usize, &info(l * 64, 0x700, 0, false), &fb);
+            } else {
+                p.on_hit((l % 64) as usize, 0, &info(l * 64, 0x700, 0, false), &fb);
+            }
+        }
+        let before = p.stats.bypasses;
+        for l in 0..1000u64 {
+            p.on_miss(((l * 7) % 64) as usize, &info((1 << 41) + l * 64, 0x700, 0, true), &fb);
+        }
+        let rate = (p.stats.bypasses - before) as f64 / 1000.0;
+        // hit-trained PC signature differs from miss signature, so this
+        // checks the agent does not degenerate into always-bypass
+        assert!(rate < 0.9, "rate = {rate}");
+    }
+
+    #[test]
+    fn n_chrome_ignores_obstruction() {
+        let mut cfg = ChromeConfig::n_chrome();
+        cfg.eq_fifo_len = 2;
+        cfg.sampled_sets = 64;
+        let mut p = Chrome::new(cfg);
+        p.initialize(64, 4, 2);
+        let mut fb = SystemFeedback::new(2);
+        fb.obstructed = vec![true, true];
+        // All NR rewards must use the NOB values; we can't observe the
+        // reward directly, but the agent must not crash and must train.
+        for l in 0..100u64 {
+            p.on_miss(0, &info(l * 64, 0x400, 1, false), &fb);
+        }
+        assert!(p.stats.q_updates > 50);
+    }
+
+    #[test]
+    fn storage_overhead_matches_table_iii() {
+        let p = Chrome::new(ChromeConfig::default());
+        // 4-core 12MB LLC: 196608 blocks
+        let o = p.storage_overhead(196_608);
+        assert!((o.total_kib() - 92.7).abs() < 0.1, "total = {}", o.total_kib());
+    }
+
+    #[test]
+    fn report_includes_upksa() {
+        let (mut p, fb) = mk();
+        for l in 0..200u64 {
+            p.on_miss(0, &info(l * 64, 0x400, 0, false), &fb);
+        }
+        let report = p.report();
+        assert!(report.iter().any(|(k, _)| k == "upksa"));
+    }
+
+    #[test]
+    fn upksa_zero_without_accesses() {
+        assert_eq!(ChromeStats::default().upksa(), 0.0);
+    }
+
+    #[test]
+    fn every_feature_selection_runs() {
+        use crate::config::FeatureSelection::*;
+        for features in [PcOnly, PnOnly, PcAndPn, PcAndDelta, PcSeqAndPn, PcOffsetAndPn] {
+            let mut cfg = ChromeConfig { features, ..Default::default() };
+            cfg.sampled_sets = 16;
+            let mut p = Chrome::new(cfg);
+            p.initialize(64, 4, 2);
+            let fb = SystemFeedback::new(2);
+            for l in 0..500u64 {
+                let set = (l % 64) as usize;
+                let i = info(l * 64, 0x400 + (l % 8) * 4, (l % 2) as usize, l % 5 == 0);
+                if l % 3 == 0 {
+                    p.on_hit(set, 0, &i, &fb);
+                } else {
+                    let _ = p.on_miss(set, &i, &fb);
+                }
+            }
+            assert!(p.stats.sampled_accesses > 0, "{features:?}");
+        }
+    }
+
+    #[test]
+    fn delta_feature_distinguishes_strides() {
+        let cfg = ChromeConfig {
+            features: crate::config::FeatureSelection::PcAndDelta,
+            ..Default::default()
+        };
+        let mut p = Chrome::new(cfg);
+        p.initialize(64, 4, 1);
+        // two accesses with the same pc but different deltas produce
+        // different second features
+        let a1 = info(0, 0x400, 0, false);
+        let a2 = info(64 * 64, 0x400, 0, false); // delta 64 lines
+        let a3 = info(64 * 65, 0x400, 0, false); // delta 1 line
+        let _ = p.state_of(&a1, false);
+        let (s2, _) = p.state_of(&a2, false);
+        let (s3, _) = p.state_of(&a3, false);
+        assert_ne!(s2[1], s3[1], "different strides must differ in state");
+    }
+
+    #[test]
+    fn pc_sequence_feature_tracks_history() {
+        let cfg = ChromeConfig {
+            features: crate::config::FeatureSelection::PcSeqAndPn,
+            ..Default::default()
+        };
+        let mut p = Chrome::new(cfg);
+        p.initialize(64, 4, 1);
+        // same current context, different preceding PC history
+        let warm = |p: &mut Chrome, pcs: [u64; 3]| {
+            for pc in pcs {
+                let _ = p.state_of(&info(0, pc, 0, false), false);
+            }
+            p.state_of(&info(64, 0x400, 0, false), false)
+        };
+        let (sa, _) = warm(&mut p, [0x1, 0x2, 0x3]);
+        let (sb, _) = warm(&mut p, [0x9, 0x8, 0x7]);
+        assert_ne!(sa[0], sb[0], "PC history must shape the sequence feature");
+    }
+}

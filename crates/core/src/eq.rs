@@ -1,0 +1,185 @@
+//! The Evaluation Queue (paper §V-D): 64 per-sampled-set FIFOs that
+//! delay reward assignment until an action's consequences are visible.
+
+use std::collections::VecDeque;
+
+/// One recorded action awaiting (or holding) its reward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EqEntry {
+    /// State feature vector at decision time.
+    pub state: Vec<u64>,
+    /// Action index executed.
+    pub action: usize,
+    /// True if the action was triggered by a cache hit.
+    pub trigger_hit: bool,
+    /// Line address the action concerned (hashed to 16 bits in the
+    /// hardware accounting; kept exact here for correctness).
+    pub line: u64,
+    /// Issuing core (for concurrency-aware dead-block rewards).
+    pub core: usize,
+    /// Assigned reward, if any yet.
+    pub reward: Option<f64>,
+}
+
+/// A single FIFO of the EQ.
+#[derive(Debug, Default)]
+pub struct EqFifo {
+    entries: VecDeque<EqEntry>,
+}
+
+impl EqFifo {
+    /// Find the newest unrewarded entry for `line` and return a mutable
+    /// reference to it.
+    pub fn find_unrewarded(&mut self, line: u64) -> Option<&mut EqEntry> {
+        self.entries
+            .iter_mut()
+            .rev()
+            .find(|e| e.line == line && e.reward.is_none())
+    }
+
+    /// Push a new entry; if the FIFO exceeds `capacity`, pop and return
+    /// the oldest entry together with a peek at the new oldest
+    /// (the SARSA "next" state-action).
+    pub fn push(
+        &mut self,
+        entry: EqEntry,
+        capacity: usize,
+    ) -> Option<(EqEntry, Option<(Vec<u64>, usize)>)> {
+        self.entries.push_back(entry);
+        if self.entries.len() > capacity {
+            let evicted = self.entries.pop_front().expect("nonempty");
+            let next = self
+                .entries
+                .front()
+                .map(|e| (e.state.clone(), e.action));
+            Some((evicted, next))
+        } else {
+            None
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The full Evaluation Queue: one FIFO per sampled set.
+#[derive(Debug)]
+pub struct EvalQueue {
+    fifos: Vec<EqFifo>,
+    capacity: usize,
+}
+
+impl EvalQueue {
+    /// An EQ with `queues` FIFOs of `capacity` entries each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` or `capacity` is zero.
+    pub fn new(queues: usize, capacity: usize) -> Self {
+        assert!(queues > 0 && capacity > 0, "degenerate EQ");
+        EvalQueue {
+            fifos: (0..queues).map(|_| EqFifo::default()).collect(),
+            capacity,
+        }
+    }
+
+    /// Access the FIFO for sampled-set index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn fifo(&mut self, idx: usize) -> &mut EqFifo {
+        &mut self.fifos[idx]
+    }
+
+    /// FIFO capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of FIFOs.
+    pub fn num_queues(&self) -> usize {
+        self.fifos.len()
+    }
+
+    /// Storage bits for the Table III accounting: 58 bits per entry
+    /// (state 33 + action 2 + reward 6 + hashed address 16 + trigger 1).
+    pub fn storage_bits(&self) -> u64 {
+        (self.num_queues() * self.capacity * 58) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(line: u64, action: usize) -> EqEntry {
+        EqEntry {
+            state: vec![1, 2],
+            action,
+            trigger_hit: false,
+            line,
+            core: 0,
+            reward: None,
+        }
+    }
+
+    #[test]
+    fn push_under_capacity_returns_none() {
+        let mut f = EqFifo::default();
+        assert!(f.push(entry(1, 0), 3).is_none());
+        assert!(f.push(entry(2, 0), 3).is_none());
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_reports_next() {
+        let mut f = EqFifo::default();
+        f.push(entry(1, 0), 2);
+        f.push(entry(2, 1), 2);
+        let (evicted, next) = f.push(entry(3, 2), 2).expect("overflow");
+        assert_eq!(evicted.line, 1);
+        let (next_state, next_action) = next.expect("peek");
+        assert_eq!(next_action, 1);
+        assert_eq!(next_state, vec![1, 2]);
+    }
+
+    #[test]
+    fn find_unrewarded_skips_rewarded() {
+        let mut f = EqFifo::default();
+        f.push(entry(5, 0), 8);
+        f.find_unrewarded(5).expect("present").reward = Some(10.0);
+        assert!(f.find_unrewarded(5).is_none());
+    }
+
+    #[test]
+    fn find_unrewarded_prefers_newest() {
+        let mut f = EqFifo::default();
+        f.push(entry(5, 0), 8);
+        f.push(entry(5, 3), 8);
+        assert_eq!(f.find_unrewarded(5).expect("present").action, 3);
+    }
+
+    #[test]
+    fn eval_queue_geometry_and_storage() {
+        let eq = EvalQueue::new(64, 28);
+        assert_eq!(eq.num_queues(), 64);
+        assert_eq!(eq.capacity(), 28);
+        // Table III: 12.7 KB
+        let kb = eq.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb - 12.7).abs() < 0.05, "EQ = {kb} KB");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate EQ")]
+    fn zero_queues_rejected() {
+        let _ = EvalQueue::new(0, 28);
+    }
+}

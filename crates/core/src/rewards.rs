@@ -1,0 +1,121 @@
+//! The CHROME reward structure (paper §IV-C, Table II).
+//!
+//! Rewards are assigned to recorded actions in two situations:
+//!
+//! * the action's address is requested again within the EQ window —
+//!   `R_AC` if the request hits (the action retained the block
+//!   correctly) or `R_IN` if it misses (the action evicted/bypassed a
+//!   block that was still needed), each split by whether the *current*
+//!   request is a demand (`D`) or prefetch (`P`) access;
+//! * the address is never requested within the window (the entry ages
+//!   out of its EQ FIFO) — `R_AC-NR` if the action was the accurate one
+//!   for a dead block (bypass on miss, highest EPV on hit) or `R_IN-NR`
+//!   otherwise, each split by whether the issuing core was
+//!   LLC-obstructed (`OB`) or not (`NOB`) at evaluation time.
+
+/// The eight reward values (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardTable {
+    /// Accurate action, re-requested by a demand access: +20.
+    pub ac_demand: f64,
+    /// Accurate action, re-requested by a prefetch access: +5.
+    pub ac_prefetch: f64,
+    /// Inaccurate action, re-requested by a demand access: −20.
+    pub in_demand: f64,
+    /// Inaccurate action, re-requested by a prefetch access: −5.
+    pub in_prefetch: f64,
+    /// Accurate dead-block action, issuing core LLC-obstructed: +28.
+    pub ac_nr_obstructed: f64,
+    /// Accurate dead-block action, core not obstructed: +10.
+    pub ac_nr_normal: f64,
+    /// Inaccurate dead-block action, issuing core LLC-obstructed: −22.
+    pub in_nr_obstructed: f64,
+    /// Inaccurate dead-block action, core not obstructed: −10.
+    pub in_nr_normal: f64,
+}
+
+impl Default for RewardTable {
+    fn default() -> Self {
+        RewardTable {
+            ac_demand: 20.0,
+            ac_prefetch: 5.0,
+            in_demand: -20.0,
+            in_prefetch: -5.0,
+            ac_nr_obstructed: 28.0,
+            ac_nr_normal: 10.0,
+            in_nr_obstructed: -22.0,
+            in_nr_normal: -10.0,
+        }
+    }
+}
+
+impl RewardTable {
+    /// Reward for an action whose address was re-requested and **hit**:
+    /// the action accurately kept the block.
+    pub fn requested_hit(&self, request_is_prefetch: bool) -> f64 {
+        if request_is_prefetch {
+            self.ac_prefetch
+        } else {
+            self.ac_demand
+        }
+    }
+
+    /// Reward for an action whose address was re-requested and
+    /// **missed**: the action evicted or bypassed a live block.
+    pub fn requested_miss(&self, request_is_prefetch: bool) -> f64 {
+        if request_is_prefetch {
+            self.in_prefetch
+        } else {
+            self.in_demand
+        }
+    }
+
+    /// Reward for an action whose address was never re-requested within
+    /// the EQ window. `accurate` is true when the action anticipated the
+    /// dead block (bypass on a miss trigger, highest EPV on a hit
+    /// trigger); `obstructed` is the issuing core's LLC-obstruction
+    /// state (forced to `false` by N-CHROME).
+    pub fn not_requested(&self, accurate: bool, obstructed: bool) -> f64 {
+        match (accurate, obstructed) {
+            (true, true) => self.ac_nr_obstructed,
+            (true, false) => self.ac_nr_normal,
+            (false, true) => self.in_nr_obstructed,
+            (false, false) => self.in_nr_normal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_values() {
+        let r = RewardTable::default();
+        assert_eq!(r.requested_hit(false), 20.0);
+        assert_eq!(r.requested_hit(true), 5.0);
+        assert_eq!(r.requested_miss(false), -20.0);
+        assert_eq!(r.requested_miss(true), -5.0);
+        assert_eq!(r.not_requested(true, true), 28.0);
+        assert_eq!(r.not_requested(true, false), 10.0);
+        assert_eq!(r.not_requested(false, true), -22.0);
+        assert_eq!(r.not_requested(false, false), -10.0);
+    }
+
+    #[test]
+    fn demand_outweighs_prefetch() {
+        // objective 2 (§IV-C): demand re-requests carry stronger signal
+        let r = RewardTable::default();
+        assert!(r.requested_hit(false) > r.requested_hit(true));
+        assert!(r.requested_miss(false) < r.requested_miss(true));
+    }
+
+    #[test]
+    fn obstruction_amplifies() {
+        // objective 4 (§IV-C): obstruction magnifies both reward and
+        // penalty for dead-block handling
+        let r = RewardTable::default();
+        assert!(r.not_requested(true, true) > r.not_requested(true, false));
+        assert!(r.not_requested(false, true) < r.not_requested(false, false));
+    }
+}

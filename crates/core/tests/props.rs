@@ -1,0 +1,97 @@
+//! Property-based tests for CHROME's learning structures.
+
+use chrome_core::eq::{EqEntry, EqFifo};
+use chrome_core::qtable::{QTable, NUM_ACTIONS};
+use proptest::prelude::*;
+
+fn entry(line: u64, action: usize) -> EqEntry {
+    EqEntry {
+        state: vec![line, line >> 8],
+        action,
+        trigger_hit: action >= 4,
+        line,
+        core: 0,
+        reward: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The Q-table's SARSA update converges toward a constant target
+    /// from any starting configuration.
+    #[test]
+    fn qtable_converges(f1 in any::<u64>(), f2 in any::<u64>(),
+                        action in 0usize..NUM_ACTIONS,
+                        target in -30.0f64..30.0) {
+        let mut t = QTable::new(2, 4, 2048, 1.582);
+        let state = [f1, f2];
+        for _ in 0..600 {
+            t.update(&state, action, target, 0.1);
+        }
+        let q = t.q_state(&state, action);
+        prop_assert!((q - target).abs() < 3.0, "q={q} target={target}");
+    }
+
+    /// Updates to one action never perturb another action of the same
+    /// state by more than fixed-point noise.
+    #[test]
+    fn qtable_actions_isolated(f1 in any::<u64>(), f2 in any::<u64>(),
+                               a in 0usize..NUM_ACTIONS, b in 0usize..NUM_ACTIONS) {
+        prop_assume!(a != b);
+        let mut t = QTable::new(2, 4, 2048, 1.0);
+        let state = [f1, f2];
+        let before = t.q_state(&state, b);
+        for _ in 0..100 {
+            t.update(&state, a, -25.0, 0.1);
+        }
+        prop_assert!((t.q_state(&state, b) - before).abs() < 0.2);
+    }
+
+    /// best_action always returns a legal action.
+    #[test]
+    fn best_action_is_legal(f1 in any::<u64>(), legal_mask in 1u8..127) {
+        let t = QTable::new(1, 4, 2048, 1.0);
+        let legal: Vec<usize> =
+            (0..NUM_ACTIONS).filter(|&a| legal_mask & (1 << a) != 0).collect();
+        prop_assume!(!legal.is_empty());
+        let chosen = t.best_action(&[f1], &legal);
+        prop_assert!(legal.contains(&chosen));
+    }
+
+    /// The EQ FIFO preserves order, respects capacity and reports
+    /// evictions exactly once per overflow.
+    #[test]
+    fn eq_fifo_is_fifo(lines in prop::collection::vec(0u64..64, 1..120),
+                       cap in 1usize..16) {
+        let mut fifo = EqFifo::default();
+        let mut evictions = Vec::new();
+        for (i, &l) in lines.iter().enumerate() {
+            if let Some((evicted, next)) = fifo.push(entry(l, i % NUM_ACTIONS), cap) {
+                evictions.push(evicted.line);
+                prop_assert!(next.is_some(), "FIFO nonempty after eviction");
+            }
+            prop_assert!(fifo.len() <= cap);
+        }
+        // evictions come out in insertion order
+        let expected: Vec<u64> =
+            lines.iter().copied().take(lines.len().saturating_sub(cap)).collect();
+        prop_assert_eq!(evictions, expected);
+    }
+
+    /// `find_unrewarded` only ever returns entries with the searched
+    /// line and no reward.
+    #[test]
+    fn eq_find_respects_filters(lines in prop::collection::vec(0u64..8, 1..60),
+                                probe in 0u64..8) {
+        let mut fifo = EqFifo::default();
+        for (i, &l) in lines.iter().enumerate() {
+            fifo.push(entry(l, i % NUM_ACTIONS), 64);
+        }
+        if let Some(e) = fifo.find_unrewarded(probe) {
+            prop_assert_eq!(e.line, probe);
+            prop_assert!(e.reward.is_none());
+            e.reward = Some(1.0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! DRRIP (Jaleel et al., ISCA'10): dynamic re-reference interval
+//! prediction. Set-dueling picks between SRRIP (insert at RRPV 2) and
+//! BRRIP (insert mostly at RRPV 3) using a policy-selection counter —
+//! the classic pre-learning baseline that later schemes are measured
+//! against.
+
+use chrome_sim::overhead::StorageOverhead;
+use chrome_sim::policy::{
+    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
+};
+use chrome_sim::types::{mix64, LineAddr};
+
+use crate::common::RrpvArray;
+
+const PSEL_MAX: i32 = 1023;
+/// One in this many fills under BRRIP inserts near instead of distant.
+const BRRIP_NEAR_ONE_IN: u64 = 32;
+/// Number of leader sets per policy.
+const LEADERS: usize = 32;
+
+/// The DRRIP policy.
+#[derive(Debug)]
+pub struct Drrip {
+    rrpv: RrpvArray,
+    psel: i32,
+    num_sets: usize,
+    fills: u64,
+}
+
+impl Default for Drrip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drrip {
+    /// Create a DRRIP policy (geometry set by `initialize`).
+    pub fn new() -> Self {
+        Drrip { rrpv: RrpvArray::new(1, 1, 3), psel: PSEL_MAX / 2, num_sets: 0, fills: 0 }
+    }
+
+    /// Leader-set classification: `Some(true)` = SRRIP leader,
+    /// `Some(false)` = BRRIP leader, `None` = follower.
+    fn leader(&self, set: usize) -> Option<bool> {
+        let h = mix64(set as u64) % (self.num_sets as u64).max(1);
+        if h < LEADERS as u64 {
+            Some(true)
+        } else if h < 2 * LEADERS as u64 {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    fn use_srrip(&self, set: usize) -> bool {
+        match self.leader(set) {
+            Some(srrip) => srrip,
+            None => self.psel >= PSEL_MAX / 2,
+        }
+    }
+}
+
+impl LlcPolicy for Drrip {
+    fn initialize(&mut self, num_sets: usize, ways: usize, _cores: usize) {
+        self.rrpv = RrpvArray::new(num_sets, ways, 3);
+        self.num_sets = num_sets;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _: &AccessInfo, _: &SystemFeedback) {
+        self.rrpv.set(set, way, 0);
+    }
+
+    fn on_miss(&mut self, set: usize, info: &AccessInfo, _: &SystemFeedback) -> FillDecision {
+        // a miss in a leader set votes against that leader's policy
+        if !info.is_prefetch {
+            match self.leader(set) {
+                Some(true) => self.psel = (self.psel - 1).max(0),
+                Some(false) => self.psel = (self.psel + 1).min(PSEL_MAX),
+                None => {}
+            }
+        }
+        FillDecision::Insert
+    }
+
+    fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
+        self.rrpv.victim(set, c)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        self.fills += 1;
+        let srrip = self.use_srrip(set);
+        let rrpv = if info.is_prefetch {
+            3 // prefetches always distant under RRIP-family baselines
+        } else if srrip {
+            2
+        } else if self.fills % BRRIP_NEAR_ONE_IN == 0 {
+            2
+        } else {
+            3
+        };
+        self.rrpv.set(set, way, rrpv);
+    }
+
+    fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn name(&self) -> &str {
+        "DRRIP"
+    }
+
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        let mut o = StorageOverhead::new();
+        o.add_table("per-block RRPV", llc_blocks as u64, 2);
+        o.add_bits("PSEL", 10);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(line: u64, prefetch: bool) -> AccessInfo {
+        AccessInfo {
+            core: 0,
+            pc: 0x400,
+            line: LineAddr(line),
+            is_prefetch: prefetch,
+            is_write: false,
+            cycle: 0,
+        }
+    }
+
+    fn mk() -> (Drrip, SystemFeedback) {
+        let mut p = Drrip::new();
+        p.initialize(1024, 4, 1);
+        (p, SystemFeedback::new(1))
+    }
+
+    #[test]
+    fn hit_promotes_to_zero() {
+        let (mut p, fb) = mk();
+        p.on_fill(5, 1, &info(1, false), &fb);
+        p.on_hit(5, 1, &info(1, false), &fb);
+        assert_eq!(p.rrpv.get(5, 1), 0);
+    }
+
+    #[test]
+    fn prefetch_inserts_distant() {
+        let (mut p, fb) = mk();
+        p.on_fill(5, 0, &info(1, true), &fb);
+        assert_eq!(p.rrpv.get(5, 0), 3);
+    }
+
+    #[test]
+    fn leader_sets_exist_for_both_policies() {
+        let (p, _) = mk();
+        let srrip = (0..1024).filter(|&s| p.leader(s) == Some(true)).count();
+        let brrip = (0..1024).filter(|&s| p.leader(s) == Some(false)).count();
+        assert!(srrip > 0 && brrip > 0, "srrip={srrip} brrip={brrip}");
+    }
+
+    #[test]
+    fn psel_moves_with_leader_misses() {
+        let (mut p, fb) = mk();
+        let srrip_leader = (0..1024).find(|&s| p.leader(s) == Some(true)).expect("exists");
+        let before = p.psel;
+        for l in 0..50 {
+            p.on_miss(srrip_leader, &info(l, false), &fb);
+        }
+        assert!(p.psel < before, "misses in an SRRIP leader should punish SRRIP");
+    }
+
+    #[test]
+    fn never_bypasses() {
+        let (mut p, fb) = mk();
+        assert_eq!(p.on_miss(3, &info(1, false), &fb), FillDecision::Insert);
+    }
+
+    #[test]
+    fn brrip_mode_inserts_mostly_distant() {
+        let (mut p, fb) = mk();
+        p.psel = 0; // force BRRIP for followers
+        let follower = (0..1024).find(|&s| p.leader(s).is_none()).expect("exists");
+        let mut distant = 0;
+        for l in 0..64 {
+            p.on_fill(follower, (l % 4) as usize, &info(l, false), &fb);
+            if p.rrpv.get(follower, (l % 4) as usize) == 3 {
+                distant += 1;
+            }
+        }
+        assert!(distant > 48, "BRRIP should insert mostly at RRPV 3, got {distant}/64");
+    }
+}

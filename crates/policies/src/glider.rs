@@ -1,0 +1,295 @@
+//! Glider (Shi et al., MICRO'19) — the *online* integer-SVM model.
+//!
+//! The offline attention LSTM of the paper distills into a simple online
+//! predictor: one integer SVM per load PC, whose features are the
+//! (hashed) contents of a per-core PC history register holding the last
+//! 5 load PCs. Training labels come from OPTgen on sampled sets, exactly
+//! as in Hawkeye, but the richer control-flow feature lets Glider
+//! separate behaviors a single PC confounds.
+
+use chrome_sim::overhead::StorageOverhead;
+use chrome_sim::policy::{
+    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
+};
+use chrome_sim::types::{mix64, LineAddr};
+
+use crate::common::OptGen;
+
+const ISVM_COUNT: usize = 2048;
+const WEIGHTS_PER_ISVM: usize = 16;
+const HISTORY: usize = 5;
+const RRPV_MAX: u8 = 7;
+// Scale note: the paper samples 64 sets over 200M-instruction runs; our
+// default runs are ~20x shorter, so experiments sample 4x more sets to
+// keep per-set training volume comparable.
+const SAMPLED_SETS: usize = 256;
+const TAU_HI: i32 = 60;
+const WEIGHT_CAP: i32 = 31;
+
+/// The Glider policy (online ISVM form).
+pub struct Glider {
+    weights: Vec<i8>,
+    pchr: Vec<[u64; HISTORY]>, // per-core PC history registers
+    optgens: Vec<OptGen>,
+    rrpv: Vec<u8>,
+    friendly: Vec<bool>,
+    num_sets: usize,
+    ways: usize,
+}
+
+impl std::fmt::Debug for Glider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Glider").field("isvms", &ISVM_COUNT).finish_non_exhaustive()
+    }
+}
+
+impl Default for Glider {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Glider {
+    /// Create a Glider policy (geometry set by `initialize`).
+    pub fn new() -> Self {
+        Glider {
+            weights: vec![0; ISVM_COUNT * WEIGHTS_PER_ISVM],
+            pchr: Vec::new(),
+            optgens: Vec::new(),
+            rrpv: Vec::new(),
+            friendly: Vec::new(),
+            num_sets: 0,
+            ways: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Pack (isvm index, 5 selected weight slots) into a trainable
+    /// payload.
+    fn feature(&self, info: &AccessInfo) -> u64 {
+        let isvm = (mix64(info.pc ^ ((info.is_prefetch as u64) << 60)) as usize) % ISVM_COUNT;
+        let hist = &self.pchr[info.core.min(self.pchr.len() - 1)];
+        let mut packed = isvm as u64;
+        for (k, &h) in hist.iter().enumerate() {
+            let slot = (mix64(h ^ (k as u64) << 32) % WEIGHTS_PER_ISVM as u64) & 0xF;
+            packed |= slot << (16 + 4 * k);
+        }
+        packed
+    }
+
+    fn weight_indices(packed: u64) -> (usize, [usize; HISTORY]) {
+        let isvm = (packed & 0xFFFF) as usize % ISVM_COUNT;
+        let mut slots = [0usize; HISTORY];
+        for (k, s) in slots.iter_mut().enumerate() {
+            *s = ((packed >> (16 + 4 * k)) & 0xF) as usize;
+        }
+        (isvm, slots)
+    }
+
+    fn predict(&self, packed: u64) -> i32 {
+        let (isvm, slots) = Self::weight_indices(packed);
+        slots
+            .iter()
+            .map(|&s| self.weights[isvm * WEIGHTS_PER_ISVM + s] as i32)
+            .sum()
+    }
+
+    fn train(&mut self, packed: u64, up: bool) {
+        let sum = self.predict(packed);
+        // only train while the margin is not already satisfied
+        if up && sum >= TAU_HI + WEIGHT_CAP {
+            return;
+        }
+        if !up && sum <= -(TAU_HI + WEIGHT_CAP) {
+            return;
+        }
+        let (isvm, slots) = Self::weight_indices(packed);
+        for &s in &slots {
+            let w = &mut self.weights[isvm * WEIGHTS_PER_ISVM + s];
+            let nw = (*w as i32 + if up { 1 } else { -1 }).clamp(-WEIGHT_CAP, WEIGHT_CAP);
+            *w = nw as i8;
+        }
+    }
+
+    fn observe(&mut self, set: usize, info: &AccessInfo) -> u64 {
+        let packed = self.feature(info);
+        // update PCHR after computing the feature
+        let core = info.core.min(self.pchr.len() - 1);
+        let h = &mut self.pchr[core];
+        h.rotate_right(1);
+        h[0] = info.pc;
+        if let Some(si) = chrome_sim::policy::sampled_index(set, self.num_sets, SAMPLED_SETS) {
+            if let Some(out) = self.optgens[si].access(info.line.0, packed) {
+                self.train(out.payload, out.opt_hit);
+            }
+        }
+        packed
+    }
+}
+
+impl LlcPolicy for Glider {
+    fn initialize(&mut self, num_sets: usize, ways: usize, cores: usize) {
+        self.num_sets = num_sets;
+        self.ways = ways;
+        self.rrpv = vec![RRPV_MAX; num_sets * ways];
+        self.friendly = vec![false; num_sets * ways];
+        self.pchr = vec![[0; HISTORY]; cores.max(1)];
+        self.optgens = (0..SAMPLED_SETS).map(|_| OptGen::new(ways)).collect();
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        let packed = self.observe(set, info);
+        let sum = self.predict(packed);
+        let i = self.idx(set, way);
+        self.friendly[i] = sum >= 0;
+        self.rrpv[i] = if sum >= TAU_HI {
+            0
+        } else if sum >= 0 {
+            1
+        } else {
+            RRPV_MAX
+        };
+    }
+
+    fn on_miss(&mut self, set: usize, info: &AccessInfo, _: &SystemFeedback) -> FillDecision {
+        let _ = self.observe(set, info);
+        FillDecision::Insert
+    }
+
+    fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
+        if let Some(cand) = c.iter().find(|cand| self.rrpv[self.idx(set, cand.way)] == RRPV_MAX) {
+            return cand.way;
+        }
+        c.iter()
+            .max_by_key(|cand| self.rrpv[self.idx(set, cand.way)])
+            .expect("candidates nonempty")
+            .way
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        let packed = self.feature(info);
+        let sum = self.predict(packed);
+        let friendly = sum >= 0;
+        if friendly {
+            // age earlier friendly lines, Hawkeye-style
+            for w in 0..self.ways {
+                let i = self.idx(set, w);
+                if self.friendly[i] && self.rrpv[i] < RRPV_MAX - 1 {
+                    self.rrpv[i] += 1;
+                }
+            }
+        }
+        let i = self.idx(set, way);
+        self.friendly[i] = friendly;
+        self.rrpv[i] = if sum >= TAU_HI {
+            0
+        } else if sum >= 0 {
+            1
+        } else {
+            RRPV_MAX
+        };
+    }
+
+    fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn name(&self) -> &str {
+        "Glider"
+    }
+
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        let mut o = StorageOverhead::new();
+        o.add_table("ISVM weights", (ISVM_COUNT * WEIGHTS_PER_ISVM) as u64, 6);
+        o.add_table("per-block RRPV + friendly", llc_blocks as u64, 4);
+        o.add_table("OPTgen samplers", 64 * 8 * 12, 40); // hardware budget uses the paper's 64 sets
+        o.add_bits("PCHR", (HISTORY * 16) as u64);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(line: u64, pc: u64) -> AccessInfo {
+        AccessInfo {
+            core: 0,
+            pc,
+            line: LineAddr(line),
+            is_prefetch: false,
+            is_write: false,
+            cycle: 0,
+        }
+    }
+
+    fn mk() -> (Glider, SystemFeedback) {
+        let mut p = Glider::new();
+        p.initialize(64, 4, 1);
+        (p, SystemFeedback::new(1))
+    }
+
+    #[test]
+    fn training_moves_weights() {
+        let (mut p, fb) = mk();
+        let packed = p.feature(&info(0, 0x700));
+        let before = p.predict(packed);
+        for l in 0..200u64 {
+            p.on_miss(0, &info(l % 2, 0x700), &fb);
+        }
+        let after = p.predict(p.feature(&info(0, 0x700)));
+        assert!(after > before, "tight reuse should push weights up: {before} -> {after}");
+    }
+
+    #[test]
+    fn scanning_becomes_averse() {
+        let (mut p, fb) = mk();
+        for rep in 0..12 {
+            for l in 0..40u64 {
+                let _ = rep;
+                p.on_miss(0, &info(l * 64, 0xBAD), &fb);
+            }
+        }
+        let sum = p.predict(p.feature(&info(0, 0xBAD)));
+        assert!(sum < 0, "scanning PC should be negative, sum={sum}");
+    }
+
+    #[test]
+    fn averse_blocks_evicted_first() {
+        let (mut p, fb) = mk();
+        for _ in 0..12 {
+            for l in 0..40u64 {
+                p.on_miss(0, &info(l * 64, 0xBAD), &fb);
+            }
+        }
+        for _ in 0..100 {
+            p.on_miss(0, &info(0, 0x600D), &fb); // friendly trainer
+        }
+        p.on_fill(1, 0, &info(1, 0x600D), &fb);
+        p.on_fill(1, 1, &info(2, 0xBAD), &fb);
+        let cands: Vec<CandidateLine> = (0..2)
+            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .collect();
+        assert_eq!(p.choose_victim(1, &cands, &info(9, 0x700)), 1);
+    }
+
+    #[test]
+    fn weights_are_capped() {
+        let (mut p, fb) = mk();
+        for l in 0..2000u64 {
+            p.on_miss(0, &info(l % 2, 0x700), &fb);
+        }
+        assert!(p.weights.iter().all(|&w| (w as i32).abs() <= WEIGHT_CAP));
+    }
+
+    #[test]
+    fn pchr_rotates() {
+        let (mut p, fb) = mk();
+        p.on_miss(1, &info(1, 0xAAA), &fb);
+        p.on_miss(1, &info(2, 0xBBB), &fb);
+        assert_eq!(p.pchr[0][0], 0xBBB);
+        assert_eq!(p.pchr[0][1], 0xAAA);
+    }
+}

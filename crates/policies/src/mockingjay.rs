@@ -1,0 +1,305 @@
+//! Mockingjay (Shah, Jain & Lin, HPCA'22): fine-grained mimicry of
+//! Belady's MIN with integrated replacement *and* bypassing.
+//!
+//! A sampled reuse-distance monitor measures true reuse distances on a
+//! few sets; a Reuse-Distance Predictor (RDP) maps PC signatures —
+//! demand and prefetch kept separate — to predicted reuse distances.
+//! Cached blocks carry an Estimated-Time-Remaining (ETR) counter that
+//! decays with set accesses; the victim is the block whose next use is
+//! farthest (max |ETR|), and incoming blocks predicted to be reused
+//! farther than any resident block are bypassed.
+
+use chrome_sim::overhead::StorageOverhead;
+use chrome_sim::policy::{
+    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
+};
+use chrome_sim::types::LineAddr;
+
+use crate::common::{pc_signature, ReuseSampler};
+
+// Scale note: the paper samples 64 sets over 200M-instruction runs; our
+// default runs are ~20x shorter, so experiments sample 4x more sets to
+// keep per-set training volume comparable.
+const SAMPLED_SETS: usize = 256;
+const SIG_BITS: u32 = 13;
+const RDP_ENTRIES: usize = 8 * 1024;
+/// Reuse distances at or beyond this value are treated as "never".
+const INF_RD: u16 = 512;
+
+/// The Mockingjay policy.
+pub struct Mockingjay {
+    /// RDP: predicted reuse distance per signature (u16; INF_RD = never).
+    rdp: Vec<u16>,
+    rdp_valid: Vec<bool>,
+    samplers: Vec<ReuseSampler>,
+    etr: Vec<i16>,
+    set_clock: Vec<u8>,
+    num_sets: usize,
+    ways: usize,
+    granularity: u16,
+}
+
+impl std::fmt::Debug for Mockingjay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mockingjay").field("sets", &self.num_sets).finish_non_exhaustive()
+    }
+}
+
+impl Default for Mockingjay {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mockingjay {
+    /// Create a Mockingjay policy (geometry set by `initialize`).
+    pub fn new() -> Self {
+        Mockingjay {
+            rdp: vec![0; RDP_ENTRIES],
+            rdp_valid: vec![false; RDP_ENTRIES],
+            samplers: Vec::new(),
+            etr: Vec::new(),
+            set_clock: Vec::new(),
+            num_sets: 0,
+            ways: 0,
+            granularity: 8,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    #[inline]
+    fn rdp_idx(sig: u64) -> usize {
+        (sig % RDP_ENTRIES as u64) as usize
+    }
+
+    fn predicted_rd(&self, sig: u64) -> u16 {
+        let i = Self::rdp_idx(sig);
+        if self.rdp_valid[i] {
+            self.rdp[i]
+        } else {
+            // optimistic default: assume moderate reuse until learned
+            (self.ways as u16) * 4
+        }
+    }
+
+    fn update_rdp(&mut self, sig: u64, observed: u16) {
+        let i = Self::rdp_idx(sig);
+        if !self.rdp_valid[i] {
+            self.rdp[i] = observed;
+            self.rdp_valid[i] = true;
+        } else {
+            let old = self.rdp[i] as i32;
+            let obs = observed as i32;
+            // EWMA with a fast path for large surprises
+            let new = if (obs - old).abs() > old / 2 + 8 {
+                old + (obs - old) * 3 / 4
+            } else {
+                old + (obs - old) / 8
+            };
+            self.rdp[i] = new.clamp(0, INF_RD as i32) as u16;
+        }
+    }
+
+    /// Observe an access on a sampled set: measure reuse distances and
+    /// train the RDP.
+    fn sample(&mut self, set: usize, info: &AccessInfo) {
+        let Some(si) = chrome_sim::policy::sampled_index(set, self.num_sets, SAMPLED_SETS)
+        else {
+            return;
+        };
+        let sig = pc_signature(info.pc, info.is_prefetch, info.core, SIG_BITS);
+        let max_age = (self.ways as u64) * 16;
+        if let Some((rd, _prev_sig)) = self.samplers[si].access(info.line.0, sig) {
+            // the *previous* filler signature is trained with the
+            // measured distance; the monitor stores the filler's sig
+            self.update_rdp(_prev_sig, rd.min(INF_RD as u64 - 1) as u16);
+        }
+        // lines that aged out were never reused: train toward infinity
+        let expired = self.samplers[si].expire(max_age);
+        for prev_sig in expired {
+            self.update_rdp(prev_sig, INF_RD);
+        }
+    }
+
+    /// Advance the set's decay clock (one tick per set access).
+    fn tick_set(&mut self, set: usize) {
+        let c = &mut self.set_clock[set];
+        *c += 1;
+        if *c as u16 >= self.granularity {
+            *c = 0;
+            for w in 0..self.ways {
+                let i = self.idx(set, w);
+                self.etr[i] = self.etr[i].saturating_sub(1);
+            }
+        }
+    }
+
+    fn etr_for(&self, sig: u64) -> i16 {
+        (self.predicted_rd(sig) / self.granularity) as i16
+    }
+}
+
+impl LlcPolicy for Mockingjay {
+    fn initialize(&mut self, num_sets: usize, ways: usize, _cores: usize) {
+        self.num_sets = num_sets;
+        self.ways = ways;
+        self.etr = vec![0; num_sets * ways];
+        self.set_clock = vec![0; num_sets];
+        self.granularity = (ways as u16 / 2).max(1);
+        self.samplers = (0..SAMPLED_SETS).map(|_| ReuseSampler::new(ways * 2)).collect();
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        self.sample(set, info);
+        self.tick_set(set);
+        let sig = pc_signature(info.pc, info.is_prefetch, info.core, SIG_BITS);
+        let v = self.etr_for(sig);
+        let i = self.idx(set, way);
+        self.etr[i] = v;
+    }
+
+    fn on_miss(&mut self, set: usize, info: &AccessInfo, _: &SystemFeedback) -> FillDecision {
+        self.sample(set, info);
+        self.tick_set(set);
+        let sig = pc_signature(info.pc, info.is_prefetch, info.core, SIG_BITS);
+        let rd = self.predicted_rd(sig);
+        // Bypass blocks predicted to be reused beyond what the set can
+        // hold (or never). Writes are never bypassed.
+        if !info.is_write && rd >= (self.ways as u16) * self.granularity * 2 {
+            return FillDecision::Bypass;
+        }
+        FillDecision::Insert
+    }
+
+    fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
+        c.iter()
+            .max_by_key(|cand| {
+                let e = self.etr[self.idx(set, cand.way)];
+                (e.unsigned_abs(), e < 0)
+            })
+            .expect("candidates nonempty")
+            .way
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        let sig = pc_signature(info.pc, info.is_prefetch, info.core, SIG_BITS);
+        let v = self.etr_for(sig);
+        let i = self.idx(set, way);
+        self.etr[i] = v;
+    }
+
+    fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn name(&self) -> &str {
+        "Mockingjay"
+    }
+
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        let mut o = StorageOverhead::new();
+        o.add_table("RDP", RDP_ENTRIES as u64, 10);
+        o.add_table("per-block ETR", llc_blocks as u64, 5);
+        o.add_table("sampled cache", 64 * 24, 45); // hardware budget uses the paper's 64 sets
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(line: u64, pc: u64, prefetch: bool) -> AccessInfo {
+        AccessInfo {
+            core: 0,
+            pc,
+            line: LineAddr(line),
+            is_prefetch: prefetch,
+            is_write: false,
+            cycle: 0,
+        }
+    }
+
+    fn mk() -> (Mockingjay, SystemFeedback) {
+        let mut p = Mockingjay::new();
+        p.initialize(64, 4, 1);
+        (p, SystemFeedback::new(1))
+    }
+
+    #[test]
+    fn tight_reuse_learns_small_rd() {
+        let (mut p, fb) = mk();
+        for l in 0..400u64 {
+            p.on_miss(0, &info(l % 2, 0x700, false), &fb);
+        }
+        let sig = pc_signature(0x700, false, 0, SIG_BITS);
+        assert!(p.predicted_rd(sig) <= 4, "rd = {}", p.predicted_rd(sig));
+    }
+
+    #[test]
+    fn never_reused_pc_learns_infinite_rd_and_bypasses() {
+        let (mut p, fb) = mk();
+        // long scan: every line unique, never reused
+        for l in 0..4000u64 {
+            p.on_miss(0, &info(l * 64, 0xBAD, false), &fb);
+        }
+        let sig = pc_signature(0xBAD, false, 0, SIG_BITS);
+        assert!(p.predicted_rd(sig) > 100, "rd = {}", p.predicted_rd(sig));
+        assert_eq!(p.on_miss(0, &info(1 << 30, 0xBAD, false), &fb), FillDecision::Bypass);
+    }
+
+    #[test]
+    fn victim_is_farthest_predicted() {
+        let (mut p, fb) = mk();
+        p.on_fill(1, 0, &info(1, 0x1, false), &fb);
+        p.on_fill(1, 1, &info(2, 0x2, false), &fb);
+        // manually bias way 1 to be far in the future
+        let i = p.idx(1, 1);
+        p.etr[i] = 100;
+        let cands: Vec<CandidateLine> = (0..2)
+            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .collect();
+        assert_eq!(p.choose_victim(1, &cands, &info(3, 0x3, false)), 1);
+    }
+
+    #[test]
+    fn overdue_blocks_beat_future_blocks_on_tie() {
+        let (mut p, _fb) = mk();
+        let (i0, i1) = (p.idx(1, 0), p.idx(1, 1));
+        p.etr[i0] = 50;
+        p.etr[i1] = -50;
+        let cands: Vec<CandidateLine> = (0..2)
+            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .collect();
+        // |etr| ties at 50; overdue (negative) is the better victim
+        assert_eq!(p.choose_victim(1, &cands, &info(3, 0x3, false)), 1);
+    }
+
+    #[test]
+    fn etr_decays_with_set_accesses() {
+        let (mut p, fb) = mk();
+        p.on_fill(2, 0, &info(1, 0x1, false), &fb);
+        let before = p.etr[p.idx(2, 0)];
+        for l in 0..64u64 {
+            p.on_miss(2, &info(1000 + l, 0x5, false), &fb);
+        }
+        assert!(p.etr[p.idx(2, 0)] < before);
+    }
+
+    #[test]
+    fn prefetch_and_demand_signatures_are_distinct() {
+        let (mut p, fb) = mk();
+        // demand from 0x900 reuses tightly; prefetch from 0x900 never
+        for l in 0..400u64 {
+            p.on_miss(0, &info(l % 2, 0x900, false), &fb);
+        }
+        for l in 0..2000u64 {
+            p.on_miss(0, &info((1 << 20) + l * 64, 0x900, true), &fb);
+        }
+        let d = pc_signature(0x900, false, 0, SIG_BITS);
+        let pf = pc_signature(0x900, true, 0, SIG_BITS);
+        assert!(p.predicted_rd(d) < p.predicted_rd(pf));
+    }
+}

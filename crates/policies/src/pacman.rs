@@ -1,0 +1,137 @@
+//! PACMan (Wu et al., MICRO'11): Prefetch-Aware Cache Management.
+//!
+//! Discussed in the paper's related work (§VIII): PACMan mitigates
+//! prefetch-induced interference by *statically* differentiating demand
+//! and prefetch requests in the insertion and hit-promotion policies of
+//! an RRIP cache — prefetch fills insert distant, and prefetch hits do
+//! not promote. It is the classic static counterpoint to CHROME's
+//! learned prefetch treatment.
+
+use chrome_sim::overhead::StorageOverhead;
+use chrome_sim::policy::{
+    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
+};
+use chrome_sim::types::LineAddr;
+
+use crate::common::RrpvArray;
+
+/// The PACMan policy (the PACMan-HM variant: prefetch-aware hit
+/// promotion and miss insertion).
+#[derive(Debug)]
+pub struct Pacman {
+    rrpv: RrpvArray,
+}
+
+impl Default for Pacman {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pacman {
+    /// Create a PACMan policy (geometry set by `initialize`).
+    pub fn new() -> Self {
+        Pacman { rrpv: RrpvArray::new(1, 1, 3) }
+    }
+}
+
+impl LlcPolicy for Pacman {
+    fn initialize(&mut self, num_sets: usize, ways: usize, _cores: usize) {
+        self.rrpv = RrpvArray::new(num_sets, ways, 3);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        if info.is_prefetch {
+            // PACMan-H: a prefetch hit does not promote — it says
+            // nothing about demand reuse
+            return;
+        }
+        self.rrpv.set(set, way, 0);
+    }
+
+    fn on_miss(&mut self, _: usize, _: &AccessInfo, _: &SystemFeedback) -> FillDecision {
+        FillDecision::Insert
+    }
+
+    fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
+        self.rrpv.victim(set, c)
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        // PACMan-M: prefetch fills insert at the most-distant RRPV,
+        // demand fills at the SRRIP long interval
+        let rrpv = if info.is_prefetch { 3 } else { 2 };
+        self.rrpv.set(set, way, rrpv);
+    }
+
+    fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn name(&self) -> &str {
+        "PACMan"
+    }
+
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        let mut o = StorageOverhead::new();
+        o.add_table("per-block RRPV", llc_blocks as u64, 2);
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(line: u64, prefetch: bool) -> AccessInfo {
+        AccessInfo {
+            core: 0,
+            pc: 0x400,
+            line: LineAddr(line),
+            is_prefetch: prefetch,
+            is_write: false,
+            cycle: 0,
+        }
+    }
+
+    fn mk() -> (Pacman, SystemFeedback) {
+        let mut p = Pacman::new();
+        p.initialize(16, 4, 1);
+        (p, SystemFeedback::new(1))
+    }
+
+    #[test]
+    fn demand_fill_near_prefetch_fill_distant() {
+        let (mut p, fb) = mk();
+        p.on_fill(0, 0, &info(1, false), &fb);
+        p.on_fill(0, 1, &info(2, true), &fb);
+        assert_eq!(p.rrpv.get(0, 0), 2);
+        assert_eq!(p.rrpv.get(0, 1), 3);
+    }
+
+    #[test]
+    fn prefetch_hit_does_not_promote() {
+        let (mut p, fb) = mk();
+        p.on_fill(0, 0, &info(1, true), &fb);
+        p.on_hit(0, 0, &info(1, true), &fb);
+        assert_eq!(p.rrpv.get(0, 0), 3, "prefetch hit must not promote");
+        p.on_hit(0, 0, &info(1, false), &fb);
+        assert_eq!(p.rrpv.get(0, 0), 0, "demand hit promotes");
+    }
+
+    #[test]
+    fn prefetched_blocks_evicted_first() {
+        let (mut p, fb) = mk();
+        p.on_fill(1, 0, &info(1, false), &fb);
+        p.on_fill(1, 1, &info(2, true), &fb);
+        p.on_fill(1, 2, &info(3, false), &fb);
+        p.on_fill(1, 3, &info(4, false), &fb);
+        let cands: Vec<CandidateLine> = (0..4)
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: w == 1,
+                dirty: false,
+            })
+            .collect();
+        assert_eq!(p.choose_victim(1, &cands, &info(5, false)), 1);
+    }
+}

@@ -1,0 +1,264 @@
+//! Private set-associative caches (L1D, L2) with LRU replacement.
+
+use crate::config::CacheConfig;
+use crate::mshr::MshrFile;
+use crate::stats::CacheStats;
+use crate::types::LineAddr;
+
+/// A block evicted from a cache, reported to the caller so writebacks can
+/// be propagated down the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address of the victim.
+    pub line: LineAddr,
+    /// True if the victim was dirty (a writeback is required).
+    pub dirty: bool,
+}
+
+/// A private, write-back, write-allocate cache with true-LRU replacement.
+///
+/// Used for the L1D and L2 levels; the shared LLC lives in
+/// [`crate::llc::SharedLlc`] because it needs a pluggable policy.
+#[derive(Debug)]
+pub struct PrivateCache {
+    sets: usize,
+    ways: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+    tags: Vec<LineAddr>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    prefetch: Vec<bool>,
+    /// Cycle at which each block's data arrives (fills are recorded
+    /// eagerly; a hit before this time waits for the in-flight data).
+    ready: Vec<u64>,
+    lru: Vec<u64>,
+    tick: u64,
+    /// Outstanding-miss tracking for this level.
+    pub mshr: MshrFile,
+    /// Counters for this cache.
+    pub stats: CacheStats,
+}
+
+impl PrivateCache {
+    /// Build a cache from a [`CacheConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration implies zero sets or zero ways.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0 && cfg.ways > 0, "degenerate cache geometry");
+        let n = sets * cfg.ways;
+        PrivateCache {
+            sets,
+            ways: cfg.ways,
+            latency: cfg.latency,
+            tags: vec![LineAddr(0); n],
+            valid: vec![false; n],
+            dirty: vec![false; n],
+            prefetch: vec![false; n],
+            ready: vec![0; n],
+            lru: vec![0; n],
+            tick: 0,
+            mshr: MshrFile::new(cfg.mshr_entries),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Look up `line` without updating replacement state.
+    pub fn probe(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        (0..self.ways).find(|&w| {
+            let i = self.idx(set, w);
+            self.valid[i] && self.tags[i] == line
+        })
+    }
+
+    /// Look up `line`; on a hit, update LRU state and the dirty bit (for
+    /// stores) and return `Some(ready_cycle)` — the cycle the block's
+    /// data arrives (in the past for settled blocks). `is_prefetch`
+    /// suppresses demand accounting. The caller updates stats counters.
+    pub fn lookup(&mut self, line: LineAddr, is_write: bool, is_prefetch: bool) -> Option<u64> {
+        match self.probe(line) {
+            Some(way) => {
+                let set = self.set_of(line);
+                let i = self.idx(set, way);
+                self.tick += 1;
+                self.lru[i] = self.tick;
+                if is_write {
+                    self.dirty[i] = true;
+                }
+                if !is_prefetch && self.prefetch[i] {
+                    self.prefetch[i] = false;
+                    self.stats.prefetch_useful += 1;
+                }
+                Some(self.ready[i])
+            }
+            None => None,
+        }
+    }
+
+    /// Insert `line`, evicting the LRU block if the set is full.
+    /// `ready` is the cycle the data arrives. Returns the evicted
+    /// block, if any.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool, is_prefetch: bool, ready: u64)
+        -> Option<Evicted> {
+        debug_assert!(self.probe(line).is_none(), "double fill of resident line");
+        let set = self.set_of(line);
+        // Prefer an invalid way.
+        let way = (0..self.ways)
+            .find(|&w| !self.valid[self.idx(set, w)])
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .min_by_key(|&w| self.lru[self.idx(set, w)])
+                    .expect("nonzero ways")
+            });
+        let i = self.idx(set, way);
+        let evicted = if self.valid[i] {
+            self.stats.evictions += 1;
+            Some(Evicted { line: self.tags[i], dirty: self.dirty[i] })
+        } else {
+            None
+        };
+        if evicted.as_ref().is_some_and(|e| e.dirty) {
+            self.stats.writebacks += 1;
+        }
+        self.tick += 1;
+        self.tags[i] = line;
+        self.valid[i] = true;
+        self.dirty[i] = dirty;
+        self.prefetch[i] = is_prefetch;
+        self.ready[i] = ready;
+        self.lru[i] = self.tick;
+        if is_prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        evicted
+    }
+
+    /// Mark a resident line dirty (used for writebacks arriving from an
+    /// upper level). Returns `false` if the line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        if let Some(way) = self.probe(line) {
+            let set = self.set_of(line);
+            let i = self.idx(set, way);
+            self.dirty[i] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of currently valid blocks (test/diagnostic helper).
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PrivateCache {
+        // 4 sets x 2 ways
+        PrivateCache::new(&CacheConfig {
+            capacity: 4 * 2 * 64,
+            ways: 2,
+            latency: 5,
+            mshr_entries: 4,
+        })
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(c.lookup(LineAddr(12), false, false).is_none());
+        c.fill(LineAddr(12), false, false, 0);
+        assert!(c.lookup(LineAddr(12), false, false).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // lines 0, 4, 8 all map to set 0 (4 sets)
+        c.fill(LineAddr(0), false, false, 0);
+        c.fill(LineAddr(4), false, false, 0);
+        c.lookup(LineAddr(0), false, false); // make 0 MRU
+        let ev = c.fill(LineAddr(8), false, false, 0).expect("eviction");
+        assert_eq!(ev.line, LineAddr(4));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), true, false, 0);
+        c.fill(LineAddr(4), false, false, 0);
+        let ev = c.fill(LineAddr(8), false, false, 0).expect("eviction");
+        assert!(ev.dirty);
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn store_hit_sets_dirty() {
+        let mut c = tiny();
+        c.fill(LineAddr(0), false, false, 0);
+        c.fill(LineAddr(4), false, false, 0);
+        c.lookup(LineAddr(0), true, false); // store: 0 becomes dirty and MRU
+        let ev = c.fill(LineAddr(8), false, false, 0).expect("eviction");
+        assert_eq!(ev.line, LineAddr(4));
+        assert!(!ev.dirty);
+        let ev2 = c.fill(LineAddr(4), false, false, 0).expect("eviction");
+        assert_eq!(ev2.line, LineAddr(0));
+        assert!(ev2.dirty);
+    }
+
+    #[test]
+    fn prefetch_bit_cleared_on_demand_hit() {
+        let mut c = tiny();
+        c.fill(LineAddr(3), false, true, 0);
+        assert_eq!(c.stats.prefetch_fills, 1);
+        c.lookup(LineAddr(3), false, false);
+        assert_eq!(c.stats.prefetch_useful, 1);
+        // second demand hit does not double count
+        c.lookup(LineAddr(3), false, false);
+        assert_eq!(c.stats.prefetch_useful, 1);
+    }
+
+    #[test]
+    fn occupancy_counts_valid() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(LineAddr(1), false, false, 0);
+        c.fill(LineAddr(2), false, false, 0);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn mark_dirty_only_when_resident() {
+        let mut c = tiny();
+        assert!(!c.mark_dirty(LineAddr(9)));
+        c.fill(LineAddr(9), false, false, 0);
+        assert!(c.mark_dirty(LineAddr(9)));
+    }
+}

@@ -1,0 +1,171 @@
+//! C-AMAT (Concurrent Average Memory Access Time) instrumentation.
+//!
+//! C-AMAT [Sun & Wang 2013] is memory-active cycles divided by memory
+//! accesses, where overlapping accesses contribute a cycle only once.
+//! Each LLC access from core *i* is an interval `[start, end)`; the
+//! memory-active cycles of core *i* are the measure of the union of its
+//! intervals. Because the simulator produces intervals in non-decreasing
+//! start order per core, the union can be maintained incrementally with a
+//! single "covered-until" watermark per core.
+//!
+//! Per feedback epoch (100K cycles in the paper) the tracker produces
+//! per-core C-AMAT(LLC) values and the LLC-obstruction flags
+//! (`C-AMAT_i(LLC) > T_mem`).
+
+/// Per-core C-AMAT accounting at one memory level.
+#[derive(Debug, Clone)]
+pub struct CamatTracker {
+    covered_until: Vec<u64>,
+    epoch_active: Vec<u64>,
+    epoch_accesses: Vec<u64>,
+    total_active: Vec<u64>,
+    total_accesses: Vec<u64>,
+}
+
+impl CamatTracker {
+    /// Tracker for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        CamatTracker {
+            covered_until: vec![0; cores],
+            epoch_active: vec![0; cores],
+            epoch_accesses: vec![0; cores],
+            total_active: vec![0; cores],
+            total_accesses: vec![0; cores],
+        }
+    }
+
+    /// Record an access interval `[start, end)` from `core`.
+    ///
+    /// Intervals must arrive in non-decreasing `start` order per core for
+    /// the union computation to be exact (the simulator guarantees this).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `end < start`.
+    pub fn record(&mut self, core: usize, start: u64, end: u64) {
+        debug_assert!(end >= start, "inverted interval");
+        let covered = &mut self.covered_until[core];
+        let new_from = start.max(*covered);
+        let add = end.saturating_sub(new_from);
+        *covered = (*covered).max(end);
+        self.epoch_active[core] += add;
+        self.epoch_accesses[core] += 1;
+        self.total_active[core] += add;
+        self.total_accesses[core] += 1;
+    }
+
+    /// Close the current epoch: returns per-core `(camat, accesses)` for
+    /// the epoch and resets epoch counters.
+    pub fn end_epoch(&mut self) -> Vec<(f64, u64)> {
+        let out = self
+            .epoch_active
+            .iter()
+            .zip(&self.epoch_accesses)
+            .map(|(&act, &acc)| {
+                let camat = if acc == 0 { 0.0 } else { act as f64 / acc as f64 };
+                (camat, acc)
+            })
+            .collect();
+        for v in &mut self.epoch_active {
+            *v = 0;
+        }
+        for v in &mut self.epoch_accesses {
+            *v = 0;
+        }
+        out
+    }
+
+    /// Lifetime totals for `core`: `(active_cycles, accesses)`.
+    pub fn totals(&self, core: usize) -> (u64, u64) {
+        (self.total_active[core], self.total_accesses[core])
+    }
+
+    /// Lifetime C-AMAT for `core`.
+    pub fn camat(&self, core: usize) -> f64 {
+        let (act, acc) = self.totals(core);
+        if acc == 0 {
+            0.0
+        } else {
+            act as f64 / acc as f64
+        }
+    }
+
+    /// Reset lifetime totals (used at the warmup/measurement boundary).
+    pub fn reset_totals(&mut self) {
+        for v in &mut self.total_active {
+            *v = 0;
+        }
+        for v in &mut self.total_accesses {
+            *v = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_intervals_sum() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 0, 10);
+        t.record(0, 20, 30);
+        assert_eq!(t.totals(0), (20, 2));
+        assert!((t.camat(0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_intervals_count_once() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 0, 100);
+        t.record(0, 50, 120); // 50..100 overlaps; adds only 20
+        assert_eq!(t.totals(0), (120, 2));
+        assert!((t.camat(0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contained_interval_adds_nothing() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 0, 100);
+        t.record(0, 10, 50);
+        assert_eq!(t.totals(0), (100, 2));
+    }
+
+    #[test]
+    fn cores_are_independent() {
+        let mut t = CamatTracker::new(2);
+        t.record(0, 0, 10);
+        t.record(1, 0, 100);
+        assert_eq!(t.totals(0), (10, 1));
+        assert_eq!(t.totals(1), (100, 1));
+    }
+
+    #[test]
+    fn epoch_reset() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 0, 10);
+        let e = t.end_epoch();
+        assert!((e[0].0 - 10.0).abs() < 1e-12);
+        assert_eq!(e[0].1, 1);
+        let e2 = t.end_epoch();
+        assert_eq!(e2[0], (0.0, 0));
+        // lifetime totals survive epochs
+        assert_eq!(t.totals(0), (10, 1));
+    }
+
+    #[test]
+    fn reset_totals_clears_lifetime() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 0, 10);
+        t.reset_totals();
+        assert_eq!(t.totals(0), (0, 0));
+        assert_eq!(t.camat(0), 0.0);
+    }
+
+    #[test]
+    fn zero_length_interval_counts_access() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 5, 5);
+        assert_eq!(t.totals(0), (0, 1));
+    }
+}

@@ -1,0 +1,233 @@
+//! DDR4-style DRAM timing model: channels, ranks, banks, row buffers.
+//!
+//! The model answers one question — *when does this 64-byte transfer
+//! complete?* — while tracking bank busy times, open rows, and data-bus
+//! occupancy so that bandwidth contention and row locality shape the
+//! latency distribution, which is what the C-AMAT feedback and the
+//! policy comparisons are sensitive to.
+
+use crate::config::DramConfig;
+use crate::types::LineAddr;
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    busy_until: u64,
+    open_row: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    bus_free: u64,
+    banks: Vec<Bank>,
+}
+
+/// The DRAM subsystem.
+#[derive(Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    /// Reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// Row-buffer hits observed.
+    pub row_hits: u64,
+    /// Sum of read latencies (for the running `T_mem` estimate).
+    latency_sum: u64,
+    latency_count: u64,
+}
+
+impl Dram {
+    /// Build a DRAM model from timing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero channels or banks.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.channels > 0 && cfg.ranks > 0 && cfg.banks > 0, "degenerate DRAM");
+        let banks_per_channel = cfg.ranks * cfg.banks;
+        Dram {
+            channels: vec![
+                Channel { bus_free: 0, banks: vec![Bank::default(); banks_per_channel] };
+                cfg.channels
+            ],
+            cfg,
+            reads: 0,
+            writes: 0,
+            row_hits: 0,
+            latency_sum: 0,
+            latency_count: 0,
+        }
+    }
+
+    /// Map a line to (channel, bank, row).
+    #[inline]
+    fn map(&self, line: LineAddr) -> (usize, usize, u64) {
+        let l = line.0;
+        let ch = (l % self.cfg.channels as u64) as usize;
+        let banks = (self.cfg.ranks * self.cfg.banks) as u64;
+        let bank = ((l / self.cfg.channels as u64) % banks) as usize;
+        let row = l / self.cfg.channels as u64 / banks / self.cfg.lines_per_row;
+        (ch, bank, row)
+    }
+
+    /// Service an access arriving at `arrival`; returns the completion
+    /// cycle of the 64B transfer.
+    pub fn access(&mut self, line: LineAddr, arrival: u64, is_write: bool) -> u64 {
+        let (ch_i, bank_i, row) = self.map(line);
+        let ch = &mut self.channels[ch_i];
+        let bank = &mut ch.banks[bank_i];
+
+        let start = arrival.max(bank.busy_until);
+        let array_latency = match bank.open_row {
+            Some(open) if open == row => {
+                self.row_hits += 1;
+                self.cfg.t_cas
+            }
+            Some(_) => self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas,
+            None => self.cfg.t_rcd + self.cfg.t_cas,
+        };
+        bank.open_row = Some(row);
+
+        let xfer_start = (start + array_latency).max(ch.bus_free);
+        let done = xfer_start + self.cfg.burst;
+        ch.bus_free = done;
+        bank.busy_until = done;
+
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+            self.latency_sum += done - arrival;
+            self.latency_count += 1;
+        }
+        done
+    }
+
+    /// The unloaded (queue-free) average access latency: row activation
+    /// plus column access plus transfer. This is the `T_mem` constant of
+    /// the paper's LLC-obstruction test — a characteristic of the memory
+    /// technology, not of the current load.
+    pub fn unloaded_latency(&self) -> f64 {
+        (self.cfg.t_rcd + self.cfg.t_cas + self.cfg.burst) as f64
+    }
+
+    /// How long a request to `line` arriving at `t` would wait before
+    /// its bank and bus are free (a memory-controller queue-depth probe,
+    /// used to shed low-priority prefetches under load).
+    pub fn queue_delay(&self, line: LineAddr, t: u64) -> u64 {
+        let (ch_i, bank_i, _) = self.map(line);
+        let ch = &self.channels[ch_i];
+        ch.banks[bank_i].busy_until.max(ch.bus_free).saturating_sub(t)
+    }
+
+    /// Running average read latency (cycles); this is the paper's `T_mem`
+    /// used by the LLC-obstruction test. Returns a sensible default
+    /// before any read has been observed.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.latency_count == 0 {
+            (self.cfg.t_rcd + self.cfg.t_cas + self.cfg.burst) as f64
+        } else {
+            self.latency_sum as f64 / self.latency_count as f64
+        }
+    }
+
+    /// Row-buffer hit rate among all accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.reads + self.writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::default())
+    }
+
+    #[test]
+    fn first_access_pays_rcd_cas_burst() {
+        let mut d = dram();
+        let done = d.access(LineAddr(0), 1000, false);
+        assert_eq!(done, 1000 + 50 + 50 + 10);
+    }
+
+    #[test]
+    fn row_hit_is_faster() {
+        let mut d = dram();
+        let t1 = d.access(LineAddr(0), 0, false);
+        // same channel/bank/row: stride channels*banks stays in bank 0 and,
+        // while below lines_per_row, in the same row
+        let banks = (d.cfg.ranks * d.cfg.banks) as u64;
+        let next_in_row = LineAddr(d.cfg.channels as u64 * banks);
+        let t2 = d.access(next_in_row, t1 + 1000, false);
+        assert_eq!(t2 - (t1 + 1000), d.cfg.t_cas + d.cfg.burst);
+        assert_eq!(d.row_hits, 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut d = dram();
+        let lines_per_row = d.cfg.lines_per_row;
+        let banks = (d.cfg.ranks * d.cfg.banks) as u64;
+        let t1 = d.access(LineAddr(0), 0, false);
+        // a line in the same bank but a different row
+        let conflict = LineAddr(d.cfg.channels as u64 * banks * lines_per_row);
+        let t2 = d.access(conflict, t1 + 1000, false);
+        assert_eq!(t2 - (t1 + 1000), d.cfg.t_rp + d.cfg.t_rcd + d.cfg.t_cas + d.cfg.burst);
+    }
+
+    #[test]
+    fn bank_contention_serializes() {
+        let mut d = dram();
+        let t1 = d.access(LineAddr(0), 0, false);
+        // same bank, same arrival: second must wait for the first
+        let banks = (d.cfg.ranks * d.cfg.banks) as u64;
+        let same_bank_other_row = LineAddr(d.cfg.channels as u64 * banks * d.cfg.lines_per_row);
+        let t2 = d.access(same_bank_other_row, 0, false);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn different_channels_overlap() {
+        let mut d = dram();
+        let t1 = d.access(LineAddr(0), 0, false);
+        let t2 = d.access(LineAddr(1), 0, false); // different channel
+        // both see an idle subsystem, so completion times are equal
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn avg_latency_tracks_reads_only() {
+        let mut d = dram();
+        let before = d.avg_read_latency();
+        assert!(before > 0.0);
+        d.access(LineAddr(0), 0, true);
+        assert_eq!(d.writes, 1);
+        // writes do not perturb the read-latency estimate
+        assert_eq!(d.avg_read_latency(), before);
+        d.access(LineAddr(3), 0, false);
+        assert!(d.avg_read_latency() > 0.0);
+        assert_eq!(d.reads, 1);
+    }
+
+    #[test]
+    fn bus_contention_on_same_channel() {
+        let mut d = dram();
+        // two different banks on channel 0 arriving together: the data
+        // bus serializes the transfers
+        let banks = (d.cfg.ranks * d.cfg.banks) as u64;
+        assert!(banks >= 2);
+        let a = LineAddr(0);
+        let b = LineAddr(d.cfg.channels as u64); // next bank, channel 0
+        let t1 = d.access(a, 0, false);
+        let t2 = d.access(b, 0, false);
+        assert!(t2 >= t1 + d.cfg.burst || t1 >= t2 + d.cfg.burst);
+    }
+}

@@ -1,0 +1,388 @@
+//! The shared last-level cache, managed by a pluggable [`LlcPolicy`].
+
+use crate::config::CacheConfig;
+use crate::mshr::MshrFile;
+use crate::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
+use crate::stats::{CacheStats, EvictedUnusedTracker};
+use crate::types::LineAddr;
+
+/// Result of an LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LlcOutcome {
+    /// The line was resident.
+    Hit,
+    /// The line missed and was (or will be) fetched from DRAM.
+    Miss {
+        /// True if the policy chose to bypass the LLC for this block.
+        bypassed: bool,
+        /// A dirty victim that must be written back to DRAM.
+        writeback: Option<LineAddr>,
+    },
+}
+
+/// The shared LLC: geometry, per-block state, policy, and statistics.
+pub struct SharedLlc {
+    sets: usize,
+    ways: usize,
+    /// Access latency in cycles.
+    pub latency: u64,
+    tags: Vec<LineAddr>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    prefetch: Vec<bool>,
+    hit_since_fill: Vec<bool>,
+    ready_at: Vec<u64>,
+    /// The management policy (replacement + bypass decisions).
+    pub policy: Box<dyn LlcPolicy>,
+    /// Outstanding-miss tracking.
+    pub mshr: MshrFile,
+    /// Counters.
+    pub stats: CacheStats,
+    /// Fig. 2 tracker (disabled by default; see
+    /// [`SharedLlc::enable_unused_tracking`]).
+    pub unused_tracker: EvictedUnusedTracker,
+    /// Fig. 9 tracker: outcome of bypassed lines (disabled by default).
+    pub bypass_tracker: EvictedUnusedTracker,
+}
+
+impl std::fmt::Debug for SharedLlc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedLlc")
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("policy", &self.policy.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SharedLlc {
+    /// Build the LLC with the given geometry and policy. Calls
+    /// [`LlcPolicy::initialize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate geometry (zero sets or ways).
+    pub fn new(cfg: &CacheConfig, cores: usize, mut policy: Box<dyn LlcPolicy>) -> Self {
+        let sets = cfg.sets();
+        assert!(sets > 0 && cfg.ways > 0, "degenerate LLC geometry");
+        policy.initialize(sets, cfg.ways, cores);
+        let n = sets * cfg.ways;
+        SharedLlc {
+            sets,
+            ways: cfg.ways,
+            latency: cfg.latency,
+            tags: vec![LineAddr(0); n],
+            valid: vec![false; n],
+            dirty: vec![false; n],
+            prefetch: vec![false; n],
+            hit_since_fill: vec![false; n],
+            ready_at: vec![0; n],
+            policy,
+            mshr: MshrFile::new(cfg.mshr_entries),
+            stats: CacheStats::default(),
+            unused_tracker: EvictedUnusedTracker::new(false),
+            bypass_tracker: EvictedUnusedTracker::new(false),
+        }
+    }
+
+    /// Enable the (memory-hungry) Fig. 2 / Fig. 9 outcome tracking.
+    pub fn enable_unused_tracking(&mut self) {
+        self.unused_tracker = EvictedUnusedTracker::new(true);
+        self.bypass_tracker = EvictedUnusedTracker::new(true);
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Set index of a line.
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Look up `line` without side effects.
+    pub fn probe(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        (0..self.ways).find(|&w| {
+            let i = self.idx(set, w);
+            self.valid[i] && self.tags[i] == line
+        })
+    }
+
+    /// Perform a full access: policy callbacks, statistics, fills and
+    /// evictions. Returns what happened; on a non-bypassed miss the block
+    /// has been inserted by the time this returns.
+    pub fn access(&mut self, info: &AccessInfo, feedback: &SystemFeedback) -> LlcOutcome {
+        let set = self.set_of(info.line);
+        self.unused_tracker.on_access(info.line);
+        if !info.is_prefetch {
+            self.bypass_tracker.on_access(info.line);
+        }
+        if info.is_prefetch {
+            self.stats.prefetch_accesses += 1;
+        } else {
+            self.stats.demand_accesses += 1;
+        }
+        if let Some(way) = self.probe(info.line) {
+            let i = self.idx(set, way);
+            self.hit_since_fill[i] = true;
+            if info.is_write {
+                self.dirty[i] = true;
+            }
+            if !info.is_prefetch && self.prefetch[i] {
+                self.prefetch[i] = false;
+                self.stats.prefetch_useful += 1;
+            }
+            self.policy.on_hit(set, way, info, feedback);
+            return LlcOutcome::Hit;
+        }
+        // Miss path.
+        if info.is_prefetch {
+            self.stats.prefetch_misses += 1;
+        } else {
+            self.stats.demand_misses += 1;
+        }
+        let decision = self.policy.on_miss(set, info, feedback);
+        if decision == FillDecision::Bypass {
+            self.stats.bypasses += 1;
+            self.bypass_tracker.on_unused_eviction(info.line, info.is_prefetch);
+            return LlcOutcome::Miss { bypassed: true, writeback: None };
+        }
+        let writeback = self.fill_at(set, info, feedback);
+        LlcOutcome::Miss { bypassed: false, writeback }
+    }
+
+    /// Insert `info.line` into `set`, evicting a victim if needed.
+    /// Returns a dirty victim's line address for writeback.
+    fn fill_at(&mut self, set: usize, info: &AccessInfo, feedback: &SystemFeedback)
+        -> Option<LineAddr> {
+        let way = match (0..self.ways).find(|&w| !self.valid[self.idx(set, w)]) {
+            Some(w) => w,
+            None => {
+                let candidates: Vec<CandidateLine> = (0..self.ways)
+                    .map(|w| {
+                        let i = self.idx(set, w);
+                        CandidateLine {
+                            way: w,
+                            line: self.tags[i],
+                            prefetch: self.prefetch[i],
+                            dirty: self.dirty[i],
+                        }
+                    })
+                    .collect();
+                let w = self.policy.choose_victim(set, &candidates, info);
+                assert!(w < self.ways, "policy returned out-of-range victim way");
+                w
+            }
+        };
+        let i = self.idx(set, way);
+        let mut writeback = None;
+        if self.valid[i] {
+            self.stats.evictions += 1;
+            if !self.hit_since_fill[i] {
+                self.stats.evictions_unused += 1;
+                if self.prefetch[i] {
+                    self.stats.evictions_unused_prefetch += 1;
+                }
+                self.unused_tracker.on_unused_eviction(self.tags[i], self.prefetch[i]);
+            }
+            if self.dirty[i] {
+                self.stats.writebacks += 1;
+                writeback = Some(self.tags[i]);
+            }
+            self.policy.on_evict(set, way, self.tags[i], self.hit_since_fill[i]);
+        }
+        self.tags[i] = info.line;
+        self.valid[i] = true;
+        self.dirty[i] = info.is_write;
+        self.prefetch[i] = info.is_prefetch;
+        self.hit_since_fill[i] = false;
+        if info.is_prefetch {
+            self.stats.prefetch_fills += 1;
+        }
+        self.policy.on_fill(set, way, info, feedback);
+        writeback
+    }
+
+    /// Record when the data for a (just-filled) resident line arrives.
+    pub fn set_ready(&mut self, line: LineAddr, ready: u64) {
+        if let Some(way) = self.probe(line) {
+            let set = self.set_of(line);
+            let i = self.idx(set, way);
+            self.ready_at[i] = ready;
+        }
+    }
+
+    /// Arrival cycle of a resident line's data (0 for long-settled
+    /// blocks), or `None` if not resident.
+    pub fn ready_of(&self, line: LineAddr) -> Option<u64> {
+        self.probe(line).map(|way| {
+            let set = self.set_of(line);
+            self.ready_at[set * self.ways + way]
+        })
+    }
+
+    /// A writeback arriving from an upper level: mark dirty if resident,
+    /// otherwise report `false` so the caller forwards it to DRAM.
+    pub fn writeback(&mut self, line: LineAddr) -> bool {
+        if let Some(way) = self.probe(line) {
+            let set = self.set_of(line);
+            let i = self.idx(set, way);
+            self.dirty[i] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of valid blocks (diagnostic).
+    pub fn occupancy(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::tests_support::{CountingPolicy, TrueLru};
+
+    fn info(line: u64, prefetch: bool) -> AccessInfo {
+        AccessInfo {
+            core: 0,
+            pc: 0x400,
+            line: LineAddr(line),
+            is_prefetch: prefetch,
+            is_write: false,
+            cycle: 0,
+        }
+    }
+
+    fn llc(sets: usize, ways: usize) -> SharedLlc {
+        SharedLlc::new(
+            &CacheConfig {
+                capacity: sets * ways * 64,
+                ways,
+                latency: 40,
+                mshr_entries: 8,
+            },
+            1,
+            Box::new(TrueLru::new()),
+        )
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let fb = SystemFeedback::new(1);
+        let mut c = llc(4, 2);
+        assert!(matches!(c.access(&info(8, false), &fb), LlcOutcome::Miss { .. }));
+        assert_eq!(c.access(&info(8, false), &fb), LlcOutcome::Hit);
+        assert_eq!(c.stats.demand_accesses, 2);
+        assert_eq!(c.stats.demand_misses, 1);
+    }
+
+    #[test]
+    fn victim_is_lru() {
+        let fb = SystemFeedback::new(1);
+        let mut c = llc(4, 2);
+        c.access(&info(0, false), &fb);
+        c.access(&info(4, false), &fb);
+        c.access(&info(0, false), &fb); // 0 becomes MRU
+        c.access(&info(8, false), &fb); // evicts 4
+        assert!(c.probe(LineAddr(0)).is_some());
+        assert!(c.probe(LineAddr(4)).is_none());
+        assert!(c.probe(LineAddr(8)).is_some());
+    }
+
+    #[test]
+    fn eviction_unused_counted() {
+        let fb = SystemFeedback::new(1);
+        let mut c = llc(1, 1);
+        c.access(&info(0, true), &fb); // prefetch fill
+        c.access(&info(1, false), &fb); // evicts 0 (never hit)
+        assert_eq!(c.stats.evictions_unused, 1);
+        assert_eq!(c.stats.evictions_unused_prefetch, 1);
+    }
+
+    #[test]
+    fn demand_hit_on_prefetched_block_counts_useful() {
+        let fb = SystemFeedback::new(1);
+        let mut c = llc(4, 2);
+        c.access(&info(0, true), &fb);
+        assert_eq!(c.stats.prefetch_fills, 1);
+        c.access(&info(0, false), &fb);
+        assert_eq!(c.stats.prefetch_useful, 1);
+    }
+
+    #[test]
+    fn bypass_policy_never_fills() {
+        let fb = SystemFeedback::new(1);
+        let mut c = SharedLlc::new(
+            &CacheConfig { capacity: 4 * 2 * 64, ways: 2, latency: 40, mshr_entries: 8 },
+            1,
+            Box::new(CountingPolicy::always_bypass()),
+        );
+        let out = c.access(&info(0, false), &fb);
+        assert_eq!(out, LlcOutcome::Miss { bypassed: true, writeback: None });
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.stats.bypasses, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let fb = SystemFeedback::new(1);
+        let mut c = llc(1, 1);
+        let w = AccessInfo { is_write: true, ..info(0, false) };
+        c.access(&w, &fb);
+        match c.access(&info(1, false), &fb) {
+            LlcOutcome::Miss { writeback: Some(l), .. } => assert_eq!(l, LineAddr(0)),
+            other => panic!("expected dirty writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn upper_level_writeback_marks_dirty() {
+        let fb = SystemFeedback::new(1);
+        let mut c = llc(1, 1);
+        c.access(&info(0, false), &fb);
+        assert!(c.writeback(LineAddr(0)));
+        assert!(!c.writeback(LineAddr(99)));
+        match c.access(&info(1, false), &fb) {
+            LlcOutcome::Miss { writeback: Some(l), .. } => assert_eq!(l, LineAddr(0)),
+            other => panic!("expected writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_callbacks_fire() {
+        let fb = SystemFeedback::new(1);
+        let mut c = SharedLlc::new(
+            &CacheConfig { capacity: 64, ways: 1, latency: 40, mshr_entries: 8 },
+            1,
+            Box::new(CountingPolicy::insert_all()),
+        );
+        c.access(&info(0, false), &fb); // miss + fill
+        c.access(&info(0, false), &fb); // hit
+        c.access(&info(1, false), &fb); // miss, evict, fill
+        let counts = match c.policy.name() {
+            n if n.starts_with("counting") => n.to_string(),
+            n => panic!("unexpected policy {n}"),
+        };
+        // counting policy encodes its counters in its name
+        assert!(counts.contains("m2"), "{counts}");
+        assert!(counts.contains("h1"), "{counts}");
+        assert!(counts.contains("f2"), "{counts}");
+        assert!(counts.contains("e1"), "{counts}");
+    }
+}

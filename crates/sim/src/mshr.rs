@@ -1,0 +1,120 @@
+//! Miss-status holding registers: bound outstanding misses and merge
+//! same-line requests.
+
+use crate::types::LineAddr;
+
+/// A small MSHR file. Entries are `(line, ready_cycle)`; completed entries
+/// are reclaimed lazily. Linear scans are intentional — real MSHR files
+/// hold 16–64 entries, so a `Vec` beats a hash map here.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<(LineAddr, u64)>,
+    capacity: usize,
+}
+
+/// Outcome of attempting to allocate an MSHR entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A miss to this line is already outstanding; the request completes
+    /// when the existing one does.
+    Merged { ready: u64 },
+    /// An entry is available; the caller should issue the miss and then
+    /// call [`MshrFile::register`].
+    Available,
+    /// The file is full; the request cannot issue before `free_at`.
+    Full { free_at: u64 },
+}
+
+impl MshrFile {
+    /// Create a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Drop entries whose miss has completed by `now`.
+    fn reclaim(&mut self, now: u64) {
+        self.entries.retain(|&(_, ready)| ready > now);
+    }
+
+    /// Check whether a miss to `line` at cycle `now` can be issued.
+    pub fn lookup(&mut self, line: LineAddr, now: u64) -> MshrOutcome {
+        self.reclaim(now);
+        if let Some(&(_, ready)) = self.entries.iter().find(|&&(l, _)| l == line) {
+            return MshrOutcome::Merged { ready };
+        }
+        if self.entries.len() >= self.capacity {
+            let free_at = self.entries.iter().map(|&(_, r)| r).min().unwrap_or(now);
+            return MshrOutcome::Full { free_at };
+        }
+        MshrOutcome::Available
+    }
+
+    /// Record an issued miss that will complete at `ready`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the file is over capacity (callers must
+    /// respect [`MshrOutcome::Full`]).
+    pub fn register(&mut self, line: LineAddr, ready: u64) {
+        debug_assert!(self.entries.len() < self.capacity, "MSHR overflow");
+        self.entries.push((line, ready));
+    }
+
+    /// Number of currently tracked (possibly stale) entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Capacity of the file.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_returns_existing_ready() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.lookup(LineAddr(7), 10), MshrOutcome::Available);
+        m.register(LineAddr(7), 100);
+        assert_eq!(m.lookup(LineAddr(7), 20), MshrOutcome::Merged { ready: 100 });
+    }
+
+    #[test]
+    fn full_reports_earliest_free() {
+        let mut m = MshrFile::new(2);
+        m.register(LineAddr(1), 100);
+        m.register(LineAddr(2), 80);
+        assert_eq!(m.lookup(LineAddr(3), 10), MshrOutcome::Full { free_at: 80 });
+    }
+
+    #[test]
+    fn reclaim_frees_completed() {
+        let mut m = MshrFile::new(1);
+        m.register(LineAddr(1), 50);
+        // at cycle 60 the entry has completed, so a new line can allocate
+        assert_eq!(m.lookup(LineAddr(2), 60), MshrOutcome::Available);
+        assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn completed_entry_not_merged() {
+        let mut m = MshrFile::new(2);
+        m.register(LineAddr(1), 50);
+        assert_eq!(m.lookup(LineAddr(1), 51), MshrOutcome::Available);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

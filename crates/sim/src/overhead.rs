@@ -1,0 +1,87 @@
+//! Storage-overhead accounting for cache-management schemes
+//! (reproduces the bookkeeping behind the paper's Tables III and IV).
+
+/// A bit-level storage budget, built up from named components.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageOverhead {
+    components: Vec<(String, u64)>, // (name, bits)
+}
+
+impl StorageOverhead {
+    /// An empty budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a named component of `bits` bits.
+    pub fn add_bits(&mut self, name: &str, bits: u64) -> &mut Self {
+        self.components.push((name.to_string(), bits));
+        self
+    }
+
+    /// Add a named component expressed as `entries × bits_per_entry`.
+    pub fn add_table(&mut self, name: &str, entries: u64, bits_per_entry: u64) -> &mut Self {
+        self.add_bits(name, entries * bits_per_entry)
+    }
+
+    /// Total bits across all components.
+    pub fn total_bits(&self) -> u64 {
+        self.components.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Total size in KiB (as reported in the paper's tables).
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+
+    /// Iterate over `(name, bits)` components.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.components.iter().map(|(n, b)| (n.as_str(), *b))
+    }
+
+    /// Render a small table like the paper's Table III.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = format!("{title}\n");
+        for (name, bits) in self.iter() {
+            out.push_str(&format!(
+                "  {:<40} {:>10.2} KB\n",
+                name,
+                bits as f64 / 8.0 / 1024.0
+            ));
+        }
+        out.push_str(&format!("  {:<40} {:>10.2} KB\n", "TOTAL", self.total_kib()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut o = StorageOverhead::new();
+        o.add_bits("a", 8 * 1024 * 8).add_table("b", 1024, 16);
+        assert_eq!(o.total_bits(), 8 * 1024 * 8 + 1024 * 16);
+        assert!((o.total_kib() - (8.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chrome_table_iii_reproduction() {
+        // Table III: Q-Table 32KB + EQ 12.7KB + EPV metadata 48KB = 92.7KB
+        let mut o = StorageOverhead::new();
+        o.add_table("Q-Table", 2 * 4 * 2048, 16);
+        o.add_table("EQ", 64 * 28, 58);
+        o.add_table("EPV metadata", 196_608, 2); // 12MB LLC = 196608 blocks
+        assert!((o.total_kib() - 92.7).abs() < 0.05, "got {}", o.total_kib());
+    }
+
+    #[test]
+    fn render_contains_total() {
+        let mut o = StorageOverhead::new();
+        o.add_bits("x", 8192);
+        let s = o.render("test");
+        assert!(s.contains("TOTAL"));
+        assert!(s.contains("1.00 KB"));
+    }
+}

@@ -1,0 +1,366 @@
+//! The pluggable LLC management-policy interface.
+//!
+//! Every scheme evaluated in the paper — LRU, Hawkeye, Glider, Mockingjay,
+//! CARE and CHROME itself — implements [`LlcPolicy`]. The shared LLC calls
+//! into the policy on every lookup, giving it the opportunity to make
+//! *holistic* decisions: bypass or insert on a miss (with a chosen
+//! priority), promote/demote on a hit, and select victims.
+
+use crate::overhead::StorageOverhead;
+use crate::types::LineAddr;
+
+/// Everything a policy may observe about one LLC access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Core that initiated the access.
+    pub core: usize,
+    /// Program counter of the triggering instruction (for prefetches, the
+    /// PC of the demand access that triggered the prefetcher).
+    pub pc: u64,
+    /// Line address being accessed.
+    pub line: LineAddr,
+    /// True if this is a prefetch request rather than a demand access.
+    pub is_prefetch: bool,
+    /// True if this is a store (demand write).
+    pub is_write: bool,
+    /// Cycle at which the access reaches the LLC.
+    pub cycle: u64,
+}
+
+/// One candidate block during victim selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateLine {
+    /// Way index within the set.
+    pub way: usize,
+    /// Line address currently stored.
+    pub line: LineAddr,
+    /// True if the block still carries its prefetch bit.
+    pub prefetch: bool,
+    /// True if the block is dirty.
+    pub dirty: bool,
+}
+
+/// Decision for an incoming block on an LLC miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillDecision {
+    /// Do not cache the block; forward it straight to the requestor.
+    Bypass,
+    /// Insert the block (the cache will ask for a victim if needed).
+    Insert,
+}
+
+/// Concurrency-aware system feedback published once per epoch
+/// (paper §IV-C): per-core C-AMAT at the LLC and the derived
+/// LLC-obstruction flags.
+#[derive(Debug, Clone, Default)]
+pub struct SystemFeedback {
+    /// Per-core C-AMAT(LLC) measured over the last epoch, in cycles.
+    pub camat_llc: Vec<f64>,
+    /// Per-core LLC-obstruction flags: true when
+    /// `C-AMAT_i(LLC) > T_mem` during the last epoch.
+    pub obstructed: Vec<bool>,
+    /// Measured average main-memory latency `T_mem` (cycles).
+    pub t_mem: f64,
+    /// Index of the current epoch (starts at 0).
+    pub epoch: u64,
+}
+
+impl SystemFeedback {
+    /// Feedback for `cores` cores with no obstruction.
+    pub fn new(cores: usize) -> Self {
+        SystemFeedback {
+            camat_llc: vec![0.0; cores],
+            obstructed: vec![false; cores],
+            t_mem: 200.0,
+            epoch: 0,
+        }
+    }
+
+    /// Whether `core` was LLC-obstructed in the last epoch. Out-of-range
+    /// cores report `false`.
+    pub fn is_obstructed(&self, core: usize) -> bool {
+        self.obstructed.get(core).copied().unwrap_or(false)
+    }
+}
+
+/// An LLC management policy (replacement + bypassing, prefetch-aware).
+///
+/// Implementors keep their own per-block metadata, indexed by
+/// `(set, way)`; the cache guarantees `set < num_sets` and `way < ways`
+/// as given to [`LlcPolicy::initialize`].
+pub trait LlcPolicy {
+    /// Called once before simulation with the LLC geometry.
+    fn initialize(&mut self, num_sets: usize, ways: usize, cores: usize);
+
+    /// A lookup hit block `(set, way)`. The policy may update priorities.
+    fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, feedback: &SystemFeedback);
+
+    /// A lookup missed; decide whether the incoming block should be
+    /// inserted or should bypass the LLC.
+    fn on_miss(&mut self, set: usize, info: &AccessInfo, feedback: &SystemFeedback)
+        -> FillDecision;
+
+    /// Choose a victim among `candidates` (all ways are valid blocks).
+    /// Returns the chosen way.
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        candidates: &[CandidateLine],
+        info: &AccessInfo,
+    ) -> usize;
+
+    /// The incoming block was placed in `(set, way)` (after any eviction).
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo, feedback: &SystemFeedback);
+
+    /// A valid block was evicted from `(set, way)`.
+    /// `was_hit` reports whether it was ever hit while resident.
+    fn on_evict(&mut self, set: usize, way: usize, line: LineAddr, was_hit: bool);
+
+    /// Called at every feedback-epoch boundary with fresh C-AMAT data.
+    fn on_epoch(&mut self, feedback: &SystemFeedback) {
+        let _ = feedback;
+    }
+
+    /// Human-readable scheme name ("LRU", "Hawkeye", "CHROME", ...).
+    fn name(&self) -> &str;
+
+    /// Optional scheme-specific metrics, as `(name, value)` pairs
+    /// (e.g. CHROME reports Q-table updates per kilo sampled accesses).
+    fn report(&self) -> Vec<(String, f64)> {
+        Vec::new()
+    }
+
+    /// Hardware storage budget of this scheme for an LLC with
+    /// `llc_blocks` blocks (paper Table IV).
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead;
+}
+
+/// Returns `true` if `set` is one of the `sampled` observation sets used
+/// by sampling-based policies (Hawkeye, Mockingjay, CHROME). Sets are
+/// spaced evenly across the cache.
+#[inline]
+pub fn is_sampled_set(set: usize, num_sets: usize, sampled: usize) -> bool {
+    if sampled == 0 {
+        return false;
+    }
+    let stride = (num_sets / sampled).max(1);
+    set % stride == 0 && set / stride < sampled
+}
+
+/// Index of a sampled set among the sampled population (0..sampled), or
+/// `None` if `set` is not sampled.
+#[inline]
+pub fn sampled_index(set: usize, num_sets: usize, sampled: usize) -> Option<usize> {
+    if sampled == 0 {
+        return None;
+    }
+    let stride = (num_sets / sampled).max(1);
+    if set % stride == 0 && set / stride < sampled {
+        Some(set / stride)
+    } else {
+        None
+    }
+}
+
+/// True-LRU replacement with no bypassing — the paper's baseline and the
+/// simplest possible [`LlcPolicy`] implementation. Kept in the simulator
+/// crate so a [`crate::System`] can be built without the policy crates.
+#[derive(Debug, Default)]
+pub struct BuiltinLru {
+    stamp: Vec<u64>,
+    ways: usize,
+    tick: u64,
+}
+
+impl BuiltinLru {
+    /// Create an uninitialized LRU policy; geometry arrives via
+    /// [`LlcPolicy::initialize`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LlcPolicy for BuiltinLru {
+    fn initialize(&mut self, num_sets: usize, ways: usize, _cores: usize) {
+        self.stamp = vec![0; num_sets * ways];
+        self.ways = ways;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _: &AccessInfo, _: &SystemFeedback) {
+        self.tick += 1;
+        self.stamp[set * self.ways + way] = self.tick;
+    }
+
+    fn on_miss(&mut self, _: usize, _: &AccessInfo, _: &SystemFeedback) -> FillDecision {
+        FillDecision::Insert
+    }
+
+    fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
+        c.iter()
+            .min_by_key(|cand| self.stamp[set * self.ways + cand.way])
+            .expect("candidates nonempty")
+            .way
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _: &AccessInfo, _: &SystemFeedback) {
+        self.tick += 1;
+        self.stamp[set * self.ways + way] = self.tick;
+    }
+
+    fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn name(&self) -> &str {
+        "LRU"
+    }
+
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        let mut o = StorageOverhead::new();
+        o.add_table("LRU stamps", llc_blocks as u64, 6);
+        o
+    }
+}
+
+/// Minimal policies used by the simulator's own tests. Hidden from docs;
+/// real policies live in the `chrome-policies` and `chrome-core` crates.
+#[doc(hidden)]
+pub mod tests_support {
+    use super::*;
+
+    pub use super::BuiltinLru as TrueLru;
+
+    /// A policy that counts callback invocations (for wiring tests) and
+    /// can be configured to always bypass.
+    #[derive(Debug)]
+    pub struct CountingPolicy {
+        bypass: bool,
+        misses: u64,
+        hits: u64,
+        fills: u64,
+        evicts: u64,
+        name: String,
+    }
+
+    impl CountingPolicy {
+        /// Policy that bypasses every incoming block.
+        pub fn always_bypass() -> Self {
+            CountingPolicy {
+                bypass: true,
+                misses: 0,
+                hits: 0,
+                fills: 0,
+                evicts: 0,
+                name: "counting".into(),
+            }
+        }
+
+        /// Policy that inserts every incoming block (victim = way 0).
+        pub fn insert_all() -> Self {
+            CountingPolicy { bypass: false, ..Self::always_bypass() }
+        }
+
+        fn refresh(&mut self) {
+            self.name = format!(
+                "counting m{} h{} f{} e{}",
+                self.misses, self.hits, self.fills, self.evicts
+            );
+        }
+    }
+
+    impl LlcPolicy for CountingPolicy {
+        fn initialize(&mut self, _: usize, _: usize, _: usize) {}
+
+        fn on_hit(&mut self, _: usize, _: usize, _: &AccessInfo, _: &SystemFeedback) {
+            self.hits += 1;
+            self.refresh();
+        }
+
+        fn on_miss(&mut self, _: usize, _: &AccessInfo, _: &SystemFeedback) -> FillDecision {
+            self.misses += 1;
+            self.refresh();
+            if self.bypass {
+                FillDecision::Bypass
+            } else {
+                FillDecision::Insert
+            }
+        }
+
+        fn choose_victim(&mut self, _: usize, _: &[CandidateLine], _: &AccessInfo) -> usize {
+            0
+        }
+
+        fn on_fill(&mut self, _: usize, _: usize, _: &AccessInfo, _: &SystemFeedback) {
+            self.fills += 1;
+            self.refresh();
+        }
+
+        fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {
+            self.evicts += 1;
+            self.refresh();
+        }
+
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn storage_overhead(&self, _: usize) -> StorageOverhead {
+            StorageOverhead::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_sets_are_spaced() {
+        let num_sets = 16384;
+        let count = (0..num_sets).filter(|&s| is_sampled_set(s, num_sets, 64)).count();
+        assert_eq!(count, 64);
+        assert!(is_sampled_set(0, num_sets, 64));
+        assert!(is_sampled_set(256, num_sets, 64));
+        assert!(!is_sampled_set(1, num_sets, 64));
+    }
+
+    #[test]
+    fn sampled_index_matches_membership() {
+        let num_sets = 1024;
+        for s in 0..num_sets {
+            let idx = sampled_index(s, num_sets, 64);
+            assert_eq!(idx.is_some(), is_sampled_set(s, num_sets, 64));
+            if let Some(i) = idx {
+                assert!(i < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_more_than_sets_samples_everything() {
+        // tiny test caches: every set is sampled
+        for s in 0..8 {
+            assert!(is_sampled_set(s, 8, 64));
+            assert_eq!(sampled_index(s, 8, 64), Some(s));
+        }
+    }
+
+    #[test]
+    fn zero_sampled_sets() {
+        assert!(!is_sampled_set(0, 64, 0));
+        assert_eq!(sampled_index(0, 64, 0), None);
+    }
+
+    #[test]
+    fn feedback_out_of_range_is_unobstructed() {
+        let f = SystemFeedback::new(2);
+        assert!(!f.is_obstructed(0));
+        assert!(!f.is_obstructed(99));
+    }
+
+    #[test]
+    fn feedback_flags() {
+        let mut f = SystemFeedback::new(2);
+        f.obstructed[1] = true;
+        assert!(!f.is_obstructed(0));
+        assert!(f.is_obstructed(1));
+    }
+}

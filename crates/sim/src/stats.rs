@@ -1,0 +1,298 @@
+//! Simulation statistics: per-cache, per-core and whole-run results.
+
+use std::collections::HashMap;
+
+use crate::types::LineAddr;
+
+/// Counters for one cache level (or one core's view of a shared level).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand (load/store) accesses.
+    pub demand_accesses: u64,
+    /// Demand misses.
+    pub demand_misses: u64,
+    /// Prefetch accesses (lookups made on behalf of a prefetcher).
+    pub prefetch_accesses: u64,
+    /// Prefetch lookups that missed and triggered a fill request.
+    pub prefetch_misses: u64,
+    /// Prefetched blocks actually inserted into this cache.
+    pub prefetch_fills: u64,
+    /// Prefetches shed by the memory controller (deep bank queues).
+    pub prefetch_dropped: u64,
+    /// Demand hits on blocks whose prefetch bit was still set
+    /// (useful prefetches).
+    pub prefetch_useful: u64,
+    /// Blocks bypassed by the management policy.
+    pub bypasses: u64,
+    /// Evictions of valid blocks.
+    pub evictions: u64,
+    /// Evictions of blocks that were never hit after fill.
+    pub evictions_unused: u64,
+    /// Of [`Self::evictions_unused`], how many were prefetched blocks.
+    pub evictions_unused_prefetch: u64,
+    /// Dirty evictions (writebacks issued).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand miss ratio in [0, 1]; 0 when no accesses were made.
+    pub fn demand_miss_ratio(&self) -> f64 {
+        ratio(self.demand_misses, self.demand_accesses)
+    }
+
+    /// Effective prefetch hit ratio (EPHR, paper §VII-A): demand hits on
+    /// still-prefetch-marked blocks over prefetched blocks inserted.
+    pub fn ephr(&self) -> f64 {
+        ratio(self.prefetch_useful, self.prefetch_fills)
+    }
+
+    /// Fraction of incoming blocks that were bypassed (bypass coverage).
+    pub fn bypass_coverage(&self) -> f64 {
+        ratio(self.bypasses, self.bypasses + self.demand_misses_filled())
+    }
+
+    fn demand_misses_filled(&self) -> u64 {
+        // All fills = evictions + fills into invalid ways; approximate the
+        // denominator as total fills = misses that were not bypassed.
+        (self.demand_misses + self.prefetch_misses).saturating_sub(self.bypasses)
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.demand_accesses += other.demand_accesses;
+        self.demand_misses += other.demand_misses;
+        self.prefetch_accesses += other.prefetch_accesses;
+        self.prefetch_misses += other.prefetch_misses;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_dropped += other.prefetch_dropped;
+        self.prefetch_useful += other.prefetch_useful;
+        self.bypasses += other.bypasses;
+        self.evictions += other.evictions;
+        self.evictions_unused += other.evictions_unused;
+        self.evictions_unused_prefetch += other.evictions_unused_prefetch;
+        self.writebacks += other.writebacks;
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Per-core results of a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Instructions retired in the measured region.
+    pub instructions: u64,
+    /// Cycles taken to retire them (from measurement start).
+    pub cycles: u64,
+    /// LLC accesses attributed to this core in the measured region.
+    pub llc_accesses: u64,
+    /// Memory-active cycles at the LLC (C-AMAT numerator).
+    pub llc_active_cycles: u64,
+    /// Number of epochs in which this core was LLC-obstructed.
+    pub obstructed_epochs: u64,
+    /// Total number of feedback epochs observed.
+    pub total_epochs: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle for the measured region.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average C-AMAT at the LLC over the whole run (cycles per access).
+    pub fn camat_llc(&self) -> f64 {
+        ratio(self.llc_active_cycles, self.llc_accesses)
+    }
+}
+
+/// Tracks whether blocks evicted-without-reuse are ever requested again
+/// (needed for the paper's Fig. 2 motivation data).
+#[derive(Debug, Clone, Default)]
+pub struct EvictedUnusedTracker {
+    /// line -> (was_prefetch, requested_again)
+    entries: HashMap<u64, (bool, bool)>,
+    enabled: bool,
+}
+
+impl EvictedUnusedTracker {
+    /// Create a tracker; disabled trackers are free.
+    pub fn new(enabled: bool) -> Self {
+        EvictedUnusedTracker { entries: HashMap::new(), enabled }
+    }
+
+    /// Record that `line` was evicted without being reused.
+    pub fn on_unused_eviction(&mut self, line: LineAddr, was_prefetch: bool) {
+        if self.enabled {
+            self.entries.entry(line.0).or_insert((was_prefetch, false)).0 = was_prefetch;
+        }
+    }
+
+    /// Record any LLC access, so previously evicted-unused lines can be
+    /// marked as requested-again.
+    pub fn on_access(&mut self, line: LineAddr) {
+        if self.enabled {
+            if let Some(e) = self.entries.get_mut(&line.0) {
+                e.1 = true;
+            }
+        }
+    }
+
+    /// (evicted-unused requested again later, never requested again,
+    /// unused evictions that were prefetched).
+    pub fn summary(&self) -> (u64, u64, u64) {
+        let mut again = 0;
+        let mut never = 0;
+        let mut pf = 0;
+        for &(was_pf, requested) in self.entries.values() {
+            if requested {
+                again += 1;
+            } else {
+                never += 1;
+            }
+            if was_pf {
+                pf += 1;
+            }
+        }
+        (again, never, pf)
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimResults {
+    /// Per-core statistics.
+    pub per_core: Vec<CoreStats>,
+    /// Per-core L1D stats.
+    pub l1d: Vec<CacheStats>,
+    /// Per-core L2 stats.
+    pub l2: Vec<CacheStats>,
+    /// Shared LLC stats.
+    pub llc: CacheStats,
+    /// DRAM reads served.
+    pub dram_reads: u64,
+    /// DRAM writes served.
+    pub dram_writes: u64,
+    /// Average DRAM access latency (cycles).
+    pub dram_avg_latency: f64,
+    /// Total cycles simulated in the measured region (max over cores).
+    pub total_cycles: u64,
+    /// Fig. 2 data: (requested-again, never-requested, prefetched) among
+    /// blocks evicted without reuse. Zeroes unless tracking was enabled.
+    pub evicted_unused: (u64, u64, u64),
+    /// Fig. 9 data: (demanded-again, never-demanded, prefetched) among
+    /// bypassed lines. Zeroes unless tracking was enabled.
+    pub bypassed_outcome: (u64, u64, u64),
+}
+
+impl SimResults {
+    /// Sum of per-core IPCs (throughput metric).
+    pub fn ipc_sum(&self) -> f64 {
+        self.per_core.iter().map(|c| c.ipc()).sum()
+    }
+
+    /// LLC misses per kilo-instruction, aggregated over cores.
+    pub fn llc_mpki(&self) -> f64 {
+        let instr: u64 = self.per_core.iter().map(|c| c.instructions).sum();
+        if instr == 0 {
+            0.0
+        } else {
+            self.llc.demand_misses as f64 * 1000.0 / instr as f64
+        }
+    }
+
+    /// Weighted speedup of this run relative to per-core baseline IPCs
+    /// (usually the same cores running alone under LRU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline_ipc.len()` differs from the core count.
+    pub fn weighted_speedup(&self, baseline_ipc: &[f64]) -> f64 {
+        assert_eq!(baseline_ipc.len(), self.per_core.len(), "baseline core count mismatch");
+        self.per_core
+            .iter()
+            .zip(baseline_ipc)
+            .map(|(c, &b)| if b > 0.0 { c.ipc() / b } else { 0.0 })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero() {
+        let s = CacheStats::default();
+        assert_eq!(s.demand_miss_ratio(), 0.0);
+        assert_eq!(s.ephr(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio_basic() {
+        let s = CacheStats { demand_accesses: 10, demand_misses: 3, ..Default::default() };
+        assert!((s.demand_miss_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ephr_counts_useful_prefetches() {
+        let s = CacheStats { prefetch_fills: 8, prefetch_useful: 2, ..Default::default() };
+        assert!((s.ephr() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats { demand_accesses: 1, ..Default::default() };
+        let b = CacheStats { demand_accesses: 2, evictions: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.demand_accesses, 3);
+        assert_eq!(a.evictions, 5);
+    }
+
+    #[test]
+    fn core_ipc() {
+        let c = CoreStats { instructions: 100, cycles: 50, ..Default::default() };
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn evicted_unused_tracker() {
+        let mut t = EvictedUnusedTracker::new(true);
+        t.on_unused_eviction(LineAddr(1), true);
+        t.on_unused_eviction(LineAddr(2), false);
+        t.on_access(LineAddr(1));
+        let (again, never, pf) = t.summary();
+        assert_eq!((again, never, pf), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicted_unused_tracker_disabled_is_empty() {
+        let mut t = EvictedUnusedTracker::new(false);
+        t.on_unused_eviction(LineAddr(1), true);
+        assert_eq!(t.summary(), (0, 0, 0));
+    }
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let r = SimResults {
+            per_core: vec![
+                CoreStats { instructions: 100, cycles: 100, ..Default::default() },
+                CoreStats { instructions: 100, cycles: 200, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        let ws = r.weighted_speedup(&[1.0, 0.5]);
+        assert!((ws - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Fundamental address and trace types shared across the simulator.
+
+/// Size of a cache line in bytes (fixed at 64, as in the paper's Table V).
+pub const LINE_SIZE: u64 = 64;
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = 6;
+/// Size of a virtual/physical page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A cache-line address: a full byte address shifted right by
+/// [`LINE_SHIFT`]. Using a newtype keeps line-granular and byte-granular
+/// addresses from being mixed up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Build a line address from a full byte address.
+    #[inline]
+    pub fn from_byte_addr(addr: u64) -> Self {
+        LineAddr(addr >> LINE_SHIFT)
+    }
+
+    /// The first byte address covered by this line.
+    #[inline]
+    pub fn to_byte_addr(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+
+    /// The physical page number this line belongs to.
+    #[inline]
+    pub fn page_number(self) -> u64 {
+        self.0 >> (PAGE_SHIFT - LINE_SHIFT)
+    }
+
+    /// The next sequential line.
+    #[inline]
+    pub fn next(self) -> Self {
+        LineAddr(self.0 + 1)
+    }
+
+    /// Offset this line address by a signed number of lines, saturating at 0.
+    #[inline]
+    pub fn offset(self, delta: i64) -> Self {
+        LineAddr(self.0.wrapping_add_signed(delta).min(u64::MAX >> LINE_SHIFT))
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+/// Kind of memory operation carried by a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load; retirement waits for its completion.
+    Load,
+    /// A store; write-allocated but retired immediately (store buffer).
+    Store,
+}
+
+/// One record of a memory trace.
+///
+/// Non-memory instructions are run-length encoded in `nonmem_before`:
+/// the core executes that many single-cycle instructions before issuing
+/// the memory operation described by the rest of the record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Number of non-memory instructions preceding this memory access.
+    pub nonmem_before: u16,
+    /// Program counter of the memory instruction.
+    pub pc: u64,
+    /// Virtual byte address accessed.
+    pub vaddr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// True if this access depends on the value produced by the previous
+    /// load of the same core (pointer chasing); it cannot issue before
+    /// that load completes.
+    pub dep_prev: bool,
+}
+
+impl TraceRecord {
+    /// Convenience constructor for an independent load.
+    pub fn load(pc: u64, vaddr: u64, nonmem_before: u16) -> Self {
+        TraceRecord { nonmem_before, pc, vaddr, kind: AccessKind::Load, dep_prev: false }
+    }
+
+    /// Convenience constructor for a dependent (pointer-chasing) load.
+    pub fn dep_load(pc: u64, vaddr: u64, nonmem_before: u16) -> Self {
+        TraceRecord { nonmem_before, pc, vaddr, kind: AccessKind::Load, dep_prev: true }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(pc: u64, vaddr: u64, nonmem_before: u16) -> Self {
+        TraceRecord { nonmem_before, pc, vaddr, kind: AccessKind::Store, dep_prev: false }
+    }
+}
+
+/// A fast, deterministic 64-bit mixer (splitmix64 finalizer). Used
+/// throughout for signature hashing and page translation.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_roundtrip() {
+        let a = LineAddr::from_byte_addr(0x1234_5678);
+        assert_eq!(a.to_byte_addr(), 0x1234_5640); // aligned down
+        assert_eq!(LineAddr::from_byte_addr(a.to_byte_addr()), a);
+    }
+
+    #[test]
+    fn line_addr_page_number() {
+        let a = LineAddr::from_byte_addr(3 * PAGE_SIZE + 128);
+        assert_eq!(a.page_number(), 3);
+    }
+
+    #[test]
+    fn line_addr_next_and_offset() {
+        let a = LineAddr(100);
+        assert_eq!(a.next(), LineAddr(101));
+        assert_eq!(a.offset(-5), LineAddr(95));
+        assert_eq!(a.offset(7), LineAddr(107));
+    }
+
+    #[test]
+    fn mix64_differs_for_nearby_inputs() {
+        assert_ne!(mix64(1), mix64(2));
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn trace_record_constructors() {
+        let r = TraceRecord::load(0x400, 0x1000, 4);
+        assert_eq!(r.kind, AccessKind::Load);
+        assert!(!r.dep_prev);
+        let d = TraceRecord::dep_load(0x400, 0x1000, 0);
+        assert!(d.dep_prev);
+        let s = TraceRecord::store(0x400, 0x1000, 1);
+        assert_eq!(s.kind, AccessKind::Store);
+    }
+}

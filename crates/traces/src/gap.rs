@@ -1,0 +1,774 @@
+//! GAP-benchmark-style graph workloads.
+//!
+//! Instead of replaying GAP trace files (not redistributable), this
+//! module *runs the actual graph algorithms* — BFS, Connected
+//! Components, PageRank, SSSP and Betweenness Centrality — over CSR
+//! graphs, and emits the memory-access stream each algorithm naturally
+//! produces: sequential scans of the offsets array, bursts over the
+//! neighbor array, and data-dependent irregular accesses to the
+//! per-vertex data arrays. The three paper datasets are stood in for by:
+//!
+//! * `ur` — uniform-random graph (like GAP's `urand`),
+//! * `tw` — highly skewed power-law graph (like `twitter`),
+//! * `or` — denser, moderately skewed graph (like `orkut`).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use chrome_sim::trace::TraceSource;
+use chrome_sim::types::{mix64, TraceRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// Virtual-address layout for the graph data structures.
+const OFFSETS_BASE: u64 = 0x10_0000_0000;
+const NEIGHBORS_BASE: u64 = 0x20_0000_0000;
+const DATA1_BASE: u64 = 0x30_0000_0000;
+const DATA2_BASE: u64 = 0x38_0000_0000;
+const QUEUE_BASE: u64 = 0x40_0000_0000;
+
+// PCs for the characteristic access sites of a vertex-centric kernel.
+const PC_OFFSETS: u64 = 0x51_0000;
+const PC_NEIGHBORS: u64 = 0x51_0010;
+const PC_DATA_LOAD: u64 = 0x51_0020;
+const PC_DATA_STORE: u64 = 0x51_0030;
+const PC_QUEUE: u64 = 0x51_0040;
+
+/// A compressed-sparse-row graph.
+#[derive(Debug)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Uniform-random graph: every vertex has ~`avg_deg` neighbors drawn
+    /// uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `avg_deg == 0`.
+    pub fn uniform(n: usize, avg_deg: usize, seed: u64) -> Self {
+        assert!(n > 0 && avg_deg > 0, "degenerate graph");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(n * avg_deg);
+        offsets.push(0u32);
+        for _ in 0..n {
+            let deg = rng.gen_range(avg_deg / 2..=avg_deg + avg_deg / 2);
+            for _ in 0..deg {
+                neighbors.push(rng.gen_range(0..n as u32));
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Skewed graph: degrees and endpoints follow a power law, so a few
+    /// hub vertices attract most edges (social-network-like).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `avg_deg == 0`.
+    pub fn skewed(n: usize, avg_deg: usize, skew: f64, seed: u64) -> Self {
+        assert!(n > 0 && avg_deg > 0, "degenerate graph");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(n * avg_deg);
+        offsets.push(0u32);
+        for v in 0..n {
+            // hubs (low hashed rank) get larger out-degree
+            let rank = (mix64(v as u64 ^ seed) % n as u64) as f64 / n as f64;
+            let boost = (1.0 / (rank + 0.02)).powf(skew).min(32.0);
+            let deg = ((avg_deg as f64) * boost * 0.2).max(1.0) as usize;
+            for _ in 0..deg {
+                // endpoint choice also skewed toward hubs
+                let u: f64 = rng.gen();
+                let target_rank = u.powf(1.0 + skew * 2.0);
+                let t = ((target_rank * n as f64) as u64).min(n as u64 - 1);
+                // map rank to a scattered vertex id so hubs spread over pages
+                neighbors.push((mix64(t) % n as u64) as u32);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Neighbor slice of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors_of(&self, v: u32) -> &[u32] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[s..e]
+    }
+
+    /// Deterministic edge weight in `1..=16` (for SSSP).
+    pub fn weight(&self, u: u32, v: u32) -> u32 {
+        (mix64(((u as u64) << 32) | v as u64) % 16 + 1) as u32
+    }
+}
+
+/// Which GAP kernel a source runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Breadth-first search.
+    Bfs,
+    /// Connected components (label propagation).
+    Cc,
+    /// PageRank (synchronous iterations).
+    Pr,
+    /// Single-source shortest paths (Bellman-Ford rounds).
+    Sssp,
+    /// Betweenness centrality (forward BFS + backward accumulation).
+    Bc,
+}
+
+impl Kernel {
+    fn parse(s: &str) -> Option<Kernel> {
+        Some(match s {
+            "bfs" => Kernel::Bfs,
+            "cc" => Kernel::Cc,
+            "pr" => Kernel::Pr,
+            "sssp" => Kernel::Sssp,
+            "bc" => Kernel::Bc,
+            _ => return None,
+        })
+    }
+}
+
+/// The GAP workload names of the paper's Table VI (plus the `bc` traces
+/// mentioned in §VI).
+pub fn gap_workloads() -> &'static [&'static str] {
+    &[
+        "bfs-or", "bfs-tw", "bfs-ur", "cc-or", "cc-tw", "cc-ur", "pr-or", "pr-tw", "pr-ur",
+        "sssp-or", "sssp-tw", "sssp-ur", "bc-or", "bc-tw", "bc-ur",
+    ]
+}
+
+/// Default vertex count for the shared datasets (1M vertices; adjacency
+/// arrays far exceed the largest simulated LLC).
+pub const DEFAULT_VERTICES: usize = 1 << 20;
+
+fn dataset(tag: &str) -> Option<Arc<CsrGraph>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<CsrGraph>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("dataset cache poisoned");
+    if let Some(g) = guard.get(tag) {
+        return Some(g.clone());
+    }
+    let n = DEFAULT_VERTICES;
+    let g = match tag {
+        "ur" => CsrGraph::uniform(n, 12, 0xBEEF),
+        "tw" => CsrGraph::skewed(n, 16, 0.9, 0xFEED),
+        "or" => CsrGraph::skewed(n, 24, 0.5, 0xACED),
+        _ => return None,
+    };
+    let arc = Arc::new(g);
+    guard.insert(tag.to_string(), arc.clone());
+    Some(arc)
+}
+
+/// Build a GAP workload by name (`"<kernel>-<dataset>"`, e.g.
+/// `"pr-tw"`); `None` for unknown names.
+pub fn build_gap(name: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
+    let (kernel_s, dataset_s) = name.split_once('-')?;
+    let kernel = Kernel::parse(kernel_s)?;
+    let graph = dataset(dataset_s)?;
+    Some(Box::new(GapSource::new(name, kernel, graph, seed)))
+}
+
+/// A trace source that runs a graph kernel and streams its accesses.
+pub struct GapSource {
+    name: String,
+    kernel: Kernel,
+    graph: Arc<CsrGraph>,
+    buf: VecDeque<TraceRecord>,
+    rng: SmallRng,
+    // shared vertex-centric state
+    dist: Vec<u32>,
+    aux: Vec<u32>,
+    frontier: Vec<u32>,
+    next_frontier: Vec<u32>,
+    cursor: usize,
+    round: u32,
+    // bc backward pass
+    levels: Vec<Vec<u32>>,
+    backward: bool,
+}
+
+impl std::fmt::Debug for GapSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GapSource")
+            .field("name", &self.name)
+            .field("round", &self.round)
+            .finish_non_exhaustive()
+    }
+}
+
+impl GapSource {
+    /// Create a kernel source over `graph`.
+    pub fn new(name: &str, kernel: Kernel, graph: Arc<CsrGraph>, seed: u64) -> Self {
+        let n = graph.num_vertices();
+        let mut src = GapSource {
+            name: name.to_string(),
+            kernel,
+            graph,
+            buf: VecDeque::with_capacity(512),
+            rng: SmallRng::seed_from_u64(seed ^ 0x6A7),
+            dist: vec![u32::MAX; n],
+            aux: vec![0; n],
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            cursor: 0,
+            round: 0,
+            levels: Vec::new(),
+            backward: false,
+        };
+        src.restart();
+        src
+    }
+
+    fn restart(&mut self) {
+        let n = self.graph.num_vertices();
+        self.round = 0;
+        self.cursor = 0;
+        self.backward = false;
+        self.levels.clear();
+        match self.kernel {
+            Kernel::Bfs | Kernel::Sssp | Kernel::Bc => {
+                for d in &mut self.dist {
+                    *d = u32::MAX;
+                }
+                let src = self.rng.gen_range(0..n as u32);
+                self.dist[src as usize] = 0;
+                self.aux[src as usize] = 1; // sigma for bc
+                self.frontier = vec![src];
+                self.next_frontier.clear();
+            }
+            Kernel::Cc => {
+                for (i, d) in self.dist.iter_mut().enumerate() {
+                    *d = i as u32;
+                }
+                self.frontier.clear();
+            }
+            Kernel::Pr => {
+                for d in self.dist.iter_mut() {
+                    *d = 1000; // fixed-point rank
+                }
+                self.frontier.clear();
+            }
+        }
+    }
+
+    // ---- emission helpers ----
+
+    fn emit_offsets(&mut self, u: u32) {
+        self.buf
+            .push_back(TraceRecord::load(PC_OFFSETS, OFFSETS_BASE + u as u64 * 4, 6));
+    }
+
+    fn emit_neighbor(&mut self, edge_index: usize) {
+        self.buf.push_back(TraceRecord::load(
+            PC_NEIGHBORS,
+            NEIGHBORS_BASE + edge_index as u64 * 4,
+            3,
+        ));
+    }
+
+    fn emit_data_load(&mut self, v: u32, second_array: bool) {
+        let base = if second_array { DATA2_BASE } else { DATA1_BASE };
+        // data-dependent on the neighbor load -> serialized
+        self.buf
+            .push_back(TraceRecord::dep_load(PC_DATA_LOAD, base + v as u64 * 4, 8));
+    }
+
+    fn emit_data_store(&mut self, v: u32, second_array: bool) {
+        let base = if second_array { DATA2_BASE } else { DATA1_BASE };
+        self.buf
+            .push_back(TraceRecord::store(PC_DATA_STORE, base + v as u64 * 4, 4));
+    }
+
+    fn emit_queue(&mut self, slot: usize) {
+        self.buf
+            .push_back(TraceRecord::store(PC_QUEUE, QUEUE_BASE + slot as u64 * 4, 4));
+    }
+
+    /// Scan vertex `u`'s adjacency, emitting the canonical access pattern
+    /// and calling `f(self, v, edge_index)` per neighbor.
+    fn scan_vertex<F>(&mut self, u: u32, mut f: F)
+    where
+        F: FnMut(&mut Self, u32, usize),
+    {
+        self.emit_offsets(u);
+        let start = self.graph.offsets[u as usize] as usize;
+        let end = self.graph.offsets[u as usize + 1] as usize;
+        for i in start..end {
+            self.emit_neighbor(i);
+            let v = self.graph.neighbors[i];
+            f(self, v, i);
+        }
+    }
+
+    // ---- kernel steps (process a handful of vertices per call) ----
+
+    fn advance(&mut self) {
+        match self.kernel {
+            Kernel::Bfs => self.advance_bfs(),
+            Kernel::Cc => self.advance_cc(),
+            Kernel::Pr => self.advance_pr(),
+            Kernel::Sssp => self.advance_sssp(),
+            Kernel::Bc => self.advance_bc(),
+        }
+    }
+
+    fn advance_bfs(&mut self) {
+        for _ in 0..4 {
+            if self.cursor >= self.frontier.len() {
+                if self.next_frontier.is_empty() {
+                    self.restart();
+                    return;
+                }
+                self.frontier = std::mem::take(&mut self.next_frontier);
+                self.cursor = 0;
+                self.round += 1;
+            }
+            let u = self.frontier[self.cursor];
+            self.cursor += 1;
+            let round = self.round;
+            let mut discovered = Vec::new();
+            self.scan_vertex(u, |s, v, _| {
+                s.emit_data_load(v, false);
+                if s.dist[v as usize] == u32::MAX {
+                    s.dist[v as usize] = round + 1;
+                    s.emit_data_store(v, false);
+                    discovered.push(v);
+                }
+            });
+            for v in discovered {
+                let slot = self.next_frontier.len();
+                self.next_frontier.push(v);
+                self.emit_queue(slot);
+            }
+        }
+    }
+
+    fn advance_cc(&mut self) {
+        let n = self.graph.num_vertices();
+        let mut changed = false;
+        for _ in 0..4 {
+            if self.cursor >= n {
+                self.cursor = 0;
+                self.round += 1;
+                if self.round > 32 {
+                    self.restart();
+                    return;
+                }
+            }
+            let u = self.cursor as u32;
+            self.cursor += 1;
+            let mut min_label = self.dist[u as usize];
+            self.scan_vertex(u, |s, v, _| {
+                s.emit_data_load(v, false);
+                min_label = min_label.min(s.dist[v as usize]);
+            });
+            if min_label < self.dist[u as usize] {
+                self.dist[u as usize] = min_label;
+                self.emit_data_store(u, false);
+                changed = true;
+            }
+        }
+        let _ = changed;
+    }
+
+    fn advance_pr(&mut self) {
+        let n = self.graph.num_vertices();
+        for _ in 0..4 {
+            if self.cursor >= n {
+                // end of a PageRank iteration: swap rank arrays
+                std::mem::swap(&mut self.dist, &mut self.aux);
+                self.cursor = 0;
+                self.round += 1;
+            }
+            let u = self.cursor as u32;
+            self.cursor += 1;
+            let mut sum: u64 = 0;
+            self.scan_vertex(u, |s, v, _| {
+                s.emit_data_load(v, false);
+                sum += s.dist[v as usize] as u64;
+            });
+            let deg = self.graph.neighbors_of(u).len().max(1) as u64;
+            self.aux[u as usize] = (150 + (sum * 85 / 100) / deg) as u32;
+            self.emit_data_store(u, true);
+        }
+    }
+
+    fn advance_sssp(&mut self) {
+        for _ in 0..4 {
+            if self.cursor >= self.frontier.len() {
+                if self.next_frontier.is_empty() || self.round > 64 {
+                    self.restart();
+                    return;
+                }
+                self.frontier = std::mem::take(&mut self.next_frontier);
+                self.frontier.sort_unstable();
+                self.frontier.dedup();
+                self.cursor = 0;
+                self.round += 1;
+            }
+            let u = self.frontier[self.cursor];
+            self.cursor += 1;
+            let du = self.dist[u as usize];
+            if du == u32::MAX {
+                continue;
+            }
+            let mut relaxed = Vec::new();
+            self.scan_vertex(u, |s, v, _| {
+                s.emit_data_load(v, false);
+                let w = s.graph.weight(u, v);
+                let cand = du.saturating_add(w);
+                if cand < s.dist[v as usize] {
+                    s.dist[v as usize] = cand;
+                    s.emit_data_store(v, false);
+                    relaxed.push(v);
+                }
+            });
+            for v in relaxed {
+                let slot = self.next_frontier.len();
+                self.next_frontier.push(v);
+                self.emit_queue(slot);
+            }
+        }
+    }
+
+    fn advance_bc(&mut self) {
+        if !self.backward {
+            // forward phase: BFS that also accumulates path counts and
+            // remembers the levels
+            for _ in 0..4 {
+                if self.cursor >= self.frontier.len() {
+                    if self.next_frontier.is_empty() {
+                        self.backward = true;
+                        self.cursor = 0;
+                        return;
+                    }
+                    self.levels.push(std::mem::take(&mut self.frontier));
+                    self.frontier = std::mem::take(&mut self.next_frontier);
+                    self.cursor = 0;
+                    self.round += 1;
+                }
+                let u = self.frontier[self.cursor];
+                self.cursor += 1;
+                let round = self.round;
+                let sigma_u = self.aux[u as usize];
+                let mut discovered = Vec::new();
+                self.scan_vertex(u, |s, v, _| {
+                    s.emit_data_load(v, false);
+                    if s.dist[v as usize] == u32::MAX {
+                        s.dist[v as usize] = round + 1;
+                        s.emit_data_store(v, false);
+                        discovered.push(v);
+                    }
+                    if s.dist[v as usize] == round + 1 {
+                        s.aux[v as usize] = s.aux[v as usize].wrapping_add(sigma_u);
+                        s.emit_data_load(v, true);
+                        s.emit_data_store(v, true);
+                    }
+                });
+                for v in discovered {
+                    let slot = self.next_frontier.len();
+                    self.next_frontier.push(v);
+                    self.emit_queue(slot);
+                }
+            }
+        } else {
+            // backward phase: walk levels in reverse, accumulating
+            // dependency scores
+            for _ in 0..4 {
+                if self.cursor >= self.frontier.len() {
+                    match self.levels.pop() {
+                        Some(level) => {
+                            self.frontier = level;
+                            self.cursor = 0;
+                        }
+                        None => {
+                            self.restart();
+                            return;
+                        }
+                    }
+                }
+                if self.frontier.is_empty() {
+                    self.restart();
+                    return;
+                }
+                let u = self.frontier[self.cursor];
+                self.cursor += 1;
+                self.scan_vertex(u, |s, v, _| {
+                    s.emit_data_load(v, true);
+                });
+                self.emit_data_store(u, true);
+            }
+        }
+    }
+}
+
+impl TraceSource for GapSource {
+    fn next_record(&mut self) -> TraceRecord {
+        let mut guard = 0;
+        while self.buf.is_empty() {
+            self.advance();
+            guard += 1;
+            assert!(guard < 10_000, "kernel failed to produce records");
+        }
+        self.buf.pop_front().expect("buffer refilled")
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> Arc<CsrGraph> {
+        Arc::new(CsrGraph::uniform(1024, 8, 42))
+    }
+
+    #[test]
+    fn uniform_graph_geometry() {
+        let g = CsrGraph::uniform(100, 8, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() >= 400 && g.num_edges() <= 1200);
+        for v in 0..100 {
+            for &n in g.neighbors_of(v) {
+                assert!((n as usize) < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_graph_has_hubs() {
+        let g = CsrGraph::skewed(2000, 16, 0.9, 1);
+        let mut in_deg = vec![0u32; 2000];
+        for &v in &g.neighbors {
+            in_deg[v as usize] += 1;
+        }
+        in_deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top = in_deg[..20].iter().sum::<u32>() as f64;
+        let total = g.num_edges() as f64;
+        assert!(top / total > 0.05, "top-20 share = {}", top / total);
+    }
+
+    #[test]
+    fn weight_is_deterministic_and_bounded() {
+        let g = CsrGraph::uniform(10, 2, 1);
+        for u in 0..10 {
+            for v in 0..10 {
+                let w = g.weight(u, v);
+                assert!((1..=16).contains(&w));
+                assert_eq!(w, g.weight(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_stream_records() {
+        for k in [Kernel::Bfs, Kernel::Cc, Kernel::Pr, Kernel::Sssp, Kernel::Bc] {
+            let mut s = GapSource::new("t", k, small_graph(), 7);
+            for i in 0..20_000 {
+                let r = s.next_record();
+                assert!(r.vaddr >= OFFSETS_BASE, "{k:?} record {i} vaddr {:#x}", r.vaddr);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_emits_dependent_data_loads() {
+        let mut s = GapSource::new("t", Kernel::Bfs, small_graph(), 7);
+        let dep = (0..5000).filter(|_| s.next_record().dep_prev).count();
+        assert!(dep > 500, "bfs should have dependent loads, dep={dep}");
+    }
+
+    #[test]
+    fn pr_touches_both_arrays() {
+        let mut s = GapSource::new("t", Kernel::Pr, small_graph(), 7);
+        let mut d1 = false;
+        let mut d2 = false;
+        for _ in 0..20_000 {
+            let r = s.next_record();
+            if r.vaddr >= DATA2_BASE && r.vaddr < QUEUE_BASE {
+                d2 = true;
+            } else if r.vaddr >= DATA1_BASE && r.vaddr < DATA2_BASE {
+                d1 = true;
+            }
+        }
+        assert!(d1 && d2);
+    }
+
+    #[test]
+    fn gap_source_is_deterministic() {
+        let mut a = GapSource::new("t", Kernel::Sssp, small_graph(), 5);
+        let mut b = GapSource::new("t", Kernel::Sssp, small_graph(), 5);
+        for _ in 0..2000 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn kernel_parse() {
+        assert_eq!(Kernel::parse("bfs"), Some(Kernel::Bfs));
+        assert_eq!(Kernel::parse("pr"), Some(Kernel::Pr));
+        assert_eq!(Kernel::parse("nope"), None);
+    }
+
+    #[test]
+    fn gap_names_shape() {
+        for name in gap_workloads() {
+            let (k, d) = name.split_once('-').expect("kernel-dataset");
+            assert!(Kernel::parse(k).is_some(), "{name}");
+            assert!(["or", "tw", "ur"].contains(&d), "{name}");
+        }
+    }
+
+    /// Reverse adjacency for invariant checking.
+    fn in_neighbors(g: &CsrGraph) -> Vec<Vec<u32>> {
+        let mut inn = vec![Vec::new(); g.num_vertices()];
+        for u in 0..g.num_vertices() as u32 {
+            for &v in g.neighbors_of(u) {
+                inn[v as usize].push(u);
+            }
+        }
+        inn
+    }
+
+    #[test]
+    fn bfs_distances_are_bfs_consistent() {
+        let graph = small_graph();
+        let inn = in_neighbors(&graph);
+        let mut s = GapSource::new("t", Kernel::Bfs, graph.clone(), 3);
+        for _ in 0..30_000 {
+            s.next_record();
+        }
+        // every discovered vertex (other than sources at dist 0) must
+        // have an in-neighbor exactly one level above it
+        let mut checked = 0;
+        for v in 0..graph.num_vertices() {
+            let d = s.dist[v];
+            if d == u32::MAX || d == 0 {
+                continue;
+            }
+            let ok = inn[v].iter().any(|&u| s.dist[u as usize] == d - 1);
+            assert!(ok, "vertex {v} at depth {d} has no parent at depth {}", d - 1);
+            checked += 1;
+        }
+        assert!(checked > 100, "BFS should have discovered vertices (got {checked})");
+    }
+
+    #[test]
+    fn cc_labels_only_decrease() {
+        let graph = small_graph();
+        let mut s = GapSource::new("t", Kernel::Cc, graph.clone(), 3);
+        for _ in 0..5_000 {
+            s.next_record();
+        }
+        let snapshot = s.dist.clone();
+        for _ in 0..20_000 {
+            s.next_record();
+        }
+        if s.round > 0 {
+            // still in the same label-propagation execution
+            for v in 0..graph.num_vertices() {
+                assert!(s.dist[v] <= snapshot[v].max(v as u32), "label grew at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_distances_respect_triangle_inequality_at_source() {
+        let graph = small_graph();
+        let mut s = GapSource::new("t", Kernel::Sssp, graph.clone(), 3);
+        for _ in 0..30_000 {
+            s.next_record();
+        }
+        // every finite distance must be achievable: dist[v] >= 1 for
+        // non-sources, and no relaxed edge can still be over-tight by
+        // more than the edge weight bound
+        let mut finite = 0;
+        for u in 0..graph.num_vertices() as u32 {
+            let du = s.dist[u as usize];
+            if du == u32::MAX {
+                continue;
+            }
+            finite += 1;
+            for &v in graph.neighbors_of(u) {
+                let dv = s.dist[v as usize];
+                // the kernel may still be mid-round, but dv can never be
+                // *worse* than du + max_weight once u settled and the
+                // frontier containing u was processed; weak check:
+                if dv != u32::MAX {
+                    assert!(
+                        dv <= du.saturating_add(16 * graph.num_vertices() as u32),
+                        "absurd distance at {v}"
+                    );
+                }
+            }
+        }
+        assert!(finite > 50, "SSSP should settle vertices (got {finite})");
+    }
+
+    #[test]
+    fn pr_ranks_stay_positive_and_bounded() {
+        let graph = small_graph();
+        let mut s = GapSource::new("t", Kernel::Pr, graph.clone(), 3);
+        for _ in 0..60_000 {
+            s.next_record();
+        }
+        for v in 0..graph.num_vertices() {
+            assert!(s.dist[v] > 0 || s.aux[v] > 0, "rank vanished at {v}");
+            assert!(s.dist[v] < 1_000_000, "rank exploded at {v}");
+        }
+    }
+
+    #[test]
+    fn bc_reaches_backward_phase() {
+        let graph = small_graph();
+        let mut s = GapSource::new("t", Kernel::Bc, graph, 3);
+        let mut saw_backward = false;
+        for _ in 0..200_000 {
+            s.next_record();
+            if s.backward {
+                saw_backward = true;
+                break;
+            }
+        }
+        assert!(saw_backward, "BC never finished its forward sweep");
+    }
+
+    #[test]
+    fn emission_tracks_algorithm_scale() {
+        // the number of records per full traversal is proportional to
+        // edges visited; make sure the stream is neither empty nor
+        // pathologically repetitive
+        let graph = small_graph();
+        let mut s = GapSource::new("t", Kernel::Bfs, graph, 9);
+        let mut addrs = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            addrs.insert(s.next_record().vaddr);
+        }
+        assert!(addrs.len() > 2_000, "only {} distinct addresses", addrs.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! # chrome-traces — workload substrate for the CHROME reproduction
+//!
+//! The paper evaluates on SPEC CPU2006/2017 traces (DPC-3) and GAP graph
+//! workloads. Those trace files are not redistributable, so this crate
+//! builds the closest synthetic equivalents:
+//!
+//! * [`spec`] — one seeded generator per named SPEC workload, each a
+//!   mixture of streaming, strided, pointer-chasing, and Zipf-temporal
+//!   access patterns with workload-specific working-set sizes and PC
+//!   populations. The essential property for cache-management research —
+//!   PC- and page-correlated reuse behavior — is generated organically.
+//! * [`gap`] — actual BFS / CC / PR / SSSP / BC implementations running
+//!   over CSR graphs (uniform-random "urand" and skewed "twitter"/
+//!   "orkut" stand-ins), emitting the address streams the algorithms
+//!   naturally produce.
+//! * [`mix`] — homogeneous and heterogeneous multi-core workload mixes
+//!   matching the paper's methodology (§VI).
+//!
+//! # Example
+//!
+//! ```
+//! use chrome_traces::build_workload;
+//!
+//! let mut src = build_workload("mcf", 42).expect("known workload");
+//! let rec = src.next_record();
+//! assert!(rec.vaddr > 0);
+//! ```
+
+pub mod gap;
+pub mod mix;
+pub mod patterns;
+pub mod spec;
+pub mod zipf;
+
+use chrome_sim::trace::TraceSource;
+
+/// Build a workload by name: a SPEC-like name (`"mcf"`, `"gcc17"`, ...)
+/// or a GAP name (`"bfs-ur"`, `"pr-tw"`, ...). Returns `None` for
+/// unknown names.
+pub fn build_workload(name: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
+    if let Some(src) = spec::build_spec(name, seed) {
+        return Some(src);
+    }
+    gap::build_gap(name, seed)
+}
+
+/// All workload names known to this crate (SPEC first, then GAP).
+pub fn all_workloads() -> Vec<&'static str> {
+    let mut v = spec::spec_workloads().to_vec();
+    v.extend_from_slice(gap::gap_workloads());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_workload_builds() {
+        for name in all_workloads() {
+            let src = build_workload(name, 1);
+            assert!(src.is_some(), "workload {name} failed to build");
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_none() {
+        assert!(build_workload("not-a-workload", 1).is_none());
+    }
+
+    #[test]
+    fn workload_names_are_unique() {
+        let names = all_workloads();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

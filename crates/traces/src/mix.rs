@@ -1,0 +1,90 @@
+//! Multi-programmed workload mixes (paper §VI).
+//!
+//! * Homogeneous mixes: `n` copies of the same trace, one per core, each
+//!   with a distinct seed (so physical placement differs while the
+//!   access character is identical).
+//! * Heterogeneous mixes: `n` traces drawn at random from the
+//!   memory-intensive SPEC pool; the paper uses 150 four-core, 25
+//!   eight-core and 25 sixteen-core mixes.
+
+use chrome_sim::trace::TraceSource;
+use chrome_sim::types::mix64;
+
+use crate::spec::spec_workloads;
+
+/// Build a homogeneous mix: `cores` copies of `name`. Returns `None` if
+/// the workload name is unknown.
+pub fn homogeneous(name: &str, cores: usize, seed: u64) -> Option<Vec<Box<dyn TraceSource>>> {
+    (0..cores)
+        .map(|i| crate::build_workload(name, seed ^ mix64(i as u64 + 1)))
+        .collect()
+}
+
+/// Deterministically generate `count` heterogeneous mixes of `cores`
+/// workload names drawn from the SPEC pool (sampling with replacement,
+/// as in the paper's random-mix methodology).
+pub fn heterogeneous_names(cores: usize, count: usize, seed: u64) -> Vec<Vec<&'static str>> {
+    let pool = spec_workloads();
+    (0..count)
+        .map(|m| {
+            (0..cores)
+                .map(|c| {
+                    let r = mix64(seed ^ ((m as u64) << 16) ^ c as u64);
+                    pool[(r % pool.len() as u64) as usize]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Build the trace sources for one heterogeneous mix.
+pub fn build_mix(names: &[&str], seed: u64) -> Option<Vec<Box<dyn TraceSource>>> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| crate::build_workload(n, seed ^ mix64(0xB00 + i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_builds_n_sources() {
+        let mix = homogeneous("mcf", 4, 1).expect("mcf exists");
+        assert_eq!(mix.len(), 4);
+        for s in &mix {
+            assert_eq!(s.name(), "mcf");
+        }
+    }
+
+    #[test]
+    fn homogeneous_unknown_is_none() {
+        assert!(homogeneous("nope", 4, 1).is_none());
+    }
+
+    #[test]
+    fn heterogeneous_names_deterministic() {
+        let a = heterogeneous_names(4, 150, 7);
+        let b = heterogeneous_names(4, 150, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 150);
+        assert!(a.iter().all(|m| m.len() == 4));
+    }
+
+    #[test]
+    fn heterogeneous_names_vary_across_mixes() {
+        let mixes = heterogeneous_names(4, 50, 7);
+        let distinct: std::collections::HashSet<_> = mixes.iter().collect();
+        assert!(distinct.len() > 40, "mixes should mostly differ");
+    }
+
+    #[test]
+    fn build_mix_produces_sources() {
+        let names = ["mcf", "libquantum", "gcc", "soplex"];
+        let mix = build_mix(&names, 3).expect("all known");
+        assert_eq!(mix.len(), 4);
+        assert_eq!(mix[1].name(), "libquantum");
+    }
+}

@@ -1,0 +1,338 @@
+//! Reusable access-pattern components and the mixture engine behind the
+//! SPEC-like generators.
+//!
+//! Each [`Component`] emits trace records with a dedicated virtual
+//! region and a dedicated, small PC population, so that PC-indexed
+//! predictors (Hawkeye, Glider, Mockingjay, CHROME) observe the same
+//! PC→reuse correlations they would see in real traces:
+//!
+//! * scan PCs touch lines exactly once (cache-averse),
+//! * hot-set PCs re-touch a small set of lines (cache-friendly),
+//! * pointer-chase PCs have serialized, low-MLP irregular reuse.
+
+use chrome_sim::trace::TraceSource;
+use chrome_sim::types::{mix64, TraceRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// One access-pattern component of a workload mixture.
+#[derive(Debug, Clone)]
+pub enum Component {
+    /// Sequential scan with a byte stride over a large region; classic
+    /// streaming (libquantum/lbm-like). Lines are touched once per pass.
+    Scan {
+        /// Byte stride between accesses.
+        stride: u64,
+        /// Region size in bytes.
+        span: u64,
+        /// Non-memory instructions between accesses.
+        nonmem: u16,
+        /// Fraction of accesses that are stores (0.0–1.0).
+        store_frac: f32,
+    },
+    /// Zipf-distributed reuse over a hot set of lines (temporal
+    /// locality; gcc/hmmer-like).
+    HotSet {
+        /// Number of 64B lines in the hot set.
+        lines: usize,
+        /// Zipf skew.
+        alpha: f64,
+        /// Non-memory instructions between accesses.
+        nonmem: u16,
+        /// Fraction of accesses that are stores.
+        store_frac: f32,
+    },
+    /// Dependent (pointer-chasing) loads over a working set
+    /// (mcf/omnetpp/xalancbmk-like): serialized, irregular.
+    Chase {
+        /// Working-set size in lines.
+        lines: usize,
+        /// Non-memory instructions between accesses.
+        nonmem: u16,
+    },
+    /// Independent uniform-random loads over a working set (high MLP,
+    /// low locality).
+    Random {
+        /// Working-set size in lines.
+        lines: usize,
+        /// Non-memory instructions between accesses.
+        nonmem: u16,
+    },
+}
+
+struct ComponentState {
+    component: Component,
+    base: u64,
+    pcs: Vec<u64>,
+    pos: u64,
+    zipf: Option<Zipf>,
+}
+
+impl ComponentState {
+    fn new(component: Component, index: usize, seed: u64) -> Self {
+        // Each component gets a disjoint 1 GB virtual window and a small
+        // PC population derived from the seed.
+        let base = 0x1000_0000_0000u64 + ((index as u64) << 30);
+        let npcs = match component {
+            Component::Scan { .. } => 2,
+            Component::HotSet { .. } => 8,
+            Component::Chase { .. } => 4,
+            Component::Random { .. } => 4,
+        };
+        let pcs = (0..npcs)
+            .map(|k| 0x40_0000 + (mix64(seed ^ (index as u64) << 8 ^ k) & 0xFFFF) * 4)
+            .collect();
+        let zipf = match component {
+            Component::HotSet { lines, alpha, .. } => Some(Zipf::new(lines, alpha)),
+            _ => None,
+        };
+        ComponentState { component, base, pcs, pos: 0, zipf }
+    }
+
+    fn step(&mut self, rng: &mut SmallRng) -> TraceRecord {
+        match self.component {
+            Component::Scan { stride, span, nonmem, store_frac } => {
+                let addr = self.base + self.pos;
+                self.pos = (self.pos + stride) % span;
+                let pc = self.pcs[(self.pos / stride) as usize % self.pcs.len().min(2)];
+                if rng.gen::<f32>() < store_frac {
+                    TraceRecord::store(pc, addr, nonmem)
+                } else {
+                    TraceRecord::load(pc, addr, nonmem)
+                }
+            }
+            Component::HotSet { lines, nonmem, store_frac, .. } => {
+                let rank = self.zipf.as_ref().expect("zipf built").sample(rng);
+                // scatter ranks over the region so hot lines spread
+                // across pages and sets
+                let line = (mix64(rank as u64) % lines as u64) as usize;
+                let addr = self.base + (line as u64) * 64;
+                // hot ranks use the first half of the PC population,
+                // cold ranks the second half: PC correlates with reuse
+                let half = self.pcs.len() / 2;
+                let pc = if rank < lines / 8 {
+                    self.pcs[rank % half.max(1)]
+                } else {
+                    self.pcs[half + rank % (self.pcs.len() - half)]
+                };
+                if rng.gen::<f32>() < store_frac {
+                    TraceRecord::store(pc, addr, nonmem)
+                } else {
+                    TraceRecord::load(pc, addr, nonmem)
+                }
+            }
+            Component::Chase { lines, nonmem } => {
+                // deterministic "pointer" function over the working set
+                self.pos = mix64(self.pos ^ 0xA5A5) % lines as u64;
+                let addr = self.base + self.pos * 64;
+                let pc = self.pcs[(self.pos % self.pcs.len() as u64) as usize];
+                TraceRecord::dep_load(pc, addr, nonmem)
+            }
+            Component::Random { lines, nonmem } => {
+                let line = rng.gen_range(0..lines as u64);
+                let addr = self.base + line * 64;
+                let pc = self.pcs[(line % self.pcs.len() as u64) as usize];
+                TraceRecord::load(pc, addr, nonmem)
+            }
+        }
+    }
+}
+
+/// A weighted mixture of components executed in bursts, giving the
+/// phase-like behavior of real applications.
+pub struct MixSource {
+    name: String,
+    components: Vec<ComponentState>,
+    weights: Vec<u32>,
+    total_weight: u32,
+    rng: SmallRng,
+    current: usize,
+    burst_left: u32,
+    burst_len: std::ops::Range<u32>,
+}
+
+impl std::fmt::Debug for MixSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixSource")
+            .field("name", &self.name)
+            .field("components", &self.components.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MixSource {
+    /// Build a mixture from weighted components. Bursts of
+    /// `burst_len` records run on one component before re-drawing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or all weights are zero.
+    pub fn new(
+        name: &str,
+        parts: Vec<(u32, Component)>,
+        burst_len: std::ops::Range<u32>,
+        seed: u64,
+    ) -> Self {
+        assert!(!parts.is_empty(), "mixture needs at least one component");
+        let weights: Vec<u32> = parts.iter().map(|&(w, _)| w).collect();
+        let total_weight: u32 = weights.iter().sum();
+        assert!(total_weight > 0, "total weight must be positive");
+        let components = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, c))| ComponentState::new(c, i, seed))
+            .collect();
+        MixSource {
+            name: name.to_string(),
+            components,
+            weights,
+            total_weight,
+            rng: SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF),
+            current: 0,
+            burst_left: 0,
+            burst_len,
+        }
+    }
+
+    fn pick_component(&mut self) {
+        let mut x = self.rng.gen_range(0..self.total_weight);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if x < w {
+                self.current = i;
+                return;
+            }
+            x -= w;
+        }
+        self.current = self.weights.len() - 1;
+    }
+}
+
+impl TraceSource for MixSource {
+    fn next_record(&mut self) -> TraceRecord {
+        if self.burst_left == 0 {
+            self.pick_component();
+            self.burst_left = self
+                .rng
+                .gen_range(self.burst_len.start..self.burst_len.end.max(self.burst_len.start + 1));
+        }
+        self.burst_left -= 1;
+        self.components[self.current].step(&mut self.rng)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(parts: Vec<(u32, Component)>) -> MixSource {
+        MixSource::new("test", parts, 8..32, 11)
+    }
+
+    #[test]
+    fn scan_component_is_sequential() {
+        let mut m = mk(vec![(
+            1,
+            Component::Scan { stride: 64, span: 1 << 20, nonmem: 2, store_frac: 0.0 },
+        )]);
+        let a = m.next_record();
+        let b = m.next_record();
+        assert_eq!(b.vaddr - a.vaddr, 64);
+    }
+
+    #[test]
+    fn chase_component_is_dependent() {
+        let mut m = mk(vec![(1, Component::Chase { lines: 1 << 16, nonmem: 1 })]);
+        for _ in 0..10 {
+            assert!(m.next_record().dep_prev);
+        }
+    }
+
+    #[test]
+    fn hotset_reuses_lines() {
+        let mut m = mk(vec![(
+            1,
+            Component::HotSet { lines: 64, alpha: 1.0, nonmem: 0, store_frac: 0.0 },
+        )]);
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..1000 {
+            *seen.entry(m.next_record().vaddr).or_insert(0u32) += 1;
+        }
+        assert!(seen.values().any(|&c| c > 30), "hot lines should repeat");
+        assert!(seen.len() <= 64);
+    }
+
+    #[test]
+    fn mixture_draws_all_components() {
+        let mut m = mk(vec![
+            (1, Component::Scan { stride: 64, span: 1 << 20, nonmem: 0, store_frac: 0.0 }),
+            (1, Component::Chase { lines: 1 << 10, nonmem: 0 }),
+        ]);
+        let mut dep = 0;
+        let mut indep = 0;
+        for _ in 0..5000 {
+            if m.next_record().dep_prev {
+                dep += 1;
+            } else {
+                indep += 1;
+            }
+        }
+        assert!(dep > 500 && indep > 500, "dep={dep} indep={indep}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            MixSource::new(
+                "d",
+                vec![
+                    (2, Component::Random { lines: 4096, nonmem: 1 }),
+                    (1, Component::HotSet { lines: 256, alpha: 0.9, nonmem: 0, store_frac: 0.2 }),
+                ],
+                4..16,
+                99,
+            )
+        };
+        let mut a = build();
+        let mut b = build();
+        for _ in 0..500 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn store_fraction_produces_stores() {
+        let mut m = mk(vec![(
+            1,
+            Component::Scan { stride: 64, span: 1 << 20, nonmem: 0, store_frac: 0.5 },
+        )]);
+        let stores = (0..1000)
+            .filter(|_| m.next_record().kind == chrome_sim::types::AccessKind::Store)
+            .count();
+        assert!(stores > 300 && stores < 700, "stores={stores}");
+    }
+
+    #[test]
+    fn components_use_disjoint_regions() {
+        let mut m = mk(vec![
+            (1, Component::Scan { stride: 64, span: 1 << 20, nonmem: 0, store_frac: 0.0 }),
+            (1, Component::Random { lines: 4096, nonmem: 0 }),
+        ]);
+        let mut regions = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            regions.insert(m.next_record().vaddr >> 30);
+        }
+        assert_eq!(regions.len(), 2, "each component has its own 1GB window");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_rejected() {
+        let _ = MixSource::new("x", vec![], 1..2, 0);
+    }
+}

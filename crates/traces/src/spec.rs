@@ -1,0 +1,220 @@
+//! SPEC-CPU-like synthetic workloads.
+//!
+//! Each named workload is a seeded mixture of access-pattern components
+//! with working-set sizes, pattern ratios, store fractions and compute
+//! densities chosen to mimic the published memory character of the
+//! corresponding SPEC CPU2006/2017 benchmark (all are memory-intensive:
+//! LLC MPKI > 1 without prefetching, matching the paper's screening
+//! criterion).
+
+use chrome_sim::trace::TraceSource;
+use chrome_sim::types::mix64;
+
+use crate::patterns::{Component, MixSource};
+
+const MB: u64 = 1 << 20;
+
+/// Lines for a working set of `mb` megabytes.
+const fn lines(mb: u64) -> usize {
+    (mb * MB / 64) as usize
+}
+
+fn scan(stride: u64, span_mb: u64, nonmem: u16, store_frac: f32) -> Component {
+    Component::Scan { stride, span: span_mb * MB, nonmem, store_frac }
+}
+
+fn hot(mb_times_4: u64, alpha: f64, nonmem: u16, store_frac: f32) -> Component {
+    // `mb_times_4` is in quarter-megabytes so sub-1MB hot sets are expressible.
+    Component::HotSet { lines: (mb_times_4 * MB / 4 / 64) as usize, alpha, nonmem, store_frac }
+}
+
+fn chase(span_mb: u64, nonmem: u16) -> Component {
+    Component::Chase { lines: lines(span_mb), nonmem }
+}
+
+fn random(span_mb: u64, nonmem: u16) -> Component {
+    Component::Random { lines: lines(span_mb), nonmem }
+}
+
+/// The SPEC CPU2006 workload names evaluated in the paper (Table VI).
+pub const SPEC06: &[&str] = &[
+    "gcc", "bwaves", "mcf", "milc", "zeusmp", "gromacs", "leslie3d", "soplex", "hmmer",
+    "GemsFDTD", "libquantum", "astar", "wrf", "xalancbmk",
+];
+
+/// The SPEC CPU2017 workload names evaluated in the paper (Table VI).
+pub const SPEC17: &[&str] = &[
+    "gcc17", "bwaves17", "mcf17", "cactuBSSN", "lbm", "omnetpp", "wrf17", "xalancbmk17",
+    "cam4", "pop2", "fotonik3d", "roms", "xz",
+];
+
+/// All SPEC-like workload names (2006 then 2017).
+pub fn spec_workloads() -> Vec<&'static str> {
+    let mut v = SPEC06.to_vec();
+    v.extend_from_slice(SPEC17);
+    v
+}
+
+/// Build a SPEC-like workload by name; `None` if the name is unknown.
+pub fn build_spec(name: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
+    let seed = seed ^ mix64(name.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)));
+    let parts: Vec<(u32, Component)> = match name {
+        // ---- SPEC CPU2006 ----
+        // Hot-set sizes are chosen to land between the private L2
+        // (1.25MB) and the shared LLC share (~3MB/core), where the
+        // management policy actually decides outcomes.
+        "gcc" => vec![
+            (3, hot(16, 0.40, 42, 0.15)),
+            (2, chase(4, 42)),
+            (1, scan(64, 8, 42, 0.1)),
+        ],
+        "bwaves" => vec![(5, scan(64, 24, 28, 0.1)), (1, hot(10, 0.30, 28, 0.0))],
+        "mcf" => vec![
+            (4, chase(10, 14)),
+            (2, hot(24, 0.50, 14, 0.1)),
+            (1, random(16, 14)),
+        ],
+        "milc" => vec![(4, scan(64, 16, 28, 0.2)), (1, random(6, 28))],
+        "zeusmp" => vec![
+            (3, scan(128, 16, 28, 0.2)),
+            (2, scan(64, 8, 28, 0.2)),
+            (1, hot(16, 0.30, 28, 0.1)),
+        ],
+        "gromacs" => vec![(4, hot(24, 0.30, 63, 0.2)), (1, scan(64, 4, 63, 0.1))],
+        "leslie3d" => vec![(4, scan(64, 12, 28, 0.3)), (1, hot(16, 0.30, 28, 0.1))],
+        "soplex" => vec![
+            (3, random(8, 21)),
+            (2, hot(32, 0.40, 21, 0.1)),
+            (1, scan(64, 16, 21, 0.1)),
+        ],
+        "hmmer" => vec![(4, hot(40, 0.25, 49, 0.2)), (1, scan(64, 2, 49, 0.1))],
+        "GemsFDTD" => vec![
+            (4, scan(64, 24, 21, 0.3)),
+            (2, scan(128, 24, 21, 0.3)),
+        ],
+        "libquantum" => vec![(6, scan(64, 32, 14, 0.25))],
+        "astar" => vec![
+            (3, chase(6, 28)),
+            (2, hot(16, 0.40, 28, 0.1)),
+            (1, random(4, 28)),
+        ],
+        "wrf" => vec![
+            (2, scan(64, 8, 35, 0.2)),
+            (2, hot(32, 0.30, 35, 0.1)),
+            (1, scan(256, 16, 35, 0.2)),
+        ],
+        "xalancbmk" => vec![(3, chase(8, 35)), (3, hot(12, 0.50, 35, 0.05))],
+        // ---- SPEC CPU2017 ----
+        "gcc17" => vec![
+            (3, hot(20, 0.40, 42, 0.15)),
+            (2, chase(5, 42)),
+            (1, scan(64, 10, 42, 0.1)),
+        ],
+        "bwaves17" => vec![(5, scan(64, 28, 21, 0.1)), (1, hot(10, 0.30, 21, 0.0))],
+        "mcf17" => vec![
+            (4, chase(12, 14)),
+            (2, hot(28, 0.50, 14, 0.1)),
+            (1, random(20, 14)),
+        ],
+        "cactuBSSN" => vec![
+            (3, scan(64, 20, 28, 0.25)),
+            (2, scan(192, 20, 28, 0.25)),
+            (1, hot(16, 0.30, 28, 0.1)),
+        ],
+        "lbm" => vec![(5, scan(64, 24, 14, 0.4)), (1, hot(10, 0.25, 14, 0.1))],
+        "omnetpp" => vec![(4, chase(8, 28)), (2, hot(20, 0.40, 28, 0.1))],
+        "wrf17" => vec![
+            (2, scan(64, 10, 35, 0.2)),
+            (2, hot(40, 0.30, 35, 0.1)),
+            (1, scan(256, 20, 35, 0.2)),
+        ],
+        "xalancbmk17" => vec![(3, chase(10, 35)), (3, hot(14, 0.50, 35, 0.05))],
+        "cam4" => vec![
+            (2, hot(40, 0.30, 35, 0.15)),
+            (2, scan(64, 12, 35, 0.2)),
+            (1, random(4, 35)),
+        ],
+        "pop2" => vec![
+            (3, scan(64, 16, 28, 0.25)),
+            (2, hot(28, 0.30, 28, 0.1)),
+        ],
+        "fotonik3d" => vec![(4, scan(64, 20, 21, 0.2)), (1, hot(16, 0.30, 21, 0.0))],
+        "roms" => vec![
+            (3, scan(64, 16, 28, 0.3)),
+            (1, scan(192, 8, 28, 0.3)),
+            (1, hot(16, 0.30, 28, 0.1)),
+        ],
+        "xz" => vec![
+            (3, random(12, 21)),
+            (2, hot(32, 0.40, 21, 0.2)),
+        ],
+        _ => return None,
+    };
+    Some(Box::new(MixSource::new(name, parts, 16..64, seed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_names_build() {
+        for name in spec_workloads() {
+            assert!(build_spec(name, 0).is_some(), "{name} missing");
+        }
+        assert_eq!(spec_workloads().len(), 27);
+    }
+
+    #[test]
+    fn names_carry_through() {
+        let src = build_spec("mcf", 0).unwrap();
+        assert_eq!(src.name(), "mcf");
+    }
+
+    #[test]
+    fn different_workloads_differ() {
+        let mut a = build_spec("libquantum", 0).unwrap();
+        let mut b = build_spec("mcf", 0).unwrap();
+        let same = (0..100).filter(|_| a.next_record() == b.next_record()).count();
+        assert!(same < 10, "workloads should produce different streams");
+    }
+
+    #[test]
+    fn mcf_is_chase_heavy() {
+        let mut src = build_spec("mcf", 3).unwrap();
+        let dep = (0..5000).filter(|_| src.next_record().dep_prev).count();
+        assert!(dep > 2000, "mcf should be pointer-chasing, dep={dep}");
+    }
+
+    #[test]
+    fn libquantum_is_streaming() {
+        let mut src = build_spec("libquantum", 3).unwrap();
+        let mut asc = 0;
+        let mut prev = src.next_record().vaddr;
+        for _ in 0..5000 {
+            let r = src.next_record();
+            if r.vaddr > prev {
+                asc += 1;
+            }
+            prev = r.vaddr;
+        }
+        assert!(asc > 4500, "libquantum should be ascending, asc={asc}");
+    }
+
+    #[test]
+    fn seeds_change_streams() {
+        let mut a = build_spec("soplex", 1).unwrap();
+        let mut b = build_spec("soplex", 2).unwrap();
+        let same = (0..200).filter(|_| a.next_record() == b.next_record()).count();
+        assert!(same < 50);
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let mut a = build_spec("gcc", 9).unwrap();
+        let mut b = build_spec("gcc", 9).unwrap();
+        for _ in 0..500 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! A small, deterministic Zipf sampler over ranks `0..n`.
+//!
+//! Used by the SPEC-like generators to produce temporal locality: a few
+//! lines are extremely hot, with a long cold tail — the distribution
+//! empirically observed for data reuse in irregular applications.
+
+use rand::Rng;
+
+/// Samples ranks with probability proportional to `1 / (rank+1)^alpha`
+/// via a precomputed inverse CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` ranks with skew `alpha` (`alpha = 0` is
+    /// uniform; `alpha ≈ 1` is classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        false // constructor guarantees n > 0
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_alpha_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rank0 = 0u32;
+        let mut rank99 = 0u32;
+        for _ in 0..100_000 {
+            match z.sample(&mut rng) {
+                0 => rank0 += 1,
+                99 => rank99 += 1,
+                _ => {}
+            }
+        }
+        assert!(rank0 > 20 * rank99.max(1), "rank0={rank0} rank99={rank99}");
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(10, 0.8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! GAP-style graph analytics: run the real BFS / PageRank kernels over
+//! a skewed graph on 4 cores and watch how CHROME adapts to workloads it
+//! never saw during hyper-parameter tuning (paper §VII-D).
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use chrome_repro::chrome::{Chrome, ChromeConfig};
+use chrome_repro::sim::{SimConfig, System};
+use chrome_repro::traces::gap;
+
+fn main() {
+    let instructions = 1_500_000;
+    let warmup = 300_000;
+    for workload in ["bfs-tw", "pr-ur"] {
+        println!("== {workload} on 4 cores ==");
+        let mut lru_ipc = 0.0;
+        for scheme in ["LRU", "CHROME"] {
+            let traces: Vec<_> = (0..4)
+                .map(|i| gap::build_gap(workload, 100 + i).expect("known GAP workload"))
+                .collect();
+            let mut system = if scheme == "LRU" {
+                System::new(SimConfig::with_cores(4), traces)
+            } else {
+                let policy = Box::new(Chrome::new(ChromeConfig {
+                    sampled_sets: 512,
+                    ..Default::default()
+                }));
+                System::with_policy(SimConfig::with_cores(4), traces, policy)
+            };
+            let r = system.run(instructions, warmup);
+            if scheme == "LRU" {
+                lru_ipc = r.ipc_sum();
+            }
+            println!(
+                "  {scheme:<7} ipc_sum={:.3}  llc_miss={:.1}%  speedup={:.3}x",
+                r.ipc_sum(),
+                100.0 * r.llc.demand_miss_ratio(),
+                r.ipc_sum() / lru_ipc
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,114 @@
+//! Extending the framework: implement a custom LLC policy against the
+//! `LlcPolicy` trait — here, a tiny "protect-the-prefetches" toy policy —
+//! and race it against LRU and CHROME. This is the integration surface a
+//! downstream user would build on.
+//!
+//! ```text
+//! cargo run --release --example policy_playground
+//! ```
+
+use chrome_repro::chrome::{Chrome, ChromeConfig};
+use chrome_repro::sim::overhead::StorageOverhead;
+use chrome_repro::sim::policy::{
+    AccessInfo, CandidateLine, FillDecision, SystemFeedback,
+};
+use chrome_repro::sim::types::LineAddr;
+use chrome_repro::sim::{LlcPolicy, SimConfig, System};
+use chrome_repro::traces::mix;
+
+/// A deliberately simple custom policy: FIFO replacement, except that
+/// prefetched blocks that have not yet been used are protected for one
+/// extra round.
+#[derive(Debug, Default)]
+struct PrefetchShield {
+    fifo_rank: Vec<u64>,
+    shielded: Vec<bool>,
+    ways: usize,
+    tick: u64,
+}
+
+impl LlcPolicy for PrefetchShield {
+    fn initialize(&mut self, num_sets: usize, ways: usize, _cores: usize) {
+        self.fifo_rank = vec![0; num_sets * ways];
+        self.shielded = vec![false; num_sets * ways];
+        self.ways = ways;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _: &AccessInfo, _: &SystemFeedback) {
+        // once used, a block loses its shield
+        self.shielded[set * self.ways + way] = false;
+    }
+
+    fn on_miss(&mut self, _: usize, _: &AccessInfo, _: &SystemFeedback) -> FillDecision {
+        FillDecision::Insert
+    }
+
+    fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
+        // oldest unshielded block; fall back to oldest overall
+        let oldest = |cands: &mut dyn Iterator<Item = &CandidateLine>| {
+            cands.min_by_key(|cand| self.fifo_rank[set * self.ways + cand.way]).map(|c| c.way)
+        };
+        let mut unshielded = c.iter().filter(|cand| !self.shielded[set * self.ways + cand.way]);
+        if let Some(w) = oldest(&mut unshielded) {
+            // spend the shields of everything older than the victim
+            for cand in c {
+                self.shielded[set * self.ways + cand.way] = false;
+            }
+            return w;
+        }
+        oldest(&mut c.iter()).expect("candidates nonempty")
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
+        self.tick += 1;
+        let i = set * self.ways + way;
+        self.fifo_rank[i] = self.tick;
+        self.shielded[i] = info.is_prefetch;
+    }
+
+    fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn name(&self) -> &str {
+        "PrefetchShield"
+    }
+
+    fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        let mut o = StorageOverhead::new();
+        o.add_table("FIFO rank + shield bit", llc_blocks as u64, 5);
+        o
+    }
+}
+
+fn main() {
+    let workload = "gcc";
+    let instructions = 1_500_000;
+    let warmup = 300_000;
+    println!("custom-policy playground on `{workload}` (4 cores)\n");
+    let mut lru_ipc = 0.0;
+    for scheme in ["LRU", "PrefetchShield", "CHROME"] {
+        let traces = mix::homogeneous(workload, 4, 42).expect("known workload");
+        let cfg = SimConfig::with_cores(4);
+        let mut system = match scheme {
+            "LRU" => System::new(cfg, traces),
+            "PrefetchShield" => {
+                System::with_policy(cfg, traces, Box::new(PrefetchShield::default()))
+            }
+            _ => System::with_policy(
+                cfg,
+                traces,
+                Box::new(Chrome::new(ChromeConfig { sampled_sets: 512, ..Default::default() })),
+            ),
+        };
+        let r = system.run(instructions, warmup);
+        if scheme == "LRU" {
+            lru_ipc = r.ipc_sum();
+        }
+        println!(
+            "{scheme:<15} ipc_sum={:.3}  llc_miss={:.1}%  ephr={:.1}%  vs LRU: {:.3}x",
+            r.ipc_sum(),
+            100.0 * r.llc.demand_miss_ratio(),
+            100.0 * r.llc.ephr(),
+            r.ipc_sum() / lru_ipc
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: simulate one memory-intensive workload on a 4-core
+//! system twice — once under LRU, once under CHROME — and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use chrome_repro::chrome::{Chrome, ChromeConfig};
+use chrome_repro::sim::{SimConfig, System};
+use chrome_repro::traces::mix;
+
+fn main() {
+    let workload = "soplex";
+    let cores = 4;
+    let instructions = 2_000_000;
+    let warmup = 400_000;
+
+    println!("CHROME quickstart: {cores}-core homogeneous `{workload}`");
+    println!("({instructions} measured instructions per core)\n");
+
+    // Baseline: classic LRU at the shared LLC.
+    let traces = mix::homogeneous(workload, cores, 42).expect("known workload");
+    let mut lru_system = System::new(SimConfig::with_cores(cores), traces);
+    let lru = lru_system.run(instructions, warmup);
+
+    // CHROME: the online-RL holistic manager.
+    let traces = mix::homogeneous(workload, cores, 42).expect("known workload");
+    let policy = Box::new(Chrome::new(ChromeConfig { sampled_sets: 512, ..Default::default() }));
+    let mut chrome_system = System::with_policy(SimConfig::with_cores(cores), traces, policy);
+    let chrome = chrome_system.run(instructions, warmup);
+
+    let speedup: f64 = chrome
+        .per_core
+        .iter()
+        .zip(&lru.per_core)
+        .map(|(c, l)| c.ipc() / l.ipc())
+        .sum::<f64>()
+        / cores as f64;
+
+    println!("                 {:>12} {:>12}", "LRU", "CHROME");
+    println!(
+        "IPC (sum)        {:>12.3} {:>12.3}",
+        lru.ipc_sum(),
+        chrome.ipc_sum()
+    );
+    println!(
+        "LLC demand miss  {:>11.1}% {:>11.1}%",
+        100.0 * lru.llc.demand_miss_ratio(),
+        100.0 * chrome.llc.demand_miss_ratio()
+    );
+    println!(
+        "LLC EPHR         {:>11.1}% {:>11.1}%",
+        100.0 * lru.llc.ephr(),
+        100.0 * chrome.llc.ephr()
+    );
+    println!(
+        "bypassed blocks  {:>12} {:>12}",
+        lru.llc.bypasses, chrome.llc.bypasses
+    );
+    println!("\nweighted speedup of CHROME over LRU: {:.3}x", speedup);
+}

@@ -1,0 +1,28 @@
+//! # chrome-repro — reproduction of CHROME (HPCA 2024)
+//!
+//! This facade crate re-exports the whole reproduction stack:
+//!
+//! * [`sim`] — the multi-core cache-hierarchy simulator substrate,
+//! * [`traces`] — synthetic SPEC-like workloads and GAP graph kernels,
+//! * [`policies`] — baseline LLC schemes (LRU, SHiP++, Hawkeye, Glider,
+//!   Mockingjay, CARE),
+//! * [`chrome`] — the CHROME online-RL cache-management agent itself.
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `chrome-bench` crate for the harness that regenerates every figure
+//! and table of the paper.
+
+pub use chrome_core as chrome;
+pub use chrome_policies as policies;
+pub use chrome_sim as sim;
+pub use chrome_traces as traces;
+
+/// Build the default 4-core paper configuration.
+///
+/// ```
+/// let cfg = chrome_repro::paper_config(4);
+/// assert_eq!(cfg.cores, 4);
+/// ```
+pub fn paper_config(cores: usize) -> chrome_sim::SimConfig {
+    chrome_sim::SimConfig::with_cores(cores)
+}

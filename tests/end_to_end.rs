@@ -1,0 +1,132 @@
+//! End-to-end integration tests: full systems (cores + hierarchy + DRAM
+//! + policy) running real workload generators.
+
+use chrome_repro::chrome::{Chrome, ChromeConfig};
+use chrome_repro::policies::build_policy;
+use chrome_repro::sim::{SimConfig, System};
+use chrome_repro::traces::{build_workload, mix};
+
+fn small_cfg(cores: usize) -> SimConfig {
+    SimConfig::small_test(cores)
+}
+
+#[test]
+fn every_policy_completes_a_multicore_run() {
+    for scheme in ["LRU", "SHiP++", "Hawkeye", "Glider", "Mockingjay", "CARE"] {
+        let traces = mix::homogeneous("gcc", 2, 1).expect("gcc exists");
+        let policy = build_policy(scheme).expect("known policy");
+        let mut sys = System::with_policy(small_cfg(2), traces, policy);
+        let r = sys.run(40_000, 5_000);
+        assert!(r.per_core.iter().all(|c| c.ipc() > 0.0), "{scheme} produced zero IPC");
+        assert!(r.llc.demand_accesses > 0, "{scheme} starved the LLC");
+    }
+}
+
+#[test]
+fn chrome_completes_and_learns() {
+    use chrome_repro::sim::trace::{StridedSource, TraceSource};
+    // a dense pure scan (one load per 2 instructions) through the small
+    // test LLC: the canonical bypass-learning scenario
+    let traces: Vec<Box<dyn TraceSource>> = (0..2)
+        .map(|i| {
+            Box::new(StridedSource::new(i << 30, 64, 32 << 20, 1)) as Box<dyn TraceSource>
+        })
+        .collect();
+    let policy = Box::new(Chrome::new(ChromeConfig {
+        sampled_sets: 256, // small cache in tests: sample every set
+        eq_fifo_len: 8,    // short reward window for a short run
+        ..Default::default()
+    }));
+    let mut sys = System::with_policy(small_cfg(2), traces, policy);
+    let r = sys.run(200_000, 10_000);
+    // a pure scan through a small LLC: the agent must discover bypassing
+    assert!(
+        r.llc.bypasses > r.llc.demand_misses / 10,
+        "CHROME should bypass a scan: bypasses={} misses={}",
+        r.llc.bypasses,
+        r.llc.demand_misses
+    );
+    let report = sys.hierarchy().llc.policy.report();
+    let upksa = report.iter().find(|(k, _)| k == "upksa").expect("upksa reported").1;
+    assert!(upksa > 0.0, "agent never updated its Q-table");
+}
+
+#[test]
+fn stats_are_coherent() {
+    let traces = mix::homogeneous("soplex", 2, 3).expect("soplex exists");
+    let mut sys = System::new(small_cfg(2), traces);
+    let r = sys.run(60_000, 5_000);
+    assert!(r.llc.demand_misses <= r.llc.demand_accesses);
+    assert!(r.llc.prefetch_misses <= r.llc.prefetch_accesses);
+    assert!(r.llc.prefetch_useful <= r.llc.prefetch_fills);
+    // every LLC demand access from a core is attributed by C-AMAT
+    let attributed: u64 = r.per_core.iter().map(|c| c.llc_accesses).sum();
+    assert_eq!(attributed, r.llc.demand_accesses);
+    // memory-active cycles never exceed wall-clock per core
+    for c in &r.per_core {
+        assert!(c.llc_active_cycles <= c.cycles + 10_000);
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let names = ["mcf", "gcc"];
+        let traces = mix::build_mix(&names, 9).expect("known");
+        let mut sys = System::new(small_cfg(2), traces);
+        let r = sys.run(30_000, 3_000);
+        (
+            r.per_core[0].cycles,
+            r.per_core[1].cycles,
+            r.llc.demand_misses,
+            r.dram_reads,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn gap_workloads_run_end_to_end() {
+    let traces: Vec<_> = (0..2)
+        .map(|i| build_workload("bfs-ur", i).expect("bfs-ur exists"))
+        .collect();
+    let mut sys = System::new(small_cfg(2), traces);
+    let r = sys.run(30_000, 3_000);
+    assert!(r.llc.demand_accesses > 0);
+    assert!(r.per_core[0].ipc() > 0.0);
+}
+
+#[test]
+fn prefetchers_populate_llc_prefetch_stats() {
+    let traces = mix::homogeneous("libquantum", 1, 5).expect("exists");
+    let mut sys = System::new(small_cfg(1), traces);
+    let r = sys.run(60_000, 5_000);
+    assert!(r.llc.prefetch_accesses > 0, "prefetches should reach the LLC");
+    assert!(r.l1d[0].prefetch_fills > 0, "next-line should fill L1");
+}
+
+#[test]
+fn paper_configuration_boots() {
+    // Full Table V geometry (12MB LLC) on a short run: just ensure the
+    // real-size system works, including epoch feedback.
+    let traces = mix::homogeneous("mcf", 4, 2).expect("exists");
+    let policy = Box::new(Chrome::new(ChromeConfig::default()));
+    let mut sys = System::with_policy(SimConfig::with_cores(4), traces, policy);
+    let r = sys.run(150_000, 20_000);
+    assert_eq!(r.per_core.len(), 4);
+    assert!(r.per_core[0].total_epochs > 0, "epochs must tick");
+}
+
+#[test]
+fn weighted_speedup_of_identical_runs_is_one() {
+    let mk = || {
+        let traces = mix::homogeneous("gcc", 2, 5).expect("exists");
+        let mut sys = System::new(small_cfg(2), traces);
+        sys.run(30_000, 3_000)
+    };
+    let a = mk();
+    let b = mk();
+    let baseline: Vec<f64> = b.per_core.iter().map(|c| c.ipc()).collect();
+    let ws = a.weighted_speedup(&baseline);
+    assert!((ws - 2.0).abs() < 1e-9, "2 cores at ratio 1.0 each, ws = {ws}");
+}

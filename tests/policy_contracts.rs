@@ -1,0 +1,116 @@
+//! Contract tests: every LLC policy must behave sanely when driven with
+//! arbitrary access sequences directly through the `SharedLlc`.
+
+use chrome_repro::chrome::{Chrome, ChromeConfig};
+use chrome_repro::policies::build_policy;
+use chrome_repro::sim::config::CacheConfig;
+use chrome_repro::sim::llc::SharedLlc;
+use chrome_repro::sim::policy::{AccessInfo, SystemFeedback};
+use chrome_repro::sim::types::{mix64, LineAddr};
+use chrome_repro::sim::LlcPolicy;
+
+fn all_policies() -> Vec<Box<dyn LlcPolicy>> {
+    let mut v: Vec<Box<dyn LlcPolicy>> =
+        ["LRU", "SHiP++", "Hawkeye", "Glider", "Mockingjay", "CARE"]
+            .iter()
+            .map(|n| build_policy(n).expect("known"))
+            .collect();
+    v.push(Box::new(Chrome::new(ChromeConfig::default())));
+    v.push(Box::new(Chrome::new(ChromeConfig::n_chrome())));
+    v
+}
+
+fn drive(policy: Box<dyn LlcPolicy>, accesses: usize, seed: u64) -> SharedLlc {
+    let cfg = CacheConfig { capacity: 64 * 8 * 64, ways: 8, latency: 40, mshr_entries: 16 };
+    let mut llc = SharedLlc::new(&cfg, 2, policy);
+    let mut fb = SystemFeedback::new(2);
+    for i in 0..accesses {
+        let r = mix64(seed ^ i as u64);
+        // mixed traffic: hot lines, scans, prefetches, two cores
+        let line = match r % 4 {
+            0 => LineAddr(r % 64),                  // hot
+            1 => LineAddr(1_000_000 + i as u64),    // scan
+            _ => LineAddr(10_000 + r % 4096),       // warm
+        };
+        let info = AccessInfo {
+            core: (r >> 8) as usize % 2,
+            pc: 0x400 + (r >> 16) % 32 * 4,
+            line,
+            is_prefetch: r % 7 == 0,
+            is_write: r % 11 == 0,
+            cycle: i as u64 * 3,
+        };
+        if i % 1000 == 0 {
+            fb.obstructed[0] = (r >> 3) % 2 == 0;
+            fb.epoch += 1;
+            llc.policy.on_epoch(&fb);
+        }
+        llc.access(&info, &fb);
+    }
+    llc
+}
+
+#[test]
+fn policies_survive_mixed_traffic() {
+    for policy in all_policies() {
+        let name = policy.name().to_string();
+        let llc = drive(policy, 50_000, 0xDE);
+        let s = &llc.stats;
+        assert!(s.demand_accesses + s.prefetch_accesses == 50_000, "{name}: lost accesses");
+        assert!(s.demand_misses <= s.demand_accesses, "{name}");
+        assert!(
+            s.bypasses <= s.demand_misses + s.prefetch_misses,
+            "{name}: more bypasses than misses"
+        );
+        // occupancy can never exceed geometry
+        assert!(llc.occupancy() <= llc.num_sets() * llc.ways(), "{name}");
+    }
+}
+
+#[test]
+fn non_bypassing_policies_fill_everything() {
+    for scheme in ["LRU", "SHiP++", "Hawkeye", "Glider", "CARE"] {
+        let llc = drive(build_policy(scheme).expect("known"), 20_000, 0xAB);
+        assert_eq!(llc.stats.bypasses, 0, "{scheme} must not bypass");
+    }
+}
+
+#[test]
+fn hot_lines_survive_under_every_policy() {
+    // after heavy mixed traffic, the hottest lines (0..64 re-accessed
+    // constantly) should mostly be resident under any sane policy
+    for policy in all_policies() {
+        let name = policy.name().to_string();
+        let llc = drive(policy, 80_000, 0x7);
+        let resident = (0..64).filter(|&l| llc.probe(LineAddr(l)).is_some()).count();
+        assert!(resident >= 10, "{name}: only {resident}/64 hot lines resident");
+    }
+}
+
+#[test]
+fn storage_overheads_are_positive_and_chrome_smallest() {
+    let blocks = 196_608; // 12MB / 64B
+    let chrome_kib = Chrome::new(ChromeConfig::default()).storage_overhead(blocks).total_kib();
+    assert!(chrome_kib > 0.0);
+    for scheme in ["Hawkeye", "Glider", "Mockingjay", "CARE"] {
+        let kib = build_policy(scheme).expect("known").storage_overhead(blocks).total_kib();
+        assert!(kib > 0.0, "{scheme}");
+        assert!(
+            chrome_kib < kib,
+            "CHROME ({chrome_kib:.1} KB) must be smaller than {scheme} ({kib:.1} KB)"
+        );
+    }
+}
+
+#[test]
+fn policy_determinism() {
+    for mk in [
+        || build_policy("Mockingjay").expect("known"),
+        || Box::new(Chrome::new(ChromeConfig::default())) as Box<dyn LlcPolicy>,
+    ] {
+        let a = drive(mk(), 30_000, 0x99);
+        let b = drive(mk(), 30_000, 0x99);
+        assert_eq!(a.stats.demand_misses, b.stats.demand_misses);
+        assert_eq!(a.stats.bypasses, b.stats.bypasses);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests over the whole stack: arbitrary traffic must
+//! never violate the core structural invariants.
+
+use chrome_repro::chrome::{Chrome, ChromeConfig};
+use chrome_repro::sim::camat::CamatTracker;
+use chrome_repro::sim::config::CacheConfig;
+use chrome_repro::sim::llc::SharedLlc;
+use chrome_repro::sim::mmu::Mmu;
+use chrome_repro::sim::policy::{AccessInfo, BuiltinLru, SystemFeedback};
+use chrome_repro::sim::types::LineAddr;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The C-AMAT union computation is bounded by the sum of interval
+    /// lengths and by the overall time span.
+    #[test]
+    fn camat_union_bounds(intervals in prop::collection::vec((0u64..10_000, 0u64..500), 1..200)) {
+        let mut tracker = CamatTracker::new(1);
+        let mut sorted = intervals.clone();
+        sorted.sort_by_key(|&(s, _)| s);
+        let mut sum = 0u64;
+        let mut max_end = 0u64;
+        let mut min_start = u64::MAX;
+        for (s, len) in sorted {
+            tracker.record(0, s, s + len);
+            sum += len;
+            max_end = max_end.max(s + len);
+            min_start = min_start.min(s);
+        }
+        let (active, count) = tracker.totals(0);
+        prop_assert!(active <= sum, "union {active} exceeds sum {sum}");
+        prop_assert!(active <= max_end - min_start, "union exceeds span");
+        prop_assert_eq!(count, intervals.len() as u64);
+    }
+
+    /// The MMU is injective: distinct (core, page) pairs never map to
+    /// the same physical page.
+    #[test]
+    fn mmu_is_injective(pages in prop::collection::vec((0usize..4, 0u64..100_000), 1..200)) {
+        let mut mmu = Mmu::new(1 << 30);
+        let mut seen = std::collections::HashMap::new();
+        for (core, vpage) in pages {
+            let line = mmu.translate(core, vpage << 12);
+            let ppage = line.page_number();
+            if let Some(prev) = seen.insert(ppage, (core, vpage)) {
+                prop_assert_eq!(prev, (core, vpage), "two mappings share ppage {}", ppage);
+            }
+        }
+    }
+
+    /// Under arbitrary traffic, the LLC respects geometry and stats stay
+    /// consistent, for both the trivial and the RL policy.
+    #[test]
+    fn llc_invariants_hold(ops in prop::collection::vec((0u64..50_000, 0u64..64, any::<bool>()), 1..400),
+                           use_chrome in any::<bool>()) {
+        let cfg = CacheConfig { capacity: 16 * 4 * 64, ways: 4, latency: 40, mshr_entries: 8 };
+        let policy: Box<dyn chrome_repro::sim::LlcPolicy> = if use_chrome {
+            Box::new(Chrome::new(ChromeConfig::default()))
+        } else {
+            Box::new(BuiltinLru::new())
+        };
+        let mut llc = SharedLlc::new(&cfg, 1, policy);
+        let fb = SystemFeedback::new(1);
+        let n = ops.len() as u64;
+        for (i, (line, pc, prefetch)) in ops.into_iter().enumerate() {
+            let info = AccessInfo {
+                core: 0,
+                pc: 0x400 + pc * 4,
+                line: LineAddr(line),
+                is_prefetch: prefetch,
+                is_write: false,
+                cycle: i as u64,
+            };
+            llc.access(&info, &fb);
+        }
+        let s = &llc.stats;
+        prop_assert_eq!(s.demand_accesses + s.prefetch_accesses, n);
+        prop_assert!(s.demand_misses <= s.demand_accesses);
+        prop_assert!(s.prefetch_misses <= s.prefetch_accesses);
+        prop_assert!(s.evictions_unused <= s.evictions + s.bypasses);
+        prop_assert!(llc.occupancy() <= 16 * 4);
+        // a resident line must be found where it was inserted
+        prop_assert!(s.bypasses <= s.demand_misses + s.prefetch_misses);
+    }
+
+    /// Workload generators only produce addresses within u64 range and
+    /// respect their declared determinism.
+    #[test]
+    fn generators_are_deterministic(seed in any::<u64>(), steps in 1usize..300) {
+        let mut a = chrome_repro::traces::build_workload("astar", seed).expect("known");
+        let mut b = chrome_repro::traces::build_workload("astar", seed).expect("known");
+        for _ in 0..steps {
+            prop_assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+}
