@@ -1,79 +1,46 @@
 //! Miniature figure-shaped benchmarks: each paper experiment's code path
-//! exercised end-to-end at a tiny scale, so `cargo bench --workspace`
-//! touches every experiment without the multi-minute budgets of the real
+//! exercised end-to-end at a tiny scale, so the bench target touches
+//! every experiment without the multi-minute budgets of the real
 //! regenerators (run those via `cargo run -p chrome-bench --bin <figNN>`
 //! or `--bin run_all`).
+//!
+//! Run with `cargo bench -p chrome-bench --features bench-harness`.
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-
+use chrome_bench::harness::{bench, black_box};
 use chrome_bench::runner::{run_mix, run_workload, RunParams};
 use chrome_sim::PrefetcherConfig;
 
 fn tiny(cores: usize) -> RunParams {
-    RunParams { cores, instructions: 20_000, warmup: 2_000, ..Default::default() }
+    RunParams {
+        cores,
+        instructions: 20_000,
+        warmup: 2_000,
+        ..Default::default()
+    }
 }
 
-fn bench_fig06_path(c: &mut Criterion) {
-    c.bench_function("fig06_one_cell(gcc,CHROME,4core)", |b| {
-        b.iter_batched(
-            || (),
-            |_| black_box(run_workload(&tiny(4), "gcc", "CHROME")),
-            BatchSize::PerIteration,
-        )
+fn main() {
+    bench("fig06_one_cell(gcc,CHROME,4core)", || {
+        black_box(run_workload(&tiny(4), "gcc", "CHROME"))
+    });
+    bench("fig10_one_mix(4core,Mockingjay)", || {
+        black_box(run_mix(
+            &tiny(4),
+            &["mcf", "libquantum", "gcc", "soplex"],
+            "Mockingjay",
+        ))
+    });
+    bench("fig13_one_cell(bfs-ur,CHROME,4core)", || {
+        black_box(run_workload(&tiny(4), "bfs-ur", "CHROME"))
+    });
+    let ipcp = RunParams {
+        prefetchers: PrefetcherConfig::ipcp(),
+        ..tiny(4)
+    };
+    bench("fig14_one_cell(ipcp,CARE)", || {
+        black_box(run_workload(&ipcp, "milc", "CARE"))
+    });
+    bench("fig11_one_cell(8core,LRU)", || {
+        black_box(run_workload(&tiny(8), "leslie3d", "LRU"))
     });
 }
-
-fn bench_fig10_path(c: &mut Criterion) {
-    c.bench_function("fig10_one_mix(4core,Mockingjay)", |b| {
-        b.iter_batched(
-            || (),
-            |_| {
-                black_box(run_mix(
-                    &tiny(4),
-                    &["mcf", "libquantum", "gcc", "soplex"],
-                    "Mockingjay",
-                ))
-            },
-            BatchSize::PerIteration,
-        )
-    });
-}
-
-fn bench_fig13_path(c: &mut Criterion) {
-    c.bench_function("fig13_one_cell(bfs-ur,CHROME,4core)", |b| {
-        b.iter_batched(
-            || (),
-            |_| black_box(run_workload(&tiny(4), "bfs-ur", "CHROME")),
-            BatchSize::PerIteration,
-        )
-    });
-}
-
-fn bench_fig14_path(c: &mut Criterion) {
-    let params = RunParams { prefetchers: PrefetcherConfig::ipcp(), ..tiny(4) };
-    c.bench_function("fig14_one_cell(ipcp,CARE)", |b| {
-        b.iter_batched(
-            || (),
-            |_| black_box(run_workload(&params, "milc", "CARE")),
-            BatchSize::PerIteration,
-        )
-    });
-}
-
-fn bench_scalability_path(c: &mut Criterion) {
-    c.bench_function("fig11_one_cell(8core,LRU)", |b| {
-        b.iter_batched(
-            || (),
-            |_| black_box(run_workload(&tiny(8), "leslie3d", "LRU")),
-            BatchSize::PerIteration,
-        )
-    });
-}
-
-criterion_group! {
-    name = experiment_paths;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig06_path, bench_fig10_path, bench_fig13_path,
-              bench_fig14_path, bench_scalability_path
-}
-criterion_main!(experiment_paths);

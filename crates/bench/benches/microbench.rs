@@ -1,11 +1,12 @@
-//! Criterion micro-benchmarks for the hot structures: Q-table lookup and
-//! update, CHROME's decision path, cache access paths, DRAM timing, and
+//! Micro-benchmarks for the hot structures: Q-table lookup and update,
+//! CHROME's decision path, cache access paths, DRAM timing, and
 //! workload-generator throughput. These are the operations that bound
 //! simulation speed and, conceptually, the hardware's decision latency
 //! (paper §V-G estimates ~2 cycles for the pipelined Q-table lookup).
+//!
+//! Run with `cargo bench -p chrome-bench --features bench-harness`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use chrome_bench::harness::{bench, black_box};
 use chrome_core::agent::Chrome;
 use chrome_core::config::ChromeConfig;
 use chrome_core::qtable::QTable;
@@ -16,105 +17,101 @@ use chrome_sim::llc::SharedLlc;
 use chrome_sim::policy::{AccessInfo, BuiltinLru, LlcPolicy, SystemFeedback};
 use chrome_sim::types::{mix64, LineAddr};
 
-fn bench_qtable(c: &mut Criterion) {
+fn bench_qtable() {
     let mut table = QTable::new(2, 4, 2048, 1.582);
-    c.bench_function("qtable_lookup", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let state = [mix64(i), i % 4096];
-            black_box(table.q_state(&state, (i % 7) as usize))
-        })
+    let mut i = 0u64;
+    bench("qtable_lookup", || {
+        i += 1;
+        let state = [mix64(i), i % 4096];
+        black_box(table.q_state(&state, (i % 7) as usize))
     });
-    c.bench_function("qtable_update", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let state = [mix64(i), i % 4096];
-            table.update(&state, (i % 7) as usize, 10.0, 0.05);
-        })
+    let mut i = 0u64;
+    bench("qtable_update", || {
+        i += 1;
+        let state = [mix64(i), i % 4096];
+        table.update(&state, (i % 7) as usize, 10.0, 0.05);
     });
 }
 
-fn bench_chrome_decision(c: &mut Criterion) {
+fn bench_chrome_decision() {
     let mut chrome = Chrome::new(ChromeConfig::default());
     chrome.initialize(16384, 12, 4);
     let fb = SystemFeedback::new(4);
-    c.bench_function("chrome_miss_decision", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let info = AccessInfo {
-                core: (i % 4) as usize,
-                pc: 0x400 + (i % 64) * 4,
-                line: LineAddr(mix64(i) % (1 << 24)),
-                is_prefetch: i % 5 == 0,
-                is_write: false,
-                cycle: i,
-            };
-            black_box(chrome.on_miss((mix64(i) % 16384) as usize, &info, &fb))
-        })
+    let mut i = 0u64;
+    bench("chrome_miss_decision", || {
+        i += 1;
+        let info = AccessInfo {
+            core: (i % 4) as usize,
+            pc: 0x400 + (i % 64) * 4,
+            line: LineAddr(mix64(i) % (1 << 24)),
+            is_prefetch: i.is_multiple_of(5),
+            is_write: false,
+            cycle: i,
+        };
+        black_box(chrome.on_miss((mix64(i) % 16384) as usize, &info, &fb))
     });
 }
 
-fn bench_cache_paths(c: &mut Criterion) {
-    let cfg = CacheConfig { capacity: 48 * 1024, ways: 12, latency: 5, mshr_entries: 16 };
+fn bench_cache_paths() {
+    let cfg = CacheConfig {
+        capacity: 48 * 1024,
+        ways: 12,
+        latency: 5,
+        mshr_entries: 16,
+    };
     let mut l1 = PrivateCache::new(&cfg);
-    c.bench_function("l1_lookup_fill", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let line = LineAddr(mix64(i) % 4096);
-            if l1.lookup(line, false, false).is_none() {
-                l1.fill(line, false, false, i);
-            }
-        })
+    let mut i = 0u64;
+    bench("l1_lookup_fill", || {
+        i += 1;
+        let line = LineAddr(mix64(i) % 4096);
+        if l1.lookup(line, false, false).is_none() {
+            l1.fill(line, false, false, i);
+        }
     });
 
-    let llc_cfg = CacheConfig { capacity: 12 << 20, ways: 12, latency: 40, mshr_entries: 256 };
+    let llc_cfg = CacheConfig {
+        capacity: 12 << 20,
+        ways: 12,
+        latency: 40,
+        mshr_entries: 256,
+    };
     let mut llc = SharedLlc::new(&llc_cfg, 4, Box::new(BuiltinLru::new()));
     let fb = SystemFeedback::new(4);
-    c.bench_function("llc_access_lru", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let info = AccessInfo {
-                core: (i % 4) as usize,
-                pc: 0x400,
-                line: LineAddr(mix64(i) % (1 << 20)),
-                is_prefetch: false,
-                is_write: false,
-                cycle: i,
-            };
-            black_box(llc.access(&info, &fb))
-        })
+    let mut i = 0u64;
+    bench("llc_access_lru", || {
+        i += 1;
+        let info = AccessInfo {
+            core: (i % 4) as usize,
+            pc: 0x400,
+            line: LineAddr(mix64(i) % (1 << 20)),
+            is_prefetch: false,
+            is_write: false,
+            cycle: i,
+        };
+        black_box(llc.access(&info, &fb))
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram() {
     let mut dram = Dram::new(DramConfig::default());
-    c.bench_function("dram_access", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(dram.access(LineAddr(mix64(i) % (1 << 22)), i * 4, false))
-        })
+    let mut i = 0u64;
+    bench("dram_access", || {
+        i += 1;
+        black_box(dram.access(LineAddr(mix64(i) % (1 << 22)), i * 4, false))
     });
 }
 
-fn bench_generators(c: &mut Criterion) {
+fn bench_generators() {
     let mut spec = chrome_traces::build_workload("mcf", 1).expect("known");
-    c.bench_function("trace_gen_spec_mcf", |b| b.iter(|| black_box(spec.next_record())));
+    bench("trace_gen_spec_mcf", || black_box(spec.next_record()));
     let mut gap = chrome_traces::build_workload("pr-ur", 1).expect("known");
-    c.bench_function("trace_gen_gap_pr", |b| b.iter(|| black_box(gap.next_record())));
+    bench("trace_gen_gap_pr", || black_box(gap.next_record()));
 }
 
-criterion_group!(
-    benches,
-    bench_qtable,
-    bench_chrome_decision,
-    bench_cache_paths,
-    bench_dram,
-    bench_generators
-);
-criterion_main!(benches);
+fn main() {
+    bench_qtable();
+    bench_chrome_decision();
+    bench_cache_paths();
+    bench_dram();
+    bench_generators();
+}

@@ -5,8 +5,16 @@
 use chrome_bench::{run_workload, RunParams, TableWriter};
 use chrome_sim::PrefetcherConfig;
 
-const WORKLOADS: [&str; 8] =
-    ["mcf", "soplex", "wrf", "libquantum", "omnetpp", "xalancbmk", "gcc", "cc-ur"];
+const WORKLOADS: [&str; 8] = [
+    "mcf",
+    "soplex",
+    "wrf",
+    "libquantum",
+    "omnetpp",
+    "xalancbmk",
+    "gcc",
+    "cc-ur",
+];
 const SCHEMES: [&str; 3] = ["Hawkeye", "Glider", "Mockingjay"];
 
 fn run_config(params: &RunParams, tag: &str, table_name: &str) {

@@ -97,10 +97,27 @@ fn main() {
 
     let geo: Vec<f64> = speedups.iter().map(|v| geomean(v)).collect();
     speedup_t.row_f("GEOMEAN", &geo);
-    miss_t.row_f("AVERAGE", &miss_sums.iter().map(|s| s / count as f64).collect::<Vec<_>>());
-    ephr_t.row_f("AVERAGE", &ephr_sums.iter().map(|s| s / count as f64).collect::<Vec<_>>());
-    bypass_t
-        .row_f("AVERAGE", &bypass_sums.iter().map(|s| s / count as f64).collect::<Vec<_>>());
+    miss_t.row_f(
+        "AVERAGE",
+        &miss_sums
+            .iter()
+            .map(|s| s / count as f64)
+            .collect::<Vec<_>>(),
+    );
+    ephr_t.row_f(
+        "AVERAGE",
+        &ephr_sums
+            .iter()
+            .map(|s| s / count as f64)
+            .collect::<Vec<_>>(),
+    );
+    bypass_t.row_f(
+        "AVERAGE",
+        &bypass_sums
+            .iter()
+            .map(|s| s / count as f64)
+            .collect::<Vec<_>>(),
+    );
     speedup_t.finish().expect("write results");
     miss_t.finish().expect("write results");
     ephr_t.finish().expect("write results");

@@ -1,26 +1,35 @@
 //! Fig. 8: effective prefetch hit ratio (EPHR) at the LLC for 4-core
-//! SPEC homogeneous mixes.
+//! SPEC homogeneous mixes, plus a converged-window demand hit rate per
+//! scheme taken from the epoch telemetry series (the mean over the last
+//! quarter of epochs, after the learning policies have settled).
 
 use chrome_bench::{all_schemes, run_workload, RunParams, TableWriter};
 use chrome_traces::spec::spec_workloads;
 
 fn main() {
-    let params = RunParams::from_args();
+    let mut params = RunParams::from_args();
+    params.record_epochs = true;
     let schemes = all_schemes();
+    let tail_headers: Vec<String> = schemes.iter().map(|s| format!("{s}_tail_hr")).collect();
     let mut table = TableWriter::new("fig08_ephr", &{
         let mut h = vec!["workload"];
         h.extend(schemes.iter().copied());
+        h.extend(tail_headers.iter().map(|s| s.as_str()));
         h
     });
-    let mut sums = vec![0.0; schemes.len()];
+    let mut sums = vec![0.0; 2 * schemes.len()];
     let mut count = 0u32;
     for wl in spec_workloads() {
         let mut cells = Vec::new();
-        for (i, scheme) in schemes.iter().enumerate() {
+        let mut tails = Vec::new();
+        for scheme in schemes.iter() {
             let r = run_workload(&params, wl, scheme);
-            let e = r.results.llc.ephr();
-            sums[i] += e;
-            cells.push(e);
+            cells.push(r.results.llc.ephr());
+            tails.push(r.epochs.tail_mean(0.25, |e| e.hit_rate()));
+        }
+        cells.append(&mut tails);
+        for (i, v) in cells.iter().enumerate() {
+            sums[i] += v;
         }
         count += 1;
         table.row_f(wl, &cells);

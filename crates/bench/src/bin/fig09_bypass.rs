@@ -13,7 +13,8 @@ use chrome_bench::{RunParams, TableWriter};
 use chrome_traces::spec::spec_workloads;
 
 fn main() {
-    let params = RunParams::from_args();
+    let mut params = RunParams::from_args();
+    params.record_epochs = true;
     let schemes = ["Mockingjay", "CHROME"];
     let mut table = TableWriter::new(
         "fig09_bypass",
@@ -21,11 +22,13 @@ fn main() {
             "workload",
             "mockingjay_coverage",
             "mockingjay_efficiency",
+            "mockingjay_tail_bypass",
             "chrome_coverage",
             "chrome_efficiency",
+            "chrome_tail_bypass",
         ],
     );
-    let mut sums = [0.0f64; 4];
+    let mut sums = [0.0f64; 6];
     let mut count = 0u32;
     for wl in spec_workloads() {
         let mut cells = Vec::new();
@@ -42,6 +45,9 @@ fn main() {
             };
             cells.push(coverage);
             cells.push(efficiency);
+            // converged-window bypass rate from the epoch series: the
+            // steady-state behavior after learning settles
+            cells.push(r.epochs.tail_mean(0.25, |e| e.bypass_rate()));
         }
         for (i, v) in cells.iter().enumerate() {
             sums[i] += v;

@@ -49,5 +49,8 @@ fn main() {
     table.row_f("GEOMEAN", &geo);
     table.finish().expect("write results");
     println!("CHROME best in {chrome_best}/{} mixes", rows.len());
-    println!("CHROME >= Mockingjay in {chrome_over_mockingjay}/{} mixes", rows.len());
+    println!(
+        "CHROME >= Mockingjay in {chrome_over_mockingjay}/{} mixes",
+        rows.len()
+    );
 }

@@ -18,7 +18,10 @@ fn main() {
     });
 
     for cores in [4usize, 8, 16] {
-        let params = RunParams { cores, ..base_params.clone() };
+        let params = RunParams {
+            cores,
+            ..base_params.clone()
+        };
         // homogeneous: a representative subset for the smaller core counts
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
         for wl in spec_workloads().into_iter().take(homo_count) {

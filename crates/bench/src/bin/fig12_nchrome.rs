@@ -7,10 +7,15 @@ use chrome_traces::spec::spec_workloads;
 fn main() {
     let base_params = RunParams::from_args_ignoring(&["--homo-workloads"]);
     let homo_count = RunParams::arg_usize("--homo-workloads", 10);
-    let mut table =
-        TableWriter::new("fig12_nchrome", &["config", "CHROME", "N-CHROME", "delta_pct"]);
+    let mut table = TableWriter::new(
+        "fig12_nchrome",
+        &["config", "CHROME", "N-CHROME", "delta_pct"],
+    );
     for cores in [4usize, 8, 16] {
-        let params = RunParams { cores, ..base_params.clone() };
+        let params = RunParams {
+            cores,
+            ..base_params.clone()
+        };
         let mut chrome = Vec::new();
         let mut nchrome = Vec::new();
         // skip the heavier tail workloads at high core counts

@@ -13,7 +13,10 @@ fn main() {
         h
     });
     for cores in [4usize, 8, 16] {
-        let params = RunParams { cores, ..base_params.clone() };
+        let params = RunParams {
+            cores,
+            ..base_params.clone()
+        };
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
         // Table VI's 12 GAP traces (bfs/cc/pr/sssp x or/tw/ur)
         for wl in gap_workloads().iter().filter(|w| !w.starts_with("bc-")) {

@@ -19,7 +19,10 @@ fn main() {
         ("stride+streamer", PrefetcherConfig::stride_streamer()),
         ("ipcp", PrefetcherConfig::ipcp()),
     ] {
-        let params = RunParams { prefetchers: pf, ..base_params.clone() };
+        let params = RunParams {
+            prefetchers: pf,
+            ..base_params.clone()
+        };
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
         for wl in spec_workloads().into_iter().take(homo_count) {
             let base = run_workload(&params, wl, "LRU");

@@ -18,7 +18,10 @@ fn main() {
     let params = RunParams::from_args_ignoring(&["--homo-workloads"]);
     let homo_count = RunParams::arg_usize("--homo-workloads", 14);
     let workloads: Vec<&str> = spec_workloads().into_iter().take(homo_count).collect();
-    let bases: Vec<_> = workloads.iter().map(|wl| run_workload(&params, wl, "LRU")).collect();
+    let bases: Vec<_> = workloads
+        .iter()
+        .map(|wl| run_workload(&params, wl, "LRU"))
+        .collect();
     let mut table = TableWriter::new("fig15_features", &["variant", "geomean_speedup"]);
     for (label, scheme) in VARIANTS {
         let mut speedups = Vec::new();

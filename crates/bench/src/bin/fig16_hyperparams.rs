@@ -30,11 +30,34 @@ fn main() {
     let params = RunParams::from_args_ignoring(&["--homo-workloads"]);
     let homo_count = RunParams::arg_usize("--homo-workloads", 8);
     let workloads: Vec<&str> = spec_workloads().into_iter().take(homo_count).collect();
-    let bases: Vec<SchemeResult> =
-        workloads.iter().map(|wl| run_workload(&params, wl, "LRU")).collect();
+    let bases: Vec<SchemeResult> = workloads
+        .iter()
+        .map(|wl| run_workload(&params, wl, "LRU"))
+        .collect();
     let mut table = TableWriter::new("fig16_hyperparams", &["setting", "geomean_speedup"]);
-    sweep(&params, &workloads, &bases, "alpha", &[1e-5, 1e-3, 0.0498, 0.5, 1.0], &mut table);
-    sweep(&params, &workloads, &bases, "gamma", &[1e-3, 1e-1, 0.3679, 0.9], &mut table);
-    sweep(&params, &workloads, &bases, "eps", &[0.0, 0.001, 0.01, 0.1], &mut table);
+    sweep(
+        &params,
+        &workloads,
+        &bases,
+        "alpha",
+        &[1e-5, 1e-3, 0.0498, 0.5, 1.0],
+        &mut table,
+    );
+    sweep(
+        &params,
+        &workloads,
+        &bases,
+        "gamma",
+        &[1e-3, 1e-1, 0.3679, 0.9],
+        &mut table,
+    );
+    sweep(
+        &params,
+        &workloads,
+        &bases,
+        "eps",
+        &[0.0, 0.001, 0.01, 0.1],
+        &mut table,
+    );
     table.finish().expect("write results");
 }

@@ -9,7 +9,15 @@ fn main() {
     let params = RunParams::from_args();
     println!("params: {params:?}");
     for wl in ["libquantum", "mcf", "soplex", "gcc"] {
-        for scheme in ["LRU", "SHiP++", "Hawkeye", "Glider", "Mockingjay", "CARE", "CHROME"] {
+        for scheme in [
+            "LRU",
+            "SHiP++",
+            "Hawkeye",
+            "Glider",
+            "Mockingjay",
+            "CARE",
+            "CHROME",
+        ] {
             let t0 = Instant::now();
             let r = run_workload(&params, wl, scheme);
             let dt = t0.elapsed().as_secs_f64();

@@ -9,8 +9,14 @@ fn main() {
     let llc_blocks = cfg.llc().sets() * cfg.llc_ways;
     let chrome = Chrome::new(ChromeConfig::default());
     let overhead = chrome.storage_overhead(llc_blocks);
-    println!("{}", overhead.render("Table III: CHROME storage overhead (4-core, 12MB LLC)"));
-    println!("paper total: 92.70 KB; measured: {:.2} KB", overhead.total_kib());
+    println!(
+        "{}",
+        overhead.render("Table III: CHROME storage overhead (4-core, 12MB LLC)")
+    );
+    println!(
+        "paper total: 92.70 KB; measured: {:.2} KB",
+        overhead.total_kib()
+    );
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write(
         "results/tab03_overhead.tsv",

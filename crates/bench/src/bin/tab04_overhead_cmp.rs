@@ -11,7 +11,13 @@ fn main() {
     let llc_blocks = cfg.llc().sets() * cfg.llc_ways;
     let mut table = TableWriter::new(
         "tab04_overhead_cmp",
-        &["scheme", "holistic", "concurrency_aware", "overhead_kb", "paper_kb"],
+        &[
+            "scheme",
+            "holistic",
+            "concurrency_aware",
+            "overhead_kb",
+            "paper_kb",
+        ],
     );
     let rows: [(&str, &str, &str, f64); 5] = [
         ("Hawkeye", "No", "No", 146.0),
@@ -25,7 +31,9 @@ fn main() {
             // hardware budget uses the paper's 64-sampled-set config
             Chrome::new(ChromeConfig::default()).storage_overhead(llc_blocks)
         } else {
-            build_any_policy(scheme).expect("known scheme").storage_overhead(llc_blocks)
+            build_any_policy(scheme)
+                .expect("known scheme")
+                .storage_overhead(llc_blocks)
         };
         table.row(vec![
             scheme.to_string(),

@@ -28,7 +28,10 @@ fn main() {
         i += 1;
     }
     let workloads = ["gcc", "mcf", "soplex", "omnetpp", "milc", "hmmer"];
-    let bases: Vec<_> = workloads.iter().map(|wl| run_workload(&params, wl, "LRU")).collect();
+    let bases: Vec<_> = workloads
+        .iter()
+        .map(|wl| run_workload(&params, wl, "LRU"))
+        .collect();
     for scheme in schemes {
         let mut speedups = Vec::new();
         for (wl, base) in workloads.iter().zip(&bases) {
@@ -38,7 +41,10 @@ fn main() {
         println!(
             "{scheme:<20} geomean={:.4}  per-wl={:?}",
             geomean(&speedups),
-            speedups.iter().map(|s| (s * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            speedups
+                .iter()
+                .map(|s| (s * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         );
     }
 }

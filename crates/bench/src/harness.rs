@@ -1,0 +1,70 @@
+//! A minimal, dependency-free timing harness for the `benches/` targets
+//! (gated behind the `bench-harness` feature so `cargo test`/`cargo
+//! build` never need a benchmark registry from the network).
+//!
+//! Methodology: calibrate an iteration count against a fixed time
+//! budget, then take several samples of that many iterations and report
+//! the median and minimum ns/iteration. The median resists scheduler
+//! noise; the minimum approximates the true cost of the hot path.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Time budget used to calibrate the per-sample iteration count.
+const CALIBRATION_BUDGET: Duration = Duration::from_millis(20);
+/// Samples taken per benchmark.
+const SAMPLES: usize = 7;
+
+/// Run `f` under the harness and print one result line.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Calibration doubles as warmup.
+    let t0 = Instant::now();
+    let mut iters: u64 = 0;
+    while t0.elapsed() < CALIBRATION_BUDGET {
+        black_box(f());
+        iters += 1;
+    }
+    let per_sample = iters.max(1);
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            t.elapsed().as_nanos() as f64 / per_sample as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    println!(
+        "{name:<44} median {:>11}/iter   min {:>11}/iter   ({per_sample} iters x {SAMPLES} samples)",
+        fmt_ns(times[times.len() / 2]),
+        fmt_ns(times[0]),
+    );
+}
+
+/// Render nanoseconds with a human-scale unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(999.0), "999 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 us");
+        assert_eq!(fmt_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(fmt_ns(3e9), "3.00 s");
+    }
+}

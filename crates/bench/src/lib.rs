@@ -6,6 +6,7 @@
 //! speedup computation against the LRU baseline, and TSV/console table
 //! output.
 
+pub mod harness;
 pub mod registry;
 pub mod runner;
 pub mod table;

@@ -34,31 +34,46 @@ pub fn build_any_policy(name: &str) -> Option<Box<dyn LlcPolicy>> {
     match name {
         "CHROME" => return Some(Box::new(Chrome::new(experiment_cfg()))),
         "N-CHROME" => {
-            let cfg = ChromeConfig { concurrency_aware: false, ..experiment_cfg() };
+            let cfg = ChromeConfig {
+                concurrency_aware: false,
+                ..experiment_cfg()
+            };
             return Some(Box::new(Chrome::new(cfg)));
         }
         "CHROME-pc" => {
-            let cfg = ChromeConfig { features: FeatureSelection::PcOnly, ..experiment_cfg() };
+            let cfg = ChromeConfig {
+                features: FeatureSelection::PcOnly,
+                ..experiment_cfg()
+            };
             return Some(Box::new(Chrome::new(cfg)));
         }
         "CHROME-pn" => {
-            let cfg = ChromeConfig { features: FeatureSelection::PnOnly, ..experiment_cfg() };
+            let cfg = ChromeConfig {
+                features: FeatureSelection::PnOnly,
+                ..experiment_cfg()
+            };
             return Some(Box::new(Chrome::new(cfg)));
         }
         // the other Table I feature candidates, for experimentation
         "CHROME-pcdelta" => {
-            let cfg =
-                ChromeConfig { features: FeatureSelection::PcAndDelta, ..experiment_cfg() };
+            let cfg = ChromeConfig {
+                features: FeatureSelection::PcAndDelta,
+                ..experiment_cfg()
+            };
             return Some(Box::new(Chrome::new(cfg)));
         }
         "CHROME-pcseq" => {
-            let cfg =
-                ChromeConfig { features: FeatureSelection::PcSeqAndPn, ..experiment_cfg() };
+            let cfg = ChromeConfig {
+                features: FeatureSelection::PcSeqAndPn,
+                ..experiment_cfg()
+            };
             return Some(Box::new(Chrome::new(cfg)));
         }
         "CHROME-pcoffset" => {
-            let cfg =
-                ChromeConfig { features: FeatureSelection::PcOffsetAndPn, ..experiment_cfg() };
+            let cfg = ChromeConfig {
+                features: FeatureSelection::PcOffsetAndPn,
+                ..experiment_cfg()
+            };
             return Some(Box::new(Chrome::new(cfg)));
         }
         _ => {}

@@ -1,6 +1,9 @@
 //! Simulation runners shared by all experiment binaries.
 
+use std::path::PathBuf;
+
 use chrome_sim::{PrefetcherConfig, SimConfig, SimResults, System};
+use chrome_telemetry::{EpochSeries, TelemetryConfig, TelemetrySink};
 use chrome_traces::mix;
 
 use crate::registry::build_any_policy;
@@ -19,6 +22,13 @@ pub struct RunParams {
     pub prefetchers: PrefetcherConfig,
     /// Base seed for workload generators.
     pub seed: u64,
+    /// Directory for telemetry artifacts (`--telemetry-out DIR`); when
+    /// set, every run exports its epoch series, event trace and metrics
+    /// there, named `<workload>_<scheme>_*`.
+    pub telemetry_out: Option<PathBuf>,
+    /// Record the epoch series even without exporting it (experiment
+    /// binaries that consume [`SchemeResult::epochs`] set this).
+    pub record_epochs: bool,
 }
 
 impl Default for RunParams {
@@ -29,6 +39,8 @@ impl Default for RunParams {
             warmup: 600_000,
             prefetchers: PrefetcherConfig::default_paper(),
             seed: 0x5EED,
+            telemetry_out: None,
+            record_epochs: false,
         }
     }
 }
@@ -37,7 +49,7 @@ impl RunParams {
     /// Parse common experiment flags from `std::env::args`:
     /// `--cores N`, `--instructions N`, `--warmup N`, `--quick`
     /// (divides the instruction budget by 10), `--full` (multiplies it
-    /// by 10), `--seed N`.
+    /// by 10), `--seed N`, `--telemetry-out DIR`.
     pub fn from_args() -> Self {
         Self::from_args_ignoring(&[])
     }
@@ -70,6 +82,12 @@ impl RunParams {
                 "--seed" => {
                     i += 1;
                     p.seed = args[i].parse().expect("--seed takes a number");
+                }
+                "--telemetry-out" => {
+                    i += 1;
+                    p.telemetry_out = Some(PathBuf::from(
+                        args.get(i).expect("--telemetry-out takes a dir"),
+                    ));
                 }
                 "--quick" => {
                     p.instructions /= 10;
@@ -113,6 +131,9 @@ pub struct SchemeResult {
     pub results: SimResults,
     /// Scheme-specific report metrics (e.g. CHROME's UPKSA).
     pub report: Vec<(String, f64)>,
+    /// Epoch-resolved telemetry series (empty unless the run recorded
+    /// telemetry via `--telemetry-out` or [`RunParams::record_epochs`]).
+    pub epochs: EpochSeries,
 }
 
 impl SchemeResult {
@@ -160,7 +181,7 @@ pub fn run_workload_tracked(
 ) -> SchemeResult {
     let traces = mix::homogeneous(workload, params.cores, params.seed)
         .unwrap_or_else(|| panic!("unknown workload {workload}"));
-    run_traces(params, traces, scheme, track_unused)
+    run_traces(params, traces, scheme, track_unused, workload)
 }
 
 /// Run `scheme` on a named heterogeneous mix.
@@ -171,7 +192,21 @@ pub fn run_workload_tracked(
 pub fn run_mix(params: &RunParams, names: &[&str], scheme: &str) -> SchemeResult {
     let traces =
         mix::build_mix(names, params.seed).unwrap_or_else(|| panic!("unknown mix {names:?}"));
-    run_traces(params, traces, scheme, false)
+    run_traces(params, traces, scheme, false, &names.join("+"))
+}
+
+/// Turn a workload/scheme label into a safe artifact-file prefix.
+fn artifact_prefix(label: &str, scheme: &str) -> String {
+    format!("{label}_{scheme}")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 fn run_traces(
@@ -179,16 +214,33 @@ fn run_traces(
     traces: Vec<Box<dyn chrome_sim::trace::TraceSource>>,
     scheme: &str,
     track_unused: bool,
+    label: &str,
 ) -> SchemeResult {
-    let policy =
-        build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut sys = System::with_policy(params.sim_config(), traces, policy);
     if track_unused {
         sys.enable_unused_tracking();
     }
+    if params.telemetry_out.is_some() || params.record_epochs {
+        sys.set_telemetry(TelemetrySink::recording(TelemetryConfig::default()));
+    }
     let results = sys.run(params.instructions, params.warmup);
     let report = sys.hierarchy().llc.policy.report();
-    SchemeResult { scheme: scheme.to_string(), results, report }
+    let epochs = sys
+        .telemetry()
+        .with(|t| t.epochs.clone())
+        .unwrap_or_default();
+    if let Some(dir) = &params.telemetry_out {
+        sys.telemetry()
+            .export(dir, &artifact_prefix(label, scheme))
+            .unwrap_or_else(|e| panic!("telemetry export to {dir:?} failed: {e}"));
+    }
+    SchemeResult {
+        scheme: scheme.to_string(),
+        results,
+        report,
+        epochs,
+    }
 }
 
 /// Geometric mean of a slice (ignores non-positive values defensively).
@@ -241,7 +293,12 @@ mod tests {
 
     #[test]
     fn mix_runs_multiple_cores() {
-        let params = RunParams { cores: 2, instructions: 20_000, warmup: 2_000, ..Default::default() };
+        let params = RunParams {
+            cores: 2,
+            instructions: 20_000,
+            warmup: 2_000,
+            ..Default::default()
+        };
         let r = run_mix(&params, &["mcf", "libquantum"], "LRU");
         assert_eq!(r.results.per_core.len(), 2);
     }

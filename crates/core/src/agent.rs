@@ -7,9 +7,9 @@ use chrome_sim::overhead::StorageOverhead;
 use chrome_sim::policy::{
     sampled_index, AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
 };
+use chrome_sim::rng::SmallRng;
 use chrome_sim::types::{mix64, LineAddr};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use chrome_telemetry::{EventKind, PolicyEpochProbe, TelemetrySink};
 
 use crate::config::{ChromeConfig, FeatureSelection};
 use crate::eq::{EqEntry, EvalQueue};
@@ -40,6 +40,8 @@ pub struct ChromeStats {
     pub matched_rewards: u64,
     /// Rewards assigned at EQ eviction (never re-requested).
     pub unmatched_rewards: u64,
+    /// EQ FIFO overflows (pushes that evicted the oldest entry).
+    pub eq_overflows: u64,
 }
 
 impl ChromeStats {
@@ -72,6 +74,7 @@ pub struct Chrome {
     pc_history: Vec<[u64; 4]>,
     /// Agent-internal statistics.
     pub stats: ChromeStats,
+    sink: TelemetrySink,
     name: &'static str,
 }
 
@@ -94,7 +97,11 @@ impl Chrome {
             cfg.q_init(),
         );
         let eq = EvalQueue::new(cfg.sampled_sets, cfg.eq_fifo_len);
-        let name = if cfg.concurrency_aware { "CHROME" } else { "N-CHROME" };
+        let name = if cfg.concurrency_aware {
+            "CHROME"
+        } else {
+            "N-CHROME"
+        };
         Chrome {
             rng: SmallRng::seed_from_u64(cfg.seed),
             qtable,
@@ -107,6 +114,7 @@ impl Chrome {
             last_line: Vec::new(),
             pc_history: Vec::new(),
             stats: ChromeStats::default(),
+            sink: TelemetrySink::noop(),
             name,
             cfg,
         }
@@ -127,13 +135,13 @@ impl Chrome {
     /// and (in multicore systems) the core id; plus the physical page
     /// number. Returns the features in a fixed buffer.
     fn state_of(&mut self, info: &AccessInfo, hit: bool) -> ([u64; 2], usize) {
-        let core_part = if self.multicore { (info.core as u64 + 1) << 24 } else { 0 };
-        let pc_sig = mix64(
-            info.pc
-                ^ ((hit as u64) << 62)
-                ^ ((info.is_prefetch as u64) << 61)
-                ^ core_part,
-        );
+        let core_part = if self.multicore {
+            (info.core as u64 + 1) << 24
+        } else {
+            0
+        };
+        let pc_sig =
+            mix64(info.pc ^ ((hit as u64) << 62) ^ ((info.is_prefetch as u64) << 61) ^ core_part);
         let pn = info.line.page_number();
         let core = info.core.min(self.last_line.len().saturating_sub(1));
         let state = match self.cfg.features {
@@ -146,8 +154,12 @@ impl Chrome {
             }
             FeatureSelection::PcSeqAndPn => {
                 let h = &self.pc_history[core];
-                let seq = mix64(h[0] ^ h[1].rotate_left(13) ^ h[2].rotate_left(27)
-                    ^ h[3].rotate_left(41) ^ core_part);
+                let seq = mix64(
+                    h[0] ^ h[1].rotate_left(13)
+                        ^ h[2].rotate_left(27)
+                        ^ h[3].rotate_left(41)
+                        ^ core_part,
+                );
                 ([seq, pn], 2)
             }
             FeatureSelection::PcOffsetAndPn => {
@@ -167,7 +179,7 @@ impl Chrome {
     /// common under optimistic initialization — break uniformly at
     /// random, so an untrained agent does not collapse onto one action.
     fn select_action(&mut self, state: &[u64], legal: &[usize]) -> usize {
-        if self.rng.gen::<f64>() < self.cfg.epsilon {
+        if self.rng.gen_f64() < self.cfg.epsilon {
             self.stats.explorations += 1;
             return legal[self.rng.gen_range(0..legal.len())];
         }
@@ -223,6 +235,16 @@ impl Chrome {
         if let Some(entry) = self.eq.fifo(si).find_unrewarded(info.line.0) {
             entry.reward = Some(reward);
             self.stats.matched_rewards += 1;
+            if cfg!(feature = "telemetry") {
+                self.sink.emit(
+                    info.cycle,
+                    info.core as u32,
+                    EventKind::RewardApplied {
+                        reward,
+                        matched: true,
+                    },
+                );
+            }
         }
     }
 
@@ -248,16 +270,27 @@ impl Chrome {
         };
         let capacity = self.eq.capacity();
         if let Some((mut evicted, next)) = self.eq.fifo(si).push(entry, capacity) {
+            self.stats.eq_overflows += 1;
             if evicted.reward.is_none() {
                 let accurate = if evicted.trigger_hit {
                     evicted.action == ACTION_HIT_EPVH
                 } else {
                     evicted.action == ACTION_BYPASS
                 };
-                let obstructed =
-                    self.cfg.concurrency_aware && feedback.is_obstructed(evicted.core);
-                evicted.reward = Some(self.cfg.rewards.not_requested(accurate, obstructed));
+                let obstructed = self.cfg.concurrency_aware && feedback.is_obstructed(evicted.core);
+                let reward = self.cfg.rewards.not_requested(accurate, obstructed);
+                evicted.reward = Some(reward);
                 self.stats.unmatched_rewards += 1;
+                if cfg!(feature = "telemetry") {
+                    self.sink.emit(
+                        info.cycle,
+                        info.core as u32,
+                        EventKind::RewardApplied {
+                            reward,
+                            matched: false,
+                        },
+                    );
+                }
             }
             let reward = evicted.reward.expect("assigned above");
             let target = match next {
@@ -266,7 +299,19 @@ impl Chrome {
                 }
                 None => reward,
             };
-            self.qtable.update(&evicted.state, evicted.action, target, self.cfg.alpha);
+            if cfg!(feature = "telemetry") && self.sink.is_enabled() {
+                let delta = target - self.qtable.q_state(&evicted.state, evicted.action);
+                self.sink.emit(
+                    info.cycle,
+                    info.core as u32,
+                    EventKind::QUpdate {
+                        delta,
+                        action: evicted.action as u8,
+                    },
+                );
+            }
+            self.qtable
+                .update(&evicted.state, evicted.action, target, self.cfg.alpha);
             self.stats.q_updates += 1;
         }
     }
@@ -298,8 +343,12 @@ impl LlcPolicy for Chrome {
         }
     }
 
-    fn on_miss(&mut self, set: usize, info: &AccessInfo, feedback: &SystemFeedback)
-        -> FillDecision {
+    fn on_miss(
+        &mut self,
+        set: usize,
+        info: &AccessInfo,
+        feedback: &SystemFeedback,
+    ) -> FillDecision {
         let si = sampled_index(set, self.num_sets, self.cfg.sampled_sets);
         if let Some(si) = si {
             self.stats.sampled_accesses += 1;
@@ -348,6 +397,19 @@ impl LlcPolicy for Chrome {
 
     fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
 
+    fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+    }
+
+    fn epoch_probe(&self) -> PolicyEpochProbe {
+        PolicyEpochProbe {
+            eq_occupancy: self.eq.mean_occupancy(),
+            eq_overflows: self.stats.eq_overflows,
+            epsilon: self.cfg.epsilon,
+            mean_q_mag: self.qtable.mean_abs_q(),
+        }
+    }
+
     fn name(&self) -> &str {
         self.name
     }
@@ -356,7 +418,10 @@ impl LlcPolicy for Chrome {
         vec![
             ("upksa".into(), self.stats.upksa()),
             ("q_updates".into(), self.stats.q_updates as f64),
-            ("sampled_accesses".into(), self.stats.sampled_accesses as f64),
+            (
+                "sampled_accesses".into(),
+                self.stats.sampled_accesses as f64,
+            ),
             ("explorations".into(), self.stats.explorations as f64),
             ("agent_bypasses".into(), self.stats.bypasses as f64),
         ]
@@ -366,11 +431,14 @@ impl LlcPolicy for Chrome {
         let mut o = StorageOverhead::new();
         o.add_table(
             "Q-Table",
-            (self.cfg.features.count() * self.cfg.sub_tables * self.cfg.sub_table_entries)
-                as u64,
+            (self.cfg.features.count() * self.cfg.sub_tables * self.cfg.sub_table_entries) as u64,
             16,
         );
-        o.add_table("EQ", (self.cfg.sampled_sets * self.cfg.eq_fifo_len) as u64, 58);
+        o.add_table(
+            "EQ",
+            (self.cfg.sampled_sets * self.cfg.eq_fifo_len) as u64,
+            58,
+        );
         o.add_table("EPV metadata", llc_blocks as u64, 2);
         o
     }
@@ -393,13 +461,21 @@ mod tests {
 
     fn cands(n: usize) -> Vec<CandidateLine> {
         (0..n)
-            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: false,
+                dirty: false,
+            })
             .collect()
     }
 
     fn mk() -> (Chrome, SystemFeedback) {
-        let mut cfg = ChromeConfig::default();
-        cfg.sampled_sets = 16; // sample every 4th of 64 sets
+        let cfg = ChromeConfig {
+            sampled_sets: 16,
+            ..Default::default()
+        };
+        // sample every 4th of 64 sets
         let mut p = Chrome::new(cfg);
         p.initialize(64, 4, 1);
         (p, SystemFeedback::new(1))
@@ -456,9 +532,11 @@ mod tests {
 
     #[test]
     fn q_updates_happen_after_fifo_overflow() {
-        let mut cfg = ChromeConfig::default();
-        cfg.sampled_sets = 16;
-        cfg.eq_fifo_len = 4;
+        let cfg = ChromeConfig {
+            sampled_sets: 16,
+            eq_fifo_len: 4,
+            ..Default::default()
+        };
         let mut p = Chrome::new(cfg);
         p.initialize(64, 4, 1);
         let fb = SystemFeedback::new(1);
@@ -481,9 +559,12 @@ mod tests {
     fn scanning_pattern_learns_bypass() {
         // feed a pure scan (no reuse) through one sampled set: the agent
         // should learn that bypassing maximizes reward
-        let mut cfg = ChromeConfig::default();
-        cfg.sampled_sets = 64;
-        cfg.epsilon = 0.05; // explore a bit faster in this tiny test
+        // epsilon: explore a bit faster in this tiny test
+        let cfg = ChromeConfig {
+            sampled_sets: 64,
+            epsilon: 0.05,
+            ..Default::default()
+        };
         let mut p = Chrome::new(cfg);
         p.initialize(64, 4, 1);
         let fb = SystemFeedback::new(1);
@@ -508,8 +589,10 @@ mod tests {
 
     #[test]
     fn reused_pattern_learns_to_insert() {
-        let mut cfg = ChromeConfig::default();
-        cfg.sampled_sets = 64;
+        let cfg = ChromeConfig {
+            sampled_sets: 64,
+            ..Default::default()
+        };
         let mut p = Chrome::new(cfg);
         p.initialize(64, 4, 1);
         let fb = SystemFeedback::new(1);
@@ -525,7 +608,11 @@ mod tests {
         }
         let before = p.stats.bypasses;
         for l in 0..1000u64 {
-            p.on_miss(((l * 7) % 64) as usize, &info((1 << 41) + l * 64, 0x700, 0, true), &fb);
+            p.on_miss(
+                ((l * 7) % 64) as usize,
+                &info((1 << 41) + l * 64, 0x700, 0, true),
+                &fb,
+            );
         }
         let rate = (p.stats.bypasses - before) as f64 / 1000.0;
         // hit-trained PC signature differs from miss signature, so this
@@ -555,7 +642,11 @@ mod tests {
         let p = Chrome::new(ChromeConfig::default());
         // 4-core 12MB LLC: 196608 blocks
         let o = p.storage_overhead(196_608);
-        assert!((o.total_kib() - 92.7).abs() < 0.1, "total = {}", o.total_kib());
+        assert!(
+            (o.total_kib() - 92.7).abs() < 0.1,
+            "total = {}",
+            o.total_kib()
+        );
     }
 
     #[test]
@@ -576,8 +667,18 @@ mod tests {
     #[test]
     fn every_feature_selection_runs() {
         use crate::config::FeatureSelection::*;
-        for features in [PcOnly, PnOnly, PcAndPn, PcAndDelta, PcSeqAndPn, PcOffsetAndPn] {
-            let mut cfg = ChromeConfig { features, ..Default::default() };
+        for features in [
+            PcOnly,
+            PnOnly,
+            PcAndPn,
+            PcAndDelta,
+            PcSeqAndPn,
+            PcOffsetAndPn,
+        ] {
+            let mut cfg = ChromeConfig {
+                features,
+                ..Default::default()
+            };
             cfg.sampled_sets = 16;
             let mut p = Chrome::new(cfg);
             p.initialize(64, 4, 2);

@@ -91,7 +91,10 @@ impl ChromeConfig {
     /// The N-CHROME ablation: identical workflow, no concurrency
     /// awareness (paper §VII-C).
     pub fn n_chrome() -> Self {
-        ChromeConfig { concurrency_aware: false, ..Self::default() }
+        ChromeConfig {
+            concurrency_aware: false,
+            ..Self::default()
+        }
     }
 
     /// Optimistic initial Q-value, `1 / (1 − γ)` (paper §V-B).

@@ -27,6 +27,9 @@ pub struct EqFifo {
     entries: VecDeque<EqEntry>,
 }
 
+/// The SARSA "next" state-action peeked at eviction time.
+pub type NextSa = Option<(Vec<u64>, usize)>;
+
 impl EqFifo {
     /// Find the newest unrewarded entry for `line` and return a mutable
     /// reference to it.
@@ -40,18 +43,11 @@ impl EqFifo {
     /// Push a new entry; if the FIFO exceeds `capacity`, pop and return
     /// the oldest entry together with a peek at the new oldest
     /// (the SARSA "next" state-action).
-    pub fn push(
-        &mut self,
-        entry: EqEntry,
-        capacity: usize,
-    ) -> Option<(EqEntry, Option<(Vec<u64>, usize)>)> {
+    pub fn push(&mut self, entry: EqEntry, capacity: usize) -> Option<(EqEntry, NextSa)> {
         self.entries.push_back(entry);
         if self.entries.len() > capacity {
             let evicted = self.entries.pop_front().expect("nonempty");
-            let next = self
-                .entries
-                .front()
-                .map(|e| (e.state.clone(), e.action));
+            let next = self.entries.front().map(|e| (e.state.clone(), e.action));
             Some((evicted, next))
         } else {
             None
@@ -107,6 +103,22 @@ impl EvalQueue {
     /// Number of FIFOs.
     pub fn num_queues(&self) -> usize {
         self.fifos.len()
+    }
+
+    /// Total entries currently held across all FIFOs.
+    pub fn total_entries(&self) -> usize {
+        self.fifos.iter().map(|f| f.len()).sum()
+    }
+
+    /// Mean per-FIFO occupancy as a fraction of capacity (the epoch
+    /// telemetry's EQ-occupancy probe).
+    pub fn mean_occupancy(&self) -> f64 {
+        let slots = self.fifos.len() * self.capacity;
+        if slots == 0 {
+            0.0
+        } else {
+            self.total_entries() as f64 / slots as f64
+        }
     }
 
     /// Storage bits for the Table III accounting: 58 bits per entry

@@ -40,14 +40,14 @@ impl QTable {
     ///
     /// Panics on zero features, sub-tables or entries.
     pub fn new(features: usize, sub_tables: usize, entries: usize, q_init: f64) -> Self {
-        assert!(features > 0 && sub_tables > 0 && entries > 0, "degenerate Q-table");
+        assert!(
+            features > 0 && sub_tables > 0 && entries > 0,
+            "degenerate Q-table"
+        );
         let rows = (entries / NUM_ACTIONS).max(1);
         let init_partial = (q_init * SCALE / sub_tables as f64).round() as i16;
         QTable {
-            partials: vec![
-                vec![vec![init_partial; rows * NUM_ACTIONS]; sub_tables];
-                features
-            ],
+            partials: vec![vec![vec![init_partial; rows * NUM_ACTIONS]; sub_tables]; features],
             rows,
             sub_tables,
         }
@@ -118,7 +118,13 @@ impl QTable {
             let step = (td * SCALE / self.sub_tables as f64).round() as i32;
             if step == 0 {
                 // preserve learning for tiny updates: nudge one table
-                let nudge = if td > 0.0 { 1 } else if td < 0.0 { -1 } else { 0 };
+                let nudge = if td > 0.0 {
+                    1
+                } else if td < 0.0 {
+                    -1
+                } else {
+                    0
+                };
                 if nudge != 0 {
                     let slot = self.slot(0, v, action);
                     let p = &mut self.partials[f][0][slot];
@@ -137,6 +143,29 @@ impl QTable {
     /// Storage in bits (for the Table III accounting).
     pub fn storage_bits(&self) -> u64 {
         (self.num_features() * self.sub_tables * self.rows * NUM_ACTIONS * 16) as u64
+    }
+
+    /// Mean magnitude of the table's Q mass, in Q units: the average
+    /// absolute partial value scaled back by the sub-table count. Sub-
+    /// tables hash the same feature differently, so exact per-state Q
+    /// values cannot be enumerated; this flat-array proxy still tracks
+    /// how far training has moved the table from initialization.
+    pub fn mean_abs_q(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for feature in &self.partials {
+            for sub in feature {
+                for &p in sub {
+                    sum += p.unsigned_abs() as u64;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 * self.sub_tables as f64 / count as f64 / SCALE
+        }
     }
 }
 
@@ -167,7 +196,10 @@ mod tests {
         }
         let after = t.q_state(&state, 3);
         assert!(after > before + 5.0, "{before} -> {after}");
-        assert!((after - 20.0).abs() < 2.0, "should converge near target, got {after}");
+        assert!(
+            (after - 20.0).abs() < 2.0,
+            "should converge near target, got {after}"
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Property-based tests for CHROME's learning structures.
+//! Randomized invariant tests for CHROME's learning structures, driven
+//! by a seeded in-repo RNG so every run is deterministic.
 
 use chrome_core::eq::{EqEntry, EqFifo};
 use chrome_core::qtable::{QTable, NUM_ACTIONS};
-use proptest::prelude::*;
+use chrome_sim::rng::SmallRng;
+
+const CASES: usize = 64;
 
 fn entry(line: u64, action: usize) -> EqEntry {
     EqEntry {
@@ -15,82 +18,112 @@ fn entry(line: u64, action: usize) -> EqEntry {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The Q-table's SARSA update converges toward a constant target
-    /// from any starting configuration.
-    #[test]
-    fn qtable_converges(f1 in any::<u64>(), f2 in any::<u64>(),
-                        action in 0usize..NUM_ACTIONS,
-                        target in -30.0f64..30.0) {
+/// The Q-table's SARSA update converges toward a constant target from
+/// any starting configuration.
+#[test]
+fn qtable_converges() {
+    let mut rng = SmallRng::seed_from_u64(0xC02E_0001);
+    for case in 0..CASES {
+        let state = [rng.next_u64(), rng.next_u64()];
+        let action = rng.gen_range(0..NUM_ACTIONS);
+        let target = rng.gen_f64() * 60.0 - 30.0;
         let mut t = QTable::new(2, 4, 2048, 1.582);
-        let state = [f1, f2];
         for _ in 0..600 {
             t.update(&state, action, target, 0.1);
         }
         let q = t.q_state(&state, action);
-        prop_assert!((q - target).abs() < 3.0, "q={q} target={target}");
+        assert!(
+            (q - target).abs() < 3.0,
+            "case {case}: q={q} target={target}"
+        );
     }
+}
 
-    /// Updates to one action never perturb another action of the same
-    /// state by more than fixed-point noise.
-    #[test]
-    fn qtable_actions_isolated(f1 in any::<u64>(), f2 in any::<u64>(),
-                               a in 0usize..NUM_ACTIONS, b in 0usize..NUM_ACTIONS) {
-        prop_assume!(a != b);
+/// Updates to one action never perturb another action of the same
+/// state by more than fixed-point noise.
+#[test]
+fn qtable_actions_isolated() {
+    let mut rng = SmallRng::seed_from_u64(0xC02E_0002);
+    for case in 0..CASES {
+        let state = [rng.next_u64(), rng.next_u64()];
+        let a = rng.gen_range(0..NUM_ACTIONS);
+        let b = (a + rng.gen_range(1..NUM_ACTIONS)) % NUM_ACTIONS;
         let mut t = QTable::new(2, 4, 2048, 1.0);
-        let state = [f1, f2];
         let before = t.q_state(&state, b);
         for _ in 0..100 {
             t.update(&state, a, -25.0, 0.1);
         }
-        prop_assert!((t.q_state(&state, b) - before).abs() < 0.2);
+        let after = t.q_state(&state, b);
+        assert!(
+            (after - before).abs() < 0.2,
+            "case {case}: action {b} moved by update to {a}"
+        );
     }
+}
 
-    /// best_action always returns a legal action.
-    #[test]
-    fn best_action_is_legal(f1 in any::<u64>(), legal_mask in 1u8..127) {
+/// best_action always returns a legal action.
+#[test]
+fn best_action_is_legal() {
+    let mut rng = SmallRng::seed_from_u64(0xC02E_0003);
+    for case in 0..CASES {
+        let f1 = rng.next_u64();
+        let legal_mask = rng.gen_range(1u64..127) as u8;
         let t = QTable::new(1, 4, 2048, 1.0);
-        let legal: Vec<usize> =
-            (0..NUM_ACTIONS).filter(|&a| legal_mask & (1 << a) != 0).collect();
-        prop_assume!(!legal.is_empty());
+        let legal: Vec<usize> = (0..NUM_ACTIONS)
+            .filter(|&a| legal_mask & (1 << a) != 0)
+            .collect();
+        assert!(!legal.is_empty());
         let chosen = t.best_action(&[f1], &legal);
-        prop_assert!(legal.contains(&chosen));
+        assert!(
+            legal.contains(&chosen),
+            "case {case}: illegal action {chosen}"
+        );
     }
+}
 
-    /// The EQ FIFO preserves order, respects capacity and reports
-    /// evictions exactly once per overflow.
-    #[test]
-    fn eq_fifo_is_fifo(lines in prop::collection::vec(0u64..64, 1..120),
-                       cap in 1usize..16) {
+/// The EQ FIFO preserves order, respects capacity and reports
+/// evictions exactly once per overflow.
+#[test]
+fn eq_fifo_is_fifo() {
+    let mut rng = SmallRng::seed_from_u64(0xC02E_0004);
+    for case in 0..CASES {
+        let cap = rng.gen_range(1..16usize);
+        let count = rng.gen_range(1..120usize);
+        let lines: Vec<u64> = (0..count).map(|_| rng.gen_range(0u64..64)).collect();
         let mut fifo = EqFifo::default();
         let mut evictions = Vec::new();
         for (i, &l) in lines.iter().enumerate() {
             if let Some((evicted, next)) = fifo.push(entry(l, i % NUM_ACTIONS), cap) {
                 evictions.push(evicted.line);
-                prop_assert!(next.is_some(), "FIFO nonempty after eviction");
+                assert!(next.is_some(), "case {case}: FIFO nonempty after eviction");
             }
-            prop_assert!(fifo.len() <= cap);
+            assert!(fifo.len() <= cap, "case {case}: over capacity");
         }
         // evictions come out in insertion order
-        let expected: Vec<u64> =
-            lines.iter().copied().take(lines.len().saturating_sub(cap)).collect();
-        prop_assert_eq!(evictions, expected);
+        let expected: Vec<u64> = lines
+            .iter()
+            .copied()
+            .take(lines.len().saturating_sub(cap))
+            .collect();
+        assert_eq!(evictions, expected, "case {case}: eviction order broken");
     }
+}
 
-    /// `find_unrewarded` only ever returns entries with the searched
-    /// line and no reward.
-    #[test]
-    fn eq_find_respects_filters(lines in prop::collection::vec(0u64..8, 1..60),
-                                probe in 0u64..8) {
+/// `find_unrewarded` only ever returns entries with the searched line
+/// and no reward.
+#[test]
+fn eq_find_respects_filters() {
+    let mut rng = SmallRng::seed_from_u64(0xC02E_0005);
+    for case in 0..CASES {
+        let count = rng.gen_range(1..60usize);
+        let probe = rng.gen_range(0u64..8);
         let mut fifo = EqFifo::default();
-        for (i, &l) in lines.iter().enumerate() {
-            fifo.push(entry(l, i % NUM_ACTIONS), 64);
+        for i in 0..count {
+            fifo.push(entry(rng.gen_range(0u64..8), i % NUM_ACTIONS), 64);
         }
         if let Some(e) = fifo.find_unrewarded(probe) {
-            prop_assert_eq!(e.line, probe);
-            prop_assert!(e.reward.is_none());
+            assert_eq!(e.line, probe, "case {case}: wrong line");
+            assert!(e.reward.is_none(), "case {case}: rewarded entry returned");
             e.reward = Some(1.0);
         }
     }

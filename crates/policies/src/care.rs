@@ -11,9 +11,7 @@
 //! capacity for cores that do benefit.
 
 use chrome_sim::overhead::StorageOverhead;
-use chrome_sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
-};
+use chrome_sim::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use chrome_sim::types::LineAddr;
 
 use crate::common::{pc_signature, CounterTable, RrpvArray};
@@ -125,7 +123,11 @@ impl LlcPolicy for Care {
     fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
         let mut o = StorageOverhead::new();
         o.add_table("signature counters", SHCT_ENTRIES as u64, 3);
-        o.add_table("per-block signature", llc_blocks as u64, SIG_BITS as u64 / 2);
+        o.add_table(
+            "per-block signature",
+            llc_blocks as u64,
+            SIG_BITS as u64 / 2,
+        );
         o.add_table("per-block RRPV + outcome", llc_blocks as u64, 3);
         // C-AMAT monitors are PMU-based (paper §II-C): no extra storage
         o.add_bits("C-AMAT epoch registers", 16 * 64);

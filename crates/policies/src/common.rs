@@ -6,6 +6,45 @@ use std::collections::HashMap;
 
 use chrome_sim::policy::CandidateLine;
 use chrome_sim::types::mix64;
+use chrome_telemetry::{EventKind, TelemetrySink};
+
+/// A small holder that predictor-based policies embed to stream their
+/// keep/avert verdicts into the telemetry event ring without each
+/// policy re-implementing the sink plumbing.
+#[derive(Clone, Default)]
+pub struct DecisionTrace {
+    sink: TelemetrySink,
+}
+
+impl std::fmt::Debug for DecisionTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecisionTrace")
+            .field("enabled", &self.sink.is_enabled())
+            .finish()
+    }
+}
+
+impl DecisionTrace {
+    /// Install the sink (forwarded from `LlcPolicy::set_telemetry`).
+    pub fn attach(&mut self, sink: TelemetrySink) {
+        self.sink = sink;
+    }
+
+    /// Record one predictor verdict: `friendly` is the policy's
+    /// keep/avert classification of `signature` at fill time.
+    pub fn verdict(&self, cycle: u64, core: usize, signature: u64, friendly: bool) {
+        if cfg!(feature = "telemetry") {
+            self.sink.emit(
+                cycle,
+                core as u32,
+                EventKind::PredictorVerdict {
+                    signature,
+                    friendly,
+                },
+            );
+        }
+    }
+}
 
 /// A per-block Re-Reference Prediction Value array with RRIP-style aging.
 #[derive(Debug, Clone)]
@@ -23,7 +62,11 @@ impl RrpvArray {
     /// Panics if `max == 0`.
     pub fn new(num_sets: usize, ways: usize, max: u8) -> Self {
         assert!(max > 0, "max RRPV must be positive");
-        RrpvArray { vals: vec![max; num_sets * ways], ways, max }
+        RrpvArray {
+            vals: vec![max; num_sets * ways],
+            ways,
+            max,
+        }
     }
 
     /// Maximum (most-distant) RRPV.
@@ -50,10 +93,7 @@ impl RrpvArray {
     pub fn victim(&mut self, set: usize, candidates: &[CandidateLine]) -> usize {
         assert!(!candidates.is_empty(), "victim needs candidates");
         loop {
-            if let Some(c) = candidates
-                .iter()
-                .find(|c| self.get(set, c.way) >= self.max)
-            {
+            if let Some(c) = candidates.iter().find(|c| self.get(set, c.way) >= self.max) {
                 return c.way;
             }
             for c in candidates {
@@ -127,18 +167,24 @@ impl OptGen {
         let (prev_time, prev_payload) = prev?;
         if now - prev_time >= self.window {
             // too old to decide: treat as an OPT miss for training
-            return Some(OptOutcome { opt_hit: false, payload: prev_payload });
+            return Some(OptOutcome {
+                opt_hit: false,
+                payload: prev_payload,
+            });
         }
         // OPT keeps the line iff every quantum in [prev_time, now) has
         // spare capacity.
-        let fits = (prev_time..now)
-            .all(|t| self.occupancy[(t % self.window) as usize] < self.capacity);
+        let fits =
+            (prev_time..now).all(|t| self.occupancy[(t % self.window) as usize] < self.capacity);
         if fits {
             for t in prev_time..now {
                 self.occupancy[(t % self.window) as usize] += 1;
             }
         }
-        Some(OptOutcome { opt_hit: fits, payload: prev_payload })
+        Some(OptOutcome {
+            opt_hit: fits,
+            payload: prev_payload,
+        })
     }
 
     /// Accesses observed so far.
@@ -164,7 +210,10 @@ impl CounterTable {
     /// Panics if `entries == 0`.
     pub fn new(entries: usize, max: u8) -> Self {
         assert!(entries > 0, "need at least one counter");
-        CounterTable { counters: vec![max / 2 + 1; entries], max }
+        CounterTable {
+            counters: vec![max / 2 + 1; entries],
+            max,
+        }
     }
 
     #[inline]
@@ -237,9 +286,7 @@ impl ReuseSampler {
             // evict the stalest entry (linear scan: capacity is small);
             // it was never reused while monitored, so report it via
             // `expire`
-            if let Some((&old_line, _)) =
-                self.entries.iter().min_by_key(|&(_, &(t, _))| t)
-            {
+            if let Some((&old_line, _)) = self.entries.iter().min_by_key(|&(_, &(t, _))| t) {
                 if let Some((_, p)) = self.entries.remove(&old_line) {
                     self.pending_unreused.push(p);
                 }
@@ -280,7 +327,12 @@ mod tests {
 
     fn cands(n: usize) -> Vec<CandidateLine> {
         (0..n)
-            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: false,
+                dirty: false,
+            })
             .collect()
     }
 

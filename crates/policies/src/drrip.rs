@@ -5,9 +5,7 @@
 //! against.
 
 use chrome_sim::overhead::StorageOverhead;
-use chrome_sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
-};
+use chrome_sim::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use chrome_sim::types::{mix64, LineAddr};
 
 use crate::common::RrpvArray;
@@ -36,7 +34,12 @@ impl Default for Drrip {
 impl Drrip {
     /// Create a DRRIP policy (geometry set by `initialize`).
     pub fn new() -> Self {
-        Drrip { rrpv: RrpvArray::new(1, 1, 3), psel: PSEL_MAX / 2, num_sets: 0, fills: 0 }
+        Drrip {
+            rrpv: RrpvArray::new(1, 1, 3),
+            psel: PSEL_MAX / 2,
+            num_sets: 0,
+            fills: 0,
+        }
     }
 
     /// Leader-set classification: `Some(true)` = SRRIP leader,
@@ -91,9 +94,7 @@ impl LlcPolicy for Drrip {
         let srrip = self.use_srrip(set);
         let rrpv = if info.is_prefetch {
             3 // prefetches always distant under RRIP-family baselines
-        } else if srrip {
-            2
-        } else if self.fills % BRRIP_NEAR_ONE_IN == 0 {
+        } else if srrip || self.fills.is_multiple_of(BRRIP_NEAR_ONE_IN) {
             2
         } else {
             3
@@ -162,12 +163,17 @@ mod tests {
     #[test]
     fn psel_moves_with_leader_misses() {
         let (mut p, fb) = mk();
-        let srrip_leader = (0..1024).find(|&s| p.leader(s) == Some(true)).expect("exists");
+        let srrip_leader = (0..1024)
+            .find(|&s| p.leader(s) == Some(true))
+            .expect("exists");
         let before = p.psel;
         for l in 0..50 {
             p.on_miss(srrip_leader, &info(l, false), &fb);
         }
-        assert!(p.psel < before, "misses in an SRRIP leader should punish SRRIP");
+        assert!(
+            p.psel < before,
+            "misses in an SRRIP leader should punish SRRIP"
+        );
     }
 
     #[test]
@@ -188,6 +194,9 @@ mod tests {
                 distant += 1;
             }
         }
-        assert!(distant > 48, "BRRIP should insert mostly at RRPV 3, got {distant}/64");
+        assert!(
+            distant > 48,
+            "BRRIP should insert mostly at RRPV 3, got {distant}/64"
+        );
     }
 }

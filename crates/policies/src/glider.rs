@@ -8,9 +8,7 @@
 //! separate behaviors a single PC confounds.
 
 use chrome_sim::overhead::StorageOverhead;
-use chrome_sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
-};
+use chrome_sim::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use chrome_sim::types::{mix64, LineAddr};
 
 use crate::common::OptGen;
@@ -39,7 +37,9 @@ pub struct Glider {
 
 impl std::fmt::Debug for Glider {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Glider").field("isvms", &ISVM_COUNT).finish_non_exhaustive()
+        f.debug_struct("Glider")
+            .field("isvms", &ISVM_COUNT)
+            .finish_non_exhaustive()
     }
 }
 
@@ -161,7 +161,10 @@ impl LlcPolicy for Glider {
     }
 
     fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
-        if let Some(cand) = c.iter().find(|cand| self.rrpv[self.idx(set, cand.way)] == RRPV_MAX) {
+        if let Some(cand) = c
+            .iter()
+            .find(|cand| self.rrpv[self.idx(set, cand.way)] == RRPV_MAX)
+        {
             return cand.way;
         }
         c.iter()
@@ -240,7 +243,10 @@ mod tests {
             p.on_miss(0, &info(l % 2, 0x700), &fb);
         }
         let after = p.predict(p.feature(&info(0, 0x700)));
-        assert!(after > before, "tight reuse should push weights up: {before} -> {after}");
+        assert!(
+            after > before,
+            "tight reuse should push weights up: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -270,7 +276,12 @@ mod tests {
         p.on_fill(1, 0, &info(1, 0x600D), &fb);
         p.on_fill(1, 1, &info(2, 0xBAD), &fb);
         let cands: Vec<CandidateLine> = (0..2)
-            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: false,
+                dirty: false,
+            })
             .collect();
         assert_eq!(p.choose_victim(1, &cands, &info(9, 0x700)), 1);
     }

@@ -7,12 +7,11 @@
 //! first.
 
 use chrome_sim::overhead::StorageOverhead;
-use chrome_sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
-};
+use chrome_sim::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use chrome_sim::types::LineAddr;
+use chrome_telemetry::TelemetrySink;
 
-use crate::common::{pc_signature, CounterTable, OptGen};
+use crate::common::{pc_signature, CounterTable, DecisionTrace, OptGen};
 
 const PREDICTOR_ENTRIES: usize = 8 * 1024;
 const PREDICTOR_MAX: u8 = 7;
@@ -31,11 +30,14 @@ pub struct Hawkeye {
     friendly: Vec<bool>,
     num_sets: usize,
     ways: usize,
+    trace: DecisionTrace,
 }
 
 impl std::fmt::Debug for Hawkeye {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Hawkeye").field("sets", &self.num_sets).finish_non_exhaustive()
+        f.debug_struct("Hawkeye")
+            .field("sets", &self.num_sets)
+            .finish_non_exhaustive()
     }
 }
 
@@ -55,6 +57,7 @@ impl Hawkeye {
             friendly: Vec::new(),
             num_sets: 0,
             ways: 0,
+            trace: DecisionTrace::default(),
         }
     }
 
@@ -69,7 +72,9 @@ impl Hawkeye {
 
     /// Feed a sampled-set access through OPTgen and train the predictor.
     fn train(&mut self, set: usize, info: &AccessInfo) {
-        let Some(si) = self.sampled_index(set) else { return };
+        let Some(si) = self.sampled_index(set) else {
+            return;
+        };
         let sig = pc_signature(info.pc, info.is_prefetch, info.core, SIG_BITS);
         if let Some(outcome) = self.optgens[si].access(info.line.0, sig) {
             if outcome.opt_hit {
@@ -102,7 +107,9 @@ impl LlcPolicy for Hawkeye {
         self.ways = ways;
         self.rrpv = vec![RRPV_MAX; num_sets * ways];
         self.friendly = vec![false; num_sets * ways];
-        self.optgens = (0..SAMPLED_SETS.min(num_sets)).map(|_| OptGen::new(ways)).collect();
+        self.optgens = (0..SAMPLED_SETS.min(num_sets))
+            .map(|_| OptGen::new(ways))
+            .collect();
         // guard: sampled_index can return indices up to SAMPLED_SETS-1
         while self.optgens.len() < SAMPLED_SETS {
             self.optgens.push(OptGen::new(ways));
@@ -124,7 +131,10 @@ impl LlcPolicy for Hawkeye {
     fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
         // Prefer cache-averse blocks (RRPV == max); otherwise evict the
         // oldest friendly block.
-        if let Some(cand) = c.iter().find(|cand| self.rrpv[self.idx(set, cand.way)] == RRPV_MAX) {
+        if let Some(cand) = c
+            .iter()
+            .find(|cand| self.rrpv[self.idx(set, cand.way)] == RRPV_MAX)
+        {
             return cand.way;
         }
         c.iter()
@@ -135,6 +145,8 @@ impl LlcPolicy for Hawkeye {
 
     fn on_fill(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
         let friendly = self.is_friendly(info);
+        let sig = pc_signature(info.pc, info.is_prefetch, info.core, SIG_BITS);
+        self.trace.verdict(info.cycle, info.core, sig, friendly);
         if friendly {
             self.age_friendly(set);
         }
@@ -144,6 +156,10 @@ impl LlcPolicy for Hawkeye {
     }
 
     fn on_evict(&mut self, _: usize, _: usize, _: LineAddr, _: bool) {}
+
+    fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.trace.attach(sink);
+    }
 
     fn name(&self) -> &str {
         "Hawkeye"
@@ -177,7 +193,12 @@ mod tests {
 
     fn cands(n: usize) -> Vec<CandidateLine> {
         (0..n)
-            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: false,
+                dirty: false,
+            })
             .collect()
     }
 
@@ -200,7 +221,10 @@ mod tests {
             }
         }
         let sig = pc_signature(0xBAD, false, 0, SIG_BITS);
-        assert!(!p.predictor.is_positive(sig), "scanning PC should be averse");
+        assert!(
+            !p.predictor.is_positive(sig),
+            "scanning PC should be averse"
+        );
     }
 
     #[test]
@@ -212,7 +236,10 @@ mod tests {
             }
         }
         let sig = pc_signature(0x600D, false, 0, SIG_BITS);
-        assert!(p.predictor.is_positive(sig), "tight-reuse PC should be friendly");
+        assert!(
+            p.predictor.is_positive(sig),
+            "tight-reuse PC should be friendly"
+        );
     }
 
     #[test]

@@ -40,7 +40,16 @@ pub use ship::ShipPlusPlus;
 
 /// Names of all baseline policies provided by this crate.
 pub fn baseline_policies() -> &'static [&'static str] {
-    &["LRU", "DRRIP", "SHiP++", "PACMan", "Hawkeye", "Glider", "Mockingjay", "CARE"]
+    &[
+        "LRU",
+        "DRRIP",
+        "SHiP++",
+        "PACMan",
+        "Hawkeye",
+        "Glider",
+        "Mockingjay",
+        "CARE",
+    ]
 }
 
 /// Construct a baseline policy by name; `None` for unknown names.

@@ -1,9 +1,7 @@
 //! The LRU baseline (the paper's normalization reference).
 
 use chrome_sim::overhead::StorageOverhead;
-use chrome_sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
-};
+use chrome_sim::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use chrome_sim::types::LineAddr;
 
 /// True-LRU replacement, no bypassing, prefetch-oblivious.
@@ -79,7 +77,12 @@ mod tests {
 
     fn cands(n: usize) -> Vec<CandidateLine> {
         (0..n)
-            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: false,
+                dirty: false,
+            })
             .collect()
     }
 

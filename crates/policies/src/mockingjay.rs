@@ -10,9 +10,7 @@
 //! farther than any resident block are bypassed.
 
 use chrome_sim::overhead::StorageOverhead;
-use chrome_sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
-};
+use chrome_sim::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use chrome_sim::types::LineAddr;
 
 use crate::common::{pc_signature, ReuseSampler};
@@ -41,7 +39,9 @@ pub struct Mockingjay {
 
 impl std::fmt::Debug for Mockingjay {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mockingjay").field("sets", &self.num_sets).finish_non_exhaustive()
+        f.debug_struct("Mockingjay")
+            .field("sets", &self.num_sets)
+            .finish_non_exhaustive()
     }
 }
 
@@ -107,8 +107,7 @@ impl Mockingjay {
     /// Observe an access on a sampled set: measure reuse distances and
     /// train the RDP.
     fn sample(&mut self, set: usize, info: &AccessInfo) {
-        let Some(si) = chrome_sim::policy::sampled_index(set, self.num_sets, SAMPLED_SETS)
-        else {
+        let Some(si) = chrome_sim::policy::sampled_index(set, self.num_sets, SAMPLED_SETS) else {
             return;
         };
         let sig = pc_signature(info.pc, info.is_prefetch, info.core, SIG_BITS);
@@ -150,7 +149,9 @@ impl LlcPolicy for Mockingjay {
         self.etr = vec![0; num_sets * ways];
         self.set_clock = vec![0; num_sets];
         self.granularity = (ways as u16 / 2).max(1);
-        self.samplers = (0..SAMPLED_SETS).map(|_| ReuseSampler::new(ways * 2)).collect();
+        self.samplers = (0..SAMPLED_SETS)
+            .map(|_| ReuseSampler::new(ways * 2))
+            .collect();
     }
 
     fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, _: &SystemFeedback) {
@@ -247,7 +248,10 @@ mod tests {
         }
         let sig = pc_signature(0xBAD, false, 0, SIG_BITS);
         assert!(p.predicted_rd(sig) > 100, "rd = {}", p.predicted_rd(sig));
-        assert_eq!(p.on_miss(0, &info(1 << 30, 0xBAD, false), &fb), FillDecision::Bypass);
+        assert_eq!(
+            p.on_miss(0, &info(1 << 30, 0xBAD, false), &fb),
+            FillDecision::Bypass
+        );
     }
 
     #[test]
@@ -259,7 +263,12 @@ mod tests {
         let i = p.idx(1, 1);
         p.etr[i] = 100;
         let cands: Vec<CandidateLine> = (0..2)
-            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: false,
+                dirty: false,
+            })
             .collect();
         assert_eq!(p.choose_victim(1, &cands, &info(3, 0x3, false)), 1);
     }
@@ -271,7 +280,12 @@ mod tests {
         p.etr[i0] = 50;
         p.etr[i1] = -50;
         let cands: Vec<CandidateLine> = (0..2)
-            .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+            .map(|w| CandidateLine {
+                way: w,
+                line: LineAddr(w as u64),
+                prefetch: false,
+                dirty: false,
+            })
             .collect();
         // |etr| ties at 50; overdue (negative) is the better victim
         assert_eq!(p.choose_victim(1, &cands, &info(3, 0x3, false)), 1);

@@ -8,9 +8,7 @@
 //! learned prefetch treatment.
 
 use chrome_sim::overhead::StorageOverhead;
-use chrome_sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
-};
+use chrome_sim::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use chrome_sim::types::LineAddr;
 
 use crate::common::RrpvArray;
@@ -31,7 +29,9 @@ impl Default for Pacman {
 impl Pacman {
     /// Create a PACMan policy (geometry set by `initialize`).
     pub fn new() -> Self {
-        Pacman { rrpv: RrpvArray::new(1, 1, 3) }
+        Pacman {
+            rrpv: RrpvArray::new(1, 1, 3),
+        }
     }
 }
 

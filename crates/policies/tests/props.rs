@@ -1,88 +1,122 @@
-//! Property-based tests for the shared policy infrastructure.
+//! Randomized invariant tests for the shared policy infrastructure,
+//! driven by a seeded in-repo RNG so every run is deterministic.
 
 use chrome_policies::common::{CounterTable, OptGen, ReuseSampler, RrpvArray};
 use chrome_sim::policy::CandidateLine;
+use chrome_sim::rng::SmallRng;
 use chrome_sim::types::LineAddr;
-use proptest::prelude::*;
+
+const CASES: usize = 96;
 
 fn cands(n: usize) -> Vec<CandidateLine> {
     (0..n)
-        .map(|w| CandidateLine { way: w, line: LineAddr(w as u64), prefetch: false, dirty: false })
+        .map(|w| CandidateLine {
+            way: w,
+            line: LineAddr(w as u64),
+            prefetch: false,
+            dirty: false,
+        })
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// RRPV victim selection always returns a candidate way and leaves
-    /// at least one block at max RRPV.
-    #[test]
-    fn rrpv_victim_always_valid(vals in prop::collection::vec(0u8..4, 2..12)) {
-        let ways = vals.len();
+/// RRPV victim selection always returns a candidate way and leaves at
+/// least one block at max RRPV.
+#[test]
+fn rrpv_victim_always_valid() {
+    let mut rng = SmallRng::seed_from_u64(0xB01_0001);
+    for case in 0..CASES {
+        let ways = rng.gen_range(2..12usize);
         let mut r = RrpvArray::new(1, ways, 3);
-        for (w, &v) in vals.iter().enumerate() {
-            r.set(0, w, v);
+        for w in 0..ways {
+            r.set(0, w, rng.gen_range(0u32..4) as u8);
         }
         let v = r.victim(0, &cands(ways));
-        prop_assert!(v < ways);
-        prop_assert_eq!(r.get(0, v), 3);
+        assert!(v < ways, "case {case}: victim out of range");
+        assert_eq!(r.get(0, v), 3, "case {case}: victim not at max RRPV");
     }
+}
 
-    /// Counters saturate at both ends and never wrap.
-    #[test]
-    fn counters_saturate(ops in prop::collection::vec(any::<bool>(), 1..300),
-                         sig in any::<u64>()) {
+/// Counters saturate at both ends and never wrap.
+#[test]
+fn counters_saturate() {
+    let mut rng = SmallRng::seed_from_u64(0xB01_0002);
+    for case in 0..CASES {
+        let sig = rng.next_u64();
+        let ops = rng.gen_range(1..300usize);
         let mut t = CounterTable::new(64, 7);
-        for up in ops {
-            if up { t.bump_up(sig) } else { t.bump_down(sig) }
-            prop_assert!(t.get(sig) <= 7);
+        for _ in 0..ops {
+            if rng.next_u64() & 1 == 1 {
+                t.bump_up(sig)
+            } else {
+                t.bump_down(sig)
+            }
+            assert!(t.get(sig) <= 7, "case {case}: counter wrapped");
         }
     }
+}
 
-    /// OPTgen: hits plus misses equals re-accesses, and an access stream
-    /// that fits in the set is always OPT-hit.
-    #[test]
-    fn optgen_counts_consistent(lines in prop::collection::vec(0u64..32, 2..200)) {
+/// OPTgen: every re-access (and only re-accesses) yields an outcome.
+#[test]
+fn optgen_counts_consistent() {
+    let mut rng = SmallRng::seed_from_u64(0xB01_0003);
+    for case in 0..CASES {
         let mut g = OptGen::new(8);
         let mut reaccesses = 0u32;
         let mut outcomes = 0u32;
         let mut seen = std::collections::HashSet::new();
-        for &l in &lines {
+        let count = rng.gen_range(2..200usize);
+        for _ in 0..count {
+            let l = rng.gen_range(0u64..32);
             let prior = !seen.insert(l);
-            if let Some(_out) = g.access(l, 0) {
+            if g.access(l, 0).is_some() {
                 outcomes += 1;
             }
             if prior {
                 reaccesses += 1;
             }
         }
-        prop_assert_eq!(outcomes, reaccesses, "every re-access yields an outcome");
+        assert_eq!(
+            outcomes, reaccesses,
+            "case {case}: outcome per re-access broken"
+        );
     }
+}
 
-    /// Working sets no larger than the OPT capacity are always kept.
-    #[test]
-    fn optgen_small_sets_always_hit(ws in 1u64..8, reps in 2usize..40) {
+/// Working sets no larger than the OPT capacity are always kept.
+#[test]
+fn optgen_small_sets_always_hit() {
+    let mut rng = SmallRng::seed_from_u64(0xB01_0004);
+    for case in 0..CASES {
+        let ws = rng.gen_range(1u64..8);
+        let reps = rng.gen_range(2..40usize);
         let mut g = OptGen::new(8);
         for _ in 0..reps {
             for l in 0..ws {
                 if let Some(out) = g.access(l, 0) {
-                    prop_assert!(out.opt_hit, "line {l} should be OPT-kept (ws={ws})");
+                    assert!(
+                        out.opt_hit,
+                        "case {case}: line {l} should be OPT-kept (ws={ws})"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The reuse sampler's measured distance equals the true number of
-    /// intervening accesses.
-    #[test]
-    fn sampler_distances_exact(gap in 1u64..30) {
+/// The reuse sampler's measured distance equals the true number of
+/// intervening accesses.
+#[test]
+fn sampler_distances_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xB01_0005);
+    for case in 0..CASES {
+        let gap = rng.gen_range(1u64..30);
         let mut s = ReuseSampler::new(64);
         s.access(999, 7);
         for i in 0..gap {
             s.access(i, 0);
         }
         let (rd, payload) = s.access(999, 8).expect("tracked");
-        prop_assert_eq!(rd, gap + 1);
-        prop_assert_eq!(payload, 7);
+        assert_eq!(rd, gap + 1, "case {case}: wrong distance");
+        assert_eq!(payload, 7, "case {case}: wrong payload");
     }
 }

@@ -122,8 +122,13 @@ impl PrivateCache {
     /// Insert `line`, evicting the LRU block if the set is full.
     /// `ready` is the cycle the data arrives. Returns the evicted
     /// block, if any.
-    pub fn fill(&mut self, line: LineAddr, dirty: bool, is_prefetch: bool, ready: u64)
-        -> Option<Evicted> {
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        is_prefetch: bool,
+        ready: u64,
+    ) -> Option<Evicted> {
         debug_assert!(self.probe(line).is_none(), "double fill of resident line");
         let set = self.set_of(line);
         // Prefer an invalid way.
@@ -137,7 +142,10 @@ impl PrivateCache {
         let i = self.idx(set, way);
         let evicted = if self.valid[i] {
             self.stats.evictions += 1;
-            Some(Evicted { line: self.tags[i], dirty: self.dirty[i] })
+            Some(Evicted {
+                line: self.tags[i],
+                dirty: self.dirty[i],
+            })
         } else {
             None
         };

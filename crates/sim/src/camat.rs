@@ -62,7 +62,11 @@ impl CamatTracker {
             .iter()
             .zip(&self.epoch_accesses)
             .map(|(&act, &acc)| {
-                let camat = if acc == 0 { 0.0 } else { act as f64 / acc as f64 };
+                let camat = if acc == 0 {
+                    0.0
+                } else {
+                    act as f64 / acc as f64
+                };
                 (camat, acc)
             })
             .collect();
@@ -73,6 +77,23 @@ impl CamatTracker {
             *v = 0;
         }
         out
+    }
+
+    /// Per-core `(camat, accesses)` of the still-open epoch, without
+    /// closing it (the end-of-run partial-epoch telemetry probe).
+    pub fn epoch_snapshot(&self) -> Vec<(f64, u64)> {
+        self.epoch_active
+            .iter()
+            .zip(&self.epoch_accesses)
+            .map(|(&act, &acc)| {
+                let camat = if acc == 0 {
+                    0.0
+                } else {
+                    act as f64 / acc as f64
+                };
+                (camat, acc)
+            })
+            .collect()
     }
 
     /// Lifetime totals for `core`: `(active_cycles, accesses)`.

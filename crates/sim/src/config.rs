@@ -27,22 +27,34 @@ pub struct PrefetcherConfig {
 impl PrefetcherConfig {
     /// Paper default (CRC-2 methodology): next-line at L1, stride at L2.
     pub fn default_paper() -> Self {
-        PrefetcherConfig { l1: PrefetcherKind::NextLine, l2: PrefetcherKind::Stride }
+        PrefetcherConfig {
+            l1: PrefetcherKind::NextLine,
+            l2: PrefetcherKind::Stride,
+        }
     }
 
     /// The Fig. 3(b)/Fig. 14 alternative: stride at L1, streamer at L2.
     pub fn stride_streamer() -> Self {
-        PrefetcherConfig { l1: PrefetcherKind::Stride, l2: PrefetcherKind::Streamer }
+        PrefetcherConfig {
+            l1: PrefetcherKind::Stride,
+            l2: PrefetcherKind::Streamer,
+        }
     }
 
     /// The Fig. 14 IPCP configuration (IPCP at L2, next-line at L1).
     pub fn ipcp() -> Self {
-        PrefetcherConfig { l1: PrefetcherKind::NextLine, l2: PrefetcherKind::Ipcp }
+        PrefetcherConfig {
+            l1: PrefetcherKind::NextLine,
+            l2: PrefetcherKind::Ipcp,
+        }
     }
 
     /// No prefetching anywhere (used for MPKI-based workload screening).
     pub fn none() -> Self {
-        PrefetcherConfig { l1: PrefetcherKind::None, l2: PrefetcherKind::None }
+        PrefetcherConfig {
+            l1: PrefetcherKind::None,
+            l2: PrefetcherKind::None,
+        }
     }
 }
 
@@ -183,8 +195,18 @@ impl SimConfig {
     /// caches so interesting events (misses, evictions) happen quickly.
     pub fn small_test(cores: usize) -> Self {
         let mut cfg = Self::with_cores(cores);
-        cfg.l1d = CacheConfig { capacity: 4 * 1024, ways: 4, latency: 5, mshr_entries: 8 };
-        cfg.l2 = CacheConfig { capacity: 16 * 1024, ways: 8, latency: 10, mshr_entries: 16 };
+        cfg.l1d = CacheConfig {
+            capacity: 4 * 1024,
+            ways: 4,
+            latency: 5,
+            mshr_entries: 8,
+        };
+        cfg.l2 = CacheConfig {
+            capacity: 16 * 1024,
+            ways: 8,
+            latency: 10,
+            mshr_entries: 16,
+        };
         cfg.llc_per_core = 64 * 1024;
         cfg.llc_ways = 8;
         cfg.epoch_cycles = 10_000;
@@ -220,8 +242,14 @@ mod tests {
 
     #[test]
     fn prefetcher_presets() {
-        assert_eq!(PrefetcherConfig::default_paper().l1, PrefetcherKind::NextLine);
-        assert_eq!(PrefetcherConfig::stride_streamer().l2, PrefetcherKind::Streamer);
+        assert_eq!(
+            PrefetcherConfig::default_paper().l1,
+            PrefetcherKind::NextLine
+        );
+        assert_eq!(
+            PrefetcherConfig::stride_streamer().l2,
+            PrefetcherKind::Streamer
+        );
         assert_eq!(PrefetcherConfig::ipcp().l2, PrefetcherKind::Ipcp);
         assert_eq!(PrefetcherConfig::none().l1, PrefetcherKind::None);
     }

@@ -44,11 +44,17 @@ impl Dram {
     ///
     /// Panics if the configuration has zero channels or banks.
     pub fn new(cfg: DramConfig) -> Self {
-        assert!(cfg.channels > 0 && cfg.ranks > 0 && cfg.banks > 0, "degenerate DRAM");
+        assert!(
+            cfg.channels > 0 && cfg.ranks > 0 && cfg.banks > 0,
+            "degenerate DRAM"
+        );
         let banks_per_channel = cfg.ranks * cfg.banks;
         Dram {
             channels: vec![
-                Channel { bus_free: 0, banks: vec![Bank::default(); banks_per_channel] };
+                Channel {
+                    bus_free: 0,
+                    banks: vec![Bank::default(); banks_per_channel]
+                };
                 cfg.channels
             ],
             cfg,
@@ -118,7 +124,28 @@ impl Dram {
     pub fn queue_delay(&self, line: LineAddr, t: u64) -> u64 {
         let (ch_i, bank_i, _) = self.map(line);
         let ch = &self.channels[ch_i];
-        ch.banks[bank_i].busy_until.max(ch.bus_free).saturating_sub(t)
+        ch.banks[bank_i]
+            .busy_until
+            .max(ch.bus_free)
+            .saturating_sub(t)
+    }
+
+    /// Mean and deepest bank backlog (cycles of already-queued work per
+    /// bank) as seen at cycle `now` — the epoch telemetry's DRAM
+    /// queue-occupancy probe.
+    pub fn bank_backlog(&self, now: u64) -> (f64, u64) {
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        let mut banks = 0u64;
+        for ch in &self.channels {
+            for b in &ch.banks {
+                let backlog = b.busy_until.saturating_sub(now);
+                sum += backlog;
+                max = max.max(backlog);
+                banks += 1;
+            }
+        }
+        (sum as f64 / banks as f64, max)
     }
 
     /// Running average read latency (cycles); this is the paper's `T_mem`
@@ -180,7 +207,10 @@ mod tests {
         // a line in the same bank but a different row
         let conflict = LineAddr(d.cfg.channels as u64 * banks * lines_per_row);
         let t2 = d.access(conflict, t1 + 1000, false);
-        assert_eq!(t2 - (t1 + 1000), d.cfg.t_rp + d.cfg.t_rcd + d.cfg.t_cas + d.cfg.burst);
+        assert_eq!(
+            t2 - (t1 + 1000),
+            d.cfg.t_rp + d.cfg.t_rcd + d.cfg.t_cas + d.cfg.burst
+        );
     }
 
     #[test]
@@ -199,7 +229,7 @@ mod tests {
         let mut d = dram();
         let t1 = d.access(LineAddr(0), 0, false);
         let t2 = d.access(LineAddr(1), 0, false); // different channel
-        // both see an idle subsystem, so completion times are equal
+                                                  // both see an idle subsystem, so completion times are equal
         assert_eq!(t1, t2);
     }
 

@@ -31,8 +31,8 @@
 //! assert!(results.per_core[0].ipc() > 0.0);
 //! ```
 
-pub mod camat;
 pub mod cache;
+pub mod camat;
 pub mod config;
 pub mod core_model;
 pub mod dram;
@@ -42,6 +42,7 @@ pub mod mshr;
 pub mod overhead;
 pub mod policy;
 pub mod prefetch;
+pub mod rng;
 pub mod stats;
 pub mod system;
 pub mod trace;

@@ -5,6 +5,7 @@ use crate::mshr::MshrFile;
 use crate::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 use crate::stats::{CacheStats, EvictedUnusedTracker};
 use crate::types::LineAddr;
+use chrome_telemetry::{EventKind, TelemetrySink};
 
 /// Result of an LLC access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,8 @@ pub struct SharedLlc {
     pub unused_tracker: EvictedUnusedTracker,
     /// Fig. 9 tracker: outcome of bypassed lines (disabled by default).
     pub bypass_tracker: EvictedUnusedTracker,
+    /// Decision-event sink (no-op unless telemetry is attached).
+    sink: TelemetrySink,
 }
 
 impl std::fmt::Debug for SharedLlc {
@@ -82,7 +85,15 @@ impl SharedLlc {
             stats: CacheStats::default(),
             unused_tracker: EvictedUnusedTracker::new(false),
             bypass_tracker: EvictedUnusedTracker::new(false),
+            sink: TelemetrySink::noop(),
         }
+    }
+
+    /// Attach a telemetry sink for decision events, forwarding it to the
+    /// management policy as well.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.policy.set_telemetry(sink.clone());
+        self.sink = sink;
     }
 
     /// Enable the (memory-hungry) Fig. 2 / Fig. 9 outcome tracking.
@@ -157,17 +168,38 @@ impl SharedLlc {
         let decision = self.policy.on_miss(set, info, feedback);
         if decision == FillDecision::Bypass {
             self.stats.bypasses += 1;
-            self.bypass_tracker.on_unused_eviction(info.line, info.is_prefetch);
-            return LlcOutcome::Miss { bypassed: true, writeback: None };
+            self.bypass_tracker
+                .on_unused_eviction(info.line, info.is_prefetch);
+            if cfg!(feature = "telemetry") {
+                self.sink.emit(
+                    info.cycle,
+                    info.core as u32,
+                    EventKind::BypassTaken {
+                        line: info.line.0,
+                        pc: info.pc,
+                    },
+                );
+            }
+            return LlcOutcome::Miss {
+                bypassed: true,
+                writeback: None,
+            };
         }
         let writeback = self.fill_at(set, info, feedback);
-        LlcOutcome::Miss { bypassed: false, writeback }
+        LlcOutcome::Miss {
+            bypassed: false,
+            writeback,
+        }
     }
 
     /// Insert `info.line` into `set`, evicting a victim if needed.
     /// Returns a dirty victim's line address for writeback.
-    fn fill_at(&mut self, set: usize, info: &AccessInfo, feedback: &SystemFeedback)
-        -> Option<LineAddr> {
+    fn fill_at(
+        &mut self,
+        set: usize,
+        info: &AccessInfo,
+        feedback: &SystemFeedback,
+    ) -> Option<LineAddr> {
         let way = match (0..self.ways).find(|&w| !self.valid[self.idx(set, w)]) {
             Some(w) => w,
             None => {
@@ -184,6 +216,17 @@ impl SharedLlc {
                     .collect();
                 let w = self.policy.choose_victim(set, &candidates, info);
                 assert!(w < self.ways, "policy returned out-of-range victim way");
+                if cfg!(feature = "telemetry") {
+                    self.sink.emit(
+                        info.cycle,
+                        info.core as u32,
+                        EventKind::VictimChosen {
+                            set: set as u32,
+                            way: w as u32,
+                            line: self.tags[self.idx(set, w)].0,
+                        },
+                    );
+                }
                 w
             }
         };
@@ -196,13 +239,15 @@ impl SharedLlc {
                 if self.prefetch[i] {
                     self.stats.evictions_unused_prefetch += 1;
                 }
-                self.unused_tracker.on_unused_eviction(self.tags[i], self.prefetch[i]);
+                self.unused_tracker
+                    .on_unused_eviction(self.tags[i], self.prefetch[i]);
             }
             if self.dirty[i] {
                 self.stats.writebacks += 1;
                 writeback = Some(self.tags[i]);
             }
-            self.policy.on_evict(set, way, self.tags[i], self.hit_since_fill[i]);
+            self.policy
+                .on_evict(set, way, self.tags[i], self.hit_since_fill[i]);
         }
         self.tags[i] = info.line;
         self.valid[i] = true;
@@ -286,7 +331,10 @@ mod tests {
     fn miss_then_hit() {
         let fb = SystemFeedback::new(1);
         let mut c = llc(4, 2);
-        assert!(matches!(c.access(&info(8, false), &fb), LlcOutcome::Miss { .. }));
+        assert!(matches!(
+            c.access(&info(8, false), &fb),
+            LlcOutcome::Miss { .. }
+        ));
         assert_eq!(c.access(&info(8, false), &fb), LlcOutcome::Hit);
         assert_eq!(c.stats.demand_accesses, 2);
         assert_eq!(c.stats.demand_misses, 1);
@@ -329,12 +377,23 @@ mod tests {
     fn bypass_policy_never_fills() {
         let fb = SystemFeedback::new(1);
         let mut c = SharedLlc::new(
-            &CacheConfig { capacity: 4 * 2 * 64, ways: 2, latency: 40, mshr_entries: 8 },
+            &CacheConfig {
+                capacity: 4 * 2 * 64,
+                ways: 2,
+                latency: 40,
+                mshr_entries: 8,
+            },
             1,
             Box::new(CountingPolicy::always_bypass()),
         );
         let out = c.access(&info(0, false), &fb);
-        assert_eq!(out, LlcOutcome::Miss { bypassed: true, writeback: None });
+        assert_eq!(
+            out,
+            LlcOutcome::Miss {
+                bypassed: true,
+                writeback: None
+            }
+        );
         assert_eq!(c.occupancy(), 0);
         assert_eq!(c.stats.bypasses, 1);
     }
@@ -343,10 +402,15 @@ mod tests {
     fn dirty_eviction_produces_writeback() {
         let fb = SystemFeedback::new(1);
         let mut c = llc(1, 1);
-        let w = AccessInfo { is_write: true, ..info(0, false) };
+        let w = AccessInfo {
+            is_write: true,
+            ..info(0, false)
+        };
         c.access(&w, &fb);
         match c.access(&info(1, false), &fb) {
-            LlcOutcome::Miss { writeback: Some(l), .. } => assert_eq!(l, LineAddr(0)),
+            LlcOutcome::Miss {
+                writeback: Some(l), ..
+            } => assert_eq!(l, LineAddr(0)),
             other => panic!("expected dirty writeback, got {other:?}"),
         }
     }
@@ -359,7 +423,9 @@ mod tests {
         assert!(c.writeback(LineAddr(0)));
         assert!(!c.writeback(LineAddr(99)));
         match c.access(&info(1, false), &fb) {
-            LlcOutcome::Miss { writeback: Some(l), .. } => assert_eq!(l, LineAddr(0)),
+            LlcOutcome::Miss {
+                writeback: Some(l), ..
+            } => assert_eq!(l, LineAddr(0)),
             other => panic!("expected writeback, got {other:?}"),
         }
     }
@@ -368,7 +434,12 @@ mod tests {
     fn policy_callbacks_fire() {
         let fb = SystemFeedback::new(1);
         let mut c = SharedLlc::new(
-            &CacheConfig { capacity: 64, ways: 1, latency: 40, mshr_entries: 8 },
+            &CacheConfig {
+                capacity: 64,
+                ways: 1,
+                latency: 40,
+                mshr_entries: 8,
+            },
             1,
             Box::new(CountingPolicy::insert_all()),
         );

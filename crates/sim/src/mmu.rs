@@ -28,7 +28,11 @@ impl Mmu {
     pub fn new(phys_bytes: u64) -> Self {
         let phys_pages = phys_bytes >> PAGE_SHIFT;
         assert!(phys_pages > 0, "physical memory too small");
-        Mmu { map: HashMap::new(), used: HashMap::new(), phys_pages }
+        Mmu {
+            map: HashMap::new(),
+            used: HashMap::new(),
+            phys_pages,
+        }
     }
 
     /// Default MMU: 8 GB, per the paper's Table V.
@@ -44,8 +48,7 @@ impl Mmu {
         let ppage = match self.map.get(&key) {
             Some(&p) => p,
             None => {
-                let mut candidate =
-                    mix64(vpage ^ mix64(core as u64 ^ 0xC0FE)) % self.phys_pages;
+                let mut candidate = mix64(vpage ^ mix64(core as u64 ^ 0xC0FE)) % self.phys_pages;
                 while self.used.contains_key(&candidate) {
                     candidate = (candidate + 1) % self.phys_pages;
                 }

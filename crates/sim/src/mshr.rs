@@ -33,7 +33,10 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Drop entries whose miss has completed by `now`.
@@ -70,6 +73,16 @@ impl MshrFile {
         self.entries.len()
     }
 
+    /// Entries still outstanding at cycle `now`, ignoring entries whose
+    /// miss has completed but which lazy reclamation has not dropped yet
+    /// (the epoch telemetry's occupancy probe).
+    pub fn live_occupancy(&self, now: u64) -> usize {
+        self.entries
+            .iter()
+            .filter(|&&(_, ready)| ready > now)
+            .count()
+    }
+
     /// Capacity of the file.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -85,7 +98,10 @@ mod tests {
         let mut m = MshrFile::new(4);
         assert_eq!(m.lookup(LineAddr(7), 10), MshrOutcome::Available);
         m.register(LineAddr(7), 100);
-        assert_eq!(m.lookup(LineAddr(7), 20), MshrOutcome::Merged { ready: 100 });
+        assert_eq!(
+            m.lookup(LineAddr(7), 20),
+            MshrOutcome::Merged { ready: 100 }
+        );
     }
 
     #[test]

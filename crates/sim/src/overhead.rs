@@ -49,7 +49,11 @@ impl StorageOverhead {
                 bits as f64 / 8.0 / 1024.0
             ));
         }
-        out.push_str(&format!("  {:<40} {:>10.2} KB\n", "TOTAL", self.total_kib()));
+        out.push_str(&format!(
+            "  {:<40} {:>10.2} KB\n",
+            "TOTAL",
+            self.total_kib()
+        ));
         out
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::overhead::StorageOverhead;
 use crate::types::LineAddr;
+use chrome_telemetry::{PolicyEpochProbe, TelemetrySink};
 
 /// Everything a policy may observe about one LLC access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +122,21 @@ pub trait LlcPolicy {
         let _ = feedback;
     }
 
+    /// Install a telemetry sink so the policy can emit structured
+    /// decision events (predictor verdicts, rewards, Q-updates).
+    /// The default drops it; heuristics without internals to expose
+    /// need not implement this.
+    fn set_telemetry(&mut self, sink: TelemetrySink) {
+        let _ = sink;
+    }
+
+    /// Sample policy internals for the epoch recorder (EQ occupancy and
+    /// overflow, ε, mean |Q| for learned policies). The default reports
+    /// all zeros.
+    fn epoch_probe(&self) -> PolicyEpochProbe {
+        PolicyEpochProbe::default()
+    }
+
     /// Human-readable scheme name ("LRU", "Hawkeye", "CHROME", ...).
     fn name(&self) -> &str;
 
@@ -144,7 +160,7 @@ pub fn is_sampled_set(set: usize, num_sets: usize, sampled: usize) -> bool {
         return false;
     }
     let stride = (num_sets / sampled).max(1);
-    set % stride == 0 && set / stride < sampled
+    set.is_multiple_of(stride) && set / stride < sampled
 }
 
 /// Index of a sampled set among the sampled population (0..sampled), or
@@ -155,7 +171,7 @@ pub fn sampled_index(set: usize, num_sets: usize, sampled: usize) -> Option<usiz
         return None;
     }
     let stride = (num_sets / sampled).max(1);
-    if set % stride == 0 && set / stride < sampled {
+    if set.is_multiple_of(stride) && set / stride < sampled {
         Some(set / stride)
     } else {
         None
@@ -255,7 +271,10 @@ pub mod tests_support {
 
         /// Policy that inserts every incoming block (victim = way 0).
         pub fn insert_all() -> Self {
-            CountingPolicy { bypass: false, ..Self::always_bypass() }
+            CountingPolicy {
+                bypass: false,
+                ..Self::always_bypass()
+            }
         }
 
         fn refresh(&mut self) {
@@ -315,7 +334,9 @@ mod tests {
     #[test]
     fn sampled_sets_are_spaced() {
         let num_sets = 16384;
-        let count = (0..num_sets).filter(|&s| is_sampled_set(s, num_sets, 64)).count();
+        let count = (0..num_sets)
+            .filter(|&s| is_sampled_set(s, num_sets, 64))
+            .count();
         assert_eq!(count, 64);
         assert!(is_sampled_set(0, num_sets, 64));
         assert!(is_sampled_set(256, num_sets, 64));

@@ -120,7 +120,10 @@ pub struct StridePrefetcher {
 impl StridePrefetcher {
     /// 256-entry PC-indexed stride table.
     pub fn new(degree: usize) -> Self {
-        StridePrefetcher { table: vec![StrideEntry::default(); 256], degree }
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); 256],
+            degree,
+        }
     }
 }
 
@@ -129,7 +132,12 @@ impl Prefetcher for StridePrefetcher {
         let idx = (pc as usize ^ (pc >> 8) as usize) % self.table.len();
         let e = &mut self.table[idx];
         if e.pc_tag != pc {
-            *e = StrideEntry { pc_tag: pc, last_line: line.0, stride: 0, confidence: 0 };
+            *e = StrideEntry {
+                pc_tag: pc,
+                last_line: line.0,
+                stride: 0,
+                confidence: 0,
+            };
             return;
         }
         let delta = line.0 as i64 - e.last_line as i64;
@@ -196,7 +204,11 @@ pub struct Streamer {
 impl Streamer {
     /// 16 concurrent stream trackers.
     pub fn new(degree: usize) -> Self {
-        Streamer { streams: vec![Stream::default(); 16], degree, tick: 0 }
+        Streamer {
+            streams: vec![Stream::default(); 16],
+            degree,
+            tick: 0,
+        }
     }
 }
 
@@ -244,7 +256,11 @@ impl Prefetcher for Streamer {
                     out.push(PrefetchRequest::new(target, fill));
                     s.ahead = next;
                     issued += 1;
-                    next = if dir > 0 { next + 1 } else { next.saturating_sub(1) };
+                    next = if dir > 0 {
+                        next + 1
+                    } else {
+                        next.saturating_sub(1)
+                    };
                     if next == 0 {
                         break;
                     }
@@ -324,7 +340,11 @@ impl Prefetcher for Ipcp {
         let idx = (pc as usize ^ (pc >> 7) as usize) % self.table.len();
         let e = &mut self.table[idx];
         if e.pc_tag != pc {
-            *e = IpcpEntry { pc_tag: pc, last_line: line.0, ..Default::default() };
+            *e = IpcpEntry {
+                pc_tag: pc,
+                last_line: line.0,
+                ..Default::default()
+            };
             return;
         }
         let delta = line.0 as i64 - e.last_line as i64;

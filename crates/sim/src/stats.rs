@@ -1,6 +1,6 @@
 //! Simulation statistics: per-cache, per-core and whole-run results.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::types::LineAddr;
 
@@ -120,21 +120,29 @@ impl CoreStats {
 /// (needed for the paper's Fig. 2 motivation data).
 #[derive(Debug, Clone, Default)]
 pub struct EvictedUnusedTracker {
-    /// line -> (was_prefetch, requested_again)
-    entries: HashMap<u64, (bool, bool)>,
+    /// line -> (was_prefetch, requested_again). Ordered map so any
+    /// exported breakdown iterates in address order, byte-stable across
+    /// runs with the same seed.
+    entries: BTreeMap<u64, (bool, bool)>,
     enabled: bool,
 }
 
 impl EvictedUnusedTracker {
     /// Create a tracker; disabled trackers are free.
     pub fn new(enabled: bool) -> Self {
-        EvictedUnusedTracker { entries: HashMap::new(), enabled }
+        EvictedUnusedTracker {
+            entries: BTreeMap::new(),
+            enabled,
+        }
     }
 
     /// Record that `line` was evicted without being reused.
     pub fn on_unused_eviction(&mut self, line: LineAddr, was_prefetch: bool) {
         if self.enabled {
-            self.entries.entry(line.0).or_insert((was_prefetch, false)).0 = was_prefetch;
+            self.entries
+                .entry(line.0)
+                .or_insert((was_prefetch, false))
+                .0 = was_prefetch;
         }
     }
 
@@ -218,7 +226,11 @@ impl SimResults {
     ///
     /// Panics if `baseline_ipc.len()` differs from the core count.
     pub fn weighted_speedup(&self, baseline_ipc: &[f64]) -> f64 {
-        assert_eq!(baseline_ipc.len(), self.per_core.len(), "baseline core count mismatch");
+        assert_eq!(
+            baseline_ipc.len(),
+            self.per_core.len(),
+            "baseline core count mismatch"
+        );
         self.per_core
             .iter()
             .zip(baseline_ipc)
@@ -240,20 +252,35 @@ mod tests {
 
     #[test]
     fn miss_ratio_basic() {
-        let s = CacheStats { demand_accesses: 10, demand_misses: 3, ..Default::default() };
+        let s = CacheStats {
+            demand_accesses: 10,
+            demand_misses: 3,
+            ..Default::default()
+        };
         assert!((s.demand_miss_ratio() - 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn ephr_counts_useful_prefetches() {
-        let s = CacheStats { prefetch_fills: 8, prefetch_useful: 2, ..Default::default() };
+        let s = CacheStats {
+            prefetch_fills: 8,
+            prefetch_useful: 2,
+            ..Default::default()
+        };
         assert!((s.ephr() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn merge_accumulates() {
-        let mut a = CacheStats { demand_accesses: 1, ..Default::default() };
-        let b = CacheStats { demand_accesses: 2, evictions: 5, ..Default::default() };
+        let mut a = CacheStats {
+            demand_accesses: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            demand_accesses: 2,
+            evictions: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.demand_accesses, 3);
         assert_eq!(a.evictions, 5);
@@ -261,7 +288,11 @@ mod tests {
 
     #[test]
     fn core_ipc() {
-        let c = CoreStats { instructions: 100, cycles: 50, ..Default::default() };
+        let c = CoreStats {
+            instructions: 100,
+            cycles: 50,
+            ..Default::default()
+        };
         assert!((c.ipc() - 2.0).abs() < 1e-12);
         assert_eq!(CoreStats::default().ipc(), 0.0);
     }
@@ -287,8 +318,16 @@ mod tests {
     fn weighted_speedup_identity() {
         let r = SimResults {
             per_core: vec![
-                CoreStats { instructions: 100, cycles: 100, ..Default::default() },
-                CoreStats { instructions: 100, cycles: 200, ..Default::default() },
+                CoreStats {
+                    instructions: 100,
+                    cycles: 100,
+                    ..Default::default()
+                },
+                CoreStats {
+                    instructions: 100,
+                    cycles: 200,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         };

@@ -1,7 +1,7 @@
 //! The full simulated system: cores + hierarchy + DRAM + feedback loop.
 
-use crate::camat::CamatTracker;
 use crate::cache::PrivateCache;
+use crate::camat::CamatTracker;
 use crate::config::SimConfig;
 use crate::core_model::Core;
 use crate::dram::Dram;
@@ -10,9 +10,10 @@ use crate::mmu::Mmu;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::policy::{AccessInfo, BuiltinLru, LlcPolicy, SystemFeedback};
 use crate::prefetch::{self, FillLevel, PrefetchRequest, Prefetcher};
-use crate::stats::{CoreStats, SimResults};
+use crate::stats::{CacheStats, CoreStats, SimResults};
 use crate::trace::TraceSource;
 use crate::types::{AccessKind, LineAddr, TraceRecord};
+use chrome_telemetry::{EpochRecord, EventKind, TelemetrySink};
 
 /// Resolve an MSHR for `line` starting at cycle `t`: either the miss is
 /// merged with an outstanding one (`Err(ready)`), or the caller may issue
@@ -135,8 +136,14 @@ impl MemHierarchy {
     /// Fills happen eagerly at lookup time, so a hit may be on a block
     /// whose data is still in flight (e.g. just prefetched); the MSHR
     /// holds the arrival time and the hit waits for it.
-    fn access_llc(&mut self, core: usize, pc: u64, line: LineAddr, is_prefetch: bool, t_llc: u64)
-        -> u64 {
+    fn access_llc(
+        &mut self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        is_prefetch: bool,
+        t_llc: u64,
+    ) -> u64 {
         let info = AccessInfo {
             core,
             pc,
@@ -150,7 +157,10 @@ impl MemHierarchy {
                 let base = t_llc + self.llc.latency;
                 self.llc.ready_of(line).map_or(base, |r| r.max(base))
             }
-            LlcOutcome::Miss { bypassed, writeback } => {
+            LlcOutcome::Miss {
+                bypassed,
+                writeback,
+            } => {
                 let ready = if is_prefetch {
                     // prefetches do not allocate MSHRs; shedding happens
                     // upstream in the prefetch path
@@ -159,8 +169,7 @@ impl MemHierarchy {
                     match mshr_acquire(&mut self.llc.mshr, line, t_llc) {
                         Err(merged_ready) => merged_ready,
                         Ok(t_issue) => {
-                            let done =
-                                self.dram.access(line, t_issue + self.llc.latency, false);
+                            let done = self.dram.access(line, t_issue + self.llc.latency, false);
                             self.llc.mshr.register(line, done);
                             done
                         }
@@ -287,7 +296,14 @@ impl MemHierarchy {
         Some(done)
     }
 
-    fn trigger_l1_prefetcher(&mut self, core: usize, pc: u64, line: LineAddr, hit: bool, cycle: u64) {
+    fn trigger_l1_prefetcher(
+        &mut self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        hit: bool,
+        cycle: u64,
+    ) {
         let mut proposals = std::mem::take(&mut self.scratch);
         proposals.clear();
         self.l1_pref[core].on_access(pc, line, hit, &mut proposals);
@@ -301,16 +317,21 @@ impl MemHierarchy {
         self.scratch = proposals;
     }
 
-    fn trigger_l2_prefetcher(&mut self, core: usize, pc: u64, line: LineAddr, hit: bool, cycle: u64) {
+    fn trigger_l2_prefetcher(
+        &mut self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        hit: bool,
+        cycle: u64,
+    ) {
         let mut proposals = std::mem::take(&mut self.scratch);
         proposals.clear();
         self.l2_pref[core].on_access(pc, line, hit, &mut proposals);
         for req in proposals.drain(..) {
             match req.fill {
                 // an L2-resident prefetcher cannot fill L1
-                FillLevel::L1 | FillLevel::L2 => {
-                    self.prefetch_from_l2(core, pc, req.line, cycle)
-                }
+                FillLevel::L1 | FillLevel::L2 => self.prefetch_from_l2(core, pc, req.line, cycle),
                 FillLevel::LlcOnly => self.prefetch_llc_only(core, pc, req.line, cycle),
             }
         }
@@ -352,6 +373,11 @@ pub struct System {
     next_epoch: u64,
     obstructed_epochs: Vec<u64>,
     total_epochs: u64,
+    telemetry: TelemetrySink,
+    /// LLC counter snapshot at the last telemetry epoch boundary, so
+    /// epoch records carry per-epoch deltas that sum to the final stats.
+    epoch_base: CacheStats,
+    epoch_seq: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -399,7 +425,23 @@ impl System {
             next_epoch,
             obstructed_epochs: Vec::new(),
             total_epochs: 0,
+            telemetry: TelemetrySink::noop(),
+            epoch_base: CacheStats::default(),
+            epoch_seq: 0,
         }
+    }
+
+    /// Attach a telemetry sink; it is forwarded to the LLC and the
+    /// management policy so decision events flow into the same buffers
+    /// as the epoch series.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.hier.llc.set_telemetry(sink.clone());
+        self.telemetry = sink;
+    }
+
+    /// The attached telemetry sink (no-op by default).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
     }
 
     /// Enable Fig. 2 evicted-unused tracking on the LLC.
@@ -463,6 +505,48 @@ impl System {
         // Split borrows: hand the feedback to the policy.
         let fb_snapshot = self.hier.feedback.clone();
         self.hier.llc.policy.on_epoch(&fb_snapshot);
+        self.record_epoch(&per_core);
+    }
+
+    /// Append one epoch record to the telemetry sink (free when
+    /// telemetry is disabled). `per_core` is the `(camat, accesses)`
+    /// slice of the epoch being closed; LLC counters are recorded as
+    /// deltas against the previous boundary so the per-epoch columns
+    /// sum exactly to the end-of-run [`CacheStats`].
+    fn record_epoch(&mut self, per_core: &[(f64, u64)]) {
+        if !cfg!(feature = "telemetry") || !self.telemetry.is_enabled() {
+            return;
+        }
+        let t_mem = self.hier.dram.unloaded_latency();
+        let llc = self.hier.llc.stats.clone();
+        let base = &self.epoch_base;
+        let (dram_queue_avg, dram_queue_max) = self.hier.dram.bank_backlog(self.cycle);
+        let rec = EpochRecord {
+            epoch: self.epoch_seq,
+            end_cycle: self.cycle,
+            camat: per_core.iter().map(|&(c, _)| c).collect(),
+            obstructed: per_core.iter().map(|&(c, a)| a > 0 && c > t_mem).collect(),
+            demand_accesses: llc.demand_accesses - base.demand_accesses,
+            demand_misses: llc.demand_misses - base.demand_misses,
+            bypasses: llc.bypasses - base.bypasses,
+            evictions: llc.evictions - base.evictions,
+            writebacks: llc.writebacks - base.writebacks,
+            mshr_occupancy: self.hier.llc.mshr.live_occupancy(self.cycle) as u32,
+            mshr_capacity: self.hier.llc.mshr.capacity() as u32,
+            dram_queue_avg,
+            dram_queue_max,
+            policy: self.hier.llc.policy.epoch_probe(),
+        };
+        self.telemetry.emit(
+            self.cycle,
+            0,
+            EventKind::EpochBoundary {
+                epoch: self.epoch_seq,
+            },
+        );
+        self.telemetry.push_epoch(rec);
+        self.epoch_base = llc;
+        self.epoch_seq += 1;
     }
 
     /// Fast-forward past cycles in which no core can make progress
@@ -508,8 +592,12 @@ impl System {
             self.step();
             self.try_fast_forward();
         }
-        // Measurement boundary.
+        // Measurement boundary: warmup telemetry is discarded so the
+        // epoch series covers exactly the measured region.
         self.hier.reset_stats();
+        self.telemetry.clear();
+        self.epoch_base = CacheStats::default();
+        self.epoch_seq = 0;
         let dram_reads0 = self.hier.dram.reads;
         let dram_writes0 = self.hier.dram.writes;
         self.obstructed_epochs = vec![0; self.cores.len()];
@@ -539,11 +627,21 @@ impl System {
             }
             self.try_fast_forward();
         }
+        // Close the still-open partial epoch so the telemetry series
+        // accounts for every measured access.
+        if cfg!(feature = "telemetry") && self.telemetry.is_enabled() {
+            let partial = self.hier.camat.epoch_snapshot();
+            self.record_epoch(&partial);
+        }
         self.collect_results(instructions, dram_reads0, dram_writes0)
     }
 
-    fn collect_results(&self, instructions: u64, dram_reads0: u64, dram_writes0: u64)
-        -> SimResults {
+    fn collect_results(
+        &self,
+        instructions: u64,
+        dram_reads0: u64,
+        dram_writes0: u64,
+    ) -> SimResults {
         let per_core = self
             .cores
             .iter()
@@ -607,8 +705,7 @@ mod tests {
         let mut friendly =
             System::new(cfg.clone(), vec![boxed(StridedSource::new(0, 64, 2048, 2))]);
         let rf = friendly.run(20_000, 2_000);
-        let mut hostile =
-            System::new(cfg, vec![boxed(RandomSource::new(0, 64 << 20, 2, 9))]);
+        let mut hostile = System::new(cfg, vec![boxed(RandomSource::new(0, 64 << 20, 2, 9))]);
         let rh = hostile.run(20_000, 2_000);
         assert!(
             rf.per_core[0].ipc() > 2.0 * rh.per_core[0].ipc(),
@@ -672,7 +769,11 @@ mod tests {
             ];
             let mut sys = System::new(cfg, traces);
             let r = sys.run(10_000, 1_000);
-            (r.per_core[0].cycles, r.per_core[1].cycles, r.llc.demand_misses)
+            (
+                r.per_core[0].cycles,
+                r.per_core[1].cycles,
+                r.llc.demand_misses,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -702,7 +803,7 @@ mod tests {
                 self.pos += 64;
                 // alternate store and load over a big region: dirty lines
                 // eventually wash out of the hierarchy as DRAM writes
-                if self.pos % 128 == 0 {
+                if self.pos.is_multiple_of(128) {
                     TraceRecord::store(0x400, self.pos % (64 << 20), 1)
                 } else {
                     TraceRecord::load(0x404, self.pos % (64 << 20), 1)
@@ -739,8 +840,10 @@ mod tests {
         let mut cfg = SimConfig::small_test(2);
         cfg.epoch_cycles = 20_000;
         cfg.prefetchers = crate::config::PrefetcherConfig::none();
-        let traces: Vec<Box<dyn TraceSource>> =
-            vec![boxed(Chase { pos: 1 }), boxed(RandomSource::new(0, 32 << 20, 0, 11))];
+        let traces: Vec<Box<dyn TraceSource>> = vec![
+            boxed(Chase { pos: 1 }),
+            boxed(RandomSource::new(0, 32 << 20, 0, 11)),
+        ];
         let mut sys = System::new(cfg, traces);
         let r = sys.run(15_000, 1_000);
         assert!(
@@ -792,8 +895,7 @@ mod tests {
         cfg.prefetchers = crate::config::PrefetcherConfig::none();
         let mut chase_sys = System::new(cfg.clone(), vec![boxed(Chase { pos: 1 })]);
         let chase = chase_sys.run(20_000, 2_000);
-        let mut stream_sys =
-            System::new(cfg, vec![boxed(RandomSource::new(0, 32 << 20, 1, 5))]);
+        let mut stream_sys = System::new(cfg, vec![boxed(RandomSource::new(0, 32 << 20, 1, 5))]);
         let stream = stream_sys.run(20_000, 2_000);
         assert!(
             chase.per_core[0].ipc() < stream.per_core[0].ipc(),

@@ -93,7 +93,12 @@ impl RandomSource {
     pub fn new(base: u64, span: u64, nonmem: u16, seed: u64) -> Self {
         let span_lines = span / 64;
         assert!(span_lines > 0, "span must cover at least one line");
-        RandomSource { base, span_lines, state: seed | 1, nonmem }
+        RandomSource {
+            base,
+            span_lines,
+            state: seed | 1,
+            nonmem,
+        }
     }
 }
 

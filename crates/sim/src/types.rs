@@ -43,7 +43,11 @@ impl LineAddr {
     /// Offset this line address by a signed number of lines, saturating at 0.
     #[inline]
     pub fn offset(self, delta: i64) -> Self {
-        LineAddr(self.0.wrapping_add_signed(delta).min(u64::MAX >> LINE_SHIFT))
+        LineAddr(
+            self.0
+                .wrapping_add_signed(delta)
+                .min(u64::MAX >> LINE_SHIFT),
+        )
     }
 }
 
@@ -86,17 +90,35 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// Convenience constructor for an independent load.
     pub fn load(pc: u64, vaddr: u64, nonmem_before: u16) -> Self {
-        TraceRecord { nonmem_before, pc, vaddr, kind: AccessKind::Load, dep_prev: false }
+        TraceRecord {
+            nonmem_before,
+            pc,
+            vaddr,
+            kind: AccessKind::Load,
+            dep_prev: false,
+        }
     }
 
     /// Convenience constructor for a dependent (pointer-chasing) load.
     pub fn dep_load(pc: u64, vaddr: u64, nonmem_before: u16) -> Self {
-        TraceRecord { nonmem_before, pc, vaddr, kind: AccessKind::Load, dep_prev: true }
+        TraceRecord {
+            nonmem_before,
+            pc,
+            vaddr,
+            kind: AccessKind::Load,
+            dep_prev: true,
+        }
     }
 
     /// Convenience constructor for a store.
     pub fn store(pc: u64, vaddr: u64, nonmem_before: u16) -> Self {
-        TraceRecord { nonmem_before, pc, vaddr, kind: AccessKind::Store, dep_prev: false }
+        TraceRecord {
+            nonmem_before,
+            pc,
+            vaddr,
+            kind: AccessKind::Store,
+            dep_prev: false,
+        }
     }
 }
 

@@ -1,95 +1,140 @@
-//! Property-based tests for the simulator's core data structures.
+//! Randomized invariant tests for the simulator's core data structures.
+//! Each test drives a seeded in-repo RNG over many generated cases, so
+//! runs are deterministic and reproducible from the printed case index.
 
 use chrome_sim::cache::PrivateCache;
 use chrome_sim::config::{CacheConfig, DramConfig};
 use chrome_sim::dram::Dram;
 use chrome_sim::mshr::{MshrFile, MshrOutcome};
+use chrome_sim::rng::SmallRng;
 use chrome_sim::types::{LineAddr, TraceRecord};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+const CASES: usize = 96;
 
-    /// A cache never reports more resident blocks than its geometry,
-    /// and any line just filled is immediately findable.
-    #[test]
-    fn cache_geometry_respected(lines in prop::collection::vec(0u64..10_000, 1..300)) {
-        let cfg = CacheConfig { capacity: 8 * 4 * 64, ways: 4, latency: 1, mshr_entries: 4 };
+/// A cache never reports more resident blocks than its geometry, and
+/// any line just filled is immediately findable.
+#[test]
+fn cache_geometry_respected() {
+    let mut rng = SmallRng::seed_from_u64(0x51A_0001);
+    for case in 0..CASES {
+        let cfg = CacheConfig {
+            capacity: 8 * 4 * 64,
+            ways: 4,
+            latency: 1,
+            mshr_entries: 4,
+        };
         let mut cache = PrivateCache::new(&cfg);
-        for (i, &l) in lines.iter().enumerate() {
-            let line = LineAddr(l);
+        let accesses = rng.gen_range(1..300usize);
+        for i in 0..accesses {
+            let line = LineAddr(rng.gen_range(0u64..10_000));
             if cache.lookup(line, false, false).is_none() {
                 cache.fill(line, i % 3 == 0, false, i as u64);
             }
-            prop_assert!(cache.probe(line).is_some(), "just-filled line missing");
-            prop_assert!(cache.occupancy() <= 8 * 4);
+            assert!(
+                cache.probe(line).is_some(),
+                "case {case}: just-filled line missing"
+            );
+            assert!(cache.occupancy() <= 8 * 4, "case {case}: over geometry");
         }
     }
+}
 
-    /// LRU keeps the most recently touched line when a conflict evicts.
-    #[test]
-    fn lru_never_evicts_most_recent(fillers in prop::collection::vec(0u64..64, 2..64)) {
-        let cfg = CacheConfig { capacity: 2 * 64, ways: 2, latency: 1, mshr_entries: 4 };
+/// LRU keeps the most recently touched line when a conflict evicts.
+#[test]
+fn lru_never_evicts_most_recent() {
+    let mut rng = SmallRng::seed_from_u64(0x51A_0002);
+    for case in 0..CASES {
+        let cfg = CacheConfig {
+            capacity: 2 * 64,
+            ways: 2,
+            latency: 1,
+            mshr_entries: 4,
+        };
         let mut cache = PrivateCache::new(&cfg);
         let mut last = None;
-        for &f in &fillers {
-            let line = LineAddr(f * 1); // sets = 1: all conflict
+        let fills = rng.gen_range(2..64usize);
+        for _ in 0..fills {
+            let line = LineAddr(rng.gen_range(0u64..64)); // sets = 1: all conflict
             if cache.lookup(line, false, false).is_none() {
                 cache.fill(line, false, false, 0);
             }
             if let Some(prev) = last {
                 if prev != line {
-                    // the immediately preceding access must survive one fill
-                    prop_assert!(
-                        cache.probe(prev).is_some() || prev == line,
-                        "most recent line was evicted"
+                    assert!(
+                        cache.probe(prev).is_some(),
+                        "case {case}: most recent line was evicted"
                     );
                 }
             }
             last = Some(line);
         }
     }
+}
 
-    /// The MSHR never exceeds capacity and merges are exact.
-    #[test]
-    fn mshr_capacity_invariant(ops in prop::collection::vec((0u64..32, 0u64..1000), 1..200)) {
+/// The MSHR never exceeds capacity and merges are exact.
+#[test]
+fn mshr_capacity_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0x51A_0003);
+    for case in 0..CASES {
         let mut mshr = MshrFile::new(4);
         let mut t = 0u64;
-        for (line, dt) in ops {
-            t += dt;
+        let ops = rng.gen_range(1..200usize);
+        for _ in 0..ops {
+            let line = rng.gen_range(0u64..32);
+            t += rng.gen_range(0u64..1000);
             match mshr.lookup(LineAddr(line), t) {
                 MshrOutcome::Available => {
                     mshr.register(LineAddr(line), t + 100);
                 }
-                MshrOutcome::Merged { ready } => prop_assert!(ready > t),
-                MshrOutcome::Full { free_at } => prop_assert!(free_at > t),
+                MshrOutcome::Merged { ready } => assert!(ready > t, "case {case}"),
+                MshrOutcome::Full { free_at } => assert!(free_at > t, "case {case}"),
             }
-            prop_assert!(mshr.occupancy() <= mshr.capacity());
+            assert!(
+                mshr.occupancy() <= mshr.capacity(),
+                "case {case}: over capacity"
+            );
         }
     }
+}
 
-    /// DRAM completions are causal (after arrival + minimum latency) and
-    /// repeat-deterministic.
-    #[test]
-    fn dram_is_causal(reqs in prop::collection::vec((0u64..100_000, 0u64..200), 1..200)) {
+/// DRAM completions are causal (after arrival + minimum latency) and
+/// repeat-deterministic.
+#[test]
+fn dram_is_causal() {
+    let mut rng = SmallRng::seed_from_u64(0x51A_0004);
+    for case in 0..CASES {
         let mut a = Dram::new(DramConfig::default());
         let mut b = Dram::new(DramConfig::default());
         let mut t = 0u64;
-        for (line, dt) in reqs {
-            t += dt;
+        let reqs = rng.gen_range(1..200usize);
+        for _ in 0..reqs {
+            let line = rng.gen_range(0u64..100_000);
+            t += rng.gen_range(0u64..200);
             let da = a.access(LineAddr(line), t, false);
             let db = b.access(LineAddr(line), t, false);
-            prop_assert_eq!(da, db);
-            prop_assert!(da >= t + 60, "completion {} too early for arrival {}", da, t);
+            assert_eq!(da, db, "case {case}: nondeterministic completion");
+            assert!(
+                da >= t + 60,
+                "case {case}: completion {da} too early for arrival {t}"
+            );
         }
     }
+}
 
-    /// Trace-record constructors round-trip their fields.
-    #[test]
-    fn trace_record_fields(pc in any::<u64>(), addr in any::<u64>(), n in any::<u16>()) {
+/// Trace-record constructors round-trip their fields.
+#[test]
+fn trace_record_fields() {
+    let mut rng = SmallRng::seed_from_u64(0x51A_0005);
+    for _ in 0..CASES {
+        let pc = rng.next_u64();
+        let addr = rng.next_u64();
+        let n = rng.next_u64() as u16;
         let r = TraceRecord::load(pc, addr, n);
-        prop_assert_eq!((r.pc, r.vaddr, r.nonmem_before, r.dep_prev), (pc, addr, n, false));
+        assert_eq!(
+            (r.pc, r.vaddr, r.nonmem_before, r.dep_prev),
+            (pc, addr, n, false)
+        );
         let d = TraceRecord::dep_load(pc, addr, n);
-        prop_assert!(d.dep_prev);
+        assert!(d.dep_prev);
     }
 }

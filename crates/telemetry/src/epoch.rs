@@ -1,0 +1,178 @@
+//! Epoch-resolved time series: one record per 100K-cycle control epoch.
+//!
+//! Cache counters are stored as *per-epoch deltas*, so summing a column
+//! over the whole series reconciles exactly with the end-of-run
+//! aggregate counters — the invariant the integration tests pin down.
+
+/// Per-epoch probe of the management policy's internal state.
+///
+/// Baseline heuristics leave this at the default (all zeros); the CHROME
+/// agent fills in the RL internals the paper's Fig. 8 / Table 7 discuss.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PolicyEpochProbe {
+    /// Mean entries per EQ FIFO at the epoch boundary.
+    pub eq_occupancy: f64,
+    /// Cumulative EQ overflow evictions (entries rewarded at eviction).
+    pub eq_overflows: u64,
+    /// Exploration rate in effect this epoch.
+    pub epsilon: f64,
+    /// Mean |Q| over all table entries at the epoch boundary.
+    pub mean_q_mag: f64,
+}
+
+/// One epoch's sample of the whole system.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index (monotonic from the start of measurement).
+    pub epoch: u64,
+    /// Cycle at which the epoch closed.
+    pub end_cycle: u64,
+    /// Per-core C-AMAT at the LLC over this epoch.
+    pub camat: Vec<f64>,
+    /// Per-core LLC-obstruction verdicts for this epoch.
+    pub obstructed: Vec<bool>,
+    /// LLC demand accesses during this epoch (delta).
+    pub demand_accesses: u64,
+    /// LLC demand misses during this epoch (delta).
+    pub demand_misses: u64,
+    /// LLC bypasses during this epoch (delta).
+    pub bypasses: u64,
+    /// LLC evictions during this epoch (delta).
+    pub evictions: u64,
+    /// LLC writebacks during this epoch (delta).
+    pub writebacks: u64,
+    /// LLC MSHR entries in flight at the epoch boundary.
+    pub mshr_occupancy: u32,
+    /// LLC MSHR capacity (constant; kept per record for self-contained rows).
+    pub mshr_capacity: u32,
+    /// Mean DRAM bank-queue backlog (cycles) at the epoch boundary.
+    pub dram_queue_avg: f64,
+    /// Deepest DRAM bank-queue backlog (cycles) at the epoch boundary.
+    pub dram_queue_max: u64,
+    /// Policy internals (EQ occupancy/overflow, ε, mean |Q|).
+    pub policy: PolicyEpochProbe,
+}
+
+impl EpochRecord {
+    /// Epoch-local demand hits.
+    pub fn demand_hits(&self) -> u64 {
+        self.demand_accesses - self.demand_misses
+    }
+
+    /// Epoch-local hit rate (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.demand_accesses == 0 {
+            0.0
+        } else {
+            self.demand_hits() as f64 / self.demand_accesses as f64
+        }
+    }
+
+    /// Epoch-local bypass rate over demand misses (0 when no misses).
+    pub fn bypass_rate(&self) -> f64 {
+        if self.demand_misses == 0 {
+            0.0
+        } else {
+            self.bypasses as f64 / self.demand_misses as f64
+        }
+    }
+}
+
+/// The recorded series for one run.
+#[derive(Debug, Clone, Default)]
+pub struct EpochSeries {
+    records: Vec<EpochRecord>,
+}
+
+impl EpochSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one epoch record.
+    pub fn push(&mut self, rec: EpochRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Sum a counter column over the series (the reconciliation helper).
+    pub fn summed(&self, col: impl Fn(&EpochRecord) -> u64) -> u64 {
+        self.records.iter().map(col).sum()
+    }
+
+    /// Mean of a derived per-epoch value over the last `frac` of the
+    /// series (e.g. converged-window EPHR, Fig. 8). Returns 0 when empty.
+    pub fn tail_mean(&self, frac: f64, col: impl Fn(&EpochRecord) -> f64) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let keep = ((self.records.len() as f64 * frac.clamp(0.0, 1.0)).ceil() as usize)
+            .clamp(1, self.records.len());
+        let tail = &self.records[self.records.len() - keep..];
+        tail.iter().map(&col).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Drop all records (measurement-boundary reset).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(epoch: u64, accesses: u64, misses: u64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            demand_accesses: accesses,
+            demand_misses: misses,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn summed_reconciles_columns() {
+        let mut s = EpochSeries::new();
+        s.push(rec(0, 100, 40));
+        s.push(rec(1, 50, 10));
+        assert_eq!(s.summed(|r| r.demand_accesses), 150);
+        assert_eq!(s.summed(|r| r.demand_misses), 50);
+    }
+
+    #[test]
+    fn rates_handle_idle_epochs() {
+        let r = rec(0, 0, 0);
+        assert_eq!(r.hit_rate(), 0.0);
+        assert_eq!(r.bypass_rate(), 0.0);
+        let r = rec(1, 10, 4);
+        assert!((r.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_mean_uses_only_the_tail() {
+        let mut s = EpochSeries::new();
+        for e in 0..10 {
+            // hit rate ramps 0.0, 0.1, ... 0.9
+            s.push(rec(e, 10, 10 - e));
+        }
+        let late = s.tail_mean(0.2, |r| r.hit_rate());
+        assert!((late - 0.85).abs() < 1e-12, "mean of last two = {late}");
+        assert_eq!(EpochSeries::new().tail_mean(0.5, |r| r.hit_rate()), 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Exporters: CSV and JSON-lines for the epoch series, Chrome
+//! `trace_event` JSON for the event ring, and a metrics snapshot.
+//!
+//! Everything is hand-serialised — the schemas are small and fixed, and
+//! owning the writer keeps the workspace free of registry dependencies.
+//! Output is deterministic: column order is fixed, map iteration is
+//! sorted, floats print with a fixed precision.
+
+use std::fmt::Write as _;
+
+use crate::epoch::{EpochRecord, EpochSeries};
+use crate::events::{EventKind, EventRing};
+use crate::metrics::MetricsRegistry;
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        // JSON has no Infinity/NaN; CSV readers choke on them too
+        "0.000000".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// CSV header for a series with `cores` cores.
+pub fn epoch_csv_header(cores: usize) -> String {
+    let mut h = String::from("epoch,end_cycle");
+    for i in 0..cores {
+        let _ = write!(h, ",camat{i}");
+    }
+    for i in 0..cores {
+        let _ = write!(h, ",obstructed{i}");
+    }
+    h.push_str(
+        ",demand_accesses,demand_misses,bypasses,evictions,writebacks,\
+         mshr_occupancy,mshr_capacity,dram_queue_avg,dram_queue_max,\
+         eq_occupancy,eq_overflows,epsilon,mean_q_mag",
+    );
+    h
+}
+
+fn epoch_csv_row(r: &EpochRecord) -> String {
+    let mut row = format!("{},{}", r.epoch, r.end_cycle);
+    for c in &r.camat {
+        let _ = write!(row, ",{}", fmt_f64(*c));
+    }
+    for o in &r.obstructed {
+        let _ = write!(row, ",{}", *o as u8);
+    }
+    let _ = write!(
+        row,
+        ",{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.demand_accesses,
+        r.demand_misses,
+        r.bypasses,
+        r.evictions,
+        r.writebacks,
+        r.mshr_occupancy,
+        r.mshr_capacity,
+        fmt_f64(r.dram_queue_avg),
+        r.dram_queue_max,
+        fmt_f64(r.policy.eq_occupancy),
+        r.policy.eq_overflows,
+        fmt_f64(r.policy.epsilon),
+        fmt_f64(r.policy.mean_q_mag),
+    );
+    row
+}
+
+/// Render the epoch series as CSV (header + one row per epoch).
+pub fn epoch_csv(series: &EpochSeries) -> String {
+    let cores = series.records().first().map_or(0, |r| r.camat.len());
+    let mut out = epoch_csv_header(cores);
+    out.push('\n');
+    for r in series.records() {
+        out.push_str(&epoch_csv_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+fn epoch_json(r: &EpochRecord) -> String {
+    let camat: Vec<String> = r.camat.iter().map(|c| fmt_f64(*c)).collect();
+    let obstructed: Vec<String> = r.obstructed.iter().map(|o| o.to_string()).collect();
+    format!(
+        "{{\"epoch\":{},\"end_cycle\":{},\"camat\":[{}],\"obstructed\":[{}],\
+         \"demand_accesses\":{},\"demand_misses\":{},\"bypasses\":{},\
+         \"evictions\":{},\"writebacks\":{},\"mshr_occupancy\":{},\
+         \"mshr_capacity\":{},\"dram_queue_avg\":{},\"dram_queue_max\":{},\
+         \"eq_occupancy\":{},\"eq_overflows\":{},\"epsilon\":{},\"mean_q_mag\":{}}}",
+        r.epoch,
+        r.end_cycle,
+        camat.join(","),
+        obstructed.join(","),
+        r.demand_accesses,
+        r.demand_misses,
+        r.bypasses,
+        r.evictions,
+        r.writebacks,
+        r.mshr_occupancy,
+        r.mshr_capacity,
+        fmt_f64(r.dram_queue_avg),
+        r.dram_queue_max,
+        fmt_f64(r.policy.eq_occupancy),
+        r.policy.eq_overflows,
+        fmt_f64(r.policy.epsilon),
+        fmt_f64(r.policy.mean_q_mag),
+    )
+}
+
+/// Render the epoch series as JSON-lines (one object per epoch).
+pub fn epoch_jsonl(series: &EpochSeries) -> String {
+    let mut out = String::new();
+    for r in series.records() {
+        out.push_str(&epoch_json(r));
+        out.push('\n');
+    }
+    out
+}
+
+fn event_args(kind: &EventKind) -> String {
+    match kind {
+        EventKind::VictimChosen { set, way, line } => {
+            format!("{{\"set\":{set},\"way\":{way},\"line\":{line}}}")
+        }
+        EventKind::BypassTaken { line, pc } => {
+            format!("{{\"line\":{line},\"pc\":{pc}}}")
+        }
+        EventKind::RewardApplied { reward, matched } => {
+            format!("{{\"reward\":{},\"matched\":{matched}}}", fmt_f64(*reward))
+        }
+        EventKind::QUpdate { delta, action } => {
+            format!("{{\"delta\":{},\"action\":{action}}}", fmt_f64(*delta))
+        }
+        EventKind::PredictorVerdict {
+            signature,
+            friendly,
+        } => {
+            format!("{{\"signature\":{signature},\"friendly\":{friendly}}}")
+        }
+        EventKind::EpochBoundary { epoch } => format!("{{\"epoch\":{epoch}}}"),
+    }
+}
+
+/// Render the event ring (plus epoch boundaries from the series) as
+/// Chrome `trace_event` JSON — openable in `chrome://tracing` and
+/// Perfetto. Cycles map to microsecond timestamps 1:1; each core is a
+/// thread, epochs span thread 0 as duration events.
+pub fn chrome_trace_json(ring: &EventRing, series: &EpochSeries) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(ring.len() + series.len());
+    let mut prev_end = 0u64;
+    for r in series.records() {
+        parts.push(format!(
+            "{{\"name\":\"epoch {}\",\"cat\":\"epoch\",\"ph\":\"X\",\
+             \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":0,\"args\":{}}}",
+            r.epoch,
+            prev_end,
+            r.end_cycle.saturating_sub(prev_end),
+            event_args(&EventKind::EpochBoundary { epoch: r.epoch }),
+        ));
+        prev_end = r.end_cycle;
+    }
+    for ev in ring.iter() {
+        parts.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"policy\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":0,\"tid\":{},\"args\":{}}}",
+            json_escape(ev.kind.name()),
+            ev.cycle,
+            ev.core + 1,
+            event_args(&ev.kind),
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+        parts.join(",")
+    )
+}
+
+/// Render the metrics registry as one JSON object (counters, gauges,
+/// histograms with bucket bounds and counts).
+pub fn metrics_json(metrics: &MetricsRegistry) -> String {
+    let counters: Vec<String> = metrics
+        .counters()
+        .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+        .collect();
+    let gauges: Vec<String> = metrics
+        .gauges()
+        .map(|(k, v)| format!("\"{}\":{}", json_escape(k), fmt_f64(v)))
+        .collect();
+    let hists: Vec<String> = metrics
+        .histograms()
+        .map(|(k, h)| {
+            let bounds: Vec<String> = h.bounds().iter().map(|b| b.to_string()).collect();
+            let counts: Vec<String> = h.counts().iter().map(|c| c.to_string()).collect();
+            format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"bounds\":[{}],\"counts\":[{}]}}",
+                json_escape(k),
+                h.count(),
+                h.sum(),
+                bounds.join(","),
+                counts.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"histograms\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+        hists.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::PolicyEpochProbe;
+    use crate::events::TraceEvent;
+
+    fn sample_series() -> EpochSeries {
+        let mut s = EpochSeries::new();
+        s.push(EpochRecord {
+            epoch: 0,
+            end_cycle: 100_000,
+            camat: vec![1.5, 2.0],
+            obstructed: vec![false, true],
+            demand_accesses: 100,
+            demand_misses: 30,
+            bypasses: 5,
+            evictions: 25,
+            writebacks: 8,
+            mshr_occupancy: 3,
+            mshr_capacity: 64,
+            dram_queue_avg: 12.25,
+            dram_queue_max: 40,
+            policy: PolicyEpochProbe {
+                eq_occupancy: 4.5,
+                eq_overflows: 2,
+                epsilon: 0.001,
+                mean_q_mag: 1.25,
+            },
+        });
+        s
+    }
+
+    #[test]
+    fn csv_has_header_and_matching_columns() {
+        let csv = epoch_csv(&sample_series());
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert!(header.starts_with("epoch,end_cycle,camat0,camat1,obstructed0"));
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(row.contains(",0.001000,"));
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let jsonl = epoch_jsonl(&sample_series());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"camat\":[1.500000,2.000000]"));
+        assert!(lines[0].contains("\"obstructed\":[false,true]"));
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let mut ring = EventRing::new(8, 1);
+        ring.offer(TraceEvent {
+            cycle: 123,
+            core: 1,
+            kind: EventKind::BypassTaken { line: 7, pc: 9 },
+        });
+        let json = chrome_trace_json(&ring, &sample_series());
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\"")); // the epoch span
+        assert!(json.contains("\"name\":\"bypass_taken\""));
+        assert!(json.contains("\"ts\":123"));
+        assert!(json.ends_with("]}"));
+        // braces balance (cheap well-formedness check)
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn metrics_json_sorted_and_balanced() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b", 2);
+        m.counter_add("a", 1);
+        m.gauge_set("g", 0.5);
+        m.observe("h", 3);
+        let json = metrics_json(&m);
+        assert!(json.find("\"a\":1").unwrap() < json.find("\"b\":2").unwrap());
+        assert!(json.contains("\"histograms\":{\"h\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn non_finite_floats_are_sanitised() {
+        assert_eq!(fmt_f64(f64::NAN), "0.000000");
+        assert_eq!(fmt_f64(f64::INFINITY), "0.000000");
+    }
+}

@@ -1,0 +1,270 @@
+//! # chrome-telemetry — observability for the CHROME reproduction
+//!
+//! CHROME's control loop is epoch-driven: obstruction detection,
+//! delayed rewards and Q-updates all happen against a 100K-cycle epoch
+//! clock. End-of-run aggregates hide all of that. This crate makes the
+//! dynamics observable:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges, and fixed-bucket
+//!   histograms with deterministic (sorted) export order,
+//! * [`EpochSeries`] — one [`EpochRecord`] per epoch: per-core C-AMAT,
+//!   LLC hit/miss/bypass deltas, MSHR and DRAM queue occupancy, EQ
+//!   state, ε, and mean |Q|,
+//! * [`EventRing`] — a bounded ring buffer of structured policy
+//!   decisions ([`TraceEvent`]) with a sampling knob,
+//! * [`export`] — CSV / JSON-lines / Chrome `trace_event` writers.
+//!
+//! Everything funnels through a [`TelemetrySink`]: a cheap clonable
+//! handle that is either recording or a no-op. Disabled sinks cost one
+//! branch per hook; the simulator additionally compiles its hooks away
+//! when built without its `telemetry` feature.
+//!
+//! ```
+//! use chrome_telemetry::{EventKind, TelemetryConfig, TelemetrySink};
+//!
+//! let sink = TelemetrySink::recording(TelemetryConfig::default());
+//! sink.emit(42, 0, EventKind::BypassTaken { line: 0x1000, pc: 0x400 });
+//! assert_eq!(sink.with(|t| t.events.len()), Some(1));
+//! assert_eq!(TelemetrySink::noop().with(|t| t.events.len()), None);
+//! ```
+
+pub mod epoch;
+pub mod events;
+pub mod export;
+pub mod metrics;
+
+use std::cell::RefCell;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+pub use epoch::{EpochRecord, EpochSeries, PolicyEpochProbe};
+pub use events::{EventKind, EventRing, TraceEvent};
+pub use metrics::{Histogram, MetricsRegistry};
+
+/// Sizing knobs for a recording sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Maximum events retained in the ring buffer.
+    pub event_capacity: usize,
+    /// Keep every n-th offered event (1 = keep all).
+    pub sample_every: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        // 64K events ≈ 2.5 MB: generous for debugging, bounded for soaks.
+        TelemetryConfig {
+            event_capacity: 65_536,
+            sample_every: 1,
+        }
+    }
+}
+
+/// The recorded state behind a live sink.
+#[derive(Debug)]
+pub struct Telemetry {
+    /// Named counters / gauges / histograms.
+    pub metrics: MetricsRegistry,
+    /// Structured decision events.
+    pub events: EventRing,
+    /// Per-epoch system samples.
+    pub epochs: EpochSeries,
+}
+
+impl Telemetry {
+    fn new(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            metrics: MetricsRegistry::new(),
+            events: EventRing::new(cfg.event_capacity, cfg.sample_every),
+            epochs: EpochSeries::new(),
+        }
+    }
+}
+
+/// A clonable handle that either records into a shared [`Telemetry`] or
+/// does nothing. Every instrumentation hook in the stack takes one of
+/// these; the no-op variant reduces each hook to a single branch.
+///
+/// The simulator is single-threaded, so the shared state is
+/// `Rc<RefCell<…>>` — cloning is a pointer copy.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink {
+    inner: Option<Rc<RefCell<Telemetry>>>,
+}
+
+impl TelemetrySink {
+    /// A sink that drops everything.
+    pub fn noop() -> Self {
+        TelemetrySink { inner: None }
+    }
+
+    /// A live sink recording into fresh storage.
+    pub fn recording(cfg: TelemetryConfig) -> Self {
+        TelemetrySink {
+            inner: Some(Rc::new(RefCell::new(Telemetry::new(cfg)))),
+        }
+    }
+
+    /// True when this sink records.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Run `f` against the recorded state (`None` for a no-op sink).
+    pub fn with<T>(&self, f: impl FnOnce(&Telemetry) -> T) -> Option<T> {
+        self.inner.as_ref().map(|t| f(&t.borrow()))
+    }
+
+    /// Offer a decision event.
+    #[inline]
+    pub fn emit(&self, cycle: u64, core: u32, kind: EventKind) {
+        if let Some(t) = &self.inner {
+            t.borrow_mut()
+                .events
+                .offer(TraceEvent { cycle, core, kind });
+        }
+    }
+
+    /// Bump a counter.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(t) = &self.inner {
+            t.borrow_mut().metrics.counter_add(name, delta);
+        }
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(t) = &self.inner {
+            t.borrow_mut().metrics.gauge_set(name, v);
+        }
+    }
+
+    /// Record a histogram observation.
+    #[inline]
+    pub fn observe(&self, name: &str, v: u64) {
+        if let Some(t) = &self.inner {
+            t.borrow_mut().metrics.observe(name, v);
+        }
+    }
+
+    /// Append an epoch record.
+    pub fn push_epoch(&self, rec: EpochRecord) {
+        if let Some(t) = &self.inner {
+            t.borrow_mut().epochs.push(rec);
+        }
+    }
+
+    /// Drop everything recorded so far (measurement-boundary reset so
+    /// warmup does not pollute the exported series).
+    pub fn clear(&self) {
+        if let Some(t) = &self.inner {
+            let mut t = t.borrow_mut();
+            t.metrics.clear();
+            t.events.clear();
+            t.epochs.clear();
+        }
+    }
+
+    /// Write all artifacts into `dir` as `<prefix>_epochs.csv`,
+    /// `<prefix>_epochs.jsonl`, `<prefix>_trace.json`, and
+    /// `<prefix>_metrics.json`. Creates `dir` if missing; a no-op sink
+    /// writes nothing and returns an empty list.
+    pub fn export(&self, dir: &Path, prefix: &str) -> io::Result<Vec<PathBuf>> {
+        let Some(t) = &self.inner else {
+            return Ok(Vec::new());
+        };
+        std::fs::create_dir_all(dir)?;
+        let t = t.borrow();
+        let files = [
+            (format!("{prefix}_epochs.csv"), export::epoch_csv(&t.epochs)),
+            (
+                format!("{prefix}_epochs.jsonl"),
+                export::epoch_jsonl(&t.epochs),
+            ),
+            (
+                format!("{prefix}_trace.json"),
+                export::chrome_trace_json(&t.events, &t.epochs),
+            ),
+            (
+                format!("{prefix}_metrics.json"),
+                export::metrics_json(&t.metrics),
+            ),
+        ];
+        let mut written = Vec::with_capacity(files.len());
+        for (name, contents) in files {
+            let path = dir.join(name);
+            std::fs::write(&path, contents)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_records_nothing() {
+        let s = TelemetrySink::noop();
+        assert!(!s.is_enabled());
+        s.emit(1, 0, EventKind::EpochBoundary { epoch: 0 });
+        s.counter_add("x", 1);
+        s.push_epoch(EpochRecord::default());
+        assert_eq!(s.with(|t| t.events.len()), None);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = TelemetrySink::recording(TelemetryConfig::default());
+        let b = a.clone();
+        b.counter_add("hits", 3);
+        a.counter_add("hits", 2);
+        assert_eq!(a.with(|t| t.metrics.counter("hits")), Some(5));
+    }
+
+    #[test]
+    fn clear_resets_all_streams() {
+        let s = TelemetrySink::recording(TelemetryConfig::default());
+        s.emit(1, 0, EventKind::EpochBoundary { epoch: 0 });
+        s.push_epoch(EpochRecord::default());
+        s.counter_add("c", 1);
+        s.clear();
+        assert_eq!(s.with(|t| t.events.len()), Some(0));
+        assert_eq!(s.with(|t| t.epochs.len()), Some(0));
+        assert_eq!(s.with(|t| t.metrics.counter("c")), Some(0));
+    }
+
+    #[test]
+    fn export_writes_all_artifacts() {
+        let dir = std::env::temp_dir().join("chrome-telemetry-test-export");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = TelemetrySink::recording(TelemetryConfig::default());
+        s.push_epoch(EpochRecord {
+            epoch: 0,
+            end_cycle: 5,
+            ..Default::default()
+        });
+        let files = s.export(&dir, "run0").unwrap();
+        assert_eq!(files.len(), 4);
+        for f in &files {
+            assert!(f.exists(), "{f:?} missing");
+        }
+        let csv = std::fs::read_to_string(dir.join("run0_epochs.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn noop_export_writes_nothing() {
+        let dir = std::env::temp_dir().join("chrome-telemetry-test-noop");
+        let _ = std::fs::remove_dir_all(&dir);
+        let files = TelemetrySink::noop().export(&dir, "x").unwrap();
+        assert!(files.is_empty());
+        assert!(!dir.exists(), "no-op export must not create the dir");
+    }
+}

@@ -1,0 +1,287 @@
+//! A small metrics registry: named counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! `BTreeMap` keys keep every exported artifact byte-stable across runs
+//! with the same seed — iteration order is the sort order of the names,
+//! never the hash order.
+
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket `i` counts observations `v <= bounds[i]` (first matching
+/// bound); one implicit overflow bucket catches everything above the
+/// last bound. Fixed buckets keep `observe` allocation-free and O(log b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing bucket upper
+    /// bounds (inclusive), plus an implicit overflow bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Power-of-two bounds `1, 2, 4, …, 2^(n-1)` — a good default for
+    /// latency- and occupancy-shaped data.
+    pub fn pow2(n: u32) -> Self {
+        let bounds: Vec<u64> = (0..n).map(|i| 1u64 << i).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`); `None` when empty or when the quantile falls in
+    /// the unbounded overflow bucket.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
+/// Named counters, gauges, and histograms, all in deterministic
+/// (sorted-name) order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name`, creating it at zero first.
+    #[inline]
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Read a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `v`.
+    #[inline]
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Read a gauge (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record into histogram `name`, auto-registering a 24-bucket
+    /// power-of-two histogram on first use.
+    #[inline]
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::pow2(24);
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Register histogram `name` with explicit bounds (replacing any
+    /// auto-registered one).
+    pub fn register_histogram(&mut self, name: &str, bounds: &[u64]) {
+        self.histograms
+            .insert(name.to_string(), Histogram::new(bounds));
+    }
+
+    /// Read a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in sorted-name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in sorted-name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in sorted-name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Drop all recorded values (registered histogram shapes are kept).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        for h in self.histograms.values_mut() {
+            let bounds = h.bounds.clone();
+            *h = Histogram::new(&bounds);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        h.observe(0);
+        h.observe(10); // boundary: still the first bucket
+        h.observe(11);
+        h.observe(100);
+        h.observe(1000);
+        h.observe(1001); // overflow
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 2122);
+    }
+
+    #[test]
+    fn pow2_histogram_covers_wide_range() {
+        let mut h = Histogram::pow2(10);
+        h.observe(1);
+        h.observe(512);
+        h.observe(100_000); // beyond 2^9 -> overflow
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(*h.counts().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn quantile_bound_walks_buckets() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        for v in [1, 1, 2, 2, 4, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_bound(0.0), Some(1));
+        assert_eq!(h.quantile_bound(0.5), Some(2));
+        assert_eq!(h.quantile_bound(1.0), Some(8));
+        assert_eq!(Histogram::new(&[1]).quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn quantile_in_overflow_is_none() {
+        let mut h = Histogram::new(&[1]);
+        h.observe(100);
+        assert_eq!(h.quantile_bound(0.9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_order() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z.late", 1);
+        m.counter_add("a.early", 2);
+        m.counter_add("z.late", 3);
+        m.gauge_set("eps", 0.1);
+        m.gauge_set("eps", 0.2);
+        m.observe("lat", 7);
+        assert_eq!(m.counter("z.late"), 4);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("eps"), Some(0.2));
+        assert_eq!(m.histogram("lat").unwrap().count(), 1);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a.early", "z.late"], "sorted, not insertion order");
+    }
+
+    #[test]
+    fn clear_keeps_registered_shapes() {
+        let mut m = MetricsRegistry::new();
+        m.register_histogram("q", &[3, 6]);
+        m.observe("q", 5);
+        m.counter_add("c", 9);
+        m.clear();
+        assert_eq!(m.counter("c"), 0);
+        let h = m.histogram("q").unwrap();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bounds(), &[3, 6]);
+    }
+}

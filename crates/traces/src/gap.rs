@@ -15,10 +15,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use chrome_sim::rng::SmallRng;
 use chrome_sim::trace::TraceSource;
 use chrome_sim::types::{mix64, TraceRecord};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 // Virtual-address layout for the graph data structures.
 const OFFSETS_BASE: u64 = 0x10_0000_0000;
@@ -83,7 +82,7 @@ impl CsrGraph {
             let deg = ((avg_deg as f64) * boost * 0.2).max(1.0) as usize;
             for _ in 0..deg {
                 // endpoint choice also skewed toward hubs
-                let u: f64 = rng.gen();
+                let u: f64 = rng.gen_f64();
                 let target_rank = u.powf(1.0 + skew * 2.0);
                 let t = ((target_rank * n as f64) as u64).min(n as u64 - 1);
                 // map rank to a scattered vertex id so hubs spread over pages
@@ -276,8 +275,11 @@ impl GapSource {
     // ---- emission helpers ----
 
     fn emit_offsets(&mut self, u: u32) {
-        self.buf
-            .push_back(TraceRecord::load(PC_OFFSETS, OFFSETS_BASE + u as u64 * 4, 6));
+        self.buf.push_back(TraceRecord::load(
+            PC_OFFSETS,
+            OFFSETS_BASE + u as u64 * 4,
+            6,
+        ));
     }
 
     fn emit_neighbor(&mut self, edge_index: usize) {
@@ -302,8 +304,11 @@ impl GapSource {
     }
 
     fn emit_queue(&mut self, slot: usize) {
-        self.buf
-            .push_back(TraceRecord::store(PC_QUEUE, QUEUE_BASE + slot as u64 * 4, 4));
+        self.buf.push_back(TraceRecord::store(
+            PC_QUEUE,
+            QUEUE_BASE + slot as u64 * 4,
+            4,
+        ));
     }
 
     /// Scan vertex `u`'s adjacency, emitting the canonical access pattern
@@ -587,11 +592,21 @@ mod tests {
 
     #[test]
     fn all_kernels_stream_records() {
-        for k in [Kernel::Bfs, Kernel::Cc, Kernel::Pr, Kernel::Sssp, Kernel::Bc] {
+        for k in [
+            Kernel::Bfs,
+            Kernel::Cc,
+            Kernel::Pr,
+            Kernel::Sssp,
+            Kernel::Bc,
+        ] {
             let mut s = GapSource::new("t", k, small_graph(), 7);
             for i in 0..20_000 {
                 let r = s.next_record();
-                assert!(r.vaddr >= OFFSETS_BASE, "{k:?} record {i} vaddr {:#x}", r.vaddr);
+                assert!(
+                    r.vaddr >= OFFSETS_BASE,
+                    "{k:?} record {i} vaddr {:#x}",
+                    r.vaddr
+                );
             }
         }
     }
@@ -666,16 +681,23 @@ mod tests {
         // every discovered vertex (other than sources at dist 0) must
         // have an in-neighbor exactly one level above it
         let mut checked = 0;
-        for v in 0..graph.num_vertices() {
+        for (v, inn_v) in inn.iter().enumerate().take(graph.num_vertices()) {
             let d = s.dist[v];
             if d == u32::MAX || d == 0 {
                 continue;
             }
-            let ok = inn[v].iter().any(|&u| s.dist[u as usize] == d - 1);
-            assert!(ok, "vertex {v} at depth {d} has no parent at depth {}", d - 1);
+            let ok = inn_v.iter().any(|&u| s.dist[u as usize] == d - 1);
+            assert!(
+                ok,
+                "vertex {v} at depth {d} has no parent at depth {}",
+                d - 1
+            );
             checked += 1;
         }
-        assert!(checked > 100, "BFS should have discovered vertices (got {checked})");
+        assert!(
+            checked > 100,
+            "BFS should have discovered vertices (got {checked})"
+        );
     }
 
     #[test]
@@ -691,8 +713,8 @@ mod tests {
         }
         if s.round > 0 {
             // still in the same label-propagation execution
-            for v in 0..graph.num_vertices() {
-                assert!(s.dist[v] <= snapshot[v].max(v as u32), "label grew at {v}");
+            for (v, &snap) in snapshot.iter().enumerate().take(graph.num_vertices()) {
+                assert!(s.dist[v] <= snap.max(v as u32), "label grew at {v}");
             }
         }
     }
@@ -769,6 +791,10 @@ mod tests {
         for _ in 0..20_000 {
             addrs.insert(s.next_record().vaddr);
         }
-        assert!(addrs.len() > 2_000, "only {} distinct addresses", addrs.len());
+        assert!(
+            addrs.len() > 2_000,
+            "only {} distinct addresses",
+            addrs.len()
+        );
     }
 }

@@ -10,10 +10,9 @@
 //! * hot-set PCs re-touch a small set of lines (cache-friendly),
 //! * pointer-chase PCs have serialized, low-MLP irregular reuse.
 
+use chrome_sim::rng::SmallRng;
 use chrome_sim::trace::TraceSource;
 use chrome_sim::types::{mix64, TraceRecord};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::zipf::Zipf;
 
@@ -88,22 +87,38 @@ impl ComponentState {
             Component::HotSet { lines, alpha, .. } => Some(Zipf::new(lines, alpha)),
             _ => None,
         };
-        ComponentState { component, base, pcs, pos: 0, zipf }
+        ComponentState {
+            component,
+            base,
+            pcs,
+            pos: 0,
+            zipf,
+        }
     }
 
     fn step(&mut self, rng: &mut SmallRng) -> TraceRecord {
         match self.component {
-            Component::Scan { stride, span, nonmem, store_frac } => {
+            Component::Scan {
+                stride,
+                span,
+                nonmem,
+                store_frac,
+            } => {
                 let addr = self.base + self.pos;
                 self.pos = (self.pos + stride) % span;
                 let pc = self.pcs[(self.pos / stride) as usize % self.pcs.len().min(2)];
-                if rng.gen::<f32>() < store_frac {
+                if rng.gen_f32() < store_frac {
                     TraceRecord::store(pc, addr, nonmem)
                 } else {
                     TraceRecord::load(pc, addr, nonmem)
                 }
             }
-            Component::HotSet { lines, nonmem, store_frac, .. } => {
+            Component::HotSet {
+                lines,
+                nonmem,
+                store_frac,
+                ..
+            } => {
                 let rank = self.zipf.as_ref().expect("zipf built").sample(rng);
                 // scatter ranks over the region so hot lines spread
                 // across pages and sets
@@ -117,7 +132,7 @@ impl ComponentState {
                 } else {
                     self.pcs[half + rank % (self.pcs.len() - half)]
                 };
-                if rng.gen::<f32>() < store_frac {
+                if rng.gen_f32() < store_frac {
                     TraceRecord::store(pc, addr, nonmem)
                 } else {
                     TraceRecord::load(pc, addr, nonmem)
@@ -238,7 +253,12 @@ mod tests {
     fn scan_component_is_sequential() {
         let mut m = mk(vec![(
             1,
-            Component::Scan { stride: 64, span: 1 << 20, nonmem: 2, store_frac: 0.0 },
+            Component::Scan {
+                stride: 64,
+                span: 1 << 20,
+                nonmem: 2,
+                store_frac: 0.0,
+            },
         )]);
         let a = m.next_record();
         let b = m.next_record();
@@ -247,7 +267,13 @@ mod tests {
 
     #[test]
     fn chase_component_is_dependent() {
-        let mut m = mk(vec![(1, Component::Chase { lines: 1 << 16, nonmem: 1 })]);
+        let mut m = mk(vec![(
+            1,
+            Component::Chase {
+                lines: 1 << 16,
+                nonmem: 1,
+            },
+        )]);
         for _ in 0..10 {
             assert!(m.next_record().dep_prev);
         }
@@ -257,7 +283,12 @@ mod tests {
     fn hotset_reuses_lines() {
         let mut m = mk(vec![(
             1,
-            Component::HotSet { lines: 64, alpha: 1.0, nonmem: 0, store_frac: 0.0 },
+            Component::HotSet {
+                lines: 64,
+                alpha: 1.0,
+                nonmem: 0,
+                store_frac: 0.0,
+            },
         )]);
         let mut seen = std::collections::HashMap::new();
         for _ in 0..1000 {
@@ -270,8 +301,22 @@ mod tests {
     #[test]
     fn mixture_draws_all_components() {
         let mut m = mk(vec![
-            (1, Component::Scan { stride: 64, span: 1 << 20, nonmem: 0, store_frac: 0.0 }),
-            (1, Component::Chase { lines: 1 << 10, nonmem: 0 }),
+            (
+                1,
+                Component::Scan {
+                    stride: 64,
+                    span: 1 << 20,
+                    nonmem: 0,
+                    store_frac: 0.0,
+                },
+            ),
+            (
+                1,
+                Component::Chase {
+                    lines: 1 << 10,
+                    nonmem: 0,
+                },
+            ),
         ]);
         let mut dep = 0;
         let mut indep = 0;
@@ -291,8 +336,22 @@ mod tests {
             MixSource::new(
                 "d",
                 vec![
-                    (2, Component::Random { lines: 4096, nonmem: 1 }),
-                    (1, Component::HotSet { lines: 256, alpha: 0.9, nonmem: 0, store_frac: 0.2 }),
+                    (
+                        2,
+                        Component::Random {
+                            lines: 4096,
+                            nonmem: 1,
+                        },
+                    ),
+                    (
+                        1,
+                        Component::HotSet {
+                            lines: 256,
+                            alpha: 0.9,
+                            nonmem: 0,
+                            store_frac: 0.2,
+                        },
+                    ),
                 ],
                 4..16,
                 99,
@@ -309,7 +368,12 @@ mod tests {
     fn store_fraction_produces_stores() {
         let mut m = mk(vec![(
             1,
-            Component::Scan { stride: 64, span: 1 << 20, nonmem: 0, store_frac: 0.5 },
+            Component::Scan {
+                stride: 64,
+                span: 1 << 20,
+                nonmem: 0,
+                store_frac: 0.5,
+            },
         )]);
         let stores = (0..1000)
             .filter(|_| m.next_record().kind == chrome_sim::types::AccessKind::Store)
@@ -320,8 +384,22 @@ mod tests {
     #[test]
     fn components_use_disjoint_regions() {
         let mut m = mk(vec![
-            (1, Component::Scan { stride: 64, span: 1 << 20, nonmem: 0, store_frac: 0.0 }),
-            (1, Component::Random { lines: 4096, nonmem: 0 }),
+            (
+                1,
+                Component::Scan {
+                    stride: 64,
+                    span: 1 << 20,
+                    nonmem: 0,
+                    store_frac: 0.0,
+                },
+            ),
+            (
+                1,
+                Component::Random {
+                    lines: 4096,
+                    nonmem: 0,
+                },
+            ),
         ]);
         let mut regions = std::collections::HashSet::new();
         for _ in 0..2000 {

@@ -20,32 +20,71 @@ const fn lines(mb: u64) -> usize {
 }
 
 fn scan(stride: u64, span_mb: u64, nonmem: u16, store_frac: f32) -> Component {
-    Component::Scan { stride, span: span_mb * MB, nonmem, store_frac }
+    Component::Scan {
+        stride,
+        span: span_mb * MB,
+        nonmem,
+        store_frac,
+    }
 }
 
 fn hot(mb_times_4: u64, alpha: f64, nonmem: u16, store_frac: f32) -> Component {
     // `mb_times_4` is in quarter-megabytes so sub-1MB hot sets are expressible.
-    Component::HotSet { lines: (mb_times_4 * MB / 4 / 64) as usize, alpha, nonmem, store_frac }
+    Component::HotSet {
+        lines: (mb_times_4 * MB / 4 / 64) as usize,
+        alpha,
+        nonmem,
+        store_frac,
+    }
 }
 
 fn chase(span_mb: u64, nonmem: u16) -> Component {
-    Component::Chase { lines: lines(span_mb), nonmem }
+    Component::Chase {
+        lines: lines(span_mb),
+        nonmem,
+    }
 }
 
 fn random(span_mb: u64, nonmem: u16) -> Component {
-    Component::Random { lines: lines(span_mb), nonmem }
+    Component::Random {
+        lines: lines(span_mb),
+        nonmem,
+    }
 }
 
 /// The SPEC CPU2006 workload names evaluated in the paper (Table VI).
 pub const SPEC06: &[&str] = &[
-    "gcc", "bwaves", "mcf", "milc", "zeusmp", "gromacs", "leslie3d", "soplex", "hmmer",
-    "GemsFDTD", "libquantum", "astar", "wrf", "xalancbmk",
+    "gcc",
+    "bwaves",
+    "mcf",
+    "milc",
+    "zeusmp",
+    "gromacs",
+    "leslie3d",
+    "soplex",
+    "hmmer",
+    "GemsFDTD",
+    "libquantum",
+    "astar",
+    "wrf",
+    "xalancbmk",
 ];
 
 /// The SPEC CPU2017 workload names evaluated in the paper (Table VI).
 pub const SPEC17: &[&str] = &[
-    "gcc17", "bwaves17", "mcf17", "cactuBSSN", "lbm", "omnetpp", "wrf17", "xalancbmk17",
-    "cam4", "pop2", "fotonik3d", "roms", "xz",
+    "gcc17",
+    "bwaves17",
+    "mcf17",
+    "cactuBSSN",
+    "lbm",
+    "omnetpp",
+    "wrf17",
+    "xalancbmk17",
+    "cam4",
+    "pop2",
+    "fotonik3d",
+    "roms",
+    "xz",
 ];
 
 /// All SPEC-like workload names (2006 then 2017).
@@ -57,7 +96,11 @@ pub fn spec_workloads() -> Vec<&'static str> {
 
 /// Build a SPEC-like workload by name; `None` if the name is unknown.
 pub fn build_spec(name: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
-    let seed = seed ^ mix64(name.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)));
+    let seed = seed
+        ^ mix64(
+            name.bytes()
+                .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64)),
+        );
     let parts: Vec<(u32, Component)> = match name {
         // ---- SPEC CPU2006 ----
         // Hot-set sizes are chosen to land between the private L2
@@ -88,10 +131,7 @@ pub fn build_spec(name: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
             (1, scan(64, 16, 21, 0.1)),
         ],
         "hmmer" => vec![(4, hot(40, 0.25, 49, 0.2)), (1, scan(64, 2, 49, 0.1))],
-        "GemsFDTD" => vec![
-            (4, scan(64, 24, 21, 0.3)),
-            (2, scan(128, 24, 21, 0.3)),
-        ],
+        "GemsFDTD" => vec![(4, scan(64, 24, 21, 0.3)), (2, scan(128, 24, 21, 0.3))],
         "libquantum" => vec![(6, scan(64, 32, 14, 0.25))],
         "astar" => vec![
             (3, chase(6, 28)),
@@ -134,20 +174,14 @@ pub fn build_spec(name: &str, seed: u64) -> Option<Box<dyn TraceSource>> {
             (2, scan(64, 12, 35, 0.2)),
             (1, random(4, 35)),
         ],
-        "pop2" => vec![
-            (3, scan(64, 16, 28, 0.25)),
-            (2, hot(28, 0.30, 28, 0.1)),
-        ],
+        "pop2" => vec![(3, scan(64, 16, 28, 0.25)), (2, hot(28, 0.30, 28, 0.1))],
         "fotonik3d" => vec![(4, scan(64, 20, 21, 0.2)), (1, hot(16, 0.30, 21, 0.0))],
         "roms" => vec![
             (3, scan(64, 16, 28, 0.3)),
             (1, scan(192, 8, 28, 0.3)),
             (1, hot(16, 0.30, 28, 0.1)),
         ],
-        "xz" => vec![
-            (3, random(12, 21)),
-            (2, hot(32, 0.40, 21, 0.2)),
-        ],
+        "xz" => vec![(3, random(12, 21)), (2, hot(32, 0.40, 21, 0.2))],
         _ => return None,
     };
     Some(Box::new(MixSource::new(name, parts, 16..64, seed)))
@@ -175,7 +209,9 @@ mod tests {
     fn different_workloads_differ() {
         let mut a = build_spec("libquantum", 0).unwrap();
         let mut b = build_spec("mcf", 0).unwrap();
-        let same = (0..100).filter(|_| a.next_record() == b.next_record()).count();
+        let same = (0..100)
+            .filter(|_| a.next_record() == b.next_record())
+            .count();
         assert!(same < 10, "workloads should produce different streams");
     }
 
@@ -205,7 +241,9 @@ mod tests {
     fn seeds_change_streams() {
         let mut a = build_spec("soplex", 1).unwrap();
         let mut b = build_spec("soplex", 2).unwrap();
-        let same = (0..200).filter(|_| a.next_record() == b.next_record()).count();
+        let same = (0..200)
+            .filter(|_| a.next_record() == b.next_record())
+            .count();
         assert!(same < 50);
     }
 

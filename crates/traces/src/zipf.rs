@@ -4,7 +4,7 @@
 //! lines are extremely hot, with a long cold tail — the distribution
 //! empirically observed for data reuse in irregular applications.
 
-use rand::Rng;
+use chrome_sim::rng::SmallRng;
 
 /// Samples ranks with probability proportional to `1 / (rank+1)^alpha`
 /// via a precomputed inverse CDF.
@@ -47,9 +47,12 @@ impl Zipf {
     }
 
     /// Draw a rank in `0..n`.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.gen_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -59,8 +62,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_alpha_zero() {

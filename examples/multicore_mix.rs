@@ -14,7 +14,10 @@ use chrome_repro::traces::mix;
 fn policy_for(name: &str) -> Box<dyn LlcPolicy> {
     build_policy(name).unwrap_or_else(|| {
         assert_eq!(name, "CHROME");
-        Box::new(Chrome::new(ChromeConfig { sampled_sets: 512, ..Default::default() }))
+        Box::new(Chrome::new(ChromeConfig {
+            sampled_sets: 512,
+            ..Default::default()
+        }))
     })
 }
 
@@ -25,10 +28,17 @@ fn main() {
     println!("heterogeneous 4-core mix: {}\n", names.join(" + "));
 
     let mut lru_ipc: Vec<f64> = Vec::new();
-    for scheme in ["LRU", "SHiP++", "Hawkeye", "Glider", "Mockingjay", "CARE", "CHROME"] {
+    for scheme in [
+        "LRU",
+        "SHiP++",
+        "Hawkeye",
+        "Glider",
+        "Mockingjay",
+        "CARE",
+        "CHROME",
+    ] {
         let traces = mix::build_mix(&names, 7).expect("known workloads");
-        let mut system =
-            System::with_policy(SimConfig::with_cores(4), traces, policy_for(scheme));
+        let mut system = System::with_policy(SimConfig::with_cores(4), traces, policy_for(scheme));
         let r = system.run(instructions, warmup);
         if scheme == "LRU" {
             lru_ipc = r.per_core.iter().map(|c| c.ipc()).collect();
@@ -40,8 +50,11 @@ fn main() {
             .map(|(c, &b)| c.ipc() / b)
             .sum::<f64>()
             / 4.0;
-        let camat: Vec<String> =
-            r.per_core.iter().map(|c| format!("{:.0}", c.camat_llc())).collect();
+        let camat: Vec<String> = r
+            .per_core
+            .iter()
+            .map(|c| format!("{:.0}", c.camat_llc()))
+            .collect();
         let obstructed: u64 = r.per_core.iter().map(|c| c.obstructed_epochs).sum();
         println!(
             "{scheme:<11} ws={ws:.3}  llc_miss={:.1}%  per-core C-AMAT(LLC)=[{}]  obstructed-epochs={obstructed}",

@@ -9,9 +9,7 @@
 
 use chrome_repro::chrome::{Chrome, ChromeConfig};
 use chrome_repro::sim::overhead::StorageOverhead;
-use chrome_repro::sim::policy::{
-    AccessInfo, CandidateLine, FillDecision, SystemFeedback,
-};
+use chrome_repro::sim::policy::{AccessInfo, CandidateLine, FillDecision, SystemFeedback};
 use chrome_repro::sim::types::LineAddr;
 use chrome_repro::sim::{LlcPolicy, SimConfig, System};
 use chrome_repro::traces::mix;
@@ -46,9 +44,13 @@ impl LlcPolicy for PrefetchShield {
     fn choose_victim(&mut self, set: usize, c: &[CandidateLine], _: &AccessInfo) -> usize {
         // oldest unshielded block; fall back to oldest overall
         let oldest = |cands: &mut dyn Iterator<Item = &CandidateLine>| {
-            cands.min_by_key(|cand| self.fifo_rank[set * self.ways + cand.way]).map(|c| c.way)
+            cands
+                .min_by_key(|cand| self.fifo_rank[set * self.ways + cand.way])
+                .map(|c| c.way)
         };
-        let mut unshielded = c.iter().filter(|cand| !self.shielded[set * self.ways + cand.way]);
+        let mut unshielded = c
+            .iter()
+            .filter(|cand| !self.shielded[set * self.ways + cand.way]);
         if let Some(w) = oldest(&mut unshielded) {
             // spend the shields of everything older than the victim
             for cand in c {
@@ -96,7 +98,10 @@ fn main() {
             _ => System::with_policy(
                 cfg,
                 traces,
-                Box::new(Chrome::new(ChromeConfig { sampled_sets: 512, ..Default::default() })),
+                Box::new(Chrome::new(ChromeConfig {
+                    sampled_sets: 512,
+                    ..Default::default()
+                })),
             ),
         };
         let r = system.run(instructions, warmup);

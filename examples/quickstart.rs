@@ -25,7 +25,10 @@ fn main() {
 
     // CHROME: the online-RL holistic manager.
     let traces = mix::homogeneous(workload, cores, 42).expect("known workload");
-    let policy = Box::new(Chrome::new(ChromeConfig { sampled_sets: 512, ..Default::default() }));
+    let policy = Box::new(Chrome::new(ChromeConfig {
+        sampled_sets: 512,
+        ..Default::default()
+    }));
     let mut chrome_system = System::with_policy(SimConfig::with_cores(cores), traces, policy);
     let chrome = chrome_system.run(instructions, warmup);
 

@@ -17,7 +17,10 @@ fn every_policy_completes_a_multicore_run() {
         let policy = build_policy(scheme).expect("known policy");
         let mut sys = System::with_policy(small_cfg(2), traces, policy);
         let r = sys.run(40_000, 5_000);
-        assert!(r.per_core.iter().all(|c| c.ipc() > 0.0), "{scheme} produced zero IPC");
+        assert!(
+            r.per_core.iter().all(|c| c.ipc() > 0.0),
+            "{scheme} produced zero IPC"
+        );
         assert!(r.llc.demand_accesses > 0, "{scheme} starved the LLC");
     }
 }
@@ -28,9 +31,7 @@ fn chrome_completes_and_learns() {
     // a dense pure scan (one load per 2 instructions) through the small
     // test LLC: the canonical bypass-learning scenario
     let traces: Vec<Box<dyn TraceSource>> = (0..2)
-        .map(|i| {
-            Box::new(StridedSource::new(i << 30, 64, 32 << 20, 1)) as Box<dyn TraceSource>
-        })
+        .map(|i| Box::new(StridedSource::new(i << 30, 64, 32 << 20, 1)) as Box<dyn TraceSource>)
         .collect();
     let policy = Box::new(Chrome::new(ChromeConfig {
         sampled_sets: 256, // small cache in tests: sample every set
@@ -47,7 +48,11 @@ fn chrome_completes_and_learns() {
         r.llc.demand_misses
     );
     let report = sys.hierarchy().llc.policy.report();
-    let upksa = report.iter().find(|(k, _)| k == "upksa").expect("upksa reported").1;
+    let upksa = report
+        .iter()
+        .find(|(k, _)| k == "upksa")
+        .expect("upksa reported")
+        .1;
     assert!(upksa > 0.0, "agent never updated its Q-table");
 }
 
@@ -101,7 +106,10 @@ fn prefetchers_populate_llc_prefetch_stats() {
     let traces = mix::homogeneous("libquantum", 1, 5).expect("exists");
     let mut sys = System::new(small_cfg(1), traces);
     let r = sys.run(60_000, 5_000);
-    assert!(r.llc.prefetch_accesses > 0, "prefetches should reach the LLC");
+    assert!(
+        r.llc.prefetch_accesses > 0,
+        "prefetches should reach the LLC"
+    );
     assert!(r.l1d[0].prefetch_fills > 0, "next-line should fill L1");
 }
 
@@ -128,5 +136,8 @@ fn weighted_speedup_of_identical_runs_is_one() {
     let b = mk();
     let baseline: Vec<f64> = b.per_core.iter().map(|c| c.ipc()).collect();
     let ws = a.weighted_speedup(&baseline);
-    assert!((ws - 2.0).abs() < 1e-9, "2 cores at ratio 1.0 each, ws = {ws}");
+    assert!(
+        (ws - 2.0).abs() < 1e-9,
+        "2 cores at ratio 1.0 each, ws = {ws}"
+    );
 }

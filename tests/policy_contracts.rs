@@ -21,27 +21,32 @@ fn all_policies() -> Vec<Box<dyn LlcPolicy>> {
 }
 
 fn drive(policy: Box<dyn LlcPolicy>, accesses: usize, seed: u64) -> SharedLlc {
-    let cfg = CacheConfig { capacity: 64 * 8 * 64, ways: 8, latency: 40, mshr_entries: 16 };
+    let cfg = CacheConfig {
+        capacity: 64 * 8 * 64,
+        ways: 8,
+        latency: 40,
+        mshr_entries: 16,
+    };
     let mut llc = SharedLlc::new(&cfg, 2, policy);
     let mut fb = SystemFeedback::new(2);
     for i in 0..accesses {
         let r = mix64(seed ^ i as u64);
         // mixed traffic: hot lines, scans, prefetches, two cores
         let line = match r % 4 {
-            0 => LineAddr(r % 64),                  // hot
-            1 => LineAddr(1_000_000 + i as u64),    // scan
-            _ => LineAddr(10_000 + r % 4096),       // warm
+            0 => LineAddr(r % 64),               // hot
+            1 => LineAddr(1_000_000 + i as u64), // scan
+            _ => LineAddr(10_000 + r % 4096),    // warm
         };
         let info = AccessInfo {
             core: (r >> 8) as usize % 2,
             pc: 0x400 + (r >> 16) % 32 * 4,
             line,
-            is_prefetch: r % 7 == 0,
-            is_write: r % 11 == 0,
+            is_prefetch: r.is_multiple_of(7),
+            is_write: r.is_multiple_of(11),
             cycle: i as u64 * 3,
         };
         if i % 1000 == 0 {
-            fb.obstructed[0] = (r >> 3) % 2 == 0;
+            fb.obstructed[0] = (r >> 3).is_multiple_of(2);
             fb.epoch += 1;
             llc.policy.on_epoch(&fb);
         }
@@ -56,7 +61,10 @@ fn policies_survive_mixed_traffic() {
         let name = policy.name().to_string();
         let llc = drive(policy, 50_000, 0xDE);
         let s = &llc.stats;
-        assert!(s.demand_accesses + s.prefetch_accesses == 50_000, "{name}: lost accesses");
+        assert!(
+            s.demand_accesses + s.prefetch_accesses == 50_000,
+            "{name}: lost accesses"
+        );
         assert!(s.demand_misses <= s.demand_accesses, "{name}");
         assert!(
             s.bypasses <= s.demand_misses + s.prefetch_misses,
@@ -82,18 +90,28 @@ fn hot_lines_survive_under_every_policy() {
     for policy in all_policies() {
         let name = policy.name().to_string();
         let llc = drive(policy, 80_000, 0x7);
-        let resident = (0..64).filter(|&l| llc.probe(LineAddr(l)).is_some()).count();
-        assert!(resident >= 10, "{name}: only {resident}/64 hot lines resident");
+        let resident = (0..64)
+            .filter(|&l| llc.probe(LineAddr(l)).is_some())
+            .count();
+        assert!(
+            resident >= 10,
+            "{name}: only {resident}/64 hot lines resident"
+        );
     }
 }
 
 #[test]
 fn storage_overheads_are_positive_and_chrome_smallest() {
     let blocks = 196_608; // 12MB / 64B
-    let chrome_kib = Chrome::new(ChromeConfig::default()).storage_overhead(blocks).total_kib();
+    let chrome_kib = Chrome::new(ChromeConfig::default())
+        .storage_overhead(blocks)
+        .total_kib();
     assert!(chrome_kib > 0.0);
     for scheme in ["Hawkeye", "Glider", "Mockingjay", "CARE"] {
-        let kib = build_policy(scheme).expect("known").storage_overhead(blocks).total_kib();
+        let kib = build_policy(scheme)
+            .expect("known")
+            .storage_overhead(blocks)
+            .total_kib();
         assert!(kib > 0.0, "{scheme}");
         assert!(
             chrome_kib < kib,

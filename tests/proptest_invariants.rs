@@ -1,5 +1,6 @@
-//! Property-based tests over the whole stack: arbitrary traffic must
-//! never violate the core structural invariants.
+//! Randomized invariant tests over the whole stack: arbitrary traffic
+//! must never violate the core structural invariants. Driven by a
+//! seeded in-repo RNG so every run is deterministic.
 
 use chrome_repro::chrome::{Chrome, ChromeConfig};
 use chrome_repro::sim::camat::CamatTracker;
@@ -7,55 +8,83 @@ use chrome_repro::sim::config::CacheConfig;
 use chrome_repro::sim::llc::SharedLlc;
 use chrome_repro::sim::mmu::Mmu;
 use chrome_repro::sim::policy::{AccessInfo, BuiltinLru, SystemFeedback};
+use chrome_repro::sim::rng::SmallRng;
 use chrome_repro::sim::types::LineAddr;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    /// The C-AMAT union computation is bounded by the sum of interval
-    /// lengths and by the overall time span.
-    #[test]
-    fn camat_union_bounds(intervals in prop::collection::vec((0u64..10_000, 0u64..500), 1..200)) {
+/// The C-AMAT union computation is bounded by the sum of interval
+/// lengths and by the overall time span.
+#[test]
+fn camat_union_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0xE2E_0001);
+    for case in 0..CASES {
+        let count = rng.gen_range(1..200usize);
+        let mut intervals: Vec<(u64, u64)> = (0..count)
+            .map(|_| (rng.gen_range(0u64..10_000), rng.gen_range(0u64..500)))
+            .collect();
+        intervals.sort_by_key(|&(s, _)| s);
         let mut tracker = CamatTracker::new(1);
-        let mut sorted = intervals.clone();
-        sorted.sort_by_key(|&(s, _)| s);
         let mut sum = 0u64;
         let mut max_end = 0u64;
         let mut min_start = u64::MAX;
-        for (s, len) in sorted {
+        for &(s, len) in &intervals {
             tracker.record(0, s, s + len);
             sum += len;
             max_end = max_end.max(s + len);
             min_start = min_start.min(s);
         }
-        let (active, count) = tracker.totals(0);
-        prop_assert!(active <= sum, "union {active} exceeds sum {sum}");
-        prop_assert!(active <= max_end - min_start, "union exceeds span");
-        prop_assert_eq!(count, intervals.len() as u64);
+        let (active, n) = tracker.totals(0);
+        assert!(
+            active <= sum,
+            "case {case}: union {active} exceeds sum {sum}"
+        );
+        assert!(
+            active <= max_end - min_start,
+            "case {case}: union exceeds span"
+        );
+        assert_eq!(n, intervals.len() as u64, "case {case}");
     }
+}
 
-    /// The MMU is injective: distinct (core, page) pairs never map to
-    /// the same physical page.
-    #[test]
-    fn mmu_is_injective(pages in prop::collection::vec((0usize..4, 0u64..100_000), 1..200)) {
+/// The MMU is injective: distinct (core, page) pairs never map to the
+/// same physical page.
+#[test]
+fn mmu_is_injective() {
+    let mut rng = SmallRng::seed_from_u64(0xE2E_0002);
+    for case in 0..CASES {
         let mut mmu = Mmu::new(1 << 30);
         let mut seen = std::collections::HashMap::new();
-        for (core, vpage) in pages {
+        let count = rng.gen_range(1..200usize);
+        for _ in 0..count {
+            let core = rng.gen_range(0..4usize);
+            let vpage = rng.gen_range(0u64..100_000);
             let line = mmu.translate(core, vpage << 12);
             let ppage = line.page_number();
             if let Some(prev) = seen.insert(ppage, (core, vpage)) {
-                prop_assert_eq!(prev, (core, vpage), "two mappings share ppage {}", ppage);
+                assert_eq!(
+                    prev,
+                    (core, vpage),
+                    "case {case}: two mappings share ppage {ppage}"
+                );
             }
         }
     }
+}
 
-    /// Under arbitrary traffic, the LLC respects geometry and stats stay
-    /// consistent, for both the trivial and the RL policy.
-    #[test]
-    fn llc_invariants_hold(ops in prop::collection::vec((0u64..50_000, 0u64..64, any::<bool>()), 1..400),
-                           use_chrome in any::<bool>()) {
-        let cfg = CacheConfig { capacity: 16 * 4 * 64, ways: 4, latency: 40, mshr_entries: 8 };
+/// Under arbitrary traffic, the LLC respects geometry and stats stay
+/// consistent, for both the trivial and the RL policy.
+#[test]
+fn llc_invariants_hold() {
+    let mut rng = SmallRng::seed_from_u64(0xE2E_0003);
+    for case in 0..CASES {
+        let use_chrome = case % 2 == 0;
+        let cfg = CacheConfig {
+            capacity: 16 * 4 * 64,
+            ways: 4,
+            latency: 40,
+            mshr_entries: 8,
+        };
         let policy: Box<dyn chrome_repro::sim::LlcPolicy> = if use_chrome {
             Box::new(Chrome::new(ChromeConfig::default()))
         } else {
@@ -63,36 +92,45 @@ proptest! {
         };
         let mut llc = SharedLlc::new(&cfg, 1, policy);
         let fb = SystemFeedback::new(1);
-        let n = ops.len() as u64;
-        for (i, (line, pc, prefetch)) in ops.into_iter().enumerate() {
+        let n = rng.gen_range(1..400usize) as u64;
+        for i in 0..n {
             let info = AccessInfo {
                 core: 0,
-                pc: 0x400 + pc * 4,
-                line: LineAddr(line),
-                is_prefetch: prefetch,
+                pc: 0x400 + rng.gen_range(0u64..64) * 4,
+                line: LineAddr(rng.gen_range(0u64..50_000)),
+                is_prefetch: rng.next_u64() & 1 == 1,
                 is_write: false,
-                cycle: i as u64,
+                cycle: i,
             };
             llc.access(&info, &fb);
         }
         let s = &llc.stats;
-        prop_assert_eq!(s.demand_accesses + s.prefetch_accesses, n);
-        prop_assert!(s.demand_misses <= s.demand_accesses);
-        prop_assert!(s.prefetch_misses <= s.prefetch_accesses);
-        prop_assert!(s.evictions_unused <= s.evictions + s.bypasses);
-        prop_assert!(llc.occupancy() <= 16 * 4);
-        // a resident line must be found where it was inserted
-        prop_assert!(s.bypasses <= s.demand_misses + s.prefetch_misses);
+        assert_eq!(s.demand_accesses + s.prefetch_accesses, n, "case {case}");
+        assert!(s.demand_misses <= s.demand_accesses, "case {case}");
+        assert!(s.prefetch_misses <= s.prefetch_accesses, "case {case}");
+        assert!(
+            s.evictions_unused <= s.evictions + s.bypasses,
+            "case {case}"
+        );
+        assert!(llc.occupancy() <= 16 * 4, "case {case}: over geometry");
+        assert!(
+            s.bypasses <= s.demand_misses + s.prefetch_misses,
+            "case {case}"
+        );
     }
+}
 
-    /// Workload generators only produce addresses within u64 range and
-    /// respect their declared determinism.
-    #[test]
-    fn generators_are_deterministic(seed in any::<u64>(), steps in 1usize..300) {
+/// Workload generators respect their declared determinism.
+#[test]
+fn generators_are_deterministic() {
+    let mut rng = SmallRng::seed_from_u64(0xE2E_0004);
+    for case in 0..CASES {
+        let seed = rng.next_u64();
+        let steps = rng.gen_range(1..300usize);
         let mut a = chrome_repro::traces::build_workload("astar", seed).expect("known");
         let mut b = chrome_repro::traces::build_workload("astar", seed).expect("known");
         for _ in 0..steps {
-            prop_assert_eq!(a.next_record(), b.next_record());
+            assert_eq!(a.next_record(), b.next_record(), "case {case}: divergence");
         }
     }
 }
