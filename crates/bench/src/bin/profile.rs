@@ -1,0 +1,185 @@
+//! Latency-attribution profile of one (workload, scheme) cell.
+//!
+//! Runs the simulator with the per-request span profiler enabled, prints
+//! the where-cycles-go attribution report, and cross-checks the
+//! profiler's ground truth against `CamatTracker`'s decomposition
+//! (pure AMAT vs C-AMAT vs overlap savings) and the DRAM model's running
+//! latency estimate. Exits non-zero if any reconciliation fails, which
+//! is what the CI perf-smoke job keys on.
+//!
+//! ```text
+//! profile [--workload W | --mix a,b,...] [--scheme S]
+//!         [--telemetry-out DIR] [--bench-json FILE] [common flags]
+//! ```
+//!
+//! With `--telemetry-out DIR` the full artifact set is exported
+//! (`*_attrib.csv`, `*_attrib.txt`, `*_trace.json` with request spans,
+//! epoch series); with `--bench-json FILE` a machine-readable summary
+//! (sims/sec + attribution sums) is written for trend tracking.
+
+use std::time::Instant;
+
+use chrome_bench::runner::{run_mix, run_workload, RunParams, SchemeResult};
+use chrome_telemetry::export::attrib_text;
+use chrome_telemetry::Stage;
+
+fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let mut params =
+        RunParams::from_args_ignoring(&["--workload", "--mix", "--scheme", "--bench-json"]);
+    params.profile = true;
+    let scheme = arg_string("--scheme").unwrap_or_else(|| "CHROME".to_string());
+    let workload = arg_string("--workload").unwrap_or_else(|| "mcf".to_string());
+    let mix = arg_string("--mix");
+
+    let t0 = Instant::now();
+    let (label, r) = match &mix {
+        Some(m) => {
+            let names: Vec<&str> = m.split(',').filter(|s| !s.is_empty()).collect();
+            params.cores = names.len();
+            (m.clone(), run_mix(&params, &names, &scheme))
+        }
+        None => (workload.clone(), run_workload(&params, &workload, &scheme)),
+    };
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let attrib = r.attrib.as_ref().expect("profiling run returns attrib");
+    println!("== profile: {label} / {scheme} ==");
+    println!(
+        "cores={} instructions={}/core warmup={} elapsed={elapsed:.2}s",
+        params.cores, params.instructions, params.warmup
+    );
+    println!();
+    print!("{}", attrib_text(attrib));
+    println!();
+
+    decomposition_report(&r);
+
+    let failures = reconcile(&r);
+    if let Some(path) = arg_string("--bench-json") {
+        let json = bench_json(&params, &r, elapsed, failures.is_empty());
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("RECONCILIATION FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("reconciliation: OK");
+}
+
+/// Cross-check the profiler against the C-AMAT tracker and DRAM model.
+fn decomposition_report(r: &SchemeResult) {
+    let attrib = r.attrib.as_ref().unwrap();
+    println!("-- decomposition cross-check (profiler vs CamatTracker) --");
+    println!(
+        "{:<6} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "core", "llc_acc", "AMAT(prof)", "AMAT(camat)", "C-AMAT", "overlap"
+    );
+    for (i, c) in r.results.per_core.iter().enumerate() {
+        let (cycles, count) = attrib.llc_demand(i);
+        let prof_amat = if count == 0 {
+            0.0
+        } else {
+            cycles as f64 / count as f64
+        };
+        println!(
+            "{i:<6} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            c.llc_accesses,
+            prof_amat,
+            c.amat_llc(),
+            c.camat_llc(),
+            c.overlap_savings_llc(),
+        );
+    }
+    let combined = attrib.combined();
+    let dram_cycles: u64 = [Stage::DramQueue, Stage::DramService, Stage::DramTransfer]
+        .iter()
+        .map(|&s| combined.stages[s as usize])
+        .sum();
+    println!(
+        "DRAM: avg_read_latency(model)={:.1} cycles; profiler DRAM-stage share={:.1}% of {} \
+         attributed cycles",
+        r.results.dram_avg_latency,
+        if combined.latency_cycles == 0 {
+            0.0
+        } else {
+            100.0 * dram_cycles as f64 / combined.latency_cycles as f64
+        },
+        combined.latency_cycles,
+    );
+    println!();
+}
+
+/// Hard invariants; any violation fails the run.
+fn reconcile(r: &SchemeResult) -> Vec<String> {
+    let attrib = r.attrib.as_ref().unwrap();
+    let mut failures = Vec::new();
+    if !cfg!(feature = "telemetry") {
+        // the hot path compiles the profiler out; nothing to reconcile
+        return failures;
+    }
+    if attrib.total_requests() == 0 {
+        failures.push("profiler recorded no requests".to_string());
+    }
+    if attrib.mismatches() != 0 {
+        failures.push(format!(
+            "{} spans whose stage sums != end-to-end latency",
+            attrib.mismatches()
+        ));
+    }
+    for (i, c) in r.results.per_core.iter().enumerate() {
+        let (cycles, count) = attrib.llc_demand(i);
+        if count != c.llc_accesses {
+            failures.push(format!(
+                "core {i}: profiler saw {count} LLC demand requests, CamatTracker {}",
+                c.llc_accesses
+            ));
+        }
+        if cycles != c.llc_latency_cycles {
+            failures.push(format!(
+                "core {i}: profiler LLC latency sum {cycles} != CamatTracker {}",
+                c.llc_latency_cycles
+            ));
+        }
+    }
+    failures
+}
+
+fn bench_json(params: &RunParams, r: &SchemeResult, elapsed: f64, reconciled: bool) -> String {
+    let attrib = r.attrib.as_ref().unwrap();
+    let combined = attrib.combined();
+    let total_instr = params.instructions * params.cores as u64;
+    let sims_per_sec = if elapsed > 0.0 {
+        total_instr as f64 / elapsed
+    } else {
+        0.0
+    };
+    let stage_sums: Vec<String> = Stage::ALL
+        .iter()
+        .map(|&s| format!("\"{}\":{}", s.name(), combined.stages[s as usize]))
+        .collect();
+    format!(
+        "{{\"name\":\"profile_smoke\",\"cores\":{},\"instructions\":{},\"elapsed_sec\":{:.3},\
+         \"sims_per_sec\":{:.1},\"requests\":{},\"mismatches\":{},\
+         \"attrib_latency_cycles\":{},\"attrib_stage_cycles\":{{{}}},\"reconciled\":{}}}\n",
+        params.cores,
+        total_instr,
+        elapsed,
+        sims_per_sec,
+        attrib.total_requests(),
+        attrib.mismatches(),
+        combined.latency_cycles,
+        stage_sums.join(","),
+        reconciled,
+    )
+}

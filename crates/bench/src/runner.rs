@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 use chrome_sim::{PrefetcherConfig, SimConfig, SimResults, System};
-use chrome_telemetry::{EpochSeries, TelemetryConfig, TelemetrySink};
+use chrome_telemetry::{AttribProfiler, EpochSeries, TelemetryConfig, TelemetrySink};
 use chrome_traces::mix;
 
 use crate::registry::build_any_policy;
@@ -29,6 +29,10 @@ pub struct RunParams {
     /// Record the epoch series even without exporting it (experiment
     /// binaries that consume [`SchemeResult::epochs`] set this).
     pub record_epochs: bool,
+    /// Enable the per-request latency-attribution profiler
+    /// (`--profile`); implies a recording telemetry sink and populates
+    /// [`SchemeResult::attrib`].
+    pub profile: bool,
 }
 
 impl Default for RunParams {
@@ -41,6 +45,7 @@ impl Default for RunParams {
             seed: 0x5EED,
             telemetry_out: None,
             record_epochs: false,
+            profile: false,
         }
     }
 }
@@ -89,6 +94,9 @@ impl RunParams {
                         args.get(i).expect("--telemetry-out takes a dir"),
                     ));
                 }
+                "--profile" => {
+                    p.profile = true;
+                }
                 "--quick" => {
                     p.instructions /= 10;
                     p.warmup /= 10;
@@ -134,6 +142,9 @@ pub struct SchemeResult {
     /// Epoch-resolved telemetry series (empty unless the run recorded
     /// telemetry via `--telemetry-out` or [`RunParams::record_epochs`]).
     pub epochs: EpochSeries,
+    /// Latency-attribution profiler state (populated only when
+    /// [`RunParams::profile`] was set).
+    pub attrib: Option<AttribProfiler>,
 }
 
 impl SchemeResult {
@@ -221,8 +232,12 @@ fn run_traces(
     if track_unused {
         sys.enable_unused_tracking();
     }
-    if params.telemetry_out.is_some() || params.record_epochs {
-        sys.set_telemetry(TelemetrySink::recording(TelemetryConfig::default()));
+    if params.telemetry_out.is_some() || params.record_epochs || params.profile {
+        let cfg = TelemetryConfig {
+            profile: params.profile,
+            ..TelemetryConfig::default()
+        };
+        sys.set_telemetry(TelemetrySink::recording(cfg));
     }
     let results = sys.run(params.instructions, params.warmup);
     let report = sys.hierarchy().llc.policy.report();
@@ -230,6 +245,11 @@ fn run_traces(
         .telemetry()
         .with(|t| t.epochs.clone())
         .unwrap_or_default();
+    let attrib = if params.profile {
+        sys.telemetry().with(|t| t.attrib.clone())
+    } else {
+        None
+    };
     if let Some(dir) = &params.telemetry_out {
         sys.telemetry()
             .export(dir, &artifact_prefix(label, scheme))
@@ -240,6 +260,7 @@ fn run_traces(
         results,
         report,
         epochs,
+        attrib,
     }
 }
 
@@ -282,6 +303,23 @@ mod tests {
     fn chrome_report_is_populated() {
         let r = run_workload(&quick(), "mcf", "CHROME");
         assert!(r.report.iter().any(|(k, _)| k == "upksa"));
+    }
+
+    #[test]
+    fn profile_run_populates_attrib_exactly() {
+        let params = RunParams {
+            warmup: 0,
+            profile: true,
+            ..quick()
+        };
+        let r = run_workload(&params, "libquantum", "LRU");
+        let attrib = r.attrib.expect("profiling run returns attrib state");
+        if cfg!(feature = "telemetry") {
+            assert!(attrib.total_requests() > 0);
+            assert_eq!(attrib.mismatches(), 0, "per-stage sums must telescope");
+        }
+        let plain = run_workload(&quick(), "libquantum", "LRU");
+        assert!(plain.attrib.is_none());
     }
 
     #[test]

@@ -8,9 +8,58 @@
 //! start order per core, the union can be maintained incrementally with a
 //! single "covered-until" watermark per core.
 //!
+//! The tracker also keeps the plain (non-overlapped) latency sum, so
+//! every epoch yields both pure AMAT and C-AMAT — their difference is
+//! the per-access cycles that memory-level parallelism hid.
+//!
 //! Per feedback epoch (100K cycles in the paper) the tracker produces
-//! per-core C-AMAT(LLC) values and the LLC-obstruction flags
-//! (`C-AMAT_i(LLC) > T_mem`).
+//! per-core [`CamatEpoch`] samples and the LLC-obstruction inputs
+//! (`C-AMAT_i(LLC) > T_mem`). Active cycles are attributed to the epoch
+//! whose window they fall in: an interval straddling an epoch boundary
+//! is split, with the overhang carried into the following epoch(s)
+//! rather than credited to the epoch that issued the access. Accesses
+//! (and their pure latency) stay attributed to the issuing epoch —
+//! counts are not divisible.
+
+/// One core's C-AMAT sample for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CamatEpoch {
+    /// Concurrent AMAT: union-of-intervals active cycles per access.
+    pub camat: f64,
+    /// Pure AMAT: summed latency per access (no overlap discount).
+    pub amat: f64,
+    /// Accesses issued this epoch.
+    pub accesses: u64,
+    /// Memory-active cycles that fell inside this epoch's window.
+    pub active_cycles: u64,
+    /// Summed end-to-end latency of the accesses issued this epoch.
+    pub latency_cycles: u64,
+}
+
+impl CamatEpoch {
+    fn from_counts(active: u64, accesses: u64, latency: u64) -> Self {
+        let per_access = |v: u64| {
+            if accesses == 0 {
+                0.0
+            } else {
+                v as f64 / accesses as f64
+            }
+        };
+        CamatEpoch {
+            camat: per_access(active),
+            amat: per_access(latency),
+            accesses,
+            active_cycles: active,
+            latency_cycles: latency,
+        }
+    }
+
+    /// Per-access cycles that overlap hid (`amat - camat`, ≥ 0 up to
+    /// boundary-split skew).
+    pub fn overlap_savings(&self) -> f64 {
+        self.amat - self.camat
+    }
+}
 
 /// Per-core C-AMAT accounting at one memory level.
 #[derive(Debug, Clone)]
@@ -18,8 +67,17 @@ pub struct CamatTracker {
     covered_until: Vec<u64>,
     epoch_active: Vec<u64>,
     epoch_accesses: Vec<u64>,
+    epoch_latency: Vec<u64>,
     total_active: Vec<u64>,
     total_accesses: Vec<u64>,
+    total_latency: Vec<u64>,
+    /// End boundary of the currently open epoch window; `u64::MAX`
+    /// disables boundary splitting (every cycle lands in the open epoch).
+    epoch_end: u64,
+    /// Per-core union segments `[start, end)` lying at or beyond
+    /// `epoch_end`, waiting for the epoch that owns them. Disjoint and
+    /// ordered (a consequence of the watermark union).
+    overhang: Vec<Vec<(u64, u64)>>,
 }
 
 impl CamatTracker {
@@ -29,8 +87,32 @@ impl CamatTracker {
             covered_until: vec![0; cores],
             epoch_active: vec![0; cores],
             epoch_accesses: vec![0; cores],
+            epoch_latency: vec![0; cores],
             total_active: vec![0; cores],
             total_accesses: vec![0; cores],
+            total_latency: vec![0; cores],
+            epoch_end: u64::MAX,
+            overhang: vec![Vec::new(); cores],
+        }
+    }
+
+    /// Set the end boundary of the currently open epoch. Call once at
+    /// construction (first boundary); afterwards [`CamatTracker::end_epoch`]
+    /// advances it.
+    pub fn set_epoch_boundary(&mut self, end: u64) {
+        self.epoch_end = end;
+    }
+
+    /// Credit union segment `[from, to)` to the open epoch, deferring
+    /// any part at or beyond the epoch boundary.
+    fn credit(&mut self, core: usize, from: u64, to: u64) {
+        let in_window = to.min(self.epoch_end);
+        if in_window > from {
+            self.epoch_active[core] += in_window - from;
+        }
+        let over_from = from.max(self.epoch_end);
+        if to > over_from {
+            self.overhang[core].push((over_from, to));
         }
     }
 
@@ -48,50 +130,66 @@ impl CamatTracker {
         let new_from = start.max(*covered);
         let add = end.saturating_sub(new_from);
         *covered = (*covered).max(end);
-        self.epoch_active[core] += add;
+        if add > 0 {
+            self.credit(core, new_from, end);
+        }
         self.epoch_accesses[core] += 1;
+        self.epoch_latency[core] += end - start;
         self.total_active[core] += add;
         self.total_accesses[core] += 1;
+        self.total_latency[core] += end - start;
     }
 
-    /// Close the current epoch: returns per-core `(camat, accesses)` for
-    /// the epoch and resets epoch counters.
-    pub fn end_epoch(&mut self) -> Vec<(f64, u64)> {
-        let out = self
-            .epoch_active
-            .iter()
-            .zip(&self.epoch_accesses)
-            .map(|(&act, &acc)| {
-                let camat = if acc == 0 {
-                    0.0
-                } else {
-                    act as f64 / acc as f64
-                };
-                (camat, acc)
-            })
-            .collect();
+    /// Close the current epoch window and open the next one ending at
+    /// `next_end`: returns per-core [`CamatEpoch`] samples for the
+    /// closed epoch, then migrates deferred overhang cycles into the new
+    /// window.
+    pub fn end_epoch(&mut self, next_end: u64) -> Vec<CamatEpoch> {
+        let out = self.epoch_samples();
         for v in &mut self.epoch_active {
             *v = 0;
         }
         for v in &mut self.epoch_accesses {
             *v = 0;
         }
+        for v in &mut self.epoch_latency {
+            *v = 0;
+        }
+        self.epoch_end = next_end;
+        for core in 0..self.overhang.len() {
+            let segments = std::mem::take(&mut self.overhang[core]);
+            for (from, to) in segments {
+                self.credit(core, from, to);
+            }
+        }
         out
     }
 
-    /// Per-core `(camat, accesses)` of the still-open epoch, without
-    /// closing it (the end-of-run partial-epoch telemetry probe).
-    pub fn epoch_snapshot(&self) -> Vec<(f64, u64)> {
-        self.epoch_active
-            .iter()
-            .zip(&self.epoch_accesses)
-            .map(|(&act, &acc)| {
-                let camat = if acc == 0 {
-                    0.0
-                } else {
-                    act as f64 / acc as f64
-                };
-                (camat, acc)
+    fn epoch_samples(&self) -> Vec<CamatEpoch> {
+        (0..self.epoch_active.len())
+            .map(|c| {
+                CamatEpoch::from_counts(
+                    self.epoch_active[c],
+                    self.epoch_accesses[c],
+                    self.epoch_latency[c],
+                )
+            })
+            .collect()
+    }
+
+    /// Per-core samples of the still-open epoch, without closing it —
+    /// the end-of-run partial-epoch telemetry probe. The run is over, so
+    /// any cycles still deferred past the boundary are folded in: the
+    /// sum of all epoch `active_cycles` equals the lifetime totals.
+    pub fn epoch_snapshot(&self) -> Vec<CamatEpoch> {
+        (0..self.epoch_active.len())
+            .map(|c| {
+                let deferred: u64 = self.overhang[c].iter().map(|&(s, e)| e - s).sum();
+                CamatEpoch::from_counts(
+                    self.epoch_active[c] + deferred,
+                    self.epoch_accesses[c],
+                    self.epoch_latency[c],
+                )
             })
             .collect()
     }
@@ -99,6 +197,11 @@ impl CamatTracker {
     /// Lifetime totals for `core`: `(active_cycles, accesses)`.
     pub fn totals(&self, core: usize) -> (u64, u64) {
         (self.total_active[core], self.total_accesses[core])
+    }
+
+    /// Lifetime summed (non-overlapped) latency for `core`.
+    pub fn total_latency(&self, core: usize) -> u64 {
+        self.total_latency[core]
     }
 
     /// Lifetime C-AMAT for `core`.
@@ -111,12 +214,25 @@ impl CamatTracker {
         }
     }
 
+    /// Lifetime pure AMAT for `core`.
+    pub fn amat(&self, core: usize) -> f64 {
+        let (_, acc) = self.totals(core);
+        if acc == 0 {
+            0.0
+        } else {
+            self.total_latency[core] as f64 / acc as f64
+        }
+    }
+
     /// Reset lifetime totals (used at the warmup/measurement boundary).
     pub fn reset_totals(&mut self) {
         for v in &mut self.total_active {
             *v = 0;
         }
         for v in &mut self.total_accesses {
+            *v = 0;
+        }
+        for v in &mut self.total_latency {
             *v = 0;
         }
     }
@@ -133,6 +249,7 @@ mod tests {
         t.record(0, 20, 30);
         assert_eq!(t.totals(0), (20, 2));
         assert!((t.camat(0) - 10.0).abs() < 1e-12);
+        assert!((t.amat(0) - 10.0).abs() < 1e-12, "disjoint: amat == camat");
     }
 
     #[test]
@@ -142,6 +259,9 @@ mod tests {
         t.record(0, 50, 120); // 50..100 overlaps; adds only 20
         assert_eq!(t.totals(0), (120, 2));
         assert!((t.camat(0) - 60.0).abs() < 1e-12);
+        // pure AMAT keeps the full 100 + 70 latency
+        assert_eq!(t.total_latency(0), 170);
+        assert!((t.amat(0) - 85.0).abs() < 1e-12);
     }
 
     #[test]
@@ -165,13 +285,91 @@ mod tests {
     fn epoch_reset() {
         let mut t = CamatTracker::new(1);
         t.record(0, 0, 10);
-        let e = t.end_epoch();
-        assert!((e[0].0 - 10.0).abs() < 1e-12);
-        assert_eq!(e[0].1, 1);
-        let e2 = t.end_epoch();
-        assert_eq!(e2[0], (0.0, 0));
+        let e = t.end_epoch(u64::MAX);
+        assert!((e[0].camat - 10.0).abs() < 1e-12);
+        assert_eq!(e[0].accesses, 1);
+        let e2 = t.end_epoch(u64::MAX);
+        assert_eq!(e2[0].accesses, 0);
+        assert_eq!(e2[0].active_cycles, 0);
         // lifetime totals survive epochs
         assert_eq!(t.totals(0), (10, 1));
+    }
+
+    #[test]
+    fn boundary_straddling_interval_splits_active_cycles() {
+        let mut t = CamatTracker::new(1);
+        t.set_epoch_boundary(100);
+        // 60 cycles in epoch 0, 40 in epoch 1
+        t.record(0, 40, 140);
+        let e0 = t.end_epoch(200);
+        assert_eq!(e0[0].active_cycles, 60, "only in-window cycles");
+        assert_eq!(e0[0].accesses, 1, "access counted where issued");
+        assert_eq!(e0[0].latency_cycles, 100, "pure latency not split");
+        let e1 = t.end_epoch(300);
+        assert_eq!(e1[0].active_cycles, 40, "overhang lands in epoch 1");
+        assert_eq!(e1[0].accesses, 0);
+        // lifetime totals see the whole interval immediately
+        assert_eq!(t.totals(0), (100, 1));
+    }
+
+    #[test]
+    fn overhang_spanning_multiple_epochs_trickles_through() {
+        let mut t = CamatTracker::new(1);
+        t.set_epoch_boundary(100);
+        // 250-cycle interval: 50 + 100 + 100 across three epochs
+        t.record(0, 50, 300);
+        assert_eq!(t.end_epoch(200)[0].active_cycles, 50);
+        assert_eq!(t.end_epoch(300)[0].active_cycles, 100);
+        assert_eq!(t.end_epoch(400)[0].active_cycles, 100);
+        assert_eq!(t.end_epoch(500)[0].active_cycles, 0);
+        assert_eq!(t.totals(0), (250, 1));
+    }
+
+    #[test]
+    fn epoch_actives_reconcile_with_totals() {
+        let mut t = CamatTracker::new(1);
+        t.set_epoch_boundary(100);
+        t.record(0, 10, 90);
+        t.record(0, 80, 150); // union adds 90..150, straddling
+        t.record(0, 120, 260); // union adds 150..260, straddling again
+        let mut epoch_sum = t.end_epoch(200)[0].active_cycles;
+        epoch_sum += t.end_epoch(300)[0].active_cycles;
+        // run ends mid-epoch: snapshot folds the remaining overhang in
+        epoch_sum += t.epoch_snapshot()[0].active_cycles;
+        let (total, accesses) = t.totals(0);
+        assert_eq!(epoch_sum, total);
+        assert_eq!(accesses, 3);
+    }
+
+    #[test]
+    fn interval_entirely_beyond_boundary_is_all_overhang() {
+        let mut t = CamatTracker::new(1);
+        t.set_epoch_boundary(100);
+        t.record(0, 150, 180);
+        let e0 = t.end_epoch(200);
+        assert_eq!(e0[0].active_cycles, 0);
+        assert_eq!(e0[0].accesses, 1, "issued in epoch 0");
+        assert_eq!(t.end_epoch(300)[0].active_cycles, 30);
+    }
+
+    #[test]
+    fn snapshot_without_boundaries_matches_old_behaviour() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 0, 10);
+        let snap = t.epoch_snapshot();
+        assert!((snap[0].camat - 10.0).abs() < 1e-12);
+        assert_eq!(snap[0].accesses, 1);
+    }
+
+    #[test]
+    fn overlap_savings_is_amat_minus_camat() {
+        let mut t = CamatTracker::new(1);
+        t.record(0, 0, 100);
+        t.record(0, 0, 100); // perfect overlap
+        let e = t.end_epoch(u64::MAX)[0];
+        assert!((e.amat - 100.0).abs() < 1e-12);
+        assert!((e.camat - 50.0).abs() < 1e-12);
+        assert!((e.overlap_savings() - 50.0).abs() < 1e-12);
     }
 
     #[test]
@@ -181,6 +379,7 @@ mod tests {
         t.reset_totals();
         assert_eq!(t.totals(0), (0, 0));
         assert_eq!(t.camat(0), 0.0);
+        assert_eq!(t.total_latency(0), 0);
     }
 
     #[test]

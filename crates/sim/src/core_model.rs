@@ -32,8 +32,14 @@ pub struct Core {
     pub last_load_completion: u64,
     /// Total instructions retired since construction.
     pub retired: u64,
+    /// Cycles completed instructions spent waiting in the ROB for
+    /// in-order release (Σ retire_cycle − completion_cycle) — the
+    /// profiler's post-fill attribution tail.
+    pub rob_release_lag: u64,
     /// Retired count at the start of the measurement region.
     pub measure_start_retired: u64,
+    /// ROB-release lag at the start of the measurement region.
+    pub measure_start_rob_lag: u64,
     /// Cycle at the start of the measurement region.
     pub measure_start_cycle: u64,
     /// Cycle at which this core finished its measured quota.
@@ -67,7 +73,9 @@ impl Core {
             pending: None,
             last_load_completion: 0,
             retired: 0,
+            rob_release_lag: 0,
             measure_start_retired: 0,
+            measure_start_rob_lag: 0,
             measure_start_cycle: 0,
             done_cycle: None,
         }
@@ -81,6 +89,7 @@ impl Core {
             match self.rob.front() {
                 Some(&done) if done <= cycle => {
                     self.rob.pop_front();
+                    self.rob_release_lag += cycle - done;
                     self.retired += 1;
                     n += 1;
                 }
@@ -154,6 +163,11 @@ impl Core {
     /// Instructions retired in the measurement region so far.
     pub fn measured_instructions(&self) -> u64 {
         self.retired - self.measure_start_retired
+    }
+
+    /// ROB-release lag accumulated in the measurement region so far.
+    pub fn measured_rob_release_lag(&self) -> u64 {
+        self.rob_release_lag - self.measure_start_rob_lag
     }
 }
 
@@ -245,6 +259,18 @@ mod tests {
         let mut c = Core::new(Box::new(Stores), 64, 2);
         c.issue(0, |_, t| t + 500); // long memory time, hidden by store buffer
         assert_eq!(c.retire(1), 2);
+    }
+
+    #[test]
+    fn rob_release_lag_counts_in_order_wait() {
+        let mut c = core(2, 16);
+        // first load finishes at 100, second at 5: the second waits
+        // 95 cycles behind the ROB head
+        let mut lat = [100u64, 5].into_iter();
+        c.issue(0, |_, t| t + lat.next().unwrap());
+        c.retire(100);
+        assert_eq!(c.rob_release_lag, 95);
+        assert_eq!(c.measured_rob_release_lag(), 95);
     }
 
     #[test]

@@ -21,6 +21,22 @@ struct Channel {
     banks: Vec<Bank>,
 }
 
+/// Absolute stage stamps of one DRAM access: `arrival <= start`
+/// (bank-queue wait), `start..row_done` is array service (activate /
+/// precharge / CAS), `row_done <= xfer_start` is data-bus wait, and
+/// `xfer_start..done` is the burst transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Cycle the bank started servicing the request.
+    pub start: u64,
+    /// Cycle the array access (activate + CAS) finished.
+    pub row_done: u64,
+    /// Cycle the data-bus transfer began.
+    pub xfer_start: u64,
+    /// Cycle the transfer completed.
+    pub done: u64,
+}
+
 /// The DRAM subsystem.
 #[derive(Debug)]
 pub struct Dram {
@@ -80,6 +96,12 @@ impl Dram {
     /// Service an access arriving at `arrival`; returns the completion
     /// cycle of the 64B transfer.
     pub fn access(&mut self, line: LineAddr, arrival: u64, is_write: bool) -> u64 {
+        self.access_timed(line, arrival, is_write).done
+    }
+
+    /// Like [`Dram::access`], but returns every absolute stage stamp of
+    /// the service — the latency-attribution probe.
+    pub fn access_timed(&mut self, line: LineAddr, arrival: u64, is_write: bool) -> DramTiming {
         let (ch_i, bank_i, row) = self.map(line);
         let ch = &mut self.channels[ch_i];
         let bank = &mut ch.banks[bank_i];
@@ -95,7 +117,8 @@ impl Dram {
         };
         bank.open_row = Some(row);
 
-        let xfer_start = (start + array_latency).max(ch.bus_free);
+        let row_done = start + array_latency;
+        let xfer_start = row_done.max(ch.bus_free);
         let done = xfer_start + self.cfg.burst;
         ch.bus_free = done;
         bank.busy_until = done;
@@ -107,7 +130,12 @@ impl Dram {
             self.latency_sum += done - arrival;
             self.latency_count += 1;
         }
-        done
+        DramTiming {
+            start,
+            row_done,
+            xfer_start,
+            done,
+        }
     }
 
     /// The unloaded (queue-free) average access latency: row activation
@@ -245,6 +273,20 @@ mod tests {
         d.access(LineAddr(3), 0, false);
         assert!(d.avg_read_latency() > 0.0);
         assert_eq!(d.reads, 1);
+    }
+
+    #[test]
+    fn timed_access_stamps_are_ordered_and_match_access() {
+        let mut d = dram();
+        let t = d.access_timed(LineAddr(0), 1000, false);
+        assert_eq!(t.start, 1000, "idle bank starts immediately");
+        assert_eq!(t.row_done - t.start, d.cfg.t_rcd + d.cfg.t_cas);
+        assert_eq!(t.xfer_start, t.row_done, "idle bus: no wait");
+        assert_eq!(t.done - t.xfer_start, d.cfg.burst);
+        // contended follow-up on the same bank queues before starting
+        let t2 = d.access_timed(LineAddr(0), 1000, false);
+        assert!(t2.start >= t.done);
+        assert!(t2.start <= t2.row_done && t2.row_done <= t2.xfer_start);
     }
 
     #[test]

@@ -94,6 +94,13 @@ pub struct CoreStats {
     pub llc_accesses: u64,
     /// Memory-active cycles at the LLC (C-AMAT numerator).
     pub llc_active_cycles: u64,
+    /// Summed (non-overlapped) LLC access latency — the pure-AMAT
+    /// numerator; `llc_latency_cycles - llc_active_cycles` is what MLP
+    /// overlap hid.
+    pub llc_latency_cycles: u64,
+    /// Cycles completed instructions waited in the ROB for in-order
+    /// release (measured region).
+    pub rob_release_lag: u64,
     /// Number of epochs in which this core was LLC-obstructed.
     pub obstructed_epochs: u64,
     /// Total number of feedback epochs observed.
@@ -113,6 +120,18 @@ impl CoreStats {
     /// Average C-AMAT at the LLC over the whole run (cycles per access).
     pub fn camat_llc(&self) -> f64 {
         ratio(self.llc_active_cycles, self.llc_accesses)
+    }
+
+    /// Average pure AMAT at the LLC (cycles per access, no overlap
+    /// discount).
+    pub fn amat_llc(&self) -> f64 {
+        ratio(self.llc_latency_cycles, self.llc_accesses)
+    }
+
+    /// Per-access cycles hidden by memory-level parallelism
+    /// (`amat_llc() - camat_llc()`).
+    pub fn overlap_savings_llc(&self) -> f64 {
+        self.amat_llc() - self.camat_llc()
     }
 }
 
@@ -295,6 +314,20 @@ mod tests {
         };
         assert!((c.ipc() - 2.0).abs() < 1e-12);
         assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn amat_and_overlap_savings() {
+        let c = CoreStats {
+            llc_accesses: 10,
+            llc_active_cycles: 500,
+            llc_latency_cycles: 800,
+            ..Default::default()
+        };
+        assert!((c.camat_llc() - 50.0).abs() < 1e-12);
+        assert!((c.amat_llc() - 80.0).abs() < 1e-12);
+        assert!((c.overlap_savings_llc() - 30.0).abs() < 1e-12);
+        assert_eq!(CoreStats::default().amat_llc(), 0.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The full simulated system: cores + hierarchy + DRAM + feedback loop.
 
 use crate::cache::PrivateCache;
-use crate::camat::CamatTracker;
+use crate::camat::{CamatEpoch, CamatTracker};
 use crate::config::SimConfig;
 use crate::core_model::Core;
 use crate::dram::Dram;
@@ -13,7 +13,7 @@ use crate::prefetch::{self, FillLevel, PrefetchRequest, Prefetcher};
 use crate::stats::{CacheStats, CoreStats, SimResults};
 use crate::trace::TraceSource;
 use crate::types::{AccessKind, LineAddr, TraceRecord};
-use chrome_telemetry::{EpochRecord, EventKind, TelemetrySink};
+use chrome_telemetry::{EpochRecord, EventKind, ServiceLevel, SpanBuilder, Stage, TelemetrySink};
 
 /// Resolve an MSHR for `line` starting at cycle `t`: either the miss is
 /// merged with an outstanding one (`Err(ready)`), or the caller may issue
@@ -58,11 +58,16 @@ pub struct MemHierarchy {
     l1_latency: u64,
     l2_latency: u64,
     scratch: Vec<PrefetchRequest>,
+    /// Telemetry handle for the latency-attribution profiler; spans are
+    /// only stamped when the sink is profiling.
+    sink: TelemetrySink,
 }
 
 impl MemHierarchy {
     fn new(cfg: &SimConfig, policy: Box<dyn LlcPolicy>) -> Self {
         let cores = cfg.cores;
+        let mut camat = CamatTracker::new(cores);
+        camat.set_epoch_boundary(cfg.epoch_cycles);
         MemHierarchy {
             l1d: (0..cores).map(|_| PrivateCache::new(&cfg.l1d)).collect(),
             l2: (0..cores).map(|_| PrivateCache::new(&cfg.l2)).collect(),
@@ -75,12 +80,50 @@ impl MemHierarchy {
                 .map(|_| prefetch::build(cfg.prefetchers.l2, cfg.prefetch_degree))
                 .collect(),
             mmu: Mmu::default_8gb(),
-            camat: CamatTracker::new(cores),
+            camat,
             feedback: SystemFeedback::new(cores),
             l1_latency: cfg.l1d.latency,
             l2_latency: cfg.l2.latency,
             scratch: Vec::with_capacity(16),
+            sink: TelemetrySink::noop(),
         }
+    }
+
+    /// Open a latency-attribution span when profiling; compiles to
+    /// `None` (and folds the hot path away) without the `telemetry`
+    /// feature.
+    #[inline]
+    fn span_start(
+        &self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        is_prefetch: bool,
+        cycle: u64,
+    ) -> Option<SpanBuilder> {
+        if cfg!(feature = "telemetry") && self.sink.profiling() {
+            Some(SpanBuilder::start(
+                core as u32,
+                pc,
+                line.0,
+                is_prefetch,
+                cycle,
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Seal a span and hand it to the profiler.
+    fn finish_span(
+        &self,
+        b: SpanBuilder,
+        level: ServiceLevel,
+        tail: Stage,
+        end: u64,
+        merged: bool,
+    ) {
+        self.sink.record_span(b.finish(level, tail, end, merged));
     }
 
     /// Write `line` back into L2 (allocating if absent), cascading dirty
@@ -143,7 +186,11 @@ impl MemHierarchy {
         line: LineAddr,
         is_prefetch: bool,
         t_llc: u64,
+        span: &mut Option<SpanBuilder>,
     ) -> u64 {
+        if let Some(s) = span.as_mut() {
+            s.mark_llc_entry(t_llc);
+        }
         let info = AccessInfo {
             core,
             pc,
@@ -155,7 +202,12 @@ impl MemHierarchy {
         let ready = match self.llc.access(&info, &self.feedback) {
             LlcOutcome::Hit => {
                 let base = t_llc + self.llc.latency;
-                self.llc.ready_of(line).map_or(base, |r| r.max(base))
+                let done = self.llc.ready_of(line).map_or(base, |r| r.max(base));
+                if let Some(mut s) = span.take() {
+                    s.mark(Stage::LlcLookup, base);
+                    self.finish_span(s, ServiceLevel::Llc, Stage::FillWait, done, false);
+                }
+                done
             }
             LlcOutcome::Miss {
                 bypassed,
@@ -164,14 +216,54 @@ impl MemHierarchy {
                 let ready = if is_prefetch {
                     // prefetches do not allocate MSHRs; shedding happens
                     // upstream in the prefetch path
-                    self.dram.access(line, t_llc + self.llc.latency, false)
+                    let t = self
+                        .dram
+                        .access_timed(line, t_llc + self.llc.latency, false);
+                    if let Some(mut s) = span.take() {
+                        s.mark(Stage::LlcLookup, t_llc + self.llc.latency);
+                        s.mark(Stage::DramQueue, t.start);
+                        s.mark(Stage::DramService, t.row_done);
+                        s.mark(Stage::DramQueue, t.xfer_start);
+                        self.finish_span(s, ServiceLevel::Mem, Stage::DramTransfer, t.done, false);
+                    }
+                    t.done
                 } else {
                     match mshr_acquire(&mut self.llc.mshr, line, t_llc) {
-                        Err(merged_ready) => merged_ready,
+                        Err(merged_ready) => {
+                            // no LlcLookup mark: the merged completion may
+                            // predate the lookup latency, and the whole
+                            // remainder is one MSHR wait either way
+                            if let Some(s) = span.take() {
+                                self.finish_span(
+                                    s,
+                                    ServiceLevel::Llc,
+                                    Stage::LlcMshrWait,
+                                    merged_ready,
+                                    true,
+                                );
+                            }
+                            merged_ready
+                        }
                         Ok(t_issue) => {
-                            let done = self.dram.access(line, t_issue + self.llc.latency, false);
-                            self.llc.mshr.register(line, done);
-                            done
+                            let t = self
+                                .dram
+                                .access_timed(line, t_issue + self.llc.latency, false);
+                            if let Some(mut s) = span.take() {
+                                s.mark(Stage::LlcMshrWait, t_issue);
+                                s.mark(Stage::LlcLookup, t_issue + self.llc.latency);
+                                s.mark(Stage::DramQueue, t.start);
+                                s.mark(Stage::DramService, t.row_done);
+                                s.mark(Stage::DramQueue, t.xfer_start);
+                                self.finish_span(
+                                    s,
+                                    ServiceLevel::Mem,
+                                    Stage::DramTransfer,
+                                    t.done,
+                                    false,
+                                );
+                            }
+                            self.llc.mshr.register(line, t.done);
+                            t.done
                         }
                     }
                 };
@@ -194,6 +286,7 @@ impl MemHierarchy {
     pub fn demand_access(&mut self, core: usize, rec: &TraceRecord, cycle: u64) -> u64 {
         let is_write = rec.kind == AccessKind::Store;
         let line = self.mmu.translate(core, rec.vaddr);
+        let mut span = self.span_start(core, rec.pc, line, false, cycle);
 
         self.l1d[core].stats.demand_accesses += 1;
         if let Some(block_ready) = self.l1d[core].lookup(line, is_write, false) {
@@ -201,29 +294,60 @@ impl MemHierarchy {
             // prefetch or an earlier miss): wait for its arrival
             let done = (cycle + self.l1_latency).max(block_ready);
             self.trigger_l1_prefetcher(core, rec.pc, line, true, cycle);
+            if let Some(mut s) = span {
+                s.mark(Stage::L1Lookup, cycle + self.l1_latency);
+                self.finish_span(s, ServiceLevel::L1, Stage::FillWait, done, false);
+            }
             return done;
         }
         self.l1d[core].stats.demand_misses += 1;
         self.trigger_l1_prefetcher(core, rec.pc, line, false, cycle);
 
         let t_issue = match mshr_acquire(&mut self.l1d[core].mshr, line, cycle) {
-            Err(ready) => return ready.max(cycle + self.l1_latency),
+            Err(ready) => {
+                let done = ready.max(cycle + self.l1_latency);
+                if let Some(mut s) = span {
+                    s.mark(Stage::L1Lookup, cycle + self.l1_latency);
+                    self.finish_span(s, ServiceLevel::L1, Stage::L1MshrWait, done, true);
+                }
+                return done;
+            }
             Ok(t) => t,
         };
         let t_l2 = t_issue + self.l1_latency;
+        if let Some(s) = span.as_mut() {
+            s.mark(Stage::L1MshrWait, t_issue);
+            s.mark(Stage::L1Lookup, t_l2);
+        }
 
         self.l2[core].stats.demand_accesses += 1;
         let l2_res = self.l2[core].lookup(line, false, false);
         self.trigger_l2_prefetcher(core, rec.pc, line, l2_res.is_some(), t_l2);
         let ready = match l2_res {
-            Some(block_ready) => (t_l2 + self.l2_latency).max(block_ready),
+            Some(block_ready) => {
+                let done = (t_l2 + self.l2_latency).max(block_ready);
+                if let Some(mut s) = span.take() {
+                    s.mark(Stage::L2Lookup, t_l2 + self.l2_latency);
+                    self.finish_span(s, ServiceLevel::L2, Stage::FillWait, done, false);
+                }
+                done
+            }
             None => {
                 self.l2[core].stats.demand_misses += 1;
                 match mshr_acquire(&mut self.l2[core].mshr, line, t_l2) {
-                    Err(ready) => ready,
+                    Err(ready) => {
+                        if let Some(s) = span.take() {
+                            self.finish_span(s, ServiceLevel::L2, Stage::L2MshrWait, ready, true);
+                        }
+                        ready
+                    }
                     Ok(t2) => {
                         let t_llc = t2 + self.l2_latency;
-                        let done = self.access_llc(core, rec.pc, line, false, t_llc);
+                        if let Some(s) = span.as_mut() {
+                            s.mark(Stage::L2MshrWait, t2);
+                            s.mark(Stage::L2Lookup, t_llc);
+                        }
+                        let done = self.access_llc(core, rec.pc, line, false, t_llc, &mut span);
                         self.l2[core].mshr.register(line, done);
                         self.fill_l2(core, line, false, done);
                         done
@@ -231,6 +355,7 @@ impl MemHierarchy {
                 }
             }
         };
+        debug_assert!(span.is_none(), "every demand path must seal its span");
         self.fill_l1(core, line, is_write, false, ready);
         self.l1d[core].mshr.register(line, ready);
         ready
@@ -291,7 +416,11 @@ impl MemHierarchy {
             self.trigger_l2_prefetcher(core, pc, line, false, t_l2);
         }
         let t_llc = t_l2 + self.l2_latency;
-        let done = self.access_llc(core, pc, line, true, t_llc);
+        let mut span = self.span_start(core, pc, line, true, t_l2);
+        if let Some(s) = span.as_mut() {
+            s.mark(Stage::L2Lookup, t_llc);
+        }
+        let done = self.access_llc(core, pc, line, true, t_llc, &mut span);
         self.fill_l2(core, line, true, done);
         Some(done)
     }
@@ -348,7 +477,12 @@ impl MemHierarchy {
             return;
         }
         let t_llc = cycle + self.l1_latency + self.l2_latency;
-        let _ = self.access_llc(core, pc, line, true, t_llc);
+        let mut span = self.span_start(core, pc, line, true, cycle);
+        if let Some(s) = span.as_mut() {
+            s.mark(Stage::L1Lookup, cycle + self.l1_latency);
+            s.mark(Stage::L2Lookup, t_llc);
+        }
+        let _ = self.access_llc(core, pc, line, true, t_llc, &mut span);
     }
 
     /// Reset all measurement counters (used at the warmup boundary).
@@ -436,6 +570,7 @@ impl System {
     /// as the epoch series.
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.hier.llc.set_telemetry(sink.clone());
+        self.hier.sink = sink.clone();
         self.telemetry = sink;
     }
 
@@ -486,13 +621,13 @@ impl System {
         // using the load-inflated measured average would make obstruction
         // undetectable precisely when contention is worst.
         let t_mem = self.hier.dram.unloaded_latency();
-        let per_core = self.hier.camat.end_epoch();
+        let per_core = self.hier.camat.end_epoch(self.next_epoch);
         let fb = &mut self.hier.feedback;
         fb.t_mem = t_mem;
         fb.epoch += 1;
-        for (i, (camat, accesses)) in per_core.iter().enumerate() {
-            fb.camat_llc[i] = *camat;
-            fb.obstructed[i] = *accesses > 0 && *camat > t_mem;
+        for (i, e) in per_core.iter().enumerate() {
+            fb.camat_llc[i] = e.camat;
+            fb.obstructed[i] = e.accesses > 0 && e.camat > t_mem;
         }
         self.total_epochs += 1;
         if self.obstructed_epochs.len() == self.cores.len() {
@@ -509,11 +644,11 @@ impl System {
     }
 
     /// Append one epoch record to the telemetry sink (free when
-    /// telemetry is disabled). `per_core` is the `(camat, accesses)`
-    /// slice of the epoch being closed; LLC counters are recorded as
-    /// deltas against the previous boundary so the per-epoch columns
-    /// sum exactly to the end-of-run [`CacheStats`].
-    fn record_epoch(&mut self, per_core: &[(f64, u64)]) {
+    /// telemetry is disabled). `per_core` is the [`CamatEpoch`] slice of
+    /// the epoch being closed; LLC counters are recorded as deltas
+    /// against the previous boundary so the per-epoch columns sum
+    /// exactly to the end-of-run [`CacheStats`].
+    fn record_epoch(&mut self, per_core: &[CamatEpoch]) {
         if !cfg!(feature = "telemetry") || !self.telemetry.is_enabled() {
             return;
         }
@@ -524,8 +659,26 @@ impl System {
         let rec = EpochRecord {
             epoch: self.epoch_seq,
             end_cycle: self.cycle,
-            camat: per_core.iter().map(|&(c, _)| c).collect(),
-            obstructed: per_core.iter().map(|&(c, a)| a > 0 && c > t_mem).collect(),
+            camat: per_core.iter().map(|e| e.camat).collect(),
+            amat: per_core.iter().map(|e| e.amat).collect(),
+            obstructed: per_core
+                .iter()
+                .map(|e| e.accesses > 0 && e.camat > t_mem)
+                .collect(),
+            llc_active: per_core.iter().map(|e| e.active_cycles).collect(),
+            llc_accesses: per_core.iter().map(|e| e.accesses).collect(),
+            l1_mshr_occupancy: self
+                .hier
+                .l1d
+                .iter()
+                .map(|c| c.mshr.live_occupancy(self.cycle) as u32)
+                .collect(),
+            l2_mshr_occupancy: self
+                .hier
+                .l2
+                .iter()
+                .map(|c| c.mshr.live_occupancy(self.cycle) as u32)
+                .collect(),
             demand_accesses: llc.demand_accesses - base.demand_accesses,
             demand_misses: llc.demand_misses - base.demand_misses,
             bypasses: llc.bypasses - base.bypasses,
@@ -604,6 +757,7 @@ impl System {
         self.total_epochs = 0;
         for core in &mut self.cores {
             core.measure_start_retired = core.retired;
+            core.measure_start_rob_lag = core.rob_release_lag;
             core.measure_start_cycle = self.cycle;
             core.done_cycle = None;
         }
@@ -657,6 +811,8 @@ impl System {
                         .max(1),
                     llc_accesses: accesses,
                     llc_active_cycles: active,
+                    llc_latency_cycles: self.hier.camat.total_latency(i),
+                    rob_release_lag: core.measured_rob_release_lag(),
                     obstructed_epochs: self.obstructed_epochs.get(i).copied().unwrap_or(0),
                     total_epochs: self.total_epochs,
                 }

@@ -1,0 +1,319 @@
+//! Run-diff primitives: parse exported telemetry CSVs back and compare
+//! two runs with statistically meaningful deltas.
+//!
+//! Epoch series are *samples* (one observation per epoch), so their
+//! columns are compared with Welch's unequal-variance t-test — a column
+//! only counts as changed when the epoch-to-epoch noise cannot explain
+//! the mean shift. Attribution tables are exact totals (no variance),
+//! so those are compared cell-by-cell against a relative threshold.
+//!
+//! Everything is hand-rolled on purpose: the workspace takes no
+//! serialization or stats dependencies.
+
+/// A parsed CSV: header names plus per-column numeric values.
+/// Non-numeric cells parse as `None` and make the column non-numeric.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    headers: Vec<String>,
+    /// Raw cells, row-major.
+    cells: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Parse `text` as simple comma-separated values (no quoting — the
+    /// exporters never emit quotes). Returns `None` on an empty input
+    /// or a ragged row.
+    pub fn parse(text: &str) -> Option<CsvTable> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let headers: Vec<String> = lines.next()?.split(',').map(|s| s.trim().into()).collect();
+        let mut cells = Vec::new();
+        for line in lines {
+            let row: Vec<String> = line.split(',').map(|s| s.trim().into()).collect();
+            if row.len() != headers.len() {
+                return None;
+            }
+            cells.push(row);
+        }
+        Some(CsvTable { headers, cells })
+    }
+
+    /// Column headers, in file order.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Number of data rows.
+    pub fn rows(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Raw cell at (row, col).
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.cells.get(row).map(|r| r[col].as_str())
+    }
+
+    /// Column index by header name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == name)
+    }
+
+    /// The column as `f64` observations; `None` if any cell fails to
+    /// parse (a label column).
+    pub fn numeric_column(&self, col: usize) -> Option<Vec<f64>> {
+        self.cells
+            .iter()
+            .map(|r| r[col].parse::<f64>().ok())
+            .collect()
+    }
+}
+
+/// Mean of a sample (0 when empty).
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (0 for fewer than two observations).
+fn variance(xs: &[f64], m: f64) -> f64 {
+    if xs.len() < 2 {
+        0.0
+    } else {
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+    }
+}
+
+/// Welch's unequal-variance t statistic for two samples. Returns 0 when
+/// either sample has fewer than two observations or both variances are
+/// zero with equal means, and infinity for a mean shift with zero
+/// variance (a deterministic change is maximally significant).
+pub fn welch_t(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < 2 || b.len() < 2 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let se2 = variance(a, ma) / a.len() as f64 + variance(b, mb) / b.len() as f64;
+    let d = mb - ma;
+    if se2 == 0.0 {
+        if d == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * d.signum()
+        }
+    } else {
+        d / se2.sqrt()
+    }
+}
+
+/// One epoch-series column compared across two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDiff {
+    /// Column header.
+    pub name: String,
+    /// Mean over run A's epochs.
+    pub mean_a: f64,
+    /// Mean over run B's epochs.
+    pub mean_b: f64,
+    /// Epochs in A / B.
+    pub n_a: usize,
+    /// Epochs in run B.
+    pub n_b: usize,
+    /// Welch t statistic of B vs A.
+    pub t_stat: f64,
+    /// True when `|t_stat|` clears the caller's threshold.
+    pub significant: bool,
+}
+
+impl ColumnDiff {
+    /// Relative change of B vs A (0 when A's mean is 0).
+    pub fn pct_change(&self) -> f64 {
+        if self.mean_a == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.mean_b - self.mean_a) / self.mean_a
+        }
+    }
+}
+
+/// Diff two exported epoch CSVs column-by-column with Welch's t-test.
+/// Columns present in only one file are skipped (schema drift is
+/// reported separately by the caller via [`CsvTable::headers`]).
+/// Returns `None` when either input fails to parse.
+pub fn diff_epoch_csv(a: &str, b: &str, t_threshold: f64) -> Option<Vec<ColumnDiff>> {
+    let ta = CsvTable::parse(a)?;
+    let tb = CsvTable::parse(b)?;
+    let mut out = Vec::new();
+    for (col_a, name) in ta.headers().iter().enumerate() {
+        if name == "epoch" || name == "end_cycle" {
+            continue;
+        }
+        let Some(col_b) = tb.column_index(name) else {
+            continue;
+        };
+        let (Some(xs), Some(ys)) = (ta.numeric_column(col_a), tb.numeric_column(col_b)) else {
+            continue;
+        };
+        let t = welch_t(&xs, &ys);
+        out.push(ColumnDiff {
+            name: name.clone(),
+            mean_a: mean(&xs),
+            mean_b: mean(&ys),
+            n_a: xs.len(),
+            n_b: ys.len(),
+            t_stat: t,
+            significant: t.abs() >= t_threshold,
+        });
+    }
+    Some(out)
+}
+
+/// One attribution-table cell compared across two runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Row key (`core,kind`).
+    pub key: String,
+    /// Column header.
+    pub column: String,
+    /// Value in run A.
+    pub a: f64,
+    /// Value in run B.
+    pub b: f64,
+}
+
+impl CellDiff {
+    /// Relative change of B vs A (infinite when A is 0 and B is not).
+    pub fn rel_change(&self) -> f64 {
+        if self.a == 0.0 {
+            if self.b == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.b - self.a).abs() / self.a.abs()
+        }
+    }
+}
+
+/// Diff two attribution CSVs cell-by-cell, keyed on the first two
+/// columns (`core,kind`). Returns the cells whose relative change
+/// exceeds `rel_threshold` (e.g. 0.05 = 5%). Returns `None` when
+/// either input fails to parse.
+pub fn diff_attrib_csv(a: &str, b: &str, rel_threshold: f64) -> Option<Vec<CellDiff>> {
+    let ta = CsvTable::parse(a)?;
+    let tb = CsvTable::parse(b)?;
+    let key_of = |t: &CsvTable, row: usize| -> Option<String> {
+        Some(format!("{},{}", t.cell(row, 0)?, t.cell(row, 1)?))
+    };
+    let mut out = Vec::new();
+    for row_a in 0..ta.rows() {
+        let Some(key) = key_of(&ta, row_a) else {
+            continue;
+        };
+        let Some(row_b) = (0..tb.rows()).find(|&r| key_of(&tb, r).as_deref() == Some(&key)) else {
+            continue;
+        };
+        for (col_a, name) in ta.headers().iter().enumerate().skip(2) {
+            let Some(col_b) = tb.column_index(name) else {
+                continue;
+            };
+            let (Some(va), Some(vb)) = (
+                ta.cell(row_a, col_a).and_then(|c| c.parse::<f64>().ok()),
+                tb.cell(row_b, col_b).and_then(|c| c.parse::<f64>().ok()),
+            ) else {
+                continue;
+            };
+            let d = CellDiff {
+                key: key.clone(),
+                column: name.clone(),
+                a: va,
+                b: vb,
+            };
+            if d.rel_change() > rel_threshold {
+                out.push(d);
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        assert!(CsvTable::parse("a,b\n1,2\n3").is_none());
+        assert!(CsvTable::parse("").is_none());
+        let t = CsvTable::parse("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.numeric_column(1).unwrap(), vec![2.0, 4.0]);
+        assert!(
+            CsvTable::parse("a,b\n1,x\n")
+                .unwrap()
+                .numeric_column(1)
+                .is_none(),
+            "label column is non-numeric"
+        );
+    }
+
+    #[test]
+    fn welch_t_detects_separated_means() {
+        let a = [10.0, 11.0, 9.0, 10.5, 9.5];
+        let b = [20.0, 21.0, 19.0, 20.5, 19.5];
+        assert!(welch_t(&a, &b) > 10.0);
+        assert!(welch_t(&b, &a) < -10.0);
+        // identical noisy samples: no signal
+        assert_eq!(welch_t(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn welch_t_zero_variance_shift_is_infinite() {
+        let a = [5.0, 5.0, 5.0];
+        let b = [6.0, 6.0, 6.0];
+        assert_eq!(welch_t(&a, &b), f64::INFINITY);
+        assert_eq!(welch_t(&a, &a), 0.0);
+        assert_eq!(welch_t(&a[..1], &b), 0.0, "one observation: no test");
+    }
+
+    #[test]
+    fn epoch_diff_flags_only_shifted_columns() {
+        let a = "epoch,camat0,ipc\n0,10.0,1.0\n1,10.1,1.1\n2,9.9,0.9\n";
+        let b = "epoch,camat0,ipc\n0,20.0,1.0\n1,20.1,1.1\n2,19.9,0.9\n";
+        let diffs = diff_epoch_csv(a, b, 4.0).unwrap();
+        assert_eq!(diffs.len(), 2, "epoch column skipped");
+        let camat = diffs.iter().find(|d| d.name == "camat0").unwrap();
+        assert!(camat.significant);
+        assert!((camat.pct_change() - 100.0).abs() < 1.0);
+        let ipc = diffs.iter().find(|d| d.name == "ipc").unwrap();
+        assert!(!ipc.significant, "unchanged column stays quiet");
+    }
+
+    #[test]
+    fn epoch_diff_skips_unmatched_columns() {
+        let a = "epoch,old_col\n0,1\n1,2\n";
+        let b = "epoch,new_col\n0,1\n1,2\n";
+        assert!(diff_epoch_csv(a, b, 2.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn attrib_diff_reports_changed_cells_by_key() {
+        let a = "core,kind,requests,latency_cycles\n0,demand,100,5000\n0,prefetch,10,200\n";
+        let b = "core,kind,requests,latency_cycles\n0,demand,100,9000\n0,prefetch,10,200\n";
+        let diffs = diff_attrib_csv(a, b, 0.05).unwrap();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].key, "0,demand");
+        assert_eq!(diffs[0].column, "latency_cycles");
+        assert!((diffs[0].rel_change() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attrib_diff_zero_to_nonzero_is_infinite() {
+        let a = "core,kind,x\n0,demand,0\n";
+        let b = "core,kind,x\n0,demand,3\n";
+        let diffs = diff_attrib_csv(a, b, 1000.0).unwrap();
+        assert_eq!(diffs.len(), 1, "infinite change clears any threshold");
+    }
+}

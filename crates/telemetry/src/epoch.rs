@@ -29,8 +29,16 @@ pub struct EpochRecord {
     pub end_cycle: u64,
     /// Per-core C-AMAT at the LLC over this epoch.
     pub camat: Vec<f64>,
+    /// Per-core pure (non-overlapped) AMAT at the LLC over this epoch.
+    /// `amat - camat` is the per-access overlap saving MLP bought.
+    pub amat: Vec<f64>,
     /// Per-core LLC-obstruction verdicts for this epoch.
     pub obstructed: Vec<bool>,
+    /// Per-core memory-active cycles (union of access intervals) that
+    /// fell inside this epoch.
+    pub llc_active: Vec<u64>,
+    /// Per-core LLC demand accesses recorded this epoch.
+    pub llc_accesses: Vec<u64>,
     /// LLC demand accesses during this epoch (delta).
     pub demand_accesses: u64,
     /// LLC demand misses during this epoch (delta).
@@ -45,6 +53,10 @@ pub struct EpochRecord {
     pub mshr_occupancy: u32,
     /// LLC MSHR capacity (constant; kept per record for self-contained rows).
     pub mshr_capacity: u32,
+    /// Per-core L1D MSHR entries in flight at the epoch boundary.
+    pub l1_mshr_occupancy: Vec<u32>,
+    /// Per-core L2 MSHR entries in flight at the epoch boundary.
+    pub l2_mshr_occupancy: Vec<u32>,
     /// Mean DRAM bank-queue backlog (cycles) at the epoch boundary.
     pub dram_queue_avg: f64,
     /// Deepest DRAM bank-queue backlog (cycles) at the epoch boundary.

@@ -28,6 +28,8 @@
 //! assert_eq!(TelemetrySink::noop().with(|t| t.events.len()), None);
 //! ```
 
+pub mod attrib;
+pub mod diff;
 pub mod epoch;
 pub mod events;
 pub mod export;
@@ -38,6 +40,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
+pub use attrib::{AttribProfiler, RequestSpan, ServiceLevel, SpanBuilder, Stage, StageAccum};
 pub use epoch::{EpochRecord, EpochSeries, PolicyEpochProbe};
 pub use events::{EventKind, EventRing, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry};
@@ -49,6 +52,10 @@ pub struct TelemetryConfig {
     pub event_capacity: usize,
     /// Keep every n-th offered event (1 = keep all).
     pub sample_every: u64,
+    /// Record per-request latency-attribution spans. Off by default:
+    /// span stamping touches every access, so it is opt-in even on a
+    /// recording sink.
+    pub profile: bool,
 }
 
 impl Default for TelemetryConfig {
@@ -57,6 +64,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             event_capacity: 65_536,
             sample_every: 1,
+            profile: false,
         }
     }
 }
@@ -70,6 +78,9 @@ pub struct Telemetry {
     pub events: EventRing,
     /// Per-epoch system samples.
     pub epochs: EpochSeries,
+    /// Per-request latency attribution (populated only when the sink
+    /// was configured with `profile: true`).
+    pub attrib: AttribProfiler,
 }
 
 impl Telemetry {
@@ -78,6 +89,7 @@ impl Telemetry {
             metrics: MetricsRegistry::new(),
             events: EventRing::new(cfg.event_capacity, cfg.sample_every),
             epochs: EpochSeries::new(),
+            attrib: AttribProfiler::new(cfg.event_capacity, cfg.sample_every),
         }
     }
 }
@@ -91,18 +103,25 @@ impl Telemetry {
 #[derive(Debug, Clone, Default)]
 pub struct TelemetrySink {
     inner: Option<Rc<RefCell<Telemetry>>>,
+    /// Mirrored from `TelemetryConfig::profile` so hot paths can gate
+    /// span creation on a plain bool without touching the `RefCell`.
+    profile: bool,
 }
 
 impl TelemetrySink {
     /// A sink that drops everything.
     pub fn noop() -> Self {
-        TelemetrySink { inner: None }
+        TelemetrySink {
+            inner: None,
+            profile: false,
+        }
     }
 
     /// A live sink recording into fresh storage.
     pub fn recording(cfg: TelemetryConfig) -> Self {
         TelemetrySink {
             inner: Some(Rc::new(RefCell::new(Telemetry::new(cfg)))),
+            profile: cfg.profile,
         }
     }
 
@@ -110,6 +129,20 @@ impl TelemetrySink {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// True when this sink wants per-request latency spans.
+    #[inline]
+    pub fn profiling(&self) -> bool {
+        self.profile && self.inner.is_some()
+    }
+
+    /// Fold a finished request span into the attribution profiler.
+    #[inline]
+    pub fn record_span(&self, span: RequestSpan) {
+        if let Some(t) = &self.inner {
+            t.borrow_mut().attrib.record(span);
+        }
     }
 
     /// Run `f` against the recorded state (`None` for a no-op sink).
@@ -166,20 +199,22 @@ impl TelemetrySink {
             t.metrics.clear();
             t.events.clear();
             t.epochs.clear();
+            t.attrib.clear();
         }
     }
 
     /// Write all artifacts into `dir` as `<prefix>_epochs.csv`,
     /// `<prefix>_epochs.jsonl`, `<prefix>_trace.json`, and
-    /// `<prefix>_metrics.json`. Creates `dir` if missing; a no-op sink
-    /// writes nothing and returns an empty list.
+    /// `<prefix>_metrics.json` — plus `<prefix>_attrib.csv` and
+    /// `<prefix>_attrib.txt` when profiling. Creates `dir` if missing;
+    /// a no-op sink writes nothing and returns an empty list.
     pub fn export(&self, dir: &Path, prefix: &str) -> io::Result<Vec<PathBuf>> {
         let Some(t) = &self.inner else {
             return Ok(Vec::new());
         };
         std::fs::create_dir_all(dir)?;
         let t = t.borrow();
-        let files = [
+        let mut files = vec![
             (format!("{prefix}_epochs.csv"), export::epoch_csv(&t.epochs)),
             (
                 format!("{prefix}_epochs.jsonl"),
@@ -187,13 +222,23 @@ impl TelemetrySink {
             ),
             (
                 format!("{prefix}_trace.json"),
-                export::chrome_trace_json(&t.events, &t.epochs),
+                export::chrome_trace_json(&t.events, &t.epochs, t.attrib.spans()),
             ),
             (
                 format!("{prefix}_metrics.json"),
                 export::metrics_json(&t.metrics),
             ),
         ];
+        if self.profile {
+            files.push((
+                format!("{prefix}_attrib.csv"),
+                export::attrib_csv(&t.attrib),
+            ));
+            files.push((
+                format!("{prefix}_attrib.txt"),
+                export::attrib_text(&t.attrib),
+            ));
+        }
         let mut written = Vec::with_capacity(files.len());
         for (name, contents) in files {
             let path = dir.join(name);
@@ -256,6 +301,28 @@ mod tests {
         }
         let csv = std::fs::read_to_string(dir.join("run0_epochs.csv")).unwrap();
         assert_eq!(csv.lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profiling_sink_records_spans_and_exports_attrib() {
+        let dir = std::env::temp_dir().join("chrome-telemetry-test-profile");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = TelemetrySink::recording(TelemetryConfig {
+            profile: true,
+            ..Default::default()
+        });
+        assert!(s.profiling());
+        assert!(!TelemetrySink::noop().profiling());
+        let b = SpanBuilder::start(0, 0x400, 7, false, 100);
+        s.record_span(b.finish(ServiceLevel::L1, Stage::L1Lookup, 104, false));
+        assert_eq!(s.with(|t| t.attrib.total_requests()), Some(1));
+        let files = s.export(&dir, "run0").unwrap();
+        assert_eq!(files.len(), 6, "attrib csv+txt join the artifact set");
+        assert!(dir.join("run0_attrib.csv").exists());
+        assert!(dir.join("run0_attrib.txt").exists());
+        s.clear();
+        assert_eq!(s.with(|t| t.attrib.total_requests()), Some(0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
