@@ -1,28 +1,13 @@
 //! Fig. 1: performance improvement over LRU on a 16-core system,
 //! homogeneous SPEC workload mixes (the paper's motivating headline).
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{all_schemes, geomean, run_workload, RunParams, TableWriter};
-use chrome_traces::spec::spec_workloads;
+use chrome_bench::experiments::fig01;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let mut params = RunParams::from_args();
-    if params.cores == 4 {
-        params.cores = 16; // figure default unless overridden
-    }
-    let schemes = all_schemes();
-    let mut table = TableWriter::new("fig01_16core", &["scheme", "speedup_over_lru_pct"]);
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
-    for wl in spec_workloads() {
-        let base = run_workload(&params, wl, "LRU");
-        for (i, scheme) in schemes.iter().skip(1).enumerate() {
-            let r = run_workload(&params, wl, scheme);
-            per_scheme[i].push(r.weighted_speedup_vs(&base));
-        }
-        eprintln!("done {wl}");
-    }
-    for (i, scheme) in schemes.iter().skip(1).enumerate() {
-        let g = geomean(&per_scheme[i]);
-        table.row_f(scheme, &[(g - 1.0) * 100.0]);
-    }
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig01::plan(&params)]));
 }

@@ -1,47 +1,13 @@
-//! Fig. 2 (motivation): with Glider managing a 4-core LLC,
-//! (a) the fraction of evicted blocks never reused before eviction
-//!     (split into requested-again-later vs never-requested-again), and
-//! (b) the fraction of those unused blocks that came from prefetching.
+//! Fig. 2 (motivation): unused-block breakdown under Glider on a
+//! 4-core LLC.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::runner::run_workload_tracked;
-use chrome_bench::{RunParams, TableWriter};
-use chrome_traces::spec::spec_workloads;
+use chrome_bench::experiments::fig02;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
     let params = RunParams::from_args();
-    let mut table = TableWriter::new(
-        "fig02_unused_blocks",
-        &[
-            "workload",
-            "unused_frac",
-            "requested_again_frac",
-            "never_again_frac",
-            "prefetch_frac_of_unused",
-        ],
-    );
-    let mut sums = [0.0f64; 4];
-    let mut count = 0u32;
-    for wl in spec_workloads() {
-        let r = run_workload_tracked(&params, wl, "Glider", true);
-        let evictions = r.results.llc.evictions.max(1);
-        let unused = r.results.llc.evictions_unused;
-        let (again, never, pf) = r.results.evicted_unused;
-        let unused_frac = unused as f64 / evictions as f64;
-        let denom = (again + never).max(1) as f64;
-        let cells = [
-            unused_frac,
-            unused_frac * again as f64 / denom,
-            unused_frac * never as f64 / denom,
-            pf as f64 / unused.max(1) as f64,
-        ];
-        for (i, v) in cells.iter().enumerate() {
-            sums[i] += v;
-        }
-        count += 1;
-        table.row_f(wl, &cells);
-        eprintln!("done {wl}");
-    }
-    let avg: Vec<f64> = sums.iter().map(|s| s / count as f64).collect();
-    table.row_f("AVERAGE", &avg);
-    table.finish().expect("write results");
+    std::process::exit(run_plans(&params, vec![fig02::plan(&params)]));
 }

@@ -1,44 +1,13 @@
 //! Fig. 3 (motivation): Hawkeye / Glider / Mockingjay speedups over LRU
-//! on eight representative workloads under two prefetcher combinations:
-//! (a) next-line@L1 + stride@L2, (b) stride@L1 + streamer@L2.
+//! under two prefetcher combinations.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{run_workload, RunParams, TableWriter};
-use chrome_sim::PrefetcherConfig;
-
-const WORKLOADS: [&str; 8] = [
-    "mcf",
-    "soplex",
-    "wrf",
-    "libquantum",
-    "omnetpp",
-    "xalancbmk",
-    "gcc",
-    "cc-ur",
-];
-const SCHEMES: [&str; 3] = ["Hawkeye", "Glider", "Mockingjay"];
-
-fn run_config(params: &RunParams, tag: &str, table_name: &str) {
-    let mut table = TableWriter::new(table_name, &{
-        let mut h = vec!["workload"];
-        h.extend(SCHEMES);
-        h
-    });
-    for wl in WORKLOADS {
-        let base = run_workload(params, wl, "LRU");
-        let cells: Vec<f64> = SCHEMES
-            .iter()
-            .map(|s| run_workload(params, wl, s).weighted_speedup_vs(&base))
-            .collect();
-        table.row_f(wl, &cells);
-        eprintln!("done {tag} {wl}");
-    }
-    table.finish().expect("write results");
-}
+use chrome_bench::experiments::fig03;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let mut params = RunParams::from_args();
-    params.prefetchers = PrefetcherConfig::default_paper();
-    run_config(&params, "(a)", "fig03a_nextline_stride");
-    params.prefetchers = PrefetcherConfig::stride_streamer();
-    run_config(&params, "(b)", "fig03b_stride_streamer");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig03::plan(&params)]));
 }

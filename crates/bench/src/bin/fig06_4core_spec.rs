@@ -1,125 +1,13 @@
 //! Fig. 6: speedup over LRU for 4-core SPEC homogeneous mixes, all
-//! schemes. Because the same simulations also yield the paper's Figs.
-//! 7–9, this binary emits those tables too (the standalone
-//! `fig07_demand_miss`, `fig08_ephr` and `fig09_bypass` binaries re-run
-//! just their own metric):
+//! schemes. The same cells also emit the Fig. 7/8/9 tables.
 //!
-//! * `fig06_4core_spec.tsv` — weighted speedup over LRU,
-//! * `fig07_demand_miss.tsv` — LLC demand miss ratio,
-//! * `fig08_ephr.tsv` — effective prefetch hit ratio,
-//! * `fig09_bypass.tsv` — bypass coverage/efficiency (Mockingjay, CHROME).
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::runner::run_workload_tracked;
-use chrome_bench::{all_schemes, geomean, RunParams, TableWriter};
-use chrome_traces::spec::spec_workloads;
+use chrome_bench::experiments::fig06;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
     let params = RunParams::from_args();
-    let schemes = all_schemes();
-    let mut speedup_t = TableWriter::new("fig06_4core_spec", &{
-        let mut h = vec!["workload"];
-        h.extend(schemes.iter().skip(1).copied());
-        h
-    });
-    let mut miss_t = TableWriter::new("fig07_demand_miss", &{
-        let mut h = vec!["workload"];
-        h.extend(schemes.iter().copied());
-        h
-    });
-    let mut ephr_t = TableWriter::new("fig08_ephr", &{
-        let mut h = vec!["workload"];
-        h.extend(schemes.iter().copied());
-        h
-    });
-    let mut bypass_t = TableWriter::new(
-        "fig09_bypass",
-        &[
-            "workload",
-            "mockingjay_coverage",
-            "mockingjay_efficiency",
-            "chrome_coverage",
-            "chrome_efficiency",
-        ],
-    );
-
-    let n = schemes.len();
-    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); n - 1];
-    let mut miss_sums = vec![0.0; n];
-    let mut ephr_sums = vec![0.0; n];
-    let mut bypass_sums = [0.0f64; 4];
-    let mut count = 0u32;
-
-    for wl in spec_workloads() {
-        let mut miss_cells = Vec::new();
-        let mut ephr_cells = Vec::new();
-        let mut speed_cells = Vec::new();
-        let mut bypass_cells = Vec::new();
-        let base = run_workload_tracked(&params, wl, "LRU", true);
-        for (i, scheme) in schemes.iter().enumerate() {
-            let r = if i == 0 {
-                base.clone()
-            } else {
-                run_workload_tracked(&params, wl, scheme, true)
-            };
-            let miss = r.results.llc.demand_miss_ratio();
-            let ephr = r.results.llc.ephr();
-            miss_sums[i] += miss;
-            ephr_sums[i] += ephr;
-            miss_cells.push(miss);
-            ephr_cells.push(ephr);
-            if i > 0 {
-                let s = r.weighted_speedup_vs(&base);
-                speedups[i - 1].push(s);
-                speed_cells.push(s);
-            }
-            if *scheme == "Mockingjay" || *scheme == "CHROME" {
-                let coverage = r.results.llc.bypass_coverage();
-                let (again, never, _) = r.results.bypassed_outcome;
-                let eff = if again + never == 0 {
-                    0.0
-                } else {
-                    never as f64 / (again + never) as f64
-                };
-                bypass_cells.push(coverage);
-                bypass_cells.push(eff);
-            }
-        }
-        count += 1;
-        speedup_t.row_f(wl, &speed_cells);
-        miss_t.row_f(wl, &miss_cells);
-        ephr_t.row_f(wl, &ephr_cells);
-        for (i, v) in bypass_cells.iter().enumerate() {
-            bypass_sums[i] += v;
-        }
-        bypass_t.row_f(wl, &bypass_cells);
-        eprintln!("done {wl}");
-    }
-
-    let geo: Vec<f64> = speedups.iter().map(|v| geomean(v)).collect();
-    speedup_t.row_f("GEOMEAN", &geo);
-    miss_t.row_f(
-        "AVERAGE",
-        &miss_sums
-            .iter()
-            .map(|s| s / count as f64)
-            .collect::<Vec<_>>(),
-    );
-    ephr_t.row_f(
-        "AVERAGE",
-        &ephr_sums
-            .iter()
-            .map(|s| s / count as f64)
-            .collect::<Vec<_>>(),
-    );
-    bypass_t.row_f(
-        "AVERAGE",
-        &bypass_sums
-            .iter()
-            .map(|s| s / count as f64)
-            .collect::<Vec<_>>(),
-    );
-    speedup_t.finish().expect("write results");
-    miss_t.finish().expect("write results");
-    ephr_t.finish().expect("write results");
-    bypass_t.finish().expect("write results");
+    std::process::exit(run_plans(&params, vec![fig06::plan(&params)]));
 }

@@ -1,56 +1,13 @@
 //! Fig. 10: weighted speedup over LRU for 4-core heterogeneous mixes
-//! (the paper uses 150 random mixes; scale with `--mixes`). Rows are
-//! sorted by CHROME's speedup, as in the paper's S-curve.
+//! (the paper uses 150 random mixes; scale with `--mixes`).
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{geomean, run_mix, RunParams, TableWriter};
-use chrome_traces::mix::heterogeneous_names;
-
-const SCHEMES: [&str; 4] = ["Hawkeye", "Glider", "Mockingjay", "CHROME"];
+use chrome_bench::experiments::fig10;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    // extra flag: --mixes N (default 30; the paper uses 150)
-    let params = RunParams::from_args_ignoring(&["--mixes"]);
-    let mixes = RunParams::arg_usize("--mixes", 30);
-
-    let names = heterogeneous_names(params.cores, mixes, 0xF16);
-    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len()];
-    for (mi, mix_names) in names.iter().enumerate() {
-        let base = run_mix(&params, mix_names, "LRU");
-        let mut cells = Vec::new();
-        for (i, scheme) in SCHEMES.iter().enumerate() {
-            let r = run_mix(&params, mix_names, scheme);
-            let ws = r.weighted_speedup_vs(&base);
-            per_scheme[i].push(ws);
-            cells.push(ws);
-        }
-        rows.push((format!("mix{mi:03}:{}", mix_names.join("+")), cells));
-        eprintln!("done mix {mi}");
-    }
-    // sort ascending by CHROME speedup (the paper's presentation)
-    rows.sort_by(|a, b| a.1[3].partial_cmp(&b.1[3]).expect("finite"));
-    let mut table = TableWriter::new("fig10_hetero_4core", &{
-        let mut h = vec!["mix"];
-        h.extend(SCHEMES);
-        h
-    });
-    let mut chrome_best = 0;
-    let mut chrome_over_mockingjay = 0;
-    for (name, cells) in &rows {
-        if cells[3] >= cells[0].max(cells[1]).max(cells[2]) {
-            chrome_best += 1;
-        }
-        if cells[3] >= cells[2] {
-            chrome_over_mockingjay += 1;
-        }
-        table.row_f(name, cells);
-    }
-    let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
-    table.row_f("GEOMEAN", &geo);
-    table.finish().expect("write results");
-    println!("CHROME best in {chrome_best}/{} mixes", rows.len());
-    println!(
-        "CHROME >= Mockingjay in {chrome_over_mockingjay}/{} mixes",
-        rows.len()
-    );
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig10::plan(&params)]));
 }

@@ -1,53 +1,13 @@
 //! Fig. 11: geometric-mean speedup over LRU for 4/8/16-core systems,
 //! homogeneous and heterogeneous SPEC mixes.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{all_schemes, geomean, run_mix, run_workload, RunParams, TableWriter};
-use chrome_traces::mix::heterogeneous_names;
-use chrome_traces::spec::spec_workloads;
+use chrome_bench::experiments::fig11;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let base_params = RunParams::from_args_ignoring(&["--mixes", "--homo-workloads"]);
-    let hetero_mixes = RunParams::arg_usize("--mixes", 8);
-    let homo_count = RunParams::arg_usize("--homo-workloads", 10);
-    let schemes = all_schemes();
-
-    let mut table = TableWriter::new("fig11_scalability", &{
-        let mut h = vec!["config"];
-        h.extend(schemes.iter().skip(1).copied());
-        h
-    });
-
-    for cores in [4usize, 8, 16] {
-        let params = RunParams {
-            cores,
-            ..base_params.clone()
-        };
-        // homogeneous: a representative subset for the smaller core counts
-        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
-        for wl in spec_workloads().into_iter().take(homo_count) {
-            let base = run_workload(&params, wl, "LRU");
-            for (i, scheme) in schemes.iter().skip(1).enumerate() {
-                let r = run_workload(&params, wl, scheme);
-                per_scheme[i].push(r.weighted_speedup_vs(&base));
-            }
-            eprintln!("done {cores}-core homo {wl}");
-        }
-        let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
-        table.row_f(&format!("{cores}-core-homo"), &geo);
-
-        // heterogeneous
-        let names = heterogeneous_names(cores, hetero_mixes, 0xF11);
-        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
-        for (mi, mix_names) in names.iter().enumerate() {
-            let base = run_mix(&params, mix_names, "LRU");
-            for (i, scheme) in schemes.iter().skip(1).enumerate() {
-                let r = run_mix(&params, mix_names, scheme);
-                per_scheme[i].push(r.weighted_speedup_vs(&base));
-            }
-            eprintln!("done {cores}-core hetero mix {mi}");
-        }
-        let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
-        table.row_f(&format!("{cores}-core-hetero"), &geo);
-    }
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig11::plan(&params)]));
 }

@@ -1,32 +1,13 @@
 //! Fig. 12: CHROME vs N-CHROME (no concurrency-aware feedback) on
-//! 4/8/16-core SPEC homogeneous mixes — the value of C-AMAT awareness.
+//! 4/8/16-core SPEC homogeneous mixes.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{geomean, run_workload, RunParams, TableWriter};
-use chrome_traces::spec::spec_workloads;
+use chrome_bench::experiments::fig12;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let base_params = RunParams::from_args_ignoring(&["--homo-workloads"]);
-    let homo_count = RunParams::arg_usize("--homo-workloads", 10);
-    let mut table = TableWriter::new(
-        "fig12_nchrome",
-        &["config", "CHROME", "N-CHROME", "delta_pct"],
-    );
-    for cores in [4usize, 8, 16] {
-        let params = RunParams {
-            cores,
-            ..base_params.clone()
-        };
-        let mut chrome = Vec::new();
-        let mut nchrome = Vec::new();
-        // skip the heavier tail workloads at high core counts
-        for wl in spec_workloads().into_iter().take(homo_count) {
-            let base = run_workload(&params, wl, "LRU");
-            chrome.push(run_workload(&params, wl, "CHROME").weighted_speedup_vs(&base));
-            nchrome.push(run_workload(&params, wl, "N-CHROME").weighted_speedup_vs(&base));
-            eprintln!("done {cores}-core {wl}");
-        }
-        let (gc, gn) = (geomean(&chrome), geomean(&nchrome));
-        table.row_f(&format!("{cores}-core"), &[gc, gn, (gc - gn) * 100.0]);
-    }
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig12::plan(&params)]));
 }

@@ -1,34 +1,13 @@
 //! Fig. 13: speedups over LRU on GAP graph workloads (unseen during
 //! hyper-parameter tuning) for 4/8/16-core systems.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{all_schemes, geomean, run_workload, RunParams, TableWriter};
-use chrome_traces::gap::gap_workloads;
+use chrome_bench::experiments::fig13;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let base_params = RunParams::from_args();
-    let schemes = all_schemes();
-    let mut table = TableWriter::new("fig13_gap", &{
-        let mut h = vec!["config"];
-        h.extend(schemes.iter().skip(1).copied());
-        h
-    });
-    for cores in [4usize, 8, 16] {
-        let params = RunParams {
-            cores,
-            ..base_params.clone()
-        };
-        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
-        // Table VI's 12 GAP traces (bfs/cc/pr/sssp x or/tw/ur)
-        for wl in gap_workloads().iter().filter(|w| !w.starts_with("bc-")) {
-            let base = run_workload(&params, wl, "LRU");
-            for (i, scheme) in schemes.iter().skip(1).enumerate() {
-                let r = run_workload(&params, wl, scheme);
-                per_scheme[i].push(r.weighted_speedup_vs(&base));
-            }
-            eprintln!("done {cores}-core {wl}");
-        }
-        let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
-        table.row_f(&format!("{cores}-core"), &geo);
-    }
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig13::plan(&params)]));
 }

@@ -1,39 +1,13 @@
-//! Fig. 14: adaptability across prefetching schemes — geometric-mean
-//! speedup over LRU on 4-core SPEC homogeneous mixes with
-//! (a) stride@L1 + streamer@L2 and (b) IPCP.
+//! Fig. 14: adaptability across prefetching schemes — stride+streamer
+//! and IPCP — on 4-core SPEC homogeneous mixes.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{all_schemes, geomean, run_workload, RunParams, TableWriter};
-use chrome_sim::PrefetcherConfig;
-use chrome_traces::spec::spec_workloads;
+use chrome_bench::experiments::fig14;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let base_params = RunParams::from_args_ignoring(&["--homo-workloads"]);
-    let homo_count = RunParams::arg_usize("--homo-workloads", 14);
-    let schemes = all_schemes();
-    let mut table = TableWriter::new("fig14_prefetch_schemes", &{
-        let mut h = vec!["prefetch_config"];
-        h.extend(schemes.iter().skip(1).copied());
-        h
-    });
-    for (tag, pf) in [
-        ("stride+streamer", PrefetcherConfig::stride_streamer()),
-        ("ipcp", PrefetcherConfig::ipcp()),
-    ] {
-        let params = RunParams {
-            prefetchers: pf,
-            ..base_params.clone()
-        };
-        let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len() - 1];
-        for wl in spec_workloads().into_iter().take(homo_count) {
-            let base = run_workload(&params, wl, "LRU");
-            for (i, scheme) in schemes.iter().skip(1).enumerate() {
-                let r = run_workload(&params, wl, scheme);
-                per_scheme[i].push(r.weighted_speedup_vs(&base));
-            }
-            eprintln!("done {tag} {wl}");
-        }
-        let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
-        table.row_f(tag, &geo);
-    }
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig14::plan(&params)]));
 }

@@ -1,36 +1,13 @@
 //! Fig. 15: CHROME state-feature ablation — PC only, PN only, and the
 //! full PC+PN state, on 4-core SPEC homogeneous mixes.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{geomean, run_workload, RunParams, TableWriter};
-use chrome_traces::spec::spec_workloads;
-
-const VARIANTS: [(&str, &str); 6] = [
-    ("PC-only", "CHROME-pc"),
-    ("PN-only", "CHROME-pn"),
-    ("PC+PN", "CHROME"),
-    // the other Table I candidates (extension beyond the paper's Fig. 15)
-    ("PC+delta", "CHROME-pcdelta"),
-    ("PCseq+PN", "CHROME-pcseq"),
-    ("PCoffset+PN", "CHROME-pcoffset"),
-];
+use chrome_bench::experiments::fig15;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let params = RunParams::from_args_ignoring(&["--homo-workloads"]);
-    let homo_count = RunParams::arg_usize("--homo-workloads", 14);
-    let workloads: Vec<&str> = spec_workloads().into_iter().take(homo_count).collect();
-    let bases: Vec<_> = workloads
-        .iter()
-        .map(|wl| run_workload(&params, wl, "LRU"))
-        .collect();
-    let mut table = TableWriter::new("fig15_features", &["variant", "geomean_speedup"]);
-    for (label, scheme) in VARIANTS {
-        let mut speedups = Vec::new();
-        for (wl, base) in workloads.iter().zip(&bases) {
-            let r = run_workload(&params, wl, scheme);
-            speedups.push(r.weighted_speedup_vs(base));
-            eprintln!("done {label} {wl}");
-        }
-        table.row_f(label, &[geomean(&speedups)]);
-    }
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig15::plan(&params)]));
 }

@@ -1,63 +1,13 @@
 //! Fig. 16: hyper-parameter sensitivity of CHROME — learning rate α,
-//! discount factor γ, exploration rate ε — on 4-core SPEC homogeneous
-//! mixes.
+//! discount factor γ, exploration rate ε.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::runner::SchemeResult;
-use chrome_bench::{geomean, run_workload, RunParams, TableWriter};
-use chrome_traces::spec::spec_workloads;
-
-fn sweep(
-    params: &RunParams,
-    workloads: &[&str],
-    bases: &[SchemeResult],
-    key: &str,
-    values: &[f64],
-    table: &mut TableWriter,
-) {
-    for &v in values {
-        let scheme = format!("CHROME-{key}={v}");
-        let mut speedups = Vec::new();
-        for (wl, base) in workloads.iter().zip(bases) {
-            let r = run_workload(params, wl, &scheme);
-            speedups.push(r.weighted_speedup_vs(base));
-        }
-        table.row_f(&format!("{key}={v}"), &[geomean(&speedups)]);
-        eprintln!("done {key}={v}");
-    }
-}
+use chrome_bench::experiments::fig16;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let params = RunParams::from_args_ignoring(&["--homo-workloads"]);
-    let homo_count = RunParams::arg_usize("--homo-workloads", 8);
-    let workloads: Vec<&str> = spec_workloads().into_iter().take(homo_count).collect();
-    let bases: Vec<SchemeResult> = workloads
-        .iter()
-        .map(|wl| run_workload(&params, wl, "LRU"))
-        .collect();
-    let mut table = TableWriter::new("fig16_hyperparams", &["setting", "geomean_speedup"]);
-    sweep(
-        &params,
-        &workloads,
-        &bases,
-        "alpha",
-        &[1e-5, 1e-3, 0.0498, 0.5, 1.0],
-        &mut table,
-    );
-    sweep(
-        &params,
-        &workloads,
-        &bases,
-        "gamma",
-        &[1e-3, 1e-1, 0.3679, 0.9],
-        &mut table,
-    );
-    sweep(
-        &params,
-        &workloads,
-        &bases,
-        "eps",
-        &[0.0, 0.001, 0.01, 0.1],
-        &mut table,
-    );
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![fig16::plan(&params)]));
 }

@@ -1,41 +1,34 @@
-//! Replays every experiment binary in sequence (the full reproduction).
-//! Pass `--quick` to forward a reduced instruction budget to each.
+//! The full reproduction: every experiment scheduled as one grid.
+//!
+//! The overhead tables (III/IV) run inline first — they are pure
+//! arithmetic. Every simulation cell of every figure/table then goes
+//! into a single work-stealing grid (`--jobs N`, default: available
+//! parallelism) with per-cell fault isolation, retries, and a
+//! checkpoint manifest (`results/manifest.jsonl`; rerun with
+//! `--resume` to skip completed cells). Tables are assembled
+//! per-experiment from the grid outcomes once it drains.
+//!
+//! A failed cell no longer aborts the replay: remaining cells still
+//! run, its table entries surface as NaN, the failure summary lists it,
+//! and the exit status is non-zero only when permanent failures remain.
+//!
+//! Pass `--quick` for a reduced instruction budget, and
+//! `--homo-workloads N` / `--mixes N` to cap the grid for smoke runs.
 
-use std::process::Command;
-
-// fig06_4core_spec emits the Fig. 7/8/9 tables from the same pass, so
-// their standalone binaries are not replayed here.
-const EXPERIMENTS: &[&str] = &[
-    "tab03_overhead",
-    "tab04_overhead_cmp",
-    "fig06_4core_spec",
-    "fig02_unused_blocks",
-    "fig03_prefetcher_sensitivity",
-    "fig10_hetero_4core",
-    "fig12_nchrome",
-    "fig15_features",
-    "fig14_prefetch_schemes",
-    "tab07_fifo_size",
-    "fig16_hyperparams",
-    "fig11_scalability",
-    "fig13_gap",
-    "fig01_16core",
-];
+use chrome_bench::experiments::overheads;
+use chrome_bench::{all_plans, run_plans, RunParams};
 
 fn main() {
-    let forwarded: Vec<String> = std::env::args().skip(1).collect();
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
-    for exp in EXPERIMENTS {
-        println!("\n########## {exp} ##########");
-        let status = Command::new(exe_dir.join(exp))
-            .args(&forwarded)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
-        assert!(status.success(), "{exp} failed");
+    let params = RunParams::from_args();
+    println!("########## tab03_overhead ##########");
+    overheads::tab03();
+    println!("\n########## tab04_overhead_cmp ##########");
+    overheads::tab04();
+    let code = run_plans(&params, all_plans(&params));
+    if code == 0 {
+        println!("\nAll experiments complete; tables in results/*.tsv");
+    } else {
+        eprintln!("\nSome cells failed permanently; see summary above.");
     }
-    println!("\nAll experiments complete; tables in results/*.tsv");
+    std::process::exit(code);
 }

@@ -1,31 +1,8 @@
 //! Table III: CHROME storage-overhead breakdown for the 4-core, 12MB,
 //! 12-way LLC configuration.
 
-use chrome_core::{Chrome, ChromeConfig};
-use chrome_sim::{LlcPolicy, SimConfig};
+use chrome_bench::experiments::overheads;
 
 fn main() {
-    let cfg = SimConfig::with_cores(4);
-    let llc_blocks = cfg.llc().sets() * cfg.llc_ways;
-    let chrome = Chrome::new(ChromeConfig::default());
-    let overhead = chrome.storage_overhead(llc_blocks);
-    println!(
-        "{}",
-        overhead.render("Table III: CHROME storage overhead (4-core, 12MB LLC)")
-    );
-    println!(
-        "paper total: 92.70 KB; measured: {:.2} KB",
-        overhead.total_kib()
-    );
-    std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write(
-        "results/tab03_overhead.tsv",
-        overhead
-            .iter()
-            .map(|(n, b)| format!("{n}\t{:.2}", b as f64 / 8.0 / 1024.0))
-            .collect::<Vec<_>>()
-            .join("\n")
-            + &format!("\nTOTAL\t{:.2}\n", overhead.total_kib()),
-    )
-    .expect("write tsv");
+    overheads::tab03();
 }

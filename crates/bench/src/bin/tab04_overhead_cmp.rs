@@ -1,47 +1,8 @@
 //! Table IV: storage overhead across schemes (4-core, 12-way, 12MB LLC),
 //! with the holistic / concurrency-aware capability matrix.
 
-use chrome_bench::build_any_policy;
-use chrome_bench::TableWriter;
-use chrome_core::{Chrome, ChromeConfig};
-use chrome_sim::{LlcPolicy, SimConfig};
+use chrome_bench::experiments::overheads;
 
 fn main() {
-    let cfg = SimConfig::with_cores(4);
-    let llc_blocks = cfg.llc().sets() * cfg.llc_ways;
-    let mut table = TableWriter::new(
-        "tab04_overhead_cmp",
-        &[
-            "scheme",
-            "holistic",
-            "concurrency_aware",
-            "overhead_kb",
-            "paper_kb",
-        ],
-    );
-    let rows: [(&str, &str, &str, f64); 5] = [
-        ("Hawkeye", "No", "No", 146.0),
-        ("Glider", "No", "No", 254.0),
-        ("Mockingjay", "Yes", "No", 170.6),
-        ("CARE", "No", "Yes", 130.5),
-        ("CHROME", "Yes", "Yes", 92.7),
-    ];
-    for (scheme, holistic, conc, paper_kb) in rows {
-        let overhead = if scheme == "CHROME" {
-            // hardware budget uses the paper's 64-sampled-set config
-            Chrome::new(ChromeConfig::default()).storage_overhead(llc_blocks)
-        } else {
-            build_any_policy(scheme)
-                .expect("known scheme")
-                .storage_overhead(llc_blocks)
-        };
-        table.row(vec![
-            scheme.to_string(),
-            holistic.to_string(),
-            conc.to_string(),
-            format!("{:.1}", overhead.total_kib()),
-            format!("{paper_kb:.1}"),
-        ]);
-    }
-    table.finish().expect("write results");
+    overheads::tab04();
 }

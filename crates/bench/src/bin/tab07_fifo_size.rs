@@ -1,64 +1,13 @@
-//! Table VII: EQ FIFO-size sweep — speedup over LRU, Q-table updates
-//! per kilo sampled accesses (UPKSA), and the EQ storage overhead.
+//! Table VII: EQ FIFO-size sweep — speedup over LRU, UPKSA, and the
+//! EQ storage overhead.
+//!
+//! Thin wrapper: builds the plan and executes it on the grid engine
+//! (`--jobs`, `--retries`, `--resume`, `--manifest`).
 
-use chrome_bench::{geomean, run_workload, RunParams, TableWriter};
-use chrome_traces::spec::spec_workloads;
+use chrome_bench::experiments::tab07;
+use chrome_bench::{run_plans, RunParams};
 
 fn main() {
-    let mut params = RunParams::from_args_ignoring(&["--homo-workloads"]);
-    params.record_epochs = true;
-    let homo_count = RunParams::arg_usize("--homo-workloads", 8);
-    let workloads: Vec<&str> = spec_workloads().into_iter().take(homo_count).collect();
-    let bases: Vec<_> = workloads
-        .iter()
-        .map(|wl| run_workload(&params, wl, "LRU"))
-        .collect();
-    let mut table = TableWriter::new(
-        "tab07_fifo_size",
-        &[
-            "fifo_size",
-            "speedup_pct",
-            "upksa",
-            "eq_occupancy",
-            "eq_overflows",
-            "overhead_kb_64q",
-        ],
-    );
-    for fifo in [12usize, 16, 20, 24, 28, 32, 36] {
-        let scheme = format!("CHROME-fifo={fifo}");
-        let mut speedups = Vec::new();
-        let mut upksa_sum = 0.0;
-        let mut n = 0u32;
-        let mut occ_sum = 0.0;
-        let mut overflow_sum = 0.0;
-        for (wl, base) in workloads.iter().zip(&bases) {
-            let r = run_workload(&params, wl, &scheme);
-            speedups.push(r.weighted_speedup_vs(base));
-            if let Some((_, v)) = r.report.iter().find(|(k, _)| k == "upksa") {
-                upksa_sum += v;
-                n += 1;
-            }
-            // EQ state from the final epoch record: mean FIFO occupancy
-            // and cumulative overflow evictions at end of run
-            if let Some(last) = r.epochs.records().last() {
-                occ_sum += last.policy.eq_occupancy;
-                overflow_sum += last.policy.eq_overflows as f64;
-            }
-        }
-        // Table VII reports the EQ storage at the paper's 64 queues
-        let overhead_kb = 64.0 * fifo as f64 * 58.0 / 8.0 / 1024.0;
-        let wls = workloads.len().max(1) as f64;
-        table.row_f(
-            &fifo.to_string(),
-            &[
-                (geomean(&speedups) - 1.0) * 100.0,
-                upksa_sum / n.max(1) as f64,
-                occ_sum / wls,
-                overflow_sum / wls,
-                overhead_kb,
-            ],
-        );
-        eprintln!("done fifo={fifo}");
-    }
-    table.finish().expect("write results");
+    let params = RunParams::from_args();
+    std::process::exit(run_plans(&params, vec![tab07::plan(&params)]));
 }

@@ -1,0 +1,45 @@
+//! Fig. 1: performance improvement over LRU on a 16-core system,
+//! homogeneous SPEC workload mixes (the paper's motivating headline).
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, limit, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::registry::all_schemes;
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let mut params = params.clone();
+    if params.cores == 4 {
+        params.cores = 16; // figure default unless overridden
+    }
+    let schemes = all_schemes();
+    let n = schemes.len();
+    let workloads: Vec<String> = limit(
+        spec_workloads().into_iter().map(str::to_string).collect(),
+        params.homo_workloads,
+    );
+    let mut cells = Vec::new();
+    for wl in &workloads {
+        for scheme in schemes {
+            cells.push(cell(&params, "fig01_16core", wl, scheme));
+        }
+    }
+    let count = workloads.len();
+    ExperimentPlan {
+        name: "fig01_16core",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new("fig01_16core", &["scheme", "speedup_over_lru_pct"]);
+            for (si, scheme) in all_schemes().iter().skip(1).enumerate() {
+                let speedups: Vec<f64> = (0..count)
+                    .map(|wi| speedup(out, wi * n + si + 1, wi * n))
+                    .collect();
+                table.row_f(scheme, &[(geomean(&speedups) - 1.0) * 100.0]);
+            }
+            vec![table]
+        }),
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 2 (motivation): with Glider managing a 4-core LLC,
+//! (a) the fraction of evicted blocks never reused before eviction
+//!     (split into requested-again-later vs never-requested-again), and
+//! (b) the fraction of those unused blocks that came from prefetching.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, limit, ExperimentPlan};
+use crate::grid::{cell_value, CellResult};
+use crate::runner::RunParams;
+use crate::table::TableWriter;
+
+fn row(r: &CellResult) -> [f64; 4] {
+    let evictions = r.evictions.max(1);
+    let unused = r.evictions_unused;
+    let (again, never, pf) = r.evicted_unused;
+    let unused_frac = unused as f64 / evictions as f64;
+    let denom = (again + never).max(1) as f64;
+    [
+        unused_frac,
+        unused_frac * again as f64 / denom,
+        unused_frac * never as f64 / denom,
+        pf as f64 / unused.max(1) as f64,
+    ]
+}
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let workloads: Vec<String> = limit(
+        spec_workloads().into_iter().map(str::to_string).collect(),
+        params.homo_workloads,
+    );
+    let cells = workloads
+        .iter()
+        .map(|wl| {
+            let mut c = cell(params, "fig02_unused_blocks", wl, "Glider");
+            c.track_unused = true;
+            c
+        })
+        .collect();
+    ExperimentPlan {
+        name: "fig02_unused_blocks",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new(
+                "fig02_unused_blocks",
+                &[
+                    "workload",
+                    "unused_frac",
+                    "requested_again_frac",
+                    "never_again_frac",
+                    "prefetch_frac_of_unused",
+                ],
+            );
+            let mut sums = [0.0f64; 4];
+            for (wi, wl) in workloads.iter().enumerate() {
+                let cells = cell_value(out, wi).map_or([f64::NAN; 4], row);
+                for (i, v) in cells.iter().enumerate() {
+                    sums[i] += v;
+                }
+                table.row_f(wl, &cells);
+            }
+            let count = workloads.len() as f64;
+            let avg: Vec<f64> = sums.iter().map(|s| s / count).collect();
+            table.row_f("AVERAGE", &avg);
+            vec![table]
+        }),
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 3 (motivation): Hawkeye / Glider / Mockingjay speedups over LRU
+//! on eight representative workloads under two prefetcher combinations:
+//! (a) next-line@L1 + stride@L2, (b) stride@L1 + streamer@L2.
+
+use chrome_exec::CellOutcome;
+
+use super::{cell, limit, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::runner::RunParams;
+use crate::table::TableWriter;
+
+const WORKLOADS: [&str; 8] = [
+    "mcf",
+    "soplex",
+    "wrf",
+    "libquantum",
+    "omnetpp",
+    "xalancbmk",
+    "gcc",
+    "cc-ur",
+];
+const SCHEMES: [&str; 3] = ["Hawkeye", "Glider", "Mockingjay"];
+const CONFIGS: [(&str, &str); 2] = [
+    ("fig03a_nextline_stride", "paper"),
+    ("fig03b_stride_streamer", "stride-streamer"),
+];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let workloads: Vec<&str> = limit(WORKLOADS.to_vec(), params.homo_workloads);
+    let mut cells = Vec::new();
+    for (_, prefetch) in CONFIGS {
+        for wl in &workloads {
+            for scheme in std::iter::once("LRU").chain(SCHEMES) {
+                let mut c = cell(params, "fig03_prefetcher_sensitivity", wl, scheme);
+                c.prefetch = prefetch.to_string();
+                cells.push(c);
+            }
+        }
+    }
+    let count = workloads.len();
+    let per_wl = SCHEMES.len() + 1;
+    ExperimentPlan {
+        name: "fig03_prefetcher_sensitivity",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            CONFIGS
+                .iter()
+                .enumerate()
+                .map(|(ci, (table_name, _))| {
+                    let mut table = TableWriter::new(table_name, &{
+                        let mut h = vec!["workload"];
+                        h.extend(SCHEMES);
+                        h
+                    });
+                    for (wi, wl) in workloads.iter().enumerate() {
+                        let base = (ci * count + wi) * per_wl;
+                        let cells: Vec<f64> = (1..per_wl)
+                            .map(|si| speedup(out, base + si, base))
+                            .collect();
+                        table.row_f(wl, &cells);
+                    }
+                    table
+                })
+                .collect()
+        }),
+    }
+}

@@ -1,0 +1,151 @@
+//! Fig. 6: speedup over LRU for 4-core SPEC homogeneous mixes, all
+//! schemes. The same cells also yield the paper's Figs. 7–9, so this
+//! plan assembles those tables too:
+//!
+//! * `fig06_4core_spec.tsv` — weighted speedup over LRU,
+//! * `fig07_demand_miss.tsv` — LLC demand miss ratio,
+//! * `fig08_ephr.tsv` — effective prefetch hit ratio,
+//! * `fig09_bypass.tsv` — bypass coverage/efficiency (Mockingjay, CHROME).
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, limit, ExperimentPlan};
+use crate::grid::{metric, speedup, CellResult};
+use crate::registry::all_schemes;
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let schemes = all_schemes();
+    let workloads: Vec<String> = limit(
+        spec_workloads().into_iter().map(str::to_string).collect(),
+        params.homo_workloads,
+    );
+    let mut cells = Vec::new();
+    for wl in &workloads {
+        for scheme in schemes {
+            let mut c = cell(params, "fig06_4core_spec", wl, scheme);
+            c.track_unused = true;
+            cells.push(c);
+        }
+    }
+    ExperimentPlan {
+        name: "fig06_4core_spec",
+        cells,
+        assemble: Box::new(move |out| assemble(&workloads, out)),
+    }
+}
+
+fn assemble(workloads: &[String], out: &[CellOutcome<CellResult>]) -> Vec<TableWriter> {
+    let schemes = all_schemes();
+    let n = schemes.len();
+    let mut speedup_t = TableWriter::new("fig06_4core_spec", &{
+        let mut h = vec!["workload"];
+        h.extend(schemes.iter().skip(1).copied());
+        h
+    });
+    let mut miss_t = TableWriter::new("fig07_demand_miss", &{
+        let mut h = vec!["workload"];
+        h.extend(schemes.iter().copied());
+        h
+    });
+    let mut ephr_t = TableWriter::new("fig08_ephr", &{
+        let mut h = vec!["workload"];
+        h.extend(schemes.iter().copied());
+        h
+    });
+    let mut bypass_t = TableWriter::new(
+        "fig09_bypass",
+        &[
+            "workload",
+            "mockingjay_coverage",
+            "mockingjay_efficiency",
+            "chrome_coverage",
+            "chrome_efficiency",
+        ],
+    );
+
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); n - 1];
+    let mut miss_sums = vec![0.0; n];
+    let mut ephr_sums = vec![0.0; n];
+    let mut bypass_sums = [0.0f64; 4];
+
+    for (wi, wl) in workloads.iter().enumerate() {
+        let base = wi * n;
+        let mut miss_cells = Vec::new();
+        let mut ephr_cells = Vec::new();
+        let mut speed_cells = Vec::new();
+        let mut bypass_cells = Vec::new();
+        for (si, scheme) in schemes.iter().enumerate() {
+            let i = base + si;
+            let miss = metric(out, i, |r| r.demand_miss_ratio);
+            let ephr = metric(out, i, |r| r.ephr);
+            miss_sums[si] += miss;
+            ephr_sums[si] += ephr;
+            miss_cells.push(miss);
+            ephr_cells.push(ephr);
+            if si > 0 {
+                let s = speedup(out, i, base);
+                speedups[si - 1].push(s);
+                speed_cells.push(s);
+            }
+            if *scheme == "Mockingjay" || *scheme == "CHROME" {
+                bypass_cells.push(metric(out, i, |r| r.bypass_coverage));
+                bypass_cells.push(metric(out, i, |r| {
+                    let (again, never, _) = r.bypassed_outcome;
+                    if again + never == 0 {
+                        0.0
+                    } else {
+                        never as f64 / (again + never) as f64
+                    }
+                }));
+            }
+        }
+        speedup_t.row_f(wl, &speed_cells);
+        miss_t.row_f(wl, &miss_cells);
+        ephr_t.row_f(wl, &ephr_cells);
+        for (i, v) in bypass_cells.iter().enumerate() {
+            bypass_sums[i] += v;
+        }
+        bypass_t.row_f(wl, &bypass_cells);
+    }
+
+    let count = workloads.len() as f64;
+    let geo: Vec<f64> = speedups.iter().map(|v| geomean(v)).collect();
+    speedup_t.row_f("GEOMEAN", &geo);
+    miss_t.row_f(
+        "AVERAGE",
+        &miss_sums.iter().map(|s| s / count).collect::<Vec<_>>(),
+    );
+    ephr_t.row_f(
+        "AVERAGE",
+        &ephr_sums.iter().map(|s| s / count).collect::<Vec<_>>(),
+    );
+    bypass_t.row_f(
+        "AVERAGE",
+        &bypass_sums.iter().map(|s| s / count).collect::<Vec<_>>(),
+    );
+    vec![speedup_t, miss_t, ephr_t, bypass_t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_layout_is_workload_major() {
+        let params = RunParams {
+            homo_workloads: Some(2),
+            ..RunParams::default()
+        };
+        let p = plan(&params);
+        let n = all_schemes().len();
+        assert_eq!(p.cells.len(), 2 * n);
+        assert_eq!(p.cells[0].scheme, "LRU");
+        assert_eq!(p.cells[n].scheme, "LRU");
+        assert!(p.cells.iter().all(|c| c.track_unused));
+        // base and scheme cells of a workload replay the same traces
+        assert_eq!(p.cells[0].workload_seed(), p.cells[1].workload_seed());
+    }
+}

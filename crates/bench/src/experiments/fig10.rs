@@ -1,0 +1,72 @@
+//! Fig. 10: weighted speedup over LRU for 4-core heterogeneous mixes
+//! (the paper uses 150 random mixes; scale with `--mixes`). Rows are
+//! sorted by CHROME's speedup, as in the paper's S-curve.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::mix::heterogeneous_names;
+
+use super::{cell, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const SCHEMES: [&str; 4] = ["Hawkeye", "Glider", "Mockingjay", "CHROME"];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let mixes = params.mixes.unwrap_or(30);
+    let names = heterogeneous_names(params.cores, mixes, 0xF16);
+    let labels: Vec<String> = names.iter().map(|n| n.join("+")).collect();
+    let mut cells = Vec::new();
+    for label in &labels {
+        for scheme in std::iter::once("LRU").chain(SCHEMES) {
+            cells.push(cell(params, "fig10_hetero_4core", label, scheme));
+        }
+    }
+    let per_mix = SCHEMES.len() + 1;
+    ExperimentPlan {
+        name: "fig10_hetero_4core",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+            let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len()];
+            for (mi, label) in labels.iter().enumerate() {
+                let base = mi * per_mix;
+                let cells: Vec<f64> = (1..per_mix)
+                    .map(|si| {
+                        let ws = speedup(out, base + si, base);
+                        per_scheme[si - 1].push(ws);
+                        ws
+                    })
+                    .collect();
+                rows.push((format!("mix{mi:03}:{label}"), cells));
+            }
+            // sort ascending by CHROME speedup (the paper's presentation);
+            // total_cmp keeps NaN rows (failed cells) at the tail
+            rows.sort_by(|a, b| a.1[3].total_cmp(&b.1[3]));
+            let mut table = TableWriter::new("fig10_hetero_4core", &{
+                let mut h = vec!["mix"];
+                h.extend(SCHEMES);
+                h
+            });
+            let mut chrome_best = 0;
+            let mut chrome_over_mockingjay = 0;
+            for (name, cells) in &rows {
+                if cells[3] >= cells[0].max(cells[1]).max(cells[2]) {
+                    chrome_best += 1;
+                }
+                if cells[3] >= cells[2] {
+                    chrome_over_mockingjay += 1;
+                }
+                table.row_f(name, cells);
+            }
+            let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
+            table.row_f("GEOMEAN", &geo);
+            println!("CHROME best in {chrome_best}/{} mixes", rows.len());
+            println!(
+                "CHROME >= Mockingjay in {chrome_over_mockingjay}/{} mixes",
+                rows.len()
+            );
+            vec![table]
+        }),
+    }
+}

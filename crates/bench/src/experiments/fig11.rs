@@ -1,0 +1,74 @@
+//! Fig. 11: geometric-mean speedup over LRU for 4/8/16-core systems,
+//! homogeneous and heterogeneous SPEC mixes.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::mix::heterogeneous_names;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::registry::all_schemes;
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const CORE_COUNTS: [usize; 3] = [4, 8, 16];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let hetero_mixes = params.mixes.unwrap_or(8);
+    let homo_count = params.homo_workloads.unwrap_or(10);
+    let schemes = all_schemes();
+    let n = schemes.len();
+    // homogeneous: a representative subset for the smaller core counts
+    let homo: Vec<String> = spec_workloads()
+        .into_iter()
+        .take(homo_count)
+        .map(str::to_string)
+        .collect();
+
+    let mut cells = Vec::new();
+    // (cores, hetero mix labels) per row pair, mirrored by assemble
+    let mut groups: Vec<(usize, Vec<String>)> = Vec::new();
+    for cores in CORE_COUNTS {
+        let hetero: Vec<String> = heterogeneous_names(cores, hetero_mixes, 0xF11)
+            .iter()
+            .map(|names| names.join("+"))
+            .collect();
+        for wl in homo.iter().chain(&hetero) {
+            for scheme in schemes {
+                let mut c = cell(params, "fig11_scalability", wl, scheme);
+                c.cores = cores as u32;
+                cells.push(c);
+            }
+        }
+        groups.push((cores, hetero));
+    }
+
+    let homo_len = homo.len();
+    ExperimentPlan {
+        name: "fig11_scalability",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new("fig11_scalability", &{
+                let mut h = vec!["config"];
+                h.extend(all_schemes().iter().skip(1).copied());
+                h
+            });
+            let mut cursor = 0;
+            for (cores, hetero) in &groups {
+                for (tag, count) in [("homo", homo_len), ("hetero", hetero.len())] {
+                    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); n - 1];
+                    for w in 0..count {
+                        let base = cursor + w * n;
+                        for (si, list) in per_scheme.iter_mut().enumerate() {
+                            list.push(speedup(out, base + si + 1, base));
+                        }
+                    }
+                    cursor += count * n;
+                    let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
+                    table.row_f(&format!("{cores}-core-{tag}"), &geo);
+                }
+            }
+            vec![table]
+        }),
+    }
+}

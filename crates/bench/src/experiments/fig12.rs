@@ -1,0 +1,56 @@
+//! Fig. 12: CHROME vs N-CHROME (no concurrency-aware feedback) on
+//! 4/8/16-core SPEC homogeneous mixes — the value of C-AMAT awareness.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const CORE_COUNTS: [usize; 3] = [4, 8, 16];
+const SCHEMES: [&str; 3] = ["LRU", "CHROME", "N-CHROME"];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    // skip the heavier tail workloads at high core counts
+    let homo_count = params.homo_workloads.unwrap_or(10);
+    let workloads: Vec<String> = spec_workloads()
+        .into_iter()
+        .take(homo_count)
+        .map(str::to_string)
+        .collect();
+    let mut cells = Vec::new();
+    for cores in CORE_COUNTS {
+        for wl in &workloads {
+            for scheme in SCHEMES {
+                let mut c = cell(params, "fig12_nchrome", wl, scheme);
+                c.cores = cores as u32;
+                cells.push(c);
+            }
+        }
+    }
+    let count = workloads.len();
+    ExperimentPlan {
+        name: "fig12_nchrome",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new(
+                "fig12_nchrome",
+                &["config", "CHROME", "N-CHROME", "delta_pct"],
+            );
+            for (gi, cores) in CORE_COUNTS.iter().enumerate() {
+                let mut chrome = Vec::new();
+                let mut nchrome = Vec::new();
+                for wi in 0..count {
+                    let base = (gi * count + wi) * SCHEMES.len();
+                    chrome.push(speedup(out, base + 1, base));
+                    nchrome.push(speedup(out, base + 2, base));
+                }
+                let (gc, gn) = (geomean(&chrome), geomean(&nchrome));
+                table.row_f(&format!("{cores}-core"), &[gc, gn, (gc - gn) * 100.0]);
+            }
+            vec![table]
+        }),
+    }
+}

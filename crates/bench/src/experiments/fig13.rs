@@ -1,0 +1,61 @@
+//! Fig. 13: speedups over LRU on GAP graph workloads (unseen during
+//! hyper-parameter tuning) for 4/8/16-core systems.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::gap::gap_workloads;
+
+use super::{cell, limit, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::registry::all_schemes;
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const CORE_COUNTS: [usize; 3] = [4, 8, 16];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let schemes = all_schemes();
+    let n = schemes.len();
+    // Table VI's 12 GAP traces (bfs/cc/pr/sssp x or/tw/ur)
+    let workloads: Vec<String> = limit(
+        gap_workloads()
+            .iter()
+            .filter(|w| !w.starts_with("bc-"))
+            .map(|w| (*w).to_string())
+            .collect(),
+        params.homo_workloads,
+    );
+    let mut cells = Vec::new();
+    for cores in CORE_COUNTS {
+        for wl in &workloads {
+            for scheme in schemes {
+                let mut c = cell(params, "fig13_gap", wl, scheme);
+                c.cores = cores as u32;
+                cells.push(c);
+            }
+        }
+    }
+    let count = workloads.len();
+    ExperimentPlan {
+        name: "fig13_gap",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new("fig13_gap", &{
+                let mut h = vec!["config"];
+                h.extend(all_schemes().iter().skip(1).copied());
+                h
+            });
+            for (gi, cores) in CORE_COUNTS.iter().enumerate() {
+                let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); n - 1];
+                for wi in 0..count {
+                    let base = (gi * count + wi) * n;
+                    for (si, list) in per_scheme.iter_mut().enumerate() {
+                        list.push(speedup(out, base + si + 1, base));
+                    }
+                }
+                let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
+                table.row_f(&format!("{cores}-core"), &geo);
+            }
+            vec![table]
+        }),
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 14: adaptability across prefetching schemes — geometric-mean
+//! speedup over LRU on 4-core SPEC homogeneous mixes with
+//! (a) stride@L1 + streamer@L2 and (b) IPCP.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::registry::all_schemes;
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const CONFIGS: [(&str, &str); 2] = [("stride+streamer", "stride-streamer"), ("ipcp", "ipcp")];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let homo_count = params.homo_workloads.unwrap_or(14);
+    let schemes = all_schemes();
+    let n = schemes.len();
+    let workloads: Vec<String> = spec_workloads()
+        .into_iter()
+        .take(homo_count)
+        .map(str::to_string)
+        .collect();
+    let mut cells = Vec::new();
+    for (_, prefetch) in CONFIGS {
+        for wl in &workloads {
+            for scheme in schemes {
+                let mut c = cell(params, "fig14_prefetch_schemes", wl, scheme);
+                c.prefetch = prefetch.to_string();
+                cells.push(c);
+            }
+        }
+    }
+    let count = workloads.len();
+    ExperimentPlan {
+        name: "fig14_prefetch_schemes",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new("fig14_prefetch_schemes", &{
+                let mut h = vec!["prefetch_config"];
+                h.extend(all_schemes().iter().skip(1).copied());
+                h
+            });
+            for (ci, (tag, _)) in CONFIGS.iter().enumerate() {
+                let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); n - 1];
+                for wi in 0..count {
+                    let base = (ci * count + wi) * n;
+                    for (si, list) in per_scheme.iter_mut().enumerate() {
+                        list.push(speedup(out, base + si + 1, base));
+                    }
+                }
+                let geo: Vec<f64> = per_scheme.iter().map(|v| geomean(v)).collect();
+                table.row_f(tag, &geo);
+            }
+            vec![table]
+        }),
+    }
+}

@@ -1,0 +1,54 @@
+//! Fig. 15: CHROME state-feature ablation — PC only, PN only, and the
+//! full PC+PN state, on 4-core SPEC homogeneous mixes.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const VARIANTS: [(&str, &str); 6] = [
+    ("PC-only", "CHROME-pc"),
+    ("PN-only", "CHROME-pn"),
+    ("PC+PN", "CHROME"),
+    // the other Table I candidates (extension beyond the paper's Fig. 15)
+    ("PC+delta", "CHROME-pcdelta"),
+    ("PCseq+PN", "CHROME-pcseq"),
+    ("PCoffset+PN", "CHROME-pcoffset"),
+];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let homo_count = params.homo_workloads.unwrap_or(14);
+    let workloads: Vec<String> = spec_workloads()
+        .into_iter()
+        .take(homo_count)
+        .map(str::to_string)
+        .collect();
+    // cells: one LRU base block, then one block per variant
+    let mut cells = Vec::new();
+    for wl in &workloads {
+        cells.push(cell(params, "fig15_features", wl, "LRU"));
+    }
+    for (_, scheme) in VARIANTS {
+        for wl in &workloads {
+            cells.push(cell(params, "fig15_features", wl, scheme));
+        }
+    }
+    let count = workloads.len();
+    ExperimentPlan {
+        name: "fig15_features",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new("fig15_features", &["variant", "geomean_speedup"]);
+            for (vi, (label, _)) in VARIANTS.iter().enumerate() {
+                let speedups: Vec<f64> = (0..count)
+                    .map(|wi| speedup(out, (vi + 1) * count + wi, wi))
+                    .collect();
+                table.row_f(label, &[geomean(&speedups)]);
+            }
+            vec![table]
+        }),
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 16: hyper-parameter sensitivity of CHROME — learning rate α,
+//! discount factor γ, exploration rate ε — on 4-core SPEC homogeneous
+//! mixes.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, ExperimentPlan};
+use crate::grid::{speedup, CellResult};
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const SWEEPS: [(&str, &[f64]); 3] = [
+    ("alpha", &[1e-5, 1e-3, 0.0498, 0.5, 1.0]),
+    ("gamma", &[1e-3, 1e-1, 0.3679, 0.9]),
+    ("eps", &[0.0, 0.001, 0.01, 0.1]),
+];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let homo_count = params.homo_workloads.unwrap_or(8);
+    let workloads: Vec<String> = spec_workloads()
+        .into_iter()
+        .take(homo_count)
+        .map(str::to_string)
+        .collect();
+    // cells: one LRU base block, then one block per sweep setting
+    let mut cells = Vec::new();
+    for wl in &workloads {
+        cells.push(cell(params, "fig16_hyperparams", wl, "LRU"));
+    }
+    for (key, values) in SWEEPS {
+        for v in values {
+            let scheme = format!("CHROME-{key}={v}");
+            for wl in &workloads {
+                cells.push(cell(params, "fig16_hyperparams", wl, &scheme));
+            }
+        }
+    }
+    let count = workloads.len();
+    ExperimentPlan {
+        name: "fig16_hyperparams",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new("fig16_hyperparams", &["setting", "geomean_speedup"]);
+            let mut block = 1;
+            for (key, values) in SWEEPS {
+                for v in values {
+                    let speedups: Vec<f64> = (0..count)
+                        .map(|wi| speedup(out, block * count + wi, wi))
+                        .collect();
+                    table.row_f(&format!("{key}={v}"), &[geomean(&speedups)]);
+                    block += 1;
+                }
+            }
+            vec![table]
+        }),
+    }
+}

@@ -1,0 +1,89 @@
+//! Table VII: EQ FIFO-size sweep — speedup over LRU, Q-table updates
+//! per kilo sampled accesses (UPKSA), and the EQ storage overhead.
+
+use chrome_exec::CellOutcome;
+use chrome_traces::spec::spec_workloads;
+
+use super::{cell, ExperimentPlan};
+use crate::grid::{cell_value, speedup, CellResult};
+use crate::runner::{geomean, RunParams};
+use crate::table::TableWriter;
+
+const FIFO_SIZES: [usize; 7] = [12, 16, 20, 24, 28, 32, 36];
+
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let homo_count = params.homo_workloads.unwrap_or(8);
+    let workloads: Vec<String> = spec_workloads()
+        .into_iter()
+        .take(homo_count)
+        .map(str::to_string)
+        .collect();
+    // cells: one LRU base block, then one block per FIFO size
+    let mut cells = Vec::new();
+    for wl in &workloads {
+        let mut c = cell(params, "tab07_fifo_size", wl, "LRU");
+        c.record_epochs = true;
+        cells.push(c);
+    }
+    for fifo in FIFO_SIZES {
+        let scheme = format!("CHROME-fifo={fifo}");
+        for wl in &workloads {
+            let mut c = cell(params, "tab07_fifo_size", wl, &scheme);
+            c.record_epochs = true;
+            cells.push(c);
+        }
+    }
+    let count = workloads.len();
+    ExperimentPlan {
+        name: "tab07_fifo_size",
+        cells,
+        assemble: Box::new(move |out: &[CellOutcome<CellResult>]| {
+            let mut table = TableWriter::new(
+                "tab07_fifo_size",
+                &[
+                    "fifo_size",
+                    "speedup_pct",
+                    "upksa",
+                    "eq_occupancy",
+                    "eq_overflows",
+                    "overhead_kb_64q",
+                ],
+            );
+            for (bi, fifo) in FIFO_SIZES.iter().enumerate() {
+                let mut speedups = Vec::new();
+                let mut upksa_sum = 0.0;
+                let mut n = 0u32;
+                let mut occ_sum = 0.0;
+                let mut overflow_sum = 0.0;
+                for wi in 0..count {
+                    let i = (bi + 1) * count + wi;
+                    speedups.push(speedup(out, i, wi));
+                    if let Some(r) = cell_value(out, i) {
+                        if let Some(v) = r.report_metric("upksa") {
+                            upksa_sum += v;
+                            n += 1;
+                        }
+                        // EQ state from the final epoch record: mean FIFO
+                        // occupancy and cumulative overflows at end of run
+                        occ_sum += r.eq_occupancy;
+                        overflow_sum += r.eq_overflows as f64;
+                    }
+                }
+                // Table VII reports the EQ storage at the paper's 64 queues
+                let overhead_kb = 64.0 * *fifo as f64 * 58.0 / 8.0 / 1024.0;
+                let wls = count.max(1) as f64;
+                table.row_f(
+                    &fifo.to_string(),
+                    &[
+                        (geomean(&speedups) - 1.0) * 100.0,
+                        upksa_sum / f64::from(n.max(1)),
+                        occ_sum / wls,
+                        overflow_sum / wls,
+                        overhead_kb,
+                    ],
+                );
+            }
+            vec![table]
+        }),
+    }
+}

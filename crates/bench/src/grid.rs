@@ -1,0 +1,399 @@
+//! Grid execution of simulation cells via `chrome-exec`.
+//!
+//! [`run_grid`] is the single entry point every multi-cell experiment
+//! binary (and `run_all`) funnels through: it maps each [`CellSpec`]
+//! onto one simulator run, executes the grid across `--jobs` worker
+//! threads with fault isolation and checkpoint/resume, and returns
+//! outcomes in input order so table assembly is deterministic at any
+//! thread count.
+//!
+//! [`CellResult`] is the compact, manifest-serializable slice of a
+//! [`SchemeResult`](crate::runner::SchemeResult) that table assembly
+//! consumes. Its codec round-trips floats exactly (shortest-form
+//! `f64` printing), which is what lets a resumed run reproduce
+//! byte-identical tables from manifest payloads alone.
+
+use std::path::{Path, PathBuf};
+
+use chrome_exec::{CellOutcome, CellSpec, Codec, EngineConfig, GridReport, JsonValue};
+use chrome_sim::PrefetcherConfig;
+use chrome_traces::mix;
+
+use crate::runner::{run_traces, RunParams};
+
+/// Default checkpoint manifest for grid runs.
+pub const DEFAULT_MANIFEST: &str = "results/manifest.jsonl";
+
+/// Map a [`CellSpec::prefetch`] tag onto a prefetcher configuration.
+///
+/// # Panics
+///
+/// Panics on an unknown tag (a plan bug, not user input).
+#[must_use]
+pub fn prefetch_config(tag: &str) -> PrefetcherConfig {
+    match tag {
+        "paper" => PrefetcherConfig::default_paper(),
+        "stride-streamer" => PrefetcherConfig::stride_streamer(),
+        "ipcp" => PrefetcherConfig::ipcp(),
+        "none" => PrefetcherConfig::none(),
+        other => panic!("unknown prefetch tag {other}"),
+    }
+}
+
+/// The manifest-serializable result of one simulation cell: everything
+/// any experiment's table assembly reads, and nothing else.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Per-core IPC (speedups are ratios of these against a base cell).
+    pub ipc: Vec<f64>,
+    /// LLC demand miss ratio.
+    pub demand_miss_ratio: f64,
+    /// Effective prefetch hit ratio.
+    pub ephr: f64,
+    /// Bypass coverage.
+    pub bypass_coverage: f64,
+    /// Bypassed-block outcomes `(requested_again, never, prefetch)`.
+    pub bypassed_outcome: (u64, u64, u64),
+    /// Evicted-unused outcomes `(requested_again, never, prefetch)`.
+    pub evicted_unused: (u64, u64, u64),
+    /// LLC evictions.
+    pub evictions: u64,
+    /// LLC evictions of never-reused blocks.
+    pub evictions_unused: u64,
+    /// Scheme-specific report metrics (e.g. CHROME's UPKSA).
+    pub report: Vec<(String, f64)>,
+    /// Mean EQ FIFO occupancy from the final epoch (0 unless the cell
+    /// recorded epochs).
+    pub eq_occupancy: f64,
+    /// Cumulative EQ FIFO overflows from the final epoch.
+    pub eq_overflows: u64,
+    /// Telemetry artifact paths this cell exported.
+    pub artifacts: Vec<String>,
+}
+
+impl CellResult {
+    /// Sum of per-core IPCs.
+    #[must_use]
+    pub fn ipc_sum(&self) -> f64 {
+        self.ipc.iter().sum()
+    }
+
+    /// Normalized weighted speedup against a baseline cell of the same
+    /// workload: `(1/n) Σ IPC_i / IPC_i^base`.
+    #[must_use]
+    pub fn weighted_speedup_vs(&self, base: &CellResult) -> f64 {
+        let n = self.ipc.len() as f64;
+        self.ipc
+            .iter()
+            .zip(&base.ipc)
+            .map(|(a, b)| if *b > 0.0 { a / b } else { 0.0 })
+            .sum::<f64>()
+            / n
+    }
+
+    /// A named metric from the scheme report.
+    #[must_use]
+    pub fn report_metric(&self, key: &str) -> Option<f64> {
+        self.report.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Borrow the result of cell `i`, if it succeeded.
+#[must_use]
+pub fn cell_value(out: &[CellOutcome<CellResult>], i: usize) -> Option<&CellResult> {
+    out.get(i).and_then(CellOutcome::value)
+}
+
+/// A metric of cell `i`, or NaN when the cell failed — failed cells
+/// surface as NaN table entries and drop out of geomeans instead of
+/// aborting the whole experiment.
+pub fn metric<F: Fn(&CellResult) -> f64>(out: &[CellOutcome<CellResult>], i: usize, f: F) -> f64 {
+    cell_value(out, i).map_or(f64::NAN, f)
+}
+
+/// Weighted speedup of cell `i` over base cell `b`, NaN if either failed.
+#[must_use]
+pub fn speedup(out: &[CellOutcome<CellResult>], i: usize, b: usize) -> f64 {
+    match (cell_value(out, i), cell_value(out, b)) {
+        (Some(r), Some(base)) => r.weighted_speedup_vs(base),
+        _ => f64::NAN,
+    }
+}
+
+/// Execute one cell: build its traces from the spec-derived seed, run
+/// the simulator, and distill the result. This is the function the
+/// engine schedules; a panic anywhere inside is the engine's to catch.
+///
+/// # Panics
+///
+/// Panics on unknown workload/scheme names or telemetry export errors.
+#[must_use]
+pub fn run_cell(spec: &CellSpec, telemetry_out: Option<&Path>) -> CellResult {
+    let seed = spec.workload_seed();
+    let params = RunParams {
+        cores: spec.cores as usize,
+        instructions: spec.instructions,
+        warmup: spec.warmup,
+        prefetchers: prefetch_config(&spec.prefetch),
+        seed,
+        telemetry_out: telemetry_out.map(Path::to_path_buf),
+        record_epochs: spec.record_epochs,
+        ..RunParams::default()
+    };
+    let traces = if spec.workload.contains('+') {
+        let names: Vec<&str> = spec.workload.split('+').collect();
+        mix::build_mix(&names, seed).unwrap_or_else(|| panic!("unknown mix {}", spec.workload))
+    } else {
+        mix::homogeneous(&spec.workload, params.cores, seed)
+            .unwrap_or_else(|| panic!("unknown workload {}", spec.workload))
+    };
+    let r = run_traces(
+        &params,
+        traces,
+        &spec.scheme,
+        spec.track_unused,
+        &spec.workload,
+        Some(&spec.hash_hex()),
+    );
+    let (eq_occupancy, eq_overflows) = r.epochs.records().last().map_or((0.0, 0), |last| {
+        (last.policy.eq_occupancy, last.policy.eq_overflows)
+    });
+    CellResult {
+        ipc: r
+            .results
+            .per_core
+            .iter()
+            .map(chrome_sim::CoreStats::ipc)
+            .collect(),
+        demand_miss_ratio: r.results.llc.demand_miss_ratio(),
+        ephr: r.results.llc.ephr(),
+        bypass_coverage: r.results.llc.bypass_coverage(),
+        bypassed_outcome: r.results.bypassed_outcome,
+        evicted_unused: r.results.evicted_unused,
+        evictions: r.results.llc.evictions,
+        evictions_unused: r.results.llc.evictions_unused,
+        report: r.report,
+        eq_occupancy,
+        eq_overflows,
+        artifacts: r
+            .artifacts
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect(),
+    }
+}
+
+/// JSON codec for [`CellResult`] manifest payloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellCodec;
+
+fn nums(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| chrome_exec::json::num(*v))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn triple(t: (u64, u64, u64)) -> String {
+    format!("[{},{},{}]", t.0, t.1, t.2)
+}
+
+fn parse_triple(v: Option<&JsonValue>) -> Option<(u64, u64, u64)> {
+    let a = v?.as_arr()?;
+    Some((
+        a.first()?.as_u64()?,
+        a.get(1)?.as_u64()?,
+        a.get(2)?.as_u64()?,
+    ))
+}
+
+impl Codec<CellResult> for CellCodec {
+    fn encode(&self, r: &CellResult) -> String {
+        use chrome_exec::json::{escape, num};
+        let report: Vec<String> = r
+            .report
+            .iter()
+            .map(|(k, v)| format!("[\"{}\",{}]", escape(k), num(*v)))
+            .collect();
+        let artifacts: Vec<String> = r
+            .artifacts
+            .iter()
+            .map(|a| format!("\"{}\"", escape(a)))
+            .collect();
+        format!(
+            "{{\"ipc\":[{}],\"miss\":{},\"ephr\":{},\"bypass\":{},\
+             \"bypassed\":{},\"unused\":{},\"evictions\":{},\
+             \"evictions_unused\":{},\"report\":[{}],\"eq_occ\":{},\
+             \"eq_ovf\":{},\"artifacts\":[{}]}}",
+            nums(&r.ipc),
+            num(r.demand_miss_ratio),
+            num(r.ephr),
+            num(r.bypass_coverage),
+            triple(r.bypassed_outcome),
+            triple(r.evicted_unused),
+            r.evictions,
+            r.evictions_unused,
+            report.join(","),
+            num(r.eq_occupancy),
+            r.eq_overflows,
+            artifacts.join(","),
+        )
+    }
+
+    fn decode(&self, payload: &JsonValue) -> Option<CellResult> {
+        let floats = |key: &str| -> Option<Vec<f64>> {
+            payload
+                .get(key)?
+                .as_arr()?
+                .iter()
+                .map(JsonValue::as_f64)
+                .collect()
+        };
+        let report = payload
+            .get("report")?
+            .as_arr()?
+            .iter()
+            .map(|pair| {
+                let p = pair.as_arr()?;
+                Some((p.first()?.as_str()?.to_string(), p.get(1)?.as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(CellResult {
+            ipc: floats("ipc")?,
+            demand_miss_ratio: payload.get("miss")?.as_f64()?,
+            ephr: payload.get("ephr")?.as_f64()?,
+            bypass_coverage: payload.get("bypass")?.as_f64()?,
+            bypassed_outcome: parse_triple(payload.get("bypassed"))?,
+            evicted_unused: parse_triple(payload.get("unused"))?,
+            evictions: payload.get("evictions")?.as_u64()?,
+            evictions_unused: payload.get("evictions_unused")?.as_u64()?,
+            report,
+            eq_occupancy: payload.get("eq_occ")?.as_f64()?,
+            eq_overflows: payload.get("eq_ovf")?.as_u64()?,
+            artifacts: payload
+                .get("artifacts")?
+                .as_arr()?
+                .iter()
+                .map(|a| a.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
+    fn artifacts(&self, r: &CellResult) -> Vec<String> {
+        r.artifacts.clone()
+    }
+}
+
+/// Run a grid of simulation cells under the engine configured from
+/// `params` (`--jobs`, `--retries`, `--resume`, `--manifest`).
+/// Outcomes come back in input order; failed cells carry their panic
+/// payloads instead of aborting the run.
+///
+/// # Panics
+///
+/// Panics when the checkpoint manifest cannot be written.
+#[must_use]
+pub fn run_grid(params: &RunParams, cells: Vec<CellSpec>) -> GridReport<CellResult> {
+    let manifest = params
+        .manifest
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_MANIFEST));
+    let cfg = EngineConfig {
+        jobs: params.jobs.unwrap_or(0),
+        retries: params.retries,
+        backoff_ms: 100,
+        backoff_cap_ms: 5_000,
+        manifest_path: Some(manifest),
+        resume: params.resume,
+        progress: params.progress,
+    };
+    let telemetry_out = params.telemetry_out.clone();
+    chrome_exec::run_grid(cells, &cfg, &CellCodec, move |spec| {
+        run_cell(spec, telemetry_out.as_deref())
+    })
+    .unwrap_or_else(|e| panic!("grid manifest I/O failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellResult {
+        CellResult {
+            ipc: vec![1.5, 1.0 / 3.0],
+            demand_miss_ratio: 0.25,
+            ephr: 0.75,
+            bypass_coverage: 0.1,
+            bypassed_outcome: (1, 2, 3),
+            evicted_unused: (4, 5, 6),
+            evictions: 100,
+            evictions_unused: 40,
+            report: vec![("upksa".into(), 12.5), ("q_mag".into(), 0.1)],
+            eq_occupancy: 0.5,
+            eq_overflows: 7,
+            artifacts: vec!["results/telemetry/x_epochs.csv".into()],
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_exactly() {
+        let r = sample();
+        let encoded = CellCodec.encode(&r);
+        let parsed = chrome_exec::json::parse(&encoded).expect("codec emits valid JSON");
+        let back = CellCodec.decode(&parsed).expect("decodes");
+        assert_eq!(back, r);
+        // float bits survive (shortest round-trip printing)
+        assert_eq!(back.ipc[1].to_bits(), (1.0f64 / 3.0).to_bits());
+    }
+
+    #[test]
+    fn codec_roundtrips_through_render() {
+        // resume path: payload is re-rendered into the manifest line
+        let r = sample();
+        let parsed = chrome_exec::json::parse(&CellCodec.encode(&r)).unwrap();
+        let rerendered = chrome_exec::json::parse(&parsed.render()).unwrap();
+        assert_eq!(CellCodec.decode(&rerendered).unwrap(), r);
+    }
+
+    #[test]
+    fn weighted_speedup_matches_definition() {
+        let mut a = sample();
+        let mut b = sample();
+        a.ipc = vec![2.0, 1.0];
+        b.ipc = vec![1.0, 2.0];
+        assert!((a.weighted_speedup_vs(&b) - (2.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((a.weighted_speedup_vs(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_tags_cover_all_configs() {
+        assert_eq!(prefetch_config("paper"), PrefetcherConfig::default_paper());
+        assert_eq!(
+            prefetch_config("stride-streamer"),
+            PrefetcherConfig::stride_streamer()
+        );
+        assert_eq!(prefetch_config("ipcp"), PrefetcherConfig::ipcp());
+        assert_eq!(prefetch_config("none"), PrefetcherConfig::none());
+    }
+
+    #[test]
+    fn run_cell_produces_result() {
+        let spec = CellSpec {
+            experiment: "unit".into(),
+            workload: "libquantum".into(),
+            scheme: "LRU".into(),
+            cores: 1,
+            instructions: 20_000,
+            warmup: 2_000,
+            seed: 7,
+            prefetch: "paper".into(),
+            track_unused: false,
+            record_epochs: false,
+        };
+        let r = run_cell(&spec, None);
+        assert_eq!(r.ipc.len(), 1);
+        assert!(r.ipc[0] > 0.0);
+        assert!(r.artifacts.is_empty());
+    }
+}

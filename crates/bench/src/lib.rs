@@ -6,11 +6,15 @@
 //! speedup computation against the LRU baseline, and TSV/console table
 //! output.
 
+pub mod experiments;
+pub mod grid;
 pub mod harness;
 pub mod registry;
 pub mod runner;
 pub mod table;
 
+pub use experiments::{all_plans, run_plans, ExperimentPlan};
+pub use grid::{run_grid, CellResult};
 pub use registry::{all_schemes, build_any_policy};
 pub use runner::{geomean, run_mix, run_workload, RunParams, SchemeResult};
 pub use table::TableWriter;

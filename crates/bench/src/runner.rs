@@ -33,6 +33,24 @@ pub struct RunParams {
     /// (`--profile`); implies a recording telemetry sink and populates
     /// [`SchemeResult::attrib`].
     pub profile: bool,
+    /// Grid-engine worker threads (`--jobs N`); `None` means available
+    /// parallelism.
+    pub jobs: Option<usize>,
+    /// Extra attempts for a panicking cell (`--retries K`).
+    pub retries: u32,
+    /// Skip cells already recorded `ok` in the manifest (`--resume`).
+    pub resume: bool,
+    /// Checkpoint manifest path (`--manifest PATH`); defaults to
+    /// `results/manifest.jsonl` for grid runs.
+    pub manifest: Option<PathBuf>,
+    /// Heterogeneous mix count for experiments that sweep mixes
+    /// (`--mixes N`); each experiment applies its own default.
+    pub mixes: Option<usize>,
+    /// Cap on per-experiment workload lists (`--homo-workloads N`);
+    /// each experiment applies its own default.
+    pub homo_workloads: Option<usize>,
+    /// Paint live grid progress to stderr (tests switch it off).
+    pub progress: bool,
 }
 
 impl Default for RunParams {
@@ -46,6 +64,13 @@ impl Default for RunParams {
             telemetry_out: None,
             record_epochs: false,
             profile: false,
+            jobs: None,
+            retries: 2,
+            resume: false,
+            manifest: None,
+            mixes: None,
+            homo_workloads: None,
+            progress: true,
         }
     }
 }
@@ -62,6 +87,10 @@ impl RunParams {
     /// Like [`RunParams::from_args`], but skips the listed
     /// experiment-specific flags (each consuming one value argument);
     /// read those with [`RunParams::arg_usize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags or malformed flag values.
     pub fn from_args_ignoring(extra_value_flags: &[&str]) -> Self {
         let mut p = RunParams::default();
         let args: Vec<String> = std::env::args().collect();
@@ -96,6 +125,30 @@ impl RunParams {
                 }
                 "--profile" => {
                     p.profile = true;
+                }
+                "--jobs" => {
+                    i += 1;
+                    p.jobs = Some(args[i].parse().expect("--jobs takes a number"));
+                }
+                "--retries" => {
+                    i += 1;
+                    p.retries = args[i].parse().expect("--retries takes a number");
+                }
+                "--resume" => {
+                    p.resume = true;
+                }
+                "--manifest" => {
+                    i += 1;
+                    p.manifest = Some(PathBuf::from(args.get(i).expect("--manifest takes a path")));
+                }
+                "--mixes" => {
+                    i += 1;
+                    p.mixes = Some(args[i].parse().expect("--mixes takes a number"));
+                }
+                "--homo-workloads" => {
+                    i += 1;
+                    p.homo_workloads =
+                        Some(args[i].parse().expect("--homo-workloads takes a number"));
                 }
                 "--quick" => {
                     p.instructions /= 10;
@@ -145,6 +198,9 @@ pub struct SchemeResult {
     /// Latency-attribution profiler state (populated only when
     /// [`RunParams::profile`] was set).
     pub attrib: Option<AttribProfiler>,
+    /// Telemetry artifact files this run exported (empty without
+    /// `--telemetry-out`).
+    pub artifacts: Vec<PathBuf>,
 }
 
 impl SchemeResult {
@@ -192,7 +248,7 @@ pub fn run_workload_tracked(
 ) -> SchemeResult {
     let traces = mix::homogeneous(workload, params.cores, params.seed)
         .unwrap_or_else(|| panic!("unknown workload {workload}"));
-    run_traces(params, traces, scheme, track_unused, workload)
+    run_traces(params, traces, scheme, track_unused, workload, None)
 }
 
 /// Run `scheme` on a named heterogeneous mix.
@@ -203,13 +259,19 @@ pub fn run_workload_tracked(
 pub fn run_mix(params: &RunParams, names: &[&str], scheme: &str) -> SchemeResult {
     let traces =
         mix::build_mix(names, params.seed).unwrap_or_else(|| panic!("unknown mix {names:?}"));
-    run_traces(params, traces, scheme, false, &names.join("+"))
+    run_traces(params, traces, scheme, false, &names.join("+"), None)
 }
 
-/// Turn a workload/scheme label into a safe artifact-file prefix.
-fn artifact_prefix(label: &str, scheme: &str) -> String {
-    format!("{label}_{scheme}")
-        .chars()
+/// Turn a workload/scheme label into a safe artifact-file prefix. Grid
+/// cells pass their spec hash as `tag`, which keeps artifact names
+/// collision-free when concurrent cells from different experiments
+/// share one `--telemetry-out` directory.
+fn artifact_prefix(label: &str, scheme: &str, tag: Option<&str>) -> String {
+    let raw = match tag {
+        Some(t) => format!("{label}_{scheme}_{t}"),
+        None => format!("{label}_{scheme}"),
+    };
+    raw.chars()
         .map(|c| {
             if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
                 c
@@ -220,12 +282,13 @@ fn artifact_prefix(label: &str, scheme: &str) -> String {
         .collect()
 }
 
-fn run_traces(
+pub(crate) fn run_traces(
     params: &RunParams,
     traces: Vec<Box<dyn chrome_sim::trace::TraceSource>>,
     scheme: &str,
     track_unused: bool,
     label: &str,
+    artifact_tag: Option<&str>,
 ) -> SchemeResult {
     let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut sys = System::with_policy(params.sim_config(), traces, policy);
@@ -250,17 +313,20 @@ fn run_traces(
     } else {
         None
     };
-    if let Some(dir) = &params.telemetry_out {
+    let artifacts = if let Some(dir) = &params.telemetry_out {
         sys.telemetry()
-            .export(dir, &artifact_prefix(label, scheme))
-            .unwrap_or_else(|e| panic!("telemetry export to {dir:?} failed: {e}"));
-    }
+            .export(dir, &artifact_prefix(label, scheme, artifact_tag))
+            .unwrap_or_else(|e| panic!("telemetry export to {dir:?} failed: {e}"))
+    } else {
+        Vec::new()
+    };
     SchemeResult {
         scheme: scheme.to_string(),
         results,
         report,
         epochs,
         attrib,
+        artifacts,
     }
 }
 

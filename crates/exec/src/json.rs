@@ -1,0 +1,340 @@
+//! A minimal hand-rolled JSON reader/writer for the run manifest and
+//! cell-result payloads. The workspace deliberately carries no registry
+//! dependencies; the schemas involved are small, fixed, and written by
+//! us, so a ~150-line recursive-descent parser covers them fully.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers are kept as `f64` plus the raw text so
+/// integer payloads round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; `.1` is the source text for lossless integer reads.
+    Num(f64, String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, parsed losslessly from the source text.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(_, raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Re-render as compact JSON (used to carry raw payloads through).
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            JsonValue::Null => "null".to_string(),
+            JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Num(_, raw) => raw.clone(),
+            JsonValue::Str(s) => format!("\"{}\"", escape(s)),
+            JsonValue::Arr(items) => {
+                let parts: Vec<String> = items.iter().map(JsonValue::render).collect();
+                format!("[{}]", parts.join(","))
+            }
+            JsonValue::Obj(fields) => {
+                let parts: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", escape(k), v.render()))
+                    .collect();
+                format!("{{{}}}", parts.join(","))
+            }
+        }
+    }
+}
+
+/// Escape a string for embedding in JSON.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number that parses back to the identical
+/// bits: shortest round-trip form; non-finite values become `0`.
+#[must_use]
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Parse one JSON document. Returns `None` on any syntax error or
+/// trailing garbage (a torn manifest line from a killed run).
+#[must_use]
+pub fn parse(text: &str) -> Option<JsonValue> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => parse_obj(b, pos),
+        b'[' => parse_arr(b, pos),
+        b'"' => parse_str(b, pos).map(JsonValue::Str),
+        b't' => parse_lit(b, pos, "true").map(|()| JsonValue::Bool(true)),
+        b'f' => parse_lit(b, pos, "false").map(|()| JsonValue::Bool(false)),
+        b'n' => parse_lit(b, pos, "null").map(|()| JsonValue::Null),
+        _ => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    let start = *pos;
+    if *pos < b.len() && (b[*pos] == b'-' || b[*pos] == b'+') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+') {
+        *pos += 1;
+    }
+    let raw = std::str::from_utf8(&b[start..*pos]).ok()?;
+    let v: f64 = raw.parse().ok()?;
+    Some(JsonValue::Num(v, raw.to_string()))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Option<String> {
+    eat(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match *b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match *b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // advance one UTF-8 scalar
+                let s = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = s.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    eat(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(JsonValue::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    eat(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        eat(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(JsonValue::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a":1,"b":[true,null,"x\ny"],"c":{"d":-2.5e1}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        let arr = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2].as_str(), Some("x\ny"));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_f64(), Some(-25.0));
+    }
+
+    #[test]
+    fn rejects_torn_lines() {
+        assert!(parse(r#"{"a":1,"b""#).is_none());
+        assert!(parse(r#"{"a":1} trailing"#).is_none());
+        assert!(parse("").is_none());
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for v in [0.1, 1.0 / 3.0, 12345.6789e-3, f64::MIN_POSITIVE, 1e300] {
+            let parsed = parse(&num(v)).unwrap().as_f64().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits());
+        }
+        assert_eq!(num(f64::NAN), "0");
+    }
+
+    #[test]
+    fn large_u64_roundtrips() {
+        let raw = u64::MAX.to_string();
+        let v = parse(&raw).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let src = r#"{"a":1,"b":[true,null,"x y"],"c":{"d":-25}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn escape_controls() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}
