@@ -1,0 +1,205 @@
+//! Simulator-throughput microbenchmark: wall-clock cost of the paper
+//! grid's inner loop, per scheme, under both scheduling kernels.
+//!
+//! For every scheme the binary runs the same homogeneous workload twice
+//! — once under the event-driven kernel, once under the naive reference
+//! stepper — and reports simulated-cycles/second, MIPS (millions of
+//! simulated instructions per wall second) and the event-vs-reference
+//! speedup. The differential tests guarantee both runs produce
+//! identical results, so the ratio is a pure scheduling-overhead
+//! measurement.
+//!
+//! ```text
+//! throughput [--workload W] [--schemes A,B,...] [--out FILE]
+//!            [--baseline FILE] [common flags: --quick, --cores, ...]
+//! ```
+//!
+//! With `--out FILE` a machine-readable summary is written (the
+//! checked-in `BENCH_sim_throughput.json` is one of these). With
+//! `--baseline FILE` the run exits non-zero if aggregate MIPS fell more
+//! than 30% below the baseline's — the CI perf-smoke regression gate.
+
+use std::time::Instant;
+
+use chrome_bench::registry::{all_schemes, build_any_policy};
+use chrome_bench::runner::RunParams;
+use chrome_exec::json;
+use chrome_sim::{Kernel, System};
+use chrome_traces::mix;
+
+/// Tolerated MIPS regression vs the checked-in baseline (CI gate).
+const MIPS_REGRESSION_FLOOR: f64 = 0.7;
+
+fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct SchemeTiming {
+    scheme: String,
+    sim_cycles: u64,
+    instructions: u64,
+    event_elapsed: f64,
+    reference_elapsed: f64,
+}
+
+impl SchemeTiming {
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.event_elapsed
+    }
+
+    fn mips(&self) -> f64 {
+        self.instructions as f64 / self.event_elapsed / 1e6
+    }
+
+    fn speedup(&self) -> f64 {
+        self.reference_elapsed / self.event_elapsed
+    }
+}
+
+/// Run one (scheme, kernel) cell and return (elapsed seconds, measured
+/// simulated cycles).
+fn time_cell(params: &RunParams, workload: &str, scheme: &str, kernel: Kernel) -> (f64, u64) {
+    let traces = mix::homogeneous(workload, params.cores, params.seed)
+        .unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let mut sys = System::with_policy(params.sim_config(), traces, policy);
+    let t0 = Instant::now();
+    let results = sys.run_with_kernel(params.instructions, params.warmup, kernel);
+    (t0.elapsed().as_secs_f64().max(1e-9), results.total_cycles)
+}
+
+fn main() {
+    let params = RunParams::from_args_ignoring(&["--workload", "--schemes", "--out", "--baseline"]);
+    let workload = arg_string("--workload").unwrap_or_else(|| "mcf".to_string());
+    let schemes: Vec<String> = match arg_string("--schemes") {
+        Some(s) => s
+            .split(',')
+            .filter(|x| !x.is_empty())
+            .map(Into::into)
+            .collect(),
+        None => all_schemes().iter().map(|s| s.to_string()).collect(),
+    };
+
+    println!(
+        "== sim throughput: {workload}, {} cores, {} instr/core, warmup {} ==",
+        params.cores, params.instructions, params.warmup
+    );
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "scheme", "Mcycles/s", "MIPS", "event(s)", "ref(s)", "speedup"
+    );
+
+    let mut rows = Vec::with_capacity(schemes.len());
+    for scheme in &schemes {
+        let (event_elapsed, sim_cycles) =
+            time_cell(&params, &workload, scheme, Kernel::EventDriven);
+        let (reference_elapsed, ref_cycles) =
+            time_cell(&params, &workload, scheme, Kernel::Reference);
+        assert_eq!(
+            sim_cycles, ref_cycles,
+            "kernels must simulate identical cycle counts ({scheme})"
+        );
+        let row = SchemeTiming {
+            scheme: scheme.clone(),
+            sim_cycles,
+            instructions: params.instructions * params.cores as u64,
+            event_elapsed,
+            reference_elapsed,
+        };
+        println!(
+            "{:<12} {:>12.2} {:>12.2} {:>10.3} {:>10.3} {:>8.2}x",
+            row.scheme,
+            row.cycles_per_sec() / 1e6,
+            row.mips(),
+            row.event_elapsed,
+            row.reference_elapsed,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let total_instr: u64 = rows.iter().map(|r| r.instructions).sum();
+    let total_event: f64 = rows.iter().map(|r| r.event_elapsed).sum();
+    let total_ref: f64 = rows.iter().map(|r| r.reference_elapsed).sum();
+    let aggregate_mips = total_instr as f64 / total_event / 1e6;
+    let aggregate_speedup = total_ref / total_event;
+    println!(
+        "aggregate: {aggregate_mips:.2} MIPS, event-driven speedup {aggregate_speedup:.2}x over \
+         reference"
+    );
+
+    if let Some(path) = arg_string("--out") {
+        let payload = render_json(&params, &workload, &rows, aggregate_mips, aggregate_speedup);
+        std::fs::write(&path, payload).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = arg_string("--baseline") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let doc = json::parse(&text).unwrap_or_else(|| panic!("{path}: malformed JSON"));
+        let base_mips = doc
+            .get("aggregate_mips")
+            .and_then(json::JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{path}: missing aggregate_mips"));
+        let floor = base_mips * MIPS_REGRESSION_FLOOR;
+        println!(
+            "baseline gate: current {aggregate_mips:.2} MIPS vs baseline {base_mips:.2} \
+             (floor {floor:.2})"
+        );
+        if aggregate_mips < floor {
+            eprintln!(
+                "THROUGHPUT REGRESSION: {aggregate_mips:.2} MIPS is more than 30% below the \
+                 baseline {base_mips:.2}"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// A JSON string literal (escaped and quoted).
+fn quoted(s: &str) -> String {
+    format!("\"{}\"", json::escape(s))
+}
+
+fn render_json(
+    params: &RunParams,
+    workload: &str,
+    rows: &[SchemeTiming],
+    aggregate_mips: f64,
+    aggregate_speedup: f64,
+) -> String {
+    let scheme_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"scheme\":{},\"sim_cycles\":{},\"instructions\":{},\
+                 \"event_elapsed_sec\":{:.3},\"reference_elapsed_sec\":{:.3},\
+                 \"sim_cycles_per_sec\":{:.0},\"mips\":{:.3},\"speedup\":{:.3}}}",
+                quoted(&r.scheme),
+                r.sim_cycles,
+                r.instructions,
+                r.event_elapsed,
+                r.reference_elapsed,
+                r.cycles_per_sec(),
+                r.mips(),
+                r.speedup(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"name\": \"sim_throughput\",\n  \"workload\": {},\n  \"cores\": {},\n  \
+         \"instructions_per_core\": {},\n  \"warmup_per_core\": {},\n  \"schemes\": [\n{}\n  ],\n  \
+         \"aggregate_mips\": {:.3},\n  \"aggregate_speedup\": {:.3}\n}}\n",
+        quoted(workload),
+        params.cores,
+        params.instructions,
+        params.warmup,
+        scheme_rows.join(",\n"),
+        aggregate_mips,
+        aggregate_speedup,
+    )
+}

@@ -5,6 +5,15 @@ use crate::mshr::MshrFile;
 use crate::stats::CacheStats;
 use crate::types::LineAddr;
 
+/// Packed residency key; see the `keys` field of [`PrivateCache`]. Line
+/// addresses come from byte addresses shifted down by the line-offset
+/// bits, so the shift cannot overflow.
+#[inline]
+fn key_of(line: LineAddr) -> u64 {
+    debug_assert!(line.0 < 1 << 63, "line address overflows packed key");
+    (line.0 << 1) | 1
+}
+
 /// A block evicted from a cache, reported to the caller so writebacks can
 /// be propagated down the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,11 +31,17 @@ pub struct Evicted {
 #[derive(Debug)]
 pub struct PrivateCache {
     sets: usize,
+    /// `sets - 1`; set indexing is a bitmask (sets is asserted to be a
+    /// power of two at construction) so the demand path never pays a
+    /// 64-bit modulo.
+    set_mask: u64,
     ways: usize,
     /// Access latency in cycles.
     pub latency: u64,
-    tags: Vec<LineAddr>,
-    valid: Vec<bool>,
+    /// Packed tag+valid per way: `(line << 1) | 1`, `0` = invalid way.
+    /// One array scanned per lookup instead of a tag array plus a valid
+    /// array — the L1 lookup runs once per memory access.
+    keys: Vec<u64>,
     dirty: Vec<bool>,
     prefetch: Vec<bool>,
     /// Cycle at which each block's data arrives (fills are recorded
@@ -45,17 +60,22 @@ impl PrivateCache {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration implies zero sets or zero ways.
+    /// Panics if the configuration implies zero sets or zero ways, or if
+    /// the set count is not a power of two (bitmask indexing).
     pub fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets();
         assert!(sets > 0 && cfg.ways > 0, "degenerate cache geometry");
+        assert!(
+            sets.is_power_of_two(),
+            "cache set count must be a power of two (got {sets})"
+        );
         let n = sets * cfg.ways;
         PrivateCache {
             sets,
+            set_mask: sets as u64 - 1,
             ways: cfg.ways,
             latency: cfg.latency,
-            tags: vec![LineAddr(0); n],
-            valid: vec![false; n],
+            keys: vec![0; n],
             dirty: vec![false; n],
             prefetch: vec![false; n],
             ready: vec![0; n],
@@ -78,7 +98,7 @@ impl PrivateCache {
 
     #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets as u64) as usize
+        (line.0 & self.set_mask) as usize
     }
 
     #[inline]
@@ -88,11 +108,11 @@ impl PrivateCache {
 
     /// Look up `line` without updating replacement state.
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_of(line);
-        (0..self.ways).find(|&w| {
-            let i = self.idx(set, w);
-            self.valid[i] && self.tags[i] == line
-        })
+        let base = self.set_of(line) * self.ways;
+        let key = key_of(line);
+        self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == key)
     }
 
     /// Look up `line`; on a hit, update LRU state and the dirty bit (for
@@ -100,23 +120,22 @@ impl PrivateCache {
     /// data arrives (in the past for settled blocks). `is_prefetch`
     /// suppresses demand accounting. The caller updates stats counters.
     pub fn lookup(&mut self, line: LineAddr, is_write: bool, is_prefetch: bool) -> Option<u64> {
-        match self.probe(line) {
-            Some(way) => {
-                let set = self.set_of(line);
-                let i = self.idx(set, way);
-                self.tick += 1;
-                self.lru[i] = self.tick;
-                if is_write {
-                    self.dirty[i] = true;
-                }
-                if !is_prefetch && self.prefetch[i] {
-                    self.prefetch[i] = false;
-                    self.stats.prefetch_useful += 1;
-                }
-                Some(self.ready[i])
-            }
-            None => None,
+        let base = self.set_of(line) * self.ways;
+        let key = key_of(line);
+        let way = self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == key)?;
+        let i = base + way;
+        self.tick += 1;
+        self.lru[i] = self.tick;
+        if is_write {
+            self.dirty[i] = true;
         }
+        if !is_prefetch && self.prefetch[i] {
+            self.prefetch[i] = false;
+            self.stats.prefetch_useful += 1;
+        }
+        Some(self.ready[i])
     }
 
     /// Insert `line`, evicting the LRU block if the set is full.
@@ -130,20 +149,21 @@ impl PrivateCache {
         ready: u64,
     ) -> Option<Evicted> {
         debug_assert!(self.probe(line).is_none(), "double fill of resident line");
-        let set = self.set_of(line);
+        let base = self.set_of(line) * self.ways;
         // Prefer an invalid way.
-        let way = (0..self.ways)
-            .find(|&w| !self.valid[self.idx(set, w)])
+        let way = self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == 0)
             .unwrap_or_else(|| {
                 (0..self.ways)
-                    .min_by_key(|&w| self.lru[self.idx(set, w)])
+                    .min_by_key(|&w| self.lru[base + w])
                     .expect("nonzero ways")
             });
-        let i = self.idx(set, way);
-        let evicted = if self.valid[i] {
+        let i = base + way;
+        let evicted = if self.keys[i] != 0 {
             self.stats.evictions += 1;
             Some(Evicted {
-                line: self.tags[i],
+                line: LineAddr(self.keys[i] >> 1),
                 dirty: self.dirty[i],
             })
         } else {
@@ -153,8 +173,7 @@ impl PrivateCache {
             self.stats.writebacks += 1;
         }
         self.tick += 1;
-        self.tags[i] = line;
-        self.valid[i] = true;
+        self.keys[i] = key_of(line);
         self.dirty[i] = dirty;
         self.prefetch[i] = is_prefetch;
         self.ready[i] = ready;
@@ -180,7 +199,7 @@ impl PrivateCache {
 
     /// Number of currently valid blocks (test/diagnostic helper).
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.keys.iter().filter(|&&k| k != 0).count()
     }
 }
 

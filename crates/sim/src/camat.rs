@@ -78,6 +78,10 @@ pub struct CamatTracker {
     /// `epoch_end`, waiting for the epoch that owns them. Disjoint and
     /// ordered (a consequence of the watermark union).
     overhang: Vec<Vec<(u64, u64)>>,
+    /// Spare segment buffer ping-ponged with `overhang[core]` at epoch
+    /// boundaries so migrating deferred segments never drops capacity
+    /// (keeps epoch boundaries allocation-free at steady state).
+    overhang_scratch: Vec<(u64, u64)>,
 }
 
 impl CamatTracker {
@@ -93,6 +97,7 @@ impl CamatTracker {
             total_latency: vec![0; cores],
             epoch_end: u64::MAX,
             overhang: vec![Vec::new(); cores],
+            overhang_scratch: Vec::new(),
         }
     }
 
@@ -143,9 +148,20 @@ impl CamatTracker {
     /// Close the current epoch window and open the next one ending at
     /// `next_end`: returns per-core [`CamatEpoch`] samples for the
     /// closed epoch, then migrates deferred overhang cycles into the new
-    /// window.
+    /// window. Convenience wrapper over
+    /// [`CamatTracker::end_epoch_into`] for callers that don't reuse a
+    /// buffer.
     pub fn end_epoch(&mut self, next_end: u64) -> Vec<CamatEpoch> {
-        let out = self.epoch_samples();
+        let mut out = Vec::new();
+        self.end_epoch_into(next_end, &mut out);
+        out
+    }
+
+    /// Allocation-free [`CamatTracker::end_epoch`]: samples are written
+    /// into `out` (cleared first) so a caller-held scratch buffer can be
+    /// reused across every epoch boundary.
+    pub fn end_epoch_into(&mut self, next_end: u64, out: &mut Vec<CamatEpoch>) {
+        self.epoch_samples_into(out);
         for v in &mut self.epoch_active {
             *v = 0;
         }
@@ -157,24 +173,29 @@ impl CamatTracker {
         }
         self.epoch_end = next_end;
         for core in 0..self.overhang.len() {
-            let segments = std::mem::take(&mut self.overhang[core]);
-            for (from, to) in segments {
+            // Ping-pong the deferred segments through the scratch buffer:
+            // `credit` pushes the still-deferred tail back into
+            // `overhang[core]`, so both vectors keep their capacity and
+            // the migration allocates nothing at steady state.
+            let mut segments = std::mem::take(&mut self.overhang_scratch);
+            std::mem::swap(&mut self.overhang[core], &mut segments);
+            for &(from, to) in &segments {
                 self.credit(core, from, to);
             }
+            segments.clear();
+            self.overhang_scratch = segments;
         }
-        out
     }
 
-    fn epoch_samples(&self) -> Vec<CamatEpoch> {
-        (0..self.epoch_active.len())
-            .map(|c| {
-                CamatEpoch::from_counts(
-                    self.epoch_active[c],
-                    self.epoch_accesses[c],
-                    self.epoch_latency[c],
-                )
-            })
-            .collect()
+    fn epoch_samples_into(&self, out: &mut Vec<CamatEpoch>) {
+        out.clear();
+        out.extend((0..self.epoch_active.len()).map(|c| {
+            CamatEpoch::from_counts(
+                self.epoch_active[c],
+                self.epoch_accesses[c],
+                self.epoch_latency[c],
+            )
+        }));
     }
 
     /// Per-core samples of the still-open epoch, without closing it —
@@ -182,16 +203,22 @@ impl CamatTracker {
     /// any cycles still deferred past the boundary are folded in: the
     /// sum of all epoch `active_cycles` equals the lifetime totals.
     pub fn epoch_snapshot(&self) -> Vec<CamatEpoch> {
-        (0..self.epoch_active.len())
-            .map(|c| {
-                let deferred: u64 = self.overhang[c].iter().map(|&(s, e)| e - s).sum();
-                CamatEpoch::from_counts(
-                    self.epoch_active[c] + deferred,
-                    self.epoch_accesses[c],
-                    self.epoch_latency[c],
-                )
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.epoch_snapshot_into(&mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`CamatTracker::epoch_snapshot`].
+    pub fn epoch_snapshot_into(&self, out: &mut Vec<CamatEpoch>) {
+        out.clear();
+        out.extend((0..self.epoch_active.len()).map(|c| {
+            let deferred: u64 = self.overhang[c].iter().map(|&(s, e)| e - s).sum();
+            CamatEpoch::from_counts(
+                self.epoch_active[c] + deferred,
+                self.epoch_accesses[c],
+                self.epoch_latency[c],
+            )
+        }));
     }
 
     /// Lifetime totals for `core`: `(active_cycles, accesses)`.

@@ -20,8 +20,16 @@ use crate::types::{AccessKind, TraceRecord};
 pub struct Core {
     /// The workload feeding this core.
     pub trace: Box<dyn TraceSource>,
-    /// In-flight instruction completion times, in fetch order.
-    rob: VecDeque<u64>,
+    /// In-flight instruction completion times, in fetch order,
+    /// run-length encoded as `(completion, count)`: adjacent
+    /// instructions with equal completion cycles (the common case —
+    /// every non-memory instruction issued in a cycle completes the
+    /// next) share one entry. Retire order and per-instruction
+    /// accounting are exactly those of the expanded queue.
+    rob: VecDeque<(u64, u32)>,
+    /// Total instructions across `rob` entries (the architectural ROB
+    /// occupancy).
+    rob_len: usize,
     rob_size: usize,
     width: usize,
     /// Non-memory instructions still to issue before the pending record.
@@ -51,7 +59,7 @@ impl std::fmt::Debug for Core {
         f.debug_struct("Core")
             .field("trace", &self.trace.name())
             .field("retired", &self.retired)
-            .field("rob_occupancy", &self.rob.len())
+            .field("rob_occupancy", &self.rob_len)
             .finish_non_exhaustive()
     }
 }
@@ -67,6 +75,7 @@ impl Core {
         Core {
             trace,
             rob: VecDeque::with_capacity(rob_size),
+            rob_len: 0,
             rob_size,
             width,
             nonmem_left: 0,
@@ -86,12 +95,17 @@ impl Core {
     pub fn retire(&mut self, cycle: u64) -> usize {
         let mut n = 0;
         while n < self.width {
-            match self.rob.front() {
-                Some(&done) if done <= cycle => {
-                    self.rob.pop_front();
-                    self.rob_release_lag += cycle - done;
-                    self.retired += 1;
-                    n += 1;
+            match self.rob.front_mut() {
+                Some(&mut (done, ref mut count)) if done <= cycle => {
+                    let take = (*count as usize).min(self.width - n);
+                    *count -= take as u32;
+                    self.rob_len -= take;
+                    self.rob_release_lag += (cycle - done) * take as u64;
+                    self.retired += take as u64;
+                    n += take;
+                    if *count == 0 {
+                        self.rob.pop_front();
+                    }
                 }
                 _ => break,
             }
@@ -99,15 +113,48 @@ impl Core {
         n
     }
 
+    /// Append `count` instructions completing at `done`, merging into the
+    /// tail run when the completion cycles match (the retire sequence of
+    /// two adjacent equal-completion entries is order-insensitive, so the
+    /// merge is observationally exact).
+    fn rob_push(&mut self, done: u64, count: usize) {
+        self.rob_len += count;
+        if let Some(back) = self.rob.back_mut() {
+            if back.0 == done {
+                back.1 += count as u32;
+                return;
+            }
+        }
+        self.rob.push_back((done, count as u32));
+    }
+
     /// True when the ROB is full (the core cannot issue).
     pub fn stalled(&self) -> bool {
-        self.rob.len() >= self.rob_size
+        self.rob_len >= self.rob_size
     }
 
     /// Completion time of the ROB head, if any (used by the fast-forward
     /// optimization in the system loop).
     pub fn head_completion(&self) -> Option<u64> {
-        self.rob.front().copied()
+        self.rob.front().map(|&(done, _)| done)
+    }
+
+    /// Conservative earliest cycle ≥ `now` at which this core can make
+    /// progress — the event-driven kernel's per-core wake-up watermark.
+    ///
+    /// A core with ROB headroom can issue immediately (`now`). A full
+    /// ROB blocks issue until the in-order head retires, which cannot
+    /// happen before the head's completion cycle; until then both
+    /// `retire` and `issue` are provable no-ops, so the scheduler may
+    /// skip this core (or, if every core is idle, jump the clock).
+    pub fn next_activity(&self, now: u64) -> u64 {
+        if self.rob_len < self.rob_size {
+            return now;
+        }
+        // A full ROB is non-empty (rob_size > 0), so the head exists.
+        // The head may already be complete (retire pops at most `width`
+        // per cycle), in which case the core is due right away.
+        self.head_completion().map_or(now, |done| done.max(now))
     }
 
     /// Issue up to `width` instructions, calling `mem_access` for each
@@ -118,11 +165,17 @@ impl Core {
         F: FnMut(&TraceRecord, u64) -> u64,
     {
         let mut n = 0;
-        while n < self.width && self.rob.len() < self.rob_size {
+        while n < self.width && self.rob_len < self.rob_size {
             if self.nonmem_left > 0 {
-                self.rob.push_back(cycle + 1);
-                self.nonmem_left -= 1;
-                n += 1;
+                // Batch the non-memory run: every instruction in it
+                // shares the completion cycle, so take as many as width
+                // and ROB headroom allow in a single run entry.
+                let take = (self.nonmem_left as usize)
+                    .min(self.width - n)
+                    .min(self.rob_size - self.rob_len);
+                self.rob_push(cycle + 1, take);
+                self.nonmem_left -= take as u16;
+                n += take;
                 continue;
             }
             let rec = match self.pending.take() {
@@ -146,13 +199,13 @@ impl Core {
                 AccessKind::Load => {
                     let done = mem_access(&rec, issue_cycle);
                     self.last_load_completion = done;
-                    self.rob.push_back(done);
+                    self.rob_push(done, 1);
                 }
                 AccessKind::Store => {
                     // Exercise the hierarchy but retire from the store
                     // buffer next cycle.
                     let _ = mem_access(&rec, issue_cycle);
-                    self.rob.push_back(cycle + 1);
+                    self.rob_push(cycle + 1, 1);
                 }
             }
             n += 1;

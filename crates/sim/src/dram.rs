@@ -51,6 +51,15 @@ pub struct Dram {
     /// Sum of read latencies (for the running `T_mem` estimate).
     latency_sum: u64,
     latency_count: u64,
+    /// Monotone watermark: the largest `busy_until` ever assigned to any
+    /// bank. Per-bank busy times only move forward, so this is exactly
+    /// the current maximum — the backlog probe reads it in O(1) instead
+    /// of scanning every bank, and skips the scan entirely once the
+    /// subsystem has drained.
+    max_bank_busy: u64,
+    /// Total banks across all channels (denominator of the mean
+    /// backlog, cached at construction).
+    total_banks: u64,
 }
 
 impl Dram {
@@ -73,12 +82,14 @@ impl Dram {
                 };
                 cfg.channels
             ],
-            cfg,
             reads: 0,
             writes: 0,
             row_hits: 0,
             latency_sum: 0,
             latency_count: 0,
+            max_bank_busy: 0,
+            total_banks: (cfg.channels * banks_per_channel) as u64,
+            cfg,
         }
     }
 
@@ -122,6 +133,7 @@ impl Dram {
         let done = xfer_start + self.cfg.burst;
         ch.bus_free = done;
         bank.busy_until = done;
+        self.max_bank_busy = self.max_bank_busy.max(done);
 
         if is_write {
             self.writes += 1;
@@ -161,19 +173,30 @@ impl Dram {
     /// Mean and deepest bank backlog (cycles of already-queued work per
     /// bank) as seen at cycle `now` — the epoch telemetry's DRAM
     /// queue-occupancy probe.
+    ///
+    /// Incremental: the deepest backlog falls straight out of the
+    /// monotone `max_bank_busy` watermark (per-bank busy times never
+    /// move backwards, and the wait term `now` is common to all banks),
+    /// and a fully drained subsystem answers without touching a single
+    /// bank. Only channels whose data bus is still backlogged are
+    /// scanned for the mean — a channel's `bus_free` is the maximum
+    /// `busy_until` of its banks, so a drained bus proves every bank
+    /// beneath it contributes zero.
     pub fn bank_backlog(&self, now: u64) -> (f64, u64) {
+        let max = self.max_bank_busy.saturating_sub(now);
+        if max == 0 {
+            return (0.0, 0);
+        }
         let mut sum = 0u64;
-        let mut max = 0u64;
-        let mut banks = 0u64;
         for ch in &self.channels {
+            if ch.bus_free <= now {
+                continue;
+            }
             for b in &ch.banks {
-                let backlog = b.busy_until.saturating_sub(now);
-                sum += backlog;
-                max = max.max(backlog);
-                banks += 1;
+                sum += b.busy_until.saturating_sub(now);
             }
         }
-        (sum as f64 / banks as f64, max)
+        (sum as f64 / self.total_banks as f64, max)
     }
 
     /// Running average read latency (cycles); this is the paper's `T_mem`

@@ -11,7 +11,12 @@ use chrome_telemetry::{EventKind, TelemetrySink};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LlcOutcome {
     /// The line was resident.
-    Hit,
+    Hit {
+        /// Cycle the block's data arrives (0 for long-settled blocks);
+        /// a hit on an in-flight fill waits for this. Returned inline so
+        /// the hit path costs exactly one set scan.
+        ready: u64,
+    },
     /// The line missed and was (or will be) fetched from DRAM.
     Miss {
         /// True if the policy chose to bypass the LLC for this block.
@@ -21,18 +26,37 @@ pub enum LlcOutcome {
     },
 }
 
+/// Packed residency key: `(line << 1) | 1`, with `0` meaning "invalid
+/// way". Folding the valid bit into the tag halves the loads per set
+/// scan (one `u64` array instead of a tag array plus a valid array).
+/// Line addresses are byte addresses shifted right by the line-offset
+/// bits, so the top bit is always clear and the shift cannot overflow.
+#[inline]
+fn key_of(line: LineAddr) -> u64 {
+    debug_assert!(line.0 < 1 << 63, "line address overflows packed key");
+    (line.0 << 1) | 1
+}
+
 /// The shared LLC: geometry, per-block state, policy, and statistics.
 pub struct SharedLlc {
     sets: usize,
+    /// `sets - 1`; power-of-two set count asserted at construction so
+    /// set indexing is a bitmask, not a 64-bit modulo.
+    set_mask: u64,
     ways: usize,
     /// Access latency in cycles.
     pub latency: u64,
-    tags: Vec<LineAddr>,
-    valid: Vec<bool>,
+    /// Packed tag+valid per way; see [`key_of`].
+    keys: Vec<u64>,
     dirty: Vec<bool>,
     prefetch: Vec<bool>,
     hit_since_fill: Vec<bool>,
     ready_at: Vec<u64>,
+    /// Block index of the most recent fill, so the common
+    /// fill-then-`set_ready` sequence skips the second set scan.
+    last_fill: usize,
+    /// Reused victim-candidate buffer: evictions do not allocate.
+    victim_scratch: Vec<CandidateLine>,
     /// The management policy (replacement + bypass decisions).
     pub policy: Box<dyn LlcPolicy>,
     /// Outstanding-miss tracking.
@@ -64,22 +88,29 @@ impl SharedLlc {
     ///
     /// # Panics
     ///
-    /// Panics on a degenerate geometry (zero sets or ways).
+    /// Panics on a degenerate geometry (zero sets or ways) or a
+    /// non-power-of-two set count (bitmask indexing).
     pub fn new(cfg: &CacheConfig, cores: usize, mut policy: Box<dyn LlcPolicy>) -> Self {
         let sets = cfg.sets();
         assert!(sets > 0 && cfg.ways > 0, "degenerate LLC geometry");
+        assert!(
+            sets.is_power_of_two(),
+            "LLC set count must be a power of two (got {sets})"
+        );
         policy.initialize(sets, cfg.ways, cores);
         let n = sets * cfg.ways;
         SharedLlc {
             sets,
+            set_mask: sets as u64 - 1,
             ways: cfg.ways,
             latency: cfg.latency,
-            tags: vec![LineAddr(0); n],
-            valid: vec![false; n],
+            keys: vec![0; n],
             dirty: vec![false; n],
             prefetch: vec![false; n],
             hit_since_fill: vec![false; n],
             ready_at: vec![0; n],
+            last_fill: usize::MAX,
+            victim_scratch: Vec::with_capacity(cfg.ways),
             policy,
             mshr: MshrFile::new(cfg.mshr_entries),
             stats: CacheStats::default(),
@@ -115,7 +146,7 @@ impl SharedLlc {
     /// Set index of a line.
     #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets as u64) as usize
+        (line.0 & self.set_mask) as usize
     }
 
     #[inline]
@@ -125,11 +156,11 @@ impl SharedLlc {
 
     /// Look up `line` without side effects.
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_of(line);
-        (0..self.ways).find(|&w| {
-            let i = self.idx(set, w);
-            self.valid[i] && self.tags[i] == line
-        })
+        let base = self.set_of(line) * self.ways;
+        let key = key_of(line);
+        self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == key)
     }
 
     /// Perform a full access: policy callbacks, statistics, fills and
@@ -157,7 +188,9 @@ impl SharedLlc {
                 self.stats.prefetch_useful += 1;
             }
             self.policy.on_hit(set, way, info, feedback);
-            return LlcOutcome::Hit;
+            return LlcOutcome::Hit {
+                ready: self.ready_at[i],
+            };
         }
         // Miss path.
         if info.is_prefetch {
@@ -200,21 +233,26 @@ impl SharedLlc {
         info: &AccessInfo,
         feedback: &SystemFeedback,
     ) -> Option<LineAddr> {
-        let way = match (0..self.ways).find(|&w| !self.valid[self.idx(set, w)]) {
+        let base = set * self.ways;
+        let way = match self.keys[base..base + self.ways]
+            .iter()
+            .position(|&k| k == 0)
+        {
             Some(w) => w,
             None => {
-                let candidates: Vec<CandidateLine> = (0..self.ways)
-                    .map(|w| {
-                        let i = self.idx(set, w);
-                        CandidateLine {
-                            way: w,
-                            line: self.tags[i],
-                            prefetch: self.prefetch[i],
-                            dirty: self.dirty[i],
-                        }
-                    })
-                    .collect();
+                let mut candidates = std::mem::take(&mut self.victim_scratch);
+                candidates.clear();
+                candidates.extend((0..self.ways).map(|w| {
+                    let i = base + w;
+                    CandidateLine {
+                        way: w,
+                        line: LineAddr(self.keys[i] >> 1),
+                        prefetch: self.prefetch[i],
+                        dirty: self.dirty[i],
+                    }
+                }));
                 let w = self.policy.choose_victim(set, &candidates, info);
+                self.victim_scratch = candidates;
                 assert!(w < self.ways, "policy returned out-of-range victim way");
                 if cfg!(feature = "telemetry") {
                     self.sink.emit(
@@ -223,16 +261,17 @@ impl SharedLlc {
                         EventKind::VictimChosen {
                             set: set as u32,
                             way: w as u32,
-                            line: self.tags[self.idx(set, w)].0,
+                            line: self.keys[base + w] >> 1,
                         },
                     );
                 }
                 w
             }
         };
-        let i = self.idx(set, way);
+        let i = base + way;
         let mut writeback = None;
-        if self.valid[i] {
+        if self.keys[i] != 0 {
+            let victim = LineAddr(self.keys[i] >> 1);
             self.stats.evictions += 1;
             if !self.hit_since_fill[i] {
                 self.stats.evictions_unused += 1;
@@ -240,17 +279,17 @@ impl SharedLlc {
                     self.stats.evictions_unused_prefetch += 1;
                 }
                 self.unused_tracker
-                    .on_unused_eviction(self.tags[i], self.prefetch[i]);
+                    .on_unused_eviction(victim, self.prefetch[i]);
             }
             if self.dirty[i] {
                 self.stats.writebacks += 1;
-                writeback = Some(self.tags[i]);
+                writeback = Some(victim);
             }
             self.policy
-                .on_evict(set, way, self.tags[i], self.hit_since_fill[i]);
+                .on_evict(set, way, victim, self.hit_since_fill[i]);
         }
-        self.tags[i] = info.line;
-        self.valid[i] = true;
+        self.keys[i] = key_of(info.line);
+        self.last_fill = i;
         self.dirty[i] = info.is_write;
         self.prefetch[i] = info.is_prefetch;
         self.hit_since_fill[i] = false;
@@ -263,6 +302,14 @@ impl SharedLlc {
 
     /// Record when the data for a (just-filled) resident line arrives.
     pub fn set_ready(&mut self, line: LineAddr, ready: u64) {
+        // The miss path always fills and then records readiness, so the
+        // last-fill slot almost always short-circuits the set scan.
+        if let Some(&k) = self.keys.get(self.last_fill) {
+            if k == key_of(line) {
+                self.ready_at[self.last_fill] = ready;
+                return;
+            }
+        }
         if let Some(way) = self.probe(line) {
             let set = self.set_of(line);
             let i = self.idx(set, way);
@@ -294,7 +341,7 @@ impl SharedLlc {
 
     /// Number of valid blocks (diagnostic).
     pub fn occupancy(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.keys.iter().filter(|&&k| k != 0).count()
     }
 }
 
@@ -335,7 +382,7 @@ mod tests {
             c.access(&info(8, false), &fb),
             LlcOutcome::Miss { .. }
         ));
-        assert_eq!(c.access(&info(8, false), &fb), LlcOutcome::Hit);
+        assert_eq!(c.access(&info(8, false), &fb), LlcOutcome::Hit { ready: 0 });
         assert_eq!(c.stats.demand_accesses, 2);
         assert_eq!(c.stats.demand_misses, 1);
     }

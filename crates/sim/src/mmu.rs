@@ -8,15 +8,73 @@
 //! with linear probing to avoid collisions.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::types::{mix64, LineAddr, PAGE_SHIFT};
+
+/// Deterministic multiply-rotate hasher (Fx-style). The MMU probes its
+/// page map once per memory access, so the default SipHash showed up in
+/// simulator profiles; page-number keys need scatter, not DoS
+/// resistance.
+#[derive(Debug, Default, Clone)]
+pub struct PageHasher {
+    state: u64,
+}
+
+impl PageHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(0x517C_C1B7_2722_0A95);
+    }
+}
+
+impl Hasher for PageHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type PageMapHasher = BuildHasherDefault<PageHasher>;
+
+/// Direct-mapped translation-cache size (entries, power of two). The
+/// cache fronts the page map: page-local access runs hit the same entry
+/// repeatedly, turning the per-access hash-map probe into one indexed
+/// load. It is a pure memo — translations are identical with it off.
+const TLB_ENTRIES: usize = 512;
 
 /// Per-system page mapper.
 #[derive(Debug)]
 pub struct Mmu {
-    map: HashMap<(u32, u64), u64>,
-    used: HashMap<u64, ()>,
+    map: HashMap<(u32, u64), u64, PageMapHasher>,
+    used: HashMap<u64, (), PageMapHasher>,
     phys_pages: u64,
+    /// `(core, vpage)` tag per slot; `u32::MAX` core marks empty.
+    tlb_tags: Vec<(u32, u64)>,
+    /// Cached physical page per slot.
+    tlb_ppage: Vec<u64>,
 }
 
 impl Mmu {
@@ -29,9 +87,11 @@ impl Mmu {
         let phys_pages = phys_bytes >> PAGE_SHIFT;
         assert!(phys_pages > 0, "physical memory too small");
         Mmu {
-            map: HashMap::new(),
-            used: HashMap::new(),
+            map: HashMap::default(),
+            used: HashMap::default(),
             phys_pages,
+            tlb_tags: vec![(u32::MAX, 0); TLB_ENTRIES],
+            tlb_ppage: vec![0; TLB_ENTRIES],
         }
     }
 
@@ -45,17 +105,26 @@ impl Mmu {
     pub fn translate(&mut self, core: usize, vaddr: u64) -> LineAddr {
         let vpage = vaddr >> PAGE_SHIFT;
         let key = (core as u32, vpage);
-        let ppage = match self.map.get(&key) {
-            Some(&p) => p,
-            None => {
-                let mut candidate = mix64(vpage ^ mix64(core as u64 ^ 0xC0FE)) % self.phys_pages;
-                while self.used.contains_key(&candidate) {
-                    candidate = (candidate + 1) % self.phys_pages;
+        let slot = (vpage as usize ^ core.wrapping_mul(0x9E37)) & (TLB_ENTRIES - 1);
+        let ppage = if self.tlb_tags[slot] == key {
+            self.tlb_ppage[slot]
+        } else {
+            let p = match self.map.get(&key) {
+                Some(&p) => p,
+                None => {
+                    let mut candidate =
+                        mix64(vpage ^ mix64(core as u64 ^ 0xC0FE)) % self.phys_pages;
+                    while self.used.contains_key(&candidate) {
+                        candidate = (candidate + 1) % self.phys_pages;
+                    }
+                    self.used.insert(candidate, ());
+                    self.map.insert(key, candidate);
+                    candidate
                 }
-                self.used.insert(candidate, ());
-                self.map.insert(key, candidate);
-                candidate
-            }
+            };
+            self.tlb_tags[slot] = key;
+            self.tlb_ppage[slot] = p;
+            p
         };
         let paddr = (ppage << PAGE_SHIFT) | (vaddr & ((1 << PAGE_SHIFT) - 1));
         LineAddr::from_byte_addr(paddr)

@@ -6,10 +6,18 @@ use crate::types::LineAddr;
 /// A small MSHR file. Entries are `(line, ready_cycle)`; completed entries
 /// are reclaimed lazily. Linear scans are intentional — real MSHR files
 /// hold 16–64 entries, so a `Vec` beats a hash map here.
+///
+/// A `min_ready` watermark (earliest completion among tracked entries)
+/// lets [`MshrFile::lookup`] skip the reclaim sweep entirely while
+/// `now < min_ready`: no entry can have completed, so the sweep would
+/// remove nothing. This takes the common hit-adjacent lookup from O(n)
+/// `retain` to a single comparison.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     entries: Vec<(LineAddr, u64)>,
     capacity: usize,
+    /// Minimum `ready` among `entries`; `u64::MAX` when empty.
+    min_ready: u64,
 }
 
 /// Outcome of attempting to allocate an MSHR entry.
@@ -36,23 +44,37 @@ impl MshrFile {
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
+            min_ready: u64::MAX,
         }
     }
 
-    /// Drop entries whose miss has completed by `now`.
+    /// Drop entries whose miss has completed by `now` and refresh the
+    /// `min_ready` watermark. Callers guard on the watermark, so this
+    /// only runs when at least one entry has actually completed.
     fn reclaim(&mut self, now: u64) {
         self.entries.retain(|&(_, ready)| ready > now);
+        self.min_ready = self
+            .entries
+            .iter()
+            .map(|&(_, r)| r)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// Check whether a miss to `line` at cycle `now` can be issued.
     pub fn lookup(&mut self, line: LineAddr, now: u64) -> MshrOutcome {
-        self.reclaim(now);
+        if now >= self.min_ready {
+            self.reclaim(now);
+        }
         if let Some(&(_, ready)) = self.entries.iter().find(|&&(l, _)| l == line) {
             return MshrOutcome::Merged { ready };
         }
         if self.entries.len() >= self.capacity {
-            let free_at = self.entries.iter().map(|&(_, r)| r).min().unwrap_or(now);
-            return MshrOutcome::Full { free_at };
+            // every surviving entry has `ready > now`, so the watermark
+            // is the earliest cycle an entry frees
+            return MshrOutcome::Full {
+                free_at: self.min_ready,
+            };
         }
         MshrOutcome::Available
     }
@@ -65,6 +87,7 @@ impl MshrFile {
     /// respect [`MshrOutcome::Full`]).
     pub fn register(&mut self, line: LineAddr, ready: u64) {
         debug_assert!(self.entries.len() < self.capacity, "MSHR overflow");
+        self.min_ready = self.min_ready.min(ready);
         self.entries.push((line, ready));
     }
 
@@ -132,5 +155,24 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn watermark_gates_reclaim_and_refreshes() {
+        let mut m = MshrFile::new(4);
+        m.register(LineAddr(1), 50);
+        m.register(LineAddr(2), 60);
+        // before the watermark nothing can have completed: lookups leave
+        // both entries in place (no sweep ran)
+        assert_eq!(m.lookup(LineAddr(3), 49), MshrOutcome::Available);
+        assert_eq!(m.occupancy(), 2);
+        // crossing the watermark reclaims exactly the completed entry
+        // and advances the watermark to the survivor's ready cycle
+        assert_eq!(m.lookup(LineAddr(3), 55), MshrOutcome::Available);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.lookup(LineAddr(3), 59), MshrOutcome::Available);
+        assert_eq!(m.occupancy(), 1);
+        assert_eq!(m.lookup(LineAddr(3), 60), MshrOutcome::Available);
+        assert_eq!(m.occupancy(), 0);
     }
 }

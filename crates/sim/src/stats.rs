@@ -5,7 +5,9 @@ use std::collections::BTreeMap;
 use crate::types::LineAddr;
 
 /// Counters for one cache level (or one core's view of a shared level).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Plain `u64` counters, so it is `Copy` — epoch snapshots cost a
+/// register copy, not a clone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Demand (load/store) accesses.
     pub demand_accesses: u64,
@@ -84,7 +86,7 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Per-core results of a simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CoreStats {
     /// Instructions retired in the measured region.
     pub instructions: u64,
@@ -195,8 +197,10 @@ impl EvictedUnusedTracker {
     }
 }
 
-/// Results of one simulation run.
-#[derive(Debug, Clone, Default)]
+/// Results of one simulation run. Derives `PartialEq` so the
+/// differential kernel-equivalence tests can assert byte-identical
+/// results between the event-driven and reference schedulers.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResults {
     /// Per-core statistics.
     pub per_core: Vec<CoreStats>,

@@ -200,9 +200,10 @@ impl MemHierarchy {
             cycle: t_llc,
         };
         let ready = match self.llc.access(&info, &self.feedback) {
-            LlcOutcome::Hit => {
+            LlcOutcome::Hit { ready } => {
+                // the block may still be in flight: wait for its arrival
                 let base = t_llc + self.llc.latency;
-                let done = self.llc.ready_of(line).map_or(base, |r| r.max(base));
+                let done = ready.max(base);
                 if let Some(mut s) = span.take() {
                     s.mark(Stage::LlcLookup, base);
                     self.finish_span(s, ServiceLevel::Llc, Stage::FillWait, done, false);
@@ -498,6 +499,26 @@ impl MemHierarchy {
     }
 }
 
+/// Which scheduling kernel drives [`System::run`].
+///
+/// Both kernels execute the identical per-core retire/issue semantics;
+/// the event-driven kernel merely skips provable no-op work. Results
+/// (final stats, epoch telemetry, obstruction vectors) are byte-identical
+/// by construction, and the differential tests in `chrome-bench` assert
+/// it for every policy, workload class and core count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Cycle-skipping scheduler: per-core next-activity watermarks, a
+    /// linear min-scan over ≤ 16 cores, and direct clock jumps to
+    /// `min(next event, next epoch boundary)`.
+    #[default]
+    EventDriven,
+    /// Naive uniform stepping: touch every core every cycle. Kept as
+    /// the ground-truth reference for differential testing and as the
+    /// denominator of the throughput benchmark's speedup metric.
+    Reference,
+}
+
 /// The complete simulated machine.
 pub struct System {
     cfg: SimConfig,
@@ -512,6 +533,17 @@ pub struct System {
     /// epoch records carry per-epoch deltas that sum to the final stats.
     epoch_base: CacheStats,
     epoch_seq: u64,
+    /// Per-core conservative wake-up cycles (the event-driven kernel's
+    /// next-event array). `next_event[i] > c` proves stepping core `i`
+    /// at cycle `c` would be a no-op.
+    next_event: Vec<u64>,
+    /// Cached `min(next_event)`, refreshed by every stepping pass. When
+    /// it exceeds the current cycle the kernel jumps in O(1) without
+    /// rescanning the array (jumps never change any watermark).
+    min_event: u64,
+    /// Reused buffer for per-core epoch samples, so epoch boundaries do
+    /// not allocate.
+    epoch_scratch: Vec<CamatEpoch>,
 }
 
 impl std::fmt::Debug for System {
@@ -551,6 +583,7 @@ impl System {
             .map(|t| Core::new(t, cfg.rob_size, cfg.width))
             .collect();
         let next_epoch = cfg.epoch_cycles;
+        let n = cfg.cores;
         System {
             cfg,
             cores,
@@ -562,6 +595,9 @@ impl System {
             telemetry: TelemetrySink::noop(),
             epoch_base: CacheStats::default(),
             epoch_seq: 0,
+            next_event: vec![0; n],
+            min_event: 0,
+            epoch_scratch: Vec::with_capacity(n),
         }
     }
 
@@ -599,12 +635,18 @@ impl System {
         self.cycle
     }
 
-    fn step(&mut self) {
+    /// One cycle of the naive reference kernel: every core retires and
+    /// issues, unconditionally. Ground truth for the event-driven
+    /// scheduler. Always returns `true` (a cycle was stepped).
+    fn step_reference(&mut self) -> bool {
         let cycle = self.cycle;
         let n = self.cores.len();
+        let start = cycle as usize % n;
         let hier = &mut self.hier;
         for k in 0..n {
-            let i = (k + cycle as usize) % n;
+            // rotation `(k + cycle) % n` without the per-core modulo
+            let i = start + k;
+            let i = if i >= n { i - n } else { i };
             let core = &mut self.cores[i];
             core.retire(cycle);
             core.issue(cycle, |rec, t| hier.demand_access(i, rec, t));
@@ -612,6 +654,76 @@ impl System {
         self.cycle += 1;
         if self.cycle >= self.next_epoch {
             self.end_epoch();
+        }
+        true
+    }
+
+    /// One advance of the event-driven kernel: step exactly the cores
+    /// that are due this cycle (in the same rotation order as the
+    /// reference) and refresh their watermarks; if none were due, jump
+    /// the clock straight to `min(next event, next epoch)`. One pass
+    /// over the next-event array does both jobs — N ≤ 16 in every paper
+    /// configuration, so a linear scan beats a heap.
+    ///
+    /// Skipped work is provably a no-op — a core with `next_event > c`
+    /// has a full ROB whose head completes after `c`, so both `retire`
+    /// and `issue` would leave all state untouched — which is what makes
+    /// this a pure scheduling transform: the sequence of *effectful*
+    /// `(core, cycle)` calls is identical to the reference kernel's.
+    ///
+    /// Returns `true` when a cycle was stepped, `false` on a clock jump.
+    fn step_event(&mut self) -> bool {
+        let cycle = self.cycle;
+        if self.min_event > cycle {
+            // No core can retire or issue before `min_event`; the epoch
+            // boundary clamps the jump so feedback epochs still tick at
+            // exactly the same cycles as the reference kernel. Jumps
+            // leave every watermark untouched, so the cached minimum
+            // stays exact and no scan is needed.
+            self.cycle = self.min_event.min(self.next_epoch);
+            if self.cycle >= self.next_epoch {
+                self.end_epoch();
+            }
+            return false;
+        }
+        let n = self.cores.len();
+        let start = cycle as usize % n;
+        let hier = &mut self.hier;
+        let mut min_next = u64::MAX;
+        for k in 0..n {
+            let i = start + k;
+            let i = if i >= n { i - n } else { i };
+            let ev = self.next_event[i];
+            if ev > cycle {
+                min_next = min_next.min(ev);
+                continue;
+            }
+            let core = &mut self.cores[i];
+            core.retire(cycle);
+            core.issue(cycle, |rec, t| hier.demand_access(i, rec, t));
+            let next = core.next_activity(cycle + 1);
+            self.next_event[i] = next;
+            min_next = min_next.min(next);
+        }
+        // `min_event <= cycle` means min(next_event) <= cycle, so at
+        // least one core was due: this pass always steps the clock.
+        self.min_event = min_next;
+        self.cycle = cycle + 1;
+        if self.cycle >= self.next_epoch {
+            self.end_epoch();
+        }
+        true
+    }
+
+    /// Advance the simulation by one kernel step (one cycle, or one
+    /// clock jump under the event-driven kernel). Returns `true` when a
+    /// cycle was stepped — only then can any core have retired
+    /// instructions.
+    #[inline]
+    fn advance(&mut self, kernel: Kernel) -> bool {
+        match kernel {
+            Kernel::EventDriven => self.step_event(),
+            Kernel::Reference => self.step_reference(),
         }
     }
 
@@ -621,7 +733,10 @@ impl System {
         // using the load-inflated measured average would make obstruction
         // undetectable precisely when contention is worst.
         let t_mem = self.hier.dram.unloaded_latency();
-        let per_core = self.hier.camat.end_epoch(self.next_epoch);
+        let mut per_core = std::mem::take(&mut self.epoch_scratch);
+        self.hier
+            .camat
+            .end_epoch_into(self.next_epoch, &mut per_core);
         let fb = &mut self.hier.feedback;
         fb.t_mem = t_mem;
         fb.epoch += 1;
@@ -637,10 +752,12 @@ impl System {
                 }
             }
         }
-        // Split borrows: hand the feedback to the policy.
-        let fb_snapshot = self.hier.feedback.clone();
-        self.hier.llc.policy.on_epoch(&fb_snapshot);
+        // Split borrows: hand the feedback to the policy without cloning
+        // its per-core vectors.
+        let MemHierarchy { llc, feedback, .. } = &mut self.hier;
+        llc.policy.on_epoch(feedback);
         self.record_epoch(&per_core);
+        self.epoch_scratch = per_core;
     }
 
     /// Append one epoch record to the telemetry sink (free when
@@ -653,7 +770,7 @@ impl System {
             return;
         }
         let t_mem = self.hier.dram.unloaded_latency();
-        let llc = self.hier.llc.stats.clone();
+        let llc = self.hier.llc.stats;
         let base = &self.epoch_base;
         let (dram_queue_avg, dram_queue_max) = self.hier.dram.bank_backlog(self.cycle);
         let rec = EpochRecord {
@@ -702,48 +819,38 @@ impl System {
         self.epoch_seq += 1;
     }
 
-    /// Fast-forward past cycles in which no core can make progress
-    /// (all ROBs full, no completion due). Returns true if a jump
-    /// happened.
-    fn try_fast_forward(&mut self) -> bool {
-        let mut min_head = u64::MAX;
-        for core in &self.cores {
-            if !core.stalled() {
-                return false;
-            }
-            match core.head_completion() {
-                Some(t) if t > self.cycle => min_head = min_head.min(t),
-                _ => return false,
-            }
-        }
-        if min_head == u64::MAX {
-            return false;
-        }
-        let target = min_head.min(self.next_epoch);
-        if target > self.cycle + 1 {
-            self.cycle = target;
-            if self.cycle >= self.next_epoch {
-                self.end_epoch();
-            }
-            true
-        } else {
-            false
-        }
-    }
-
     /// Run `warmup` instructions per core (unmeasured), then run until
-    /// every core has retired `instructions` more. Returns the measured
-    /// results.
+    /// every core has retired `instructions` more, under the default
+    /// event-driven kernel. Returns the measured results.
     ///
     /// # Panics
     ///
     /// Panics if `instructions` is zero.
     pub fn run(&mut self, instructions: u64, warmup: u64) -> SimResults {
+        self.run_with_kernel(instructions, warmup, Kernel::default())
+    }
+
+    /// [`System::run`] with an explicit scheduling [`Kernel`]. The
+    /// reference kernel exists for differential testing and as the
+    /// throughput benchmark's speedup denominator; both produce
+    /// identical [`SimResults`] and telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is zero.
+    pub fn run_with_kernel(
+        &mut self,
+        instructions: u64,
+        warmup: u64,
+        kernel: Kernel,
+    ) -> SimResults {
         assert!(instructions > 0, "instruction quota must be positive");
-        // Warmup phase.
+        // Warmup phase. The quota is re-checked after every stepped
+        // cycle, so the last action before the measurement boundary is
+        // always the quota-meeting step — a clock jump retires nothing
+        // and thus can never be the final advance.
         while self.cores.iter().any(|c| c.retired < warmup) {
-            self.step();
-            self.try_fast_forward();
+            while !self.advance(kernel) {}
         }
         // Measurement boundary: warmup telemetry is discarded so the
         // epoch series covers exactly the measured region.
@@ -762,9 +869,13 @@ impl System {
             core.done_cycle = None;
         }
         // Measured phase: run until all cores meet their quota; cores
-        // that finish early keep running to preserve contention.
+        // that finish early keep running to preserve contention. Quota
+        // bookkeeping only runs after stepped cycles — a clock jump
+        // retires nothing, so it cannot change any core's done state.
         loop {
-            self.step();
+            if !self.advance(kernel) {
+                continue;
+            }
             let cycle = self.cycle;
             let mut all_done = true;
             for core in &mut self.cores {
@@ -779,13 +890,14 @@ impl System {
             if all_done {
                 break;
             }
-            self.try_fast_forward();
         }
         // Close the still-open partial epoch so the telemetry series
         // accounts for every measured access.
         if cfg!(feature = "telemetry") && self.telemetry.is_enabled() {
-            let partial = self.hier.camat.epoch_snapshot();
+            let mut partial = std::mem::take(&mut self.epoch_scratch);
+            self.hier.camat.epoch_snapshot_into(&mut partial);
             self.record_epoch(&partial);
+            self.epoch_scratch = partial;
         }
         self.collect_results(instructions, dram_reads0, dram_writes0)
     }
@@ -820,9 +932,9 @@ impl System {
             .collect::<Vec<_>>();
         let total_cycles = per_core.iter().map(|c| c.cycles).max().unwrap_or(0);
         SimResults {
-            l1d: self.hier.l1d.iter().map(|c| c.stats.clone()).collect(),
-            l2: self.hier.l2.iter().map(|c| c.stats.clone()).collect(),
-            llc: self.hier.llc.stats.clone(),
+            l1d: self.hier.l1d.iter().map(|c| c.stats).collect(),
+            l2: self.hier.l2.iter().map(|c| c.stats).collect(),
+            llc: self.hier.llc.stats,
             dram_reads: self.hier.dram.reads - dram_reads0,
             dram_writes: self.hier.dram.writes - dram_writes0,
             dram_avg_latency: self.hier.dram.avg_read_latency(),
@@ -1059,6 +1171,47 @@ mod tests {
             chase.per_core[0].ipc(),
             stream.per_core[0].ipc()
         );
+    }
+
+    #[test]
+    fn event_kernel_jumps_but_never_past_epoch_boundary() {
+        // A pointer-chasing workload stalls its ROB on long DRAM round
+        // trips, so the event kernel must take multi-cycle jumps — but a
+        // jump may never overshoot the epoch boundary, or feedback
+        // epochs would fire at different cycles than the reference.
+        struct Chase {
+            pos: u64,
+        }
+        impl TraceSource for Chase {
+            fn next_record(&mut self) -> TraceRecord {
+                self.pos = crate::types::mix64(self.pos) % (1 << 19);
+                TraceRecord::dep_load(0x500, self.pos * 64, 0)
+            }
+            fn name(&self) -> &str {
+                "chase"
+            }
+        }
+        let mut cfg = SimConfig::small_test(1);
+        cfg.prefetchers = crate::config::PrefetcherConfig::none();
+        let mut sys = System::new(cfg, vec![boxed(Chase { pos: 1 })]);
+        let mut jumped = false;
+        for _ in 0..200_000 {
+            let before = sys.cycle;
+            let epoch_target = sys.next_epoch;
+            sys.advance(Kernel::EventDriven);
+            // the clamp invariant: a jump lands on or before the epoch
+            // boundary that was pending when it was taken
+            assert!(
+                sys.cycle <= epoch_target,
+                "advance jumped from {before} past the epoch boundary {epoch_target} to {}",
+                sys.cycle
+            );
+            if sys.cycle > before + 1 {
+                jumped = true;
+            }
+        }
+        assert!(jumped, "memory-bound chase should trigger clock jumps");
+        assert!(sys.total_epochs > 0, "epochs must still tick while jumping");
     }
 
     #[test]

@@ -91,7 +91,7 @@ impl EpochRecord {
 }
 
 /// The recorded series for one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpochSeries {
     records: Vec<EpochRecord>,
 }

@@ -4,13 +4,89 @@
 //! lines are extremely hot, with a long cold tail — the distribution
 //! empirically observed for data reuse in irregular applications.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use chrome_sim::rng::SmallRng;
+
+/// Quantization buckets for the inverse-CDF index. 4096 entries (16KB)
+/// keeps the accelerator resident in L1/L2 while shrinking the searched
+/// window to `n / 4096` ranks.
+const INDEX_BUCKETS: usize = 4096;
+
+/// The precomputed inverse CDF plus its quantized search index. Tables
+/// are pure functions of `(n, alpha)` and are shared via [`table_for`]:
+/// hot-set generators use CDFs of 100K+ ranks (megabytes of `f64` built
+/// with a `powf` per rank), and a multi-programmed mix rebuilds the
+/// identical distribution once per core — and a grid once per scheme —
+/// so memoizing the table turns thousands of constructions into a few
+/// dozen.
+#[derive(Debug)]
+struct ZipfTable {
+    cdf: Vec<f64>,
+    /// `index[j]` = first rank whose CDF reaches `j / INDEX_BUCKETS`.
+    index: Vec<u32>,
+}
+
+impl ZipfTable {
+    fn build(n: usize, alpha: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        let mut index = Vec::with_capacity(INDEX_BUCKETS + 1);
+        let mut i = 0usize;
+        for j in 0..=INDEX_BUCKETS {
+            let u = j as f64 / INDEX_BUCKETS as f64;
+            while i < cdf.len() && cdf[i] < u {
+                i += 1;
+            }
+            index.push(i as u32);
+        }
+        ZipfTable { cdf, index }
+    }
+}
+
+/// Process-wide table memo (same pattern as the GAP dataset cache).
+/// Keyed by `(n, alpha.to_bits())`; the distinct-parameter population is
+/// the workload catalogue's, a few dozen entries at most.
+fn table_for(n: usize, alpha: f64) -> Arc<ZipfTable> {
+    type TableCache = Mutex<HashMap<(usize, u64), Arc<ZipfTable>>>;
+    static CACHE: OnceLock<TableCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(Default::default);
+    let key = (n, alpha.to_bits());
+    if let Some(t) = cache.lock().expect("zipf cache lock").get(&key) {
+        return Arc::clone(t);
+    }
+    // Built outside the lock: a cold miss costs milliseconds and other
+    // workers should not serialize behind it (both builds are identical).
+    let t = Arc::new(ZipfTable::build(n, alpha));
+    Arc::clone(
+        cache
+            .lock()
+            .expect("zipf cache lock")
+            .entry(key)
+            .or_insert(t),
+    )
+}
 
 /// Samples ranks with probability proportional to `1 / (rank+1)^alpha`
 /// via a precomputed inverse CDF.
+///
+/// Sampling is a two-level search: a quantized index maps `u` to a
+/// narrow CDF window, and only that window is binary-searched. The full
+/// binary search the index replaces was ~17 cache-missing probes on the
+/// trace hot path. The index is only an accelerator — the sampled rank
+/// is identical to what a full-array search returns for the same `u`.
 #[derive(Debug, Clone)]
 pub struct Zipf {
-    cdf: Vec<f64>,
+    table: Arc<ZipfTable>,
 }
 
 impl Zipf {
@@ -23,22 +99,14 @@ impl Zipf {
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "need at least one rank");
         assert!(alpha >= 0.0, "alpha must be non-negative");
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for k in 0..n {
-            acc += 1.0 / ((k + 1) as f64).powf(alpha);
-            cdf.push(acc);
+        Zipf {
+            table: table_for(n, alpha),
         }
-        let total = acc;
-        for v in &mut cdf {
-            *v /= total;
-        }
-        Zipf { cdf }
     }
 
     /// Number of ranks.
     pub fn len(&self) -> usize {
-        self.cdf.len()
+        self.table.cdf.len()
     }
 
     /// True when the sampler has exactly one rank.
@@ -46,16 +114,28 @@ impl Zipf {
         false // constructor guarantees n > 0
     }
 
-    /// Draw a rank in `0..n`.
+    /// Draw a rank in `0..n`: the smallest rank whose CDF reaches the
+    /// uniform draw `u` (clamped to the last rank).
     pub fn sample(&self, rng: &mut SmallRng) -> usize {
         let u: f64 = rng.gen_f64();
-        match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
-        {
-            Ok(i) => i,
-            Err(i) => i.min(self.cdf.len() - 1),
+        let cdf = &self.table.cdf;
+        let index = &self.table.index;
+        let n = cdf.len();
+        let j = ((u * INDEX_BUCKETS as f64) as usize).min(INDEX_BUCKETS - 1);
+        let mut lo = index[j] as usize;
+        if lo > 0 && cdf[lo - 1] >= u {
+            // float rounding in `u * INDEX_BUCKETS` landed one bucket too
+            // high (ulp-level edge); fall back to the full lower range so
+            // the result stays exactly the full-search answer
+            lo = 0;
         }
+        let hi = ((index[j + 1] as usize) + 1).min(n);
+        let mut rank = lo + cdf[lo..hi].partition_point(|&p| p < u);
+        if rank == hi && hi < n {
+            // same rounding edge on the upper side — resume past the window
+            rank = hi + cdf[hi..].partition_point(|&p| p < u);
+        }
+        rank.min(n - 1)
     }
 }
 
@@ -105,5 +185,22 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn windowed_search_matches_full_search() {
+        // the index is an accelerator only: for the same uniform draw,
+        // sample() must return exactly the full-array inverse-CDF rank
+        for &(n, alpha) in &[(1usize, 0.0), (7, 1.2), (1000, 0.8), (131_072, 1.0)] {
+            let z = Zipf::new(n, alpha);
+            let mut rng = SmallRng::seed_from_u64(0xCDF);
+            let mut rng2 = rng.clone();
+            for _ in 0..20_000 {
+                let got = z.sample(&mut rng);
+                let u = rng2.gen_f64();
+                let want = z.table.cdf.partition_point(|&p| p < u).min(n - 1);
+                assert_eq!(got, want, "n={n} alpha={alpha} u={u}");
+            }
+        }
     }
 }
