@@ -68,6 +68,7 @@ pub(crate) fn cell(
         prefetch: "paper".to_string(),
         track_unused: false,
         record_epochs: false,
+        trace: String::new(),
     }
 }
 

@@ -13,13 +13,21 @@
 //! `f64` printing), which is what lets a resumed run reproduce
 //! byte-identical tables from manifest payloads alone.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 use chrome_exec::{CellOutcome, CellSpec, Codec, EngineConfig, GridReport, JsonValue};
 use chrome_sim::PrefetcherConfig;
+use chrome_tracefile::{TraceFile, TraceIndex};
 use chrome_traces::mix;
 
 use crate::runner::{run_traces, RunParams};
+
+/// Resolution table for file-backed cells: trace content hash (the
+/// [`CellSpec::trace`] value, fixed-width hex) to `.ctf` path. The hash
+/// is the checkpoint-stable identity; the path is the run-local detail
+/// that stays out of spec hashes so manifests survive directory moves.
+pub type TraceMap = HashMap<String, PathBuf>;
 
 /// Default checkpoint manifest for grid runs.
 pub const DEFAULT_MANIFEST: &str = "results/manifest.jsonl";
@@ -129,6 +137,26 @@ pub fn speedup(out: &[CellOutcome<CellResult>], i: usize, b: usize) -> f64 {
 /// Panics on unknown workload/scheme names or telemetry export errors.
 #[must_use]
 pub fn run_cell(spec: &CellSpec, telemetry_out: Option<&Path>) -> CellResult {
+    run_cell_with_traces(spec, telemetry_out, None)
+}
+
+/// [`run_cell`] with an optional trace-resolution table. A cell whose
+/// [`CellSpec::trace`] is set replays from the resolved `.ctf` file
+/// (streaming, bounded memory) instead of the live generator; the file's
+/// content hash is re-checked against the spec at open time, so a stale
+/// resolution table can never silently swap trace contents.
+///
+/// # Panics
+///
+/// Additionally panics when a file-backed cell's trace hash cannot be
+/// resolved, the file fails validation, or its shape (core count, hash)
+/// disagrees with the spec.
+#[must_use]
+pub fn run_cell_with_traces(
+    spec: &CellSpec,
+    telemetry_out: Option<&Path>,
+    trace_files: Option<&TraceMap>,
+) -> CellResult {
     let seed = spec.workload_seed();
     let params = RunParams {
         cores: spec.cores as usize,
@@ -140,12 +168,41 @@ pub fn run_cell(spec: &CellSpec, telemetry_out: Option<&Path>) -> CellResult {
         record_epochs: spec.record_epochs,
         ..RunParams::default()
     };
-    let traces = if spec.workload.contains('+') {
-        let names: Vec<&str> = spec.workload.split('+').collect();
-        mix::build_mix(&names, seed).unwrap_or_else(|| panic!("unknown mix {}", spec.workload))
+    let traces = if spec.trace.is_empty() {
+        if spec.workload.contains('+') {
+            let names: Vec<&str> = spec.workload.split('+').collect();
+            mix::build_mix(&names, seed).unwrap_or_else(|| panic!("unknown mix {}", spec.workload))
+        } else {
+            mix::homogeneous(&spec.workload, params.cores, seed)
+                .unwrap_or_else(|| panic!("unknown workload {}", spec.workload))
+        }
     } else {
-        mix::homogeneous(&spec.workload, params.cores, seed)
-            .unwrap_or_else(|| panic!("unknown workload {}", spec.workload))
+        let path = trace_files
+            .and_then(|m| m.get(&spec.trace))
+            .unwrap_or_else(|| {
+                panic!(
+                    "cell {} is file-backed (trace={}) but no trace map entry resolves it",
+                    spec.label(),
+                    spec.trace
+                )
+            });
+        let tf = TraceFile::open(path)
+            .unwrap_or_else(|e| panic!("opening trace {}: {e}", path.display()));
+        let m = tf.manifest();
+        assert_eq!(
+            m.hash_hex(),
+            spec.trace,
+            "trace file {} content hash diverged from the spec's",
+            path.display()
+        );
+        assert_eq!(
+            m.cores.len(),
+            params.cores,
+            "trace file {} holds the wrong number of core streams",
+            path.display()
+        );
+        tf.sources()
+            .unwrap_or_else(|e| panic!("streaming {}: {e}", path.display()))
     };
     let r = run_traces(
         &params,
@@ -285,16 +342,68 @@ impl Codec<CellResult> for CellCodec {
     }
 }
 
+/// Resolve grid cells against a directory of recorded traces: every
+/// cell whose workload identity (`workload`, `cores`, generator seed)
+/// matches an indexed `.ctf` becomes file-backed — its
+/// [`CellSpec::trace`] is set to the trace's content hash (changing the
+/// checkpoint identity, so `--resume` never pairs a checkpoint with a
+/// different trace revision) — and the returned [`TraceMap`] carries
+/// the hash-to-path resolution. Cells without a matching trace keep the
+/// live generator.
+///
+/// # Panics
+///
+/// Panics when the directory cannot be scanned (a CLI-input error, not
+/// a cell fault).
+pub fn resolve_traces(cells: &mut [CellSpec], dir: &Path) -> TraceMap {
+    let index = TraceIndex::scan(dir)
+        .unwrap_or_else(|e| panic!("scanning --trace-dir {}: {e}", dir.display()));
+    for (path, reason) in &index.rejected {
+        eprintln!("trace-dir: skipping {}: {reason}", path.display());
+    }
+    let mut map = TraceMap::new();
+    let mut backed = 0usize;
+    let total = cells.len();
+    for cell in cells {
+        let Some(entry) = index.lookup(&cell.workload, cell.cores as usize, cell.workload_seed())
+        else {
+            continue;
+        };
+        if entry.quota < cell.warmup + cell.instructions {
+            eprintln!(
+                "trace-dir: {} covers {} instructions/core but {} needs {}; \
+                 replay will wrap around",
+                entry.path.display(),
+                entry.quota,
+                cell.label(),
+                cell.warmup + cell.instructions,
+            );
+        }
+        cell.trace = entry.hash_hex();
+        map.insert(cell.trace.clone(), entry.path.clone());
+        backed += 1;
+    }
+    eprintln!(
+        "trace-dir: {backed} of {total} cells file-backed from {}",
+        dir.display()
+    );
+    map
+}
+
 /// Run a grid of simulation cells under the engine configured from
-/// `params` (`--jobs`, `--retries`, `--resume`, `--manifest`).
-/// Outcomes come back in input order; failed cells carry their panic
-/// payloads instead of aborting the run.
+/// `params` (`--jobs`, `--retries`, `--resume`, `--manifest`,
+/// `--trace-dir`). Outcomes come back in input order; failed cells
+/// carry their panic payloads instead of aborting the run.
 ///
 /// # Panics
 ///
 /// Panics when the checkpoint manifest cannot be written.
 #[must_use]
-pub fn run_grid(params: &RunParams, cells: Vec<CellSpec>) -> GridReport<CellResult> {
+pub fn run_grid(params: &RunParams, mut cells: Vec<CellSpec>) -> GridReport<CellResult> {
+    let trace_files = params
+        .trace_dir
+        .as_deref()
+        .map(|dir| resolve_traces(&mut cells, dir));
     let manifest = params
         .manifest
         .clone()
@@ -310,7 +419,7 @@ pub fn run_grid(params: &RunParams, cells: Vec<CellSpec>) -> GridReport<CellResu
     };
     let telemetry_out = params.telemetry_out.clone();
     chrome_exec::run_grid(cells, &cfg, &CellCodec, move |spec| {
-        run_cell(spec, telemetry_out.as_deref())
+        run_cell_with_traces(spec, telemetry_out.as_deref(), trace_files.as_ref())
     })
     .unwrap_or_else(|e| panic!("grid manifest I/O failed: {e}"))
 }
@@ -377,9 +486,8 @@ mod tests {
         assert_eq!(prefetch_config("none"), PrefetcherConfig::none());
     }
 
-    #[test]
-    fn run_cell_produces_result() {
-        let spec = CellSpec {
+    fn unit_spec() -> CellSpec {
+        CellSpec {
             experiment: "unit".into(),
             workload: "libquantum".into(),
             scheme: "LRU".into(),
@@ -390,10 +498,46 @@ mod tests {
             prefetch: "paper".into(),
             track_unused: false,
             record_epochs: false,
-        };
-        let r = run_cell(&spec, None);
+            trace: String::new(),
+        }
+    }
+
+    #[test]
+    fn run_cell_produces_result() {
+        let r = run_cell(&unit_spec(), None);
         assert_eq!(r.ipc.len(), 1);
         assert!(r.ipc[0] > 0.0);
         assert!(r.artifacts.is_empty());
+    }
+
+    #[test]
+    fn file_backed_cell_matches_live_generator() {
+        let dir = std::env::temp_dir().join("chrome-bench-grid-tracedir");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = unit_spec();
+        // generous quota: covers warmup + instructions + ROB runahead,
+        // so the replay never wraps and matches the generator exactly
+        chrome_tracefile::recorder::record_workload(
+            &dir.join("libquantum.ctf"),
+            &spec.workload,
+            1,
+            spec.workload_seed(),
+            40_000,
+            chrome_tracefile::Codec::Compact,
+            10_000,
+        )
+        .unwrap();
+        let live = run_cell(&spec, None);
+        let map = resolve_traces(std::slice::from_mut(&mut spec), &dir);
+        assert!(!spec.trace.is_empty(), "cell resolved to the trace file");
+        assert_eq!(map.len(), 1);
+        let replayed = run_cell_with_traces(&spec, None, Some(&map));
+        assert_eq!(replayed, live, "file replay must be result-identical");
+        // an unrelated identity stays generator-backed
+        let mut other = unit_spec();
+        other.seed = 8;
+        resolve_traces(std::slice::from_mut(&mut other), &dir);
+        assert!(other.trace.is_empty());
     }
 }

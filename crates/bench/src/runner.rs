@@ -43,6 +43,11 @@ pub struct RunParams {
     /// Checkpoint manifest path (`--manifest PATH`); defaults to
     /// `results/manifest.jsonl` for grid runs.
     pub manifest: Option<PathBuf>,
+    /// Directory of recorded `.ctf` trace files (`--trace-dir DIR`);
+    /// grid cells whose workload identity matches a recorded trace
+    /// replay from the file instead of the live generator, and mix the
+    /// trace content hash into their checkpoint identity.
+    pub trace_dir: Option<PathBuf>,
     /// Heterogeneous mix count for experiments that sweep mixes
     /// (`--mixes N`); each experiment applies its own default.
     pub mixes: Option<usize>,
@@ -68,6 +73,7 @@ impl Default for RunParams {
             retries: 2,
             resume: false,
             manifest: None,
+            trace_dir: None,
             mixes: None,
             homo_workloads: None,
             progress: true,
@@ -140,6 +146,11 @@ impl RunParams {
                 "--manifest" => {
                     i += 1;
                     p.manifest = Some(PathBuf::from(args.get(i).expect("--manifest takes a path")));
+                }
+                "--trace-dir" => {
+                    i += 1;
+                    p.trace_dir =
+                        Some(PathBuf::from(args.get(i).expect("--trace-dir takes a dir")));
                 }
                 "--mixes" => {
                     i += 1;

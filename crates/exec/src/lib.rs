@@ -33,4 +33,4 @@ pub mod spec;
 pub use engine::{run_grid, CellOutcome, Codec, EngineConfig, GridReport, StringCodec};
 pub use json::JsonValue;
 pub use manifest::{load as load_manifest, ManifestRecord, ManifestWriter};
-pub use spec::{fnv1a64, splitmix64, CellSpec};
+pub use spec::{fnv1a64, splitmix64, workload_seed, CellSpec};

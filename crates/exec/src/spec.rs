@@ -36,6 +36,16 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The deterministic trace-generator seed for a workload identity.
+/// Free-function form of [`CellSpec::workload_seed`] so trace tooling
+/// can derive grid-matching generator seeds without building a full
+/// spec.
+#[must_use]
+pub fn workload_seed(workload: &str, cores: u32, seed: u64) -> u64 {
+    let identity = format!("workload={workload};cores={cores};seed={seed}");
+    splitmix64(fnv1a64(identity.as_bytes()))
+}
+
 /// One schedulable simulation cell: `(workload, scheme, cores,
 /// instructions, seed)` plus the knobs the experiments vary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,14 +73,23 @@ pub struct CellSpec {
     pub track_unused: bool,
     /// Record the epoch-resolved telemetry series (Table VII).
     pub record_epochs: bool,
+    /// Content hash (fixed-width hex) of the trace file backing this
+    /// cell, empty when traces come from the live generator. File-backed
+    /// cells mix the trace content into the spec hash, so `--resume`
+    /// never pairs a checkpoint with a different trace revision; the
+    /// empty default keeps generator-backed hashes (and thus existing
+    /// manifests) unchanged.
+    pub trace: String,
 }
 
 impl CellSpec {
     /// Canonical `key=value;` rendering every hash is computed over.
-    /// Field order is part of the format; never reorder.
+    /// Field order is part of the format; never reorder. The `trace`
+    /// field is appended only when set, so generator-backed specs hash
+    /// exactly as they did before trace files existed.
     #[must_use]
     pub fn canonical(&self) -> String {
-        format!(
+        let mut s = format!(
             "experiment={};workload={};scheme={};cores={};instructions={};\
              warmup={};seed={};prefetch={};track_unused={};record_epochs={}",
             self.experiment,
@@ -83,7 +102,12 @@ impl CellSpec {
             self.prefetch,
             self.track_unused,
             self.record_epochs,
-        )
+        );
+        if !self.trace.is_empty() {
+            s.push_str(";trace=");
+            s.push_str(&self.trace);
+        }
+        s
     }
 
     /// Stable content hash over every field — the manifest key.
@@ -104,11 +128,7 @@ impl CellSpec {
     /// any thread count and in any execution order.
     #[must_use]
     pub fn workload_seed(&self) -> u64 {
-        let identity = format!(
-            "workload={};cores={};seed={}",
-            self.workload, self.cores, self.seed
-        );
-        splitmix64(fnv1a64(identity.as_bytes()))
+        workload_seed(&self.workload, self.cores, self.seed)
     }
 
     /// Human-readable cell label for progress and failure reports.
@@ -134,6 +154,7 @@ mod tests {
             prefetch: "paper".into(),
             track_unused: false,
             record_epochs: false,
+            trace: String::new(),
         }
     }
 
@@ -150,7 +171,7 @@ mod tests {
     fn every_field_feeds_the_spec_hash() {
         let base = spec();
         let mut variants = Vec::new();
-        for f in 0..10 {
+        for f in 0..11 {
             let mut v = base.clone();
             match f {
                 0 => v.experiment = "fig10".into(),
@@ -162,14 +183,37 @@ mod tests {
                 6 => v.seed += 1,
                 7 => v.prefetch = "ipcp".into(),
                 8 => v.track_unused = true,
-                _ => v.record_epochs = true,
+                9 => v.record_epochs = true,
+                _ => v.trace = "00000000deadbeef".into(),
             }
             variants.push(v.spec_hash());
         }
         variants.push(base.spec_hash());
         variants.sort_unstable();
         variants.dedup();
-        assert_eq!(variants.len(), 11, "hash collision across field variants");
+        assert_eq!(variants.len(), 12, "hash collision across field variants");
+    }
+
+    #[test]
+    fn empty_trace_keeps_legacy_canonical_form() {
+        // generator-backed specs must hash exactly as before the trace
+        // field existed, or every existing manifest would be invalidated
+        let s = spec();
+        assert!(!s.canonical().contains("trace="));
+        let mut t = s.clone();
+        t.trace = "00000000deadbeef".into();
+        assert!(t.canonical().ends_with(";trace=00000000deadbeef"));
+        assert_ne!(s.spec_hash(), t.spec_hash());
+        // a different trace revision is a different checkpoint identity
+        let mut t2 = s.clone();
+        t2.trace = "00000000deadbee0".into();
+        assert_ne!(t.spec_hash(), t2.spec_hash());
+    }
+
+    #[test]
+    fn workload_seed_free_function_matches_method() {
+        let s = spec();
+        assert_eq!(s.workload_seed(), workload_seed("mcf", 4, 0x5EED));
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn spec(workload: &str, scheme: &str) -> CellSpec {
         prefetch: "paper".into(),
         track_unused: false,
         record_epochs: false,
+        trace: String::new(),
     }
 }
 

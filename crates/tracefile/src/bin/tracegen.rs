@@ -1,0 +1,164 @@
+//! Record a registered workload (or `+`-joined mix) to a `.ctf` trace.
+//!
+//! ```text
+//! tracegen --workload NAME [--cores N] [--seed N | --base-seed N]
+//!          [--instructions N] (--out FILE | --out-dir DIR)
+//!          [--codec compact|champsim] [--interval N]
+//! ```
+//!
+//! `--seed` is the raw generator seed. `--base-seed` instead takes a
+//! grid base seed (the experiments' `--seed`, default `0x5EED`) and
+//! derives the generator seed exactly as grid cells do
+//! ([`chrome_exec::workload_seed`]) — use it to record traces that
+//! `--trace-dir` grid runs will resolve.
+//!
+//! With `--out-dir` the file is named `<workload>_c<cores>_s<seed>.ctf`
+//! (with `+` mapped to `-`). The identity stored in the manifest is what
+//! the grid resolves against, not the file name.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use chrome_tracefile::recorder::{record_workload, DEFAULT_INTERVAL_INSTR};
+use chrome_tracefile::Codec;
+
+struct Options {
+    workload: String,
+    cores: usize,
+    seed: u64,
+    base_seed: Option<u64>,
+    instructions: u64,
+    out: Option<PathBuf>,
+    out_dir: Option<PathBuf>,
+    codec: Codec,
+    interval: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tracegen --workload NAME [--cores N] [--seed N | --base-seed N] \
+         [--instructions N] (--out FILE | --out-dir DIR) \
+         [--codec compact|champsim] [--interval N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        workload: String::new(),
+        cores: 1,
+        seed: 0x5EED,
+        base_seed: None,
+        instructions: 200_000,
+        out: None,
+        out_dir: None,
+        codec: Codec::Compact,
+        interval: DEFAULT_INTERVAL_INSTR,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => {
+                i += 1;
+                opts.workload = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--cores" => {
+                i += 1;
+                opts.cores = args[i].parse().expect("--cores takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--base-seed" => {
+                i += 1;
+                opts.base_seed = Some(args[i].parse().expect("--base-seed takes a number"));
+            }
+            "--instructions" => {
+                i += 1;
+                opts.instructions = args[i].parse().expect("--instructions takes a number");
+            }
+            "--out" => {
+                i += 1;
+                opts.out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--out-dir" => {
+                i += 1;
+                opts.out_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--codec" => {
+                i += 1;
+                opts.codec = Codec::parse(args.get(i).unwrap_or_else(|| usage()))
+                    .unwrap_or_else(|| panic!("--codec takes 'compact' or 'champsim'"));
+            }
+            "--interval" => {
+                i += 1;
+                opts.interval = args[i].parse().expect("--interval takes a number");
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if opts.workload.is_empty() || (opts.out.is_none() == opts.out_dir.is_none()) {
+        usage();
+    }
+    // a `+`-joined mix names one workload per core
+    if opts.workload.contains('+') {
+        opts.cores = opts.workload.split('+').count();
+    }
+    if let Some(base) = opts.base_seed {
+        opts.seed = chrome_exec::workload_seed(&opts.workload, opts.cores as u32, base);
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let path = match (&opts.out, &opts.out_dir) {
+        (Some(f), None) => f.clone(),
+        (None, Some(d)) => {
+            std::fs::create_dir_all(d).unwrap_or_else(|e| panic!("creating {}: {e}", d.display()));
+            d.join(format!(
+                "{}_c{}_s{}.ctf",
+                opts.workload.replace('+', "-"),
+                opts.cores,
+                opts.seed
+            ))
+        }
+        _ => usage(),
+    };
+    match record_workload(
+        &path,
+        &opts.workload,
+        opts.cores,
+        opts.seed,
+        opts.instructions,
+        opts.codec,
+        opts.interval,
+    ) {
+        Ok(m) => {
+            println!("recorded {} -> {}", opts.workload, path.display());
+            println!(
+                "  codec={} cores={} quota={} records={} instructions={} \
+                 stream_bytes={} bytes/instr={:.3} hash={}",
+                m.codec.name(),
+                m.cores.len(),
+                m.quota,
+                m.total_records(),
+                m.total_instructions(),
+                m.total_stream_bytes(),
+                m.bytes_per_instruction(),
+                m.hash_hex(),
+            );
+        }
+        Err(e) => {
+            eprintln!("tracegen: {e}");
+            exit(1);
+        }
+    }
+}

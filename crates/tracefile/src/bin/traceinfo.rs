@@ -1,0 +1,171 @@
+//! Inspect and validate a `.ctf` trace file.
+//!
+//! ```text
+//! traceinfo PATH [--intervals] [--verify] [--cross-check]
+//! ```
+//!
+//! By default prints the footer manifest (codec, quota, generator spec,
+//! content hash, per-core streams, compression rate) plus an interval
+//! summary. `--intervals` prints every per-interval stat row,
+//! `--verify` fully decodes all streams and recomputes the content
+//! hash, and `--cross-check` re-runs the generator named in the
+//! manifest's spec and compares record-by-record. Any failure exits
+//! nonzero with a descriptive message.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use chrome_tracefile::recorder::build_workload_sources;
+use chrome_tracefile::{TraceFile, TraceFileError};
+
+struct Options {
+    path: PathBuf,
+    intervals: bool,
+    verify: bool,
+    cross_check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: traceinfo PATH [--intervals] [--verify] [--cross-check]");
+    exit(2);
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        path: PathBuf::new(),
+        intervals: false,
+        verify: false,
+        cross_check: false,
+    };
+    let mut path = None;
+    for a in &args {
+        match a.as_str() {
+            "--intervals" => opts.intervals = true,
+            "--verify" => opts.verify = true,
+            "--cross-check" => opts.cross_check = true,
+            "--help" | "-h" => usage(),
+            other if !other.starts_with("--") => path = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    opts.path = path.unwrap_or_else(|| usage());
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let tf = match TraceFile::open(&opts.path) {
+        Ok(tf) => tf,
+        Err(e) => {
+            eprintln!("traceinfo: {}: {e}", opts.path.display());
+            exit(1);
+        }
+    };
+    let m = tf.manifest();
+    println!("{}", opts.path.display());
+    println!(
+        "  codec={} version=1 cores={} quota={} interval={}",
+        m.codec.name(),
+        m.cores.len(),
+        m.quota,
+        m.interval_instr
+    );
+    println!("  spec: {}", if m.spec.is_empty() { "-" } else { &m.spec });
+    println!("  content_hash: {}", m.hash_hex());
+    println!(
+        "  totals: records={} instructions={} stream_bytes={} bytes/instr={:.3}",
+        m.total_records(),
+        m.total_instructions(),
+        m.total_stream_bytes(),
+        m.bytes_per_instruction()
+    );
+    for (i, c) in m.cores.iter().enumerate() {
+        println!(
+            "  core {i}: {:<16} records={:<9} instructions={:<9} bytes={:<9} intervals={}",
+            c.name,
+            c.records,
+            c.instructions,
+            c.stream_len,
+            c.intervals.len()
+        );
+        if opts.intervals {
+            for (j, iv) in c.intervals.iter().enumerate() {
+                println!(
+                    "    [{j:>3}] instr={:<7} rec={:<6} ld={:<6} st={:<6} dep={:<6} \
+                     lines={:<6} span={:#x}..{:#x}",
+                    iv.instructions,
+                    iv.records,
+                    iv.loads,
+                    iv.stores,
+                    iv.dep_loads,
+                    iv.distinct_lines,
+                    iv.min_line << 6,
+                    (iv.max_line + 1) << 6,
+                );
+            }
+        }
+    }
+
+    let mut failed = false;
+    if opts.verify {
+        match tf.verify() {
+            Ok(()) => println!("  verify: ok (streams decode, counts and hash match)"),
+            Err(e) => {
+                eprintln!("  verify: FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    if opts.cross_check {
+        match cross_check(&tf) {
+            Ok(n) => println!("  cross-check: ok ({n} records match a fresh generator run)"),
+            Err(e) => {
+                eprintln!("  cross-check: FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}
+
+/// Re-run the generator identified by the manifest spec and compare
+/// record-by-record against each decoded stream.
+fn cross_check(tf: &TraceFile) -> Result<u64, TraceFileError> {
+    let m = tf.manifest();
+    let workload = m
+        .spec_field("workload")
+        .ok_or_else(|| TraceFileError::Corrupt("manifest spec has no workload identity".into()))?
+        .to_string();
+    let cores: usize = m
+        .spec_field("cores")
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| TraceFileError::Corrupt("manifest spec has no core count".into()))?;
+    let seed: u64 = m
+        .spec_field("seed")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| TraceFileError::Corrupt("manifest spec has no seed".into()))?;
+    let mut sources = build_workload_sources(&workload, cores, seed)?;
+    let mut total = 0u64;
+    for (i, src) in sources.iter_mut().enumerate() {
+        let decoded = tf.decode_core(i)?;
+        for (j, rec) in decoded.iter().enumerate() {
+            let mut live = src.next_record();
+            if j == 0 {
+                live.dep_prev = false; // recorder canonicalizes the leading dep
+            }
+            if *rec != live {
+                return Err(TraceFileError::Corrupt(format!(
+                    "core {i} record {j} diverges from generator: file {rec:?}, live {live:?}"
+                )));
+            }
+            total += 1;
+        }
+    }
+    Ok(total)
+}

@@ -1,0 +1,218 @@
+//! Round-trip property tests over randomized record streams, plus
+//! corpus-level compression and corruption-robustness checks.
+//!
+//! Every stream drawn here goes encode → decode → compare for both
+//! codecs; mutated and truncated containers must fail with a
+//! `TraceFileError`, never a panic.
+
+use std::path::PathBuf;
+
+use chrome_sim::rng::SmallRng;
+use chrome_sim::trace::TraceSource;
+use chrome_sim::types::{AccessKind, TraceRecord};
+use chrome_tracefile::recorder::{build_workload_sources, record_sources, record_workload};
+use chrome_tracefile::{champsim, codec, Codec, TraceFile, TraceFileError};
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chrome-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A random-but-plausible record stream. Addresses avoid 0 (the
+/// ChampSim layout cannot represent it); deltas mix small strides with
+/// full-range jumps so varint length classes all get exercised.
+fn random_stream(rng: &mut SmallRng, len: usize) -> Vec<TraceRecord> {
+    let mut pc = 0x400_000u64;
+    let mut vaddr = 0x10_0000u64;
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        match rng.next_u64() % 4 {
+            0 => pc = pc.wrapping_add(4),
+            1 => pc = pc.wrapping_sub(64),
+            2 => pc = rng.next_u64() | 1,
+            _ => {}
+        }
+        match rng.next_u64() % 3 {
+            0 => vaddr = vaddr.wrapping_add(64),
+            1 => vaddr = rng.next_u64() | 1,
+            _ => vaddr = vaddr.wrapping_sub(8),
+        }
+        if vaddr == 0 {
+            vaddr = 0x40;
+        }
+        // kept modest: each non-memory slot costs the ChampSim layout a
+        // whole 64-byte instruction (u16::MAX saturation has its own
+        // unit tests in both codecs)
+        let nonmem = match rng.next_u64() % 4 {
+            0 => 0,
+            1 => (rng.next_u64() % 8) as u16,
+            2 => (rng.next_u64() % 200) as u16,
+            _ => 1,
+        };
+        out.push(TraceRecord {
+            nonmem_before: nonmem,
+            pc,
+            vaddr,
+            kind: if rng.next_u64().is_multiple_of(3) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            },
+            // a leading dep is canonicalized at capture; drawing streams
+            // without one keeps encode→decode exact equality testable
+            dep_prev: i > 0 && rng.next_u64().is_multiple_of(5),
+        });
+    }
+    out
+}
+
+#[test]
+fn random_streams_roundtrip_through_both_codecs() {
+    let mut rng = SmallRng::seed_from_u64(0xC0DEC);
+    for case in 0..50 {
+        let len = 1 + (rng.next_u64() % 600) as usize;
+        let stream = random_stream(&mut rng, len);
+        // compact: frame-based
+        let frame = codec::encode_frame(&stream);
+        let decoded = codec::decode_stream(&frame).unwrap();
+        assert_eq!(decoded, stream, "compact codec, case {case}");
+        // champsim: 64-byte instruction records; dep_prev immediately
+        // after another memory record survives (the spacing of these
+        // streams guarantees a previous instruction to patch)
+        let bytes = champsim::encode_stream(&stream).unwrap();
+        assert_eq!(
+            champsim::decode_stream(&bytes).unwrap(),
+            stream,
+            "champsim codec, case {case}"
+        );
+    }
+}
+
+#[test]
+fn mutated_containers_error_never_panic() {
+    let path = tmpdir().join("mutate.ctf");
+    record_workload(&path, "mcf", 1, 3, 20_000, Codec::Compact, 5_000).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0xBAD);
+    let mutated = tmpdir().join("mutated.ctf");
+    for _ in 0..200 {
+        let mut copy = bytes.clone();
+        let at = (rng.next_u64() % copy.len() as u64) as usize;
+        copy[at] ^= 1 << (rng.next_u64() % 8);
+        std::fs::write(&mutated, &copy).unwrap();
+        // every single-bit flip must surface as Err from open+verify or
+        // decode a different stream (hash mismatch); none may panic
+        if let Ok(tf) = TraceFile::open(&mutated) {
+            let _ = tf.verify();
+        }
+    }
+    for cut in [0usize, 1, 7, 16, 100, bytes.len() - 17, bytes.len() - 1] {
+        std::fs::write(&mutated, &bytes[..cut.min(bytes.len())]).unwrap();
+        assert!(
+            TraceFile::open(&mutated).is_err(),
+            "truncation at {cut} must fail to open"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_in_payload_are_caught_by_verify() {
+    let path = tmpdir().join("payload.ctf");
+    record_workload(&path, "lbm", 1, 9, 20_000, Codec::ChampSim, 5_000).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    // flip one bit inside the first core's stream (past the header)
+    let mut copy = bytes;
+    copy[64] ^= 0x10;
+    let flipped = tmpdir().join("payload-flipped.ctf");
+    std::fs::write(&flipped, &copy).unwrap();
+    // structural detection at open is fine too; otherwise verify must
+    // catch the flip
+    if let Ok(tf) = TraceFile::open(&flipped) {
+        match tf.verify() {
+            Err(TraceFileError::HashMismatch { .. } | TraceFileError::Corrupt(_)) => {}
+            other => panic!("verify must catch the flip, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn compact_codec_beats_eight_bytes_per_instruction_on_smoke_corpus() {
+    // the acceptance bar: averaged over the registered corpus at smoke
+    // scale, the compact codec stays under 8 bytes per instruction
+    // (ChampSim's layout costs 64)
+    let dir = tmpdir();
+    let mut total_bytes = 0u64;
+    let mut total_instr = 0u64;
+    for (i, workload) in chrome_traces::all_workloads().iter().enumerate() {
+        let path = dir.join(format!("corpus-{workload}.ctf"));
+        let m = record_workload(
+            &path,
+            workload,
+            1,
+            100 + i as u64,
+            50_000,
+            Codec::Compact,
+            10_000,
+        )
+        .unwrap();
+        total_bytes += m.total_stream_bytes();
+        total_instr += m.total_instructions();
+        assert!(
+            m.bytes_per_instruction() < 8.0,
+            "{workload}: {:.3} bytes/instruction",
+            m.bytes_per_instruction()
+        );
+    }
+    let corpus = total_bytes as f64 / total_instr as f64;
+    assert!(corpus < 8.0, "corpus-wide {corpus:.3} bytes/instruction");
+}
+
+#[test]
+fn recorded_stream_is_exactly_the_generator_prefix() {
+    // decode-and-compare over a GAP workload (pointer-chasing shapes
+    // stress the dependence encoding) for both codecs
+    for codec in [Codec::Compact, Codec::ChampSim] {
+        let path = tmpdir().join(format!("prefix-{}.ctf", codec.name()));
+        record_workload(&path, "bfs-ur", 1, 11, 30_000, codec, 10_000).unwrap();
+        let tf = TraceFile::open(&path).unwrap();
+        tf.verify().unwrap();
+        let decoded = tf.decode_core(0).unwrap();
+        let mut live = build_workload_sources("bfs-ur", 1, 11).unwrap();
+        for (j, rec) in decoded.iter().enumerate() {
+            let mut expect = live[0].next_record();
+            if j == 0 {
+                expect.dep_prev = false;
+            }
+            assert_eq!(*rec, expect, "{} record {j}", codec.name());
+        }
+    }
+}
+
+#[test]
+fn ad_hoc_sources_record_without_workload_identity() {
+    // record_sources accepts any TraceSource, not just registry names
+    struct Ping(u64);
+    impl TraceSource for Ping {
+        fn next_record(&mut self) -> TraceRecord {
+            self.0 = self.0.wrapping_add(0x40);
+            TraceRecord::load(0x400, 0x1000 + (self.0 % 0x8000), 1)
+        }
+        fn name(&self) -> &str {
+            "ping"
+        }
+    }
+    let path = tmpdir().join("adhoc.ctf");
+    let m = record_sources(
+        &path,
+        vec![Box::new(Ping(0))],
+        "adhoc-experiment",
+        5_000,
+        Codec::Compact,
+        1_000,
+    )
+    .unwrap();
+    assert_eq!(m.spec, "adhoc-experiment");
+    assert!(m.spec_field("workload").is_none());
+    TraceFile::open(&path).unwrap().verify().unwrap();
+}

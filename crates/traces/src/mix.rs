@@ -87,4 +87,63 @@ mod tests {
         assert_eq!(mix.len(), 4);
         assert_eq!(mix[1].name(), "libquantum");
     }
+
+    #[test]
+    fn single_entry_mix_builds_one_source() {
+        let mix = build_mix(&["mcf"], 3).expect("mcf exists");
+        assert_eq!(mix.len(), 1);
+        assert_eq!(mix[0].name(), "mcf");
+        // a single-entry mix uses the per-slot seed derivation, not the
+        // homogeneous one: slot 0 of a mix and core 0 of a homogeneous
+        // run of the same workload are different instantiations
+        let mut via_mix = build_mix(&["mcf"], 3).unwrap();
+        let mut via_homo = homogeneous("mcf", 1, 3).unwrap();
+        let differs = (0..64).any(|_| via_mix[0].next_record() != via_homo[0].next_record());
+        assert!(differs, "mix and homogeneous seeds must stay independent");
+    }
+
+    #[test]
+    fn build_mix_any_unknown_is_none() {
+        assert!(build_mix(&["mcf", "nope"], 1).is_none());
+        assert!(build_mix(&[], 1).is_some_and(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn heterogeneous_pool_indexing_wraps_within_bounds() {
+        // the pool index is r % pool.len(); sweep enough draws that
+        // every residue class is hit and verify all names come from the
+        // pool (guards against off-by-one on the wraparound)
+        let pool: std::collections::HashSet<_> = spec_workloads().into_iter().collect();
+        for cores in [1, 3, 16, 17] {
+            for mix in heterogeneous_names(cores, 64, 0xFEED) {
+                assert_eq!(mix.len(), cores);
+                for name in mix {
+                    assert!(pool.contains(name), "{name} escaped the pool");
+                }
+            }
+        }
+        // the full pool is reachable: with many draws every workload
+        // should appear at least once
+        let seen: std::collections::HashSet<_> = heterogeneous_names(4, 400, 1)
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(seen.len(), pool.len(), "every pool entry is drawable");
+    }
+
+    #[test]
+    fn homogeneous_per_core_seeds_differ() {
+        // copies of the same workload must not be lockstep-identical:
+        // each core gets a distinct derived seed
+        let mut mix = homogeneous("libquantum", 2, 9).unwrap();
+        let (a, b) = mix.split_at_mut(1);
+        let differs = (0..256).any(|_| a[0].next_record() != b[0].next_record());
+        assert!(differs, "core 0 and core 1 replay identical streams");
+    }
+
+    #[test]
+    fn zero_core_homogeneous_is_empty() {
+        let mix = homogeneous("mcf", 0, 1).expect("vacuously buildable");
+        assert!(mix.is_empty());
+    }
 }

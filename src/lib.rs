@@ -16,6 +16,7 @@ pub use chrome_core as chrome;
 pub use chrome_policies as policies;
 pub use chrome_sim as sim;
 pub use chrome_telemetry as telemetry;
+pub use chrome_tracefile as tracefile;
 pub use chrome_traces as traces;
 
 /// Build the default 4-core paper configuration.
