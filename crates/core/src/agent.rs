@@ -2,139 +2,76 @@
 //! paper — the RL decision task (ε-greedy action selection over the
 //! Q-table on every LLC access) and the RL training task (reward
 //! assignment through the Evaluation Queue and SARSA updates).
+//!
+//! Since the environment refactor this file holds only the *hardware
+//! instantiation*: [`HwEnv`] supplies the paper's feature extraction
+//! (PC signature + page number and the Table I variants), Table II
+//! rewards, and C-AMAT obstruction feedback, while the RL mechanics
+//! live in the generic [`crate::engine::RlEngine`] driven through
+//! [`crate::env::Agent`]. [`Chrome`] wraps the pair with the LLC-side
+//! state (per-block EPVs, victim selection, telemetry emission). The
+//! `agent_equiv` integration test pins that this split reproduces the
+//! pre-refactor simulation byte-for-byte.
 
 use chrome_sim::overhead::StorageOverhead;
 use chrome_sim::policy::{
     sampled_index, AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
 };
-use chrome_sim::rng::SmallRng;
 use chrome_sim::types::{mix64, LineAddr};
 use chrome_telemetry::{EventKind, PolicyEpochProbe, TelemetrySink};
 
 use crate::config::{ChromeConfig, FeatureSelection};
-use crate::eq::{EqEntry, EvalQueue};
-use crate::qtable::{QTable, NUM_ACTIONS};
+use crate::engine::{EngineConfig, RlEngine, ACTION_BYPASS, ACTION_HIT_EPVH};
+use crate::env::{Agent, DecisionObserver, Environment};
+use crate::eq::EqEntry;
+use crate::rewards::RewardTable;
 
-/// Highest eviction-priority value (2-bit EPV, three levels 0..=2).
-pub const EPV_MAX: u8 = 2;
+pub use crate::engine::{ChromeStats, EPV_MAX};
 
-// Action encoding: 0 = bypass; 1..=3 = insert with EPV (a-1);
-// 4..=6 = re-assign EPV (a-4) on a hit.
-const ACTION_BYPASS: usize = 0;
-const MISS_ACTIONS: [usize; 4] = [0, 1, 2, 3];
-const HIT_ACTIONS: [usize; 3] = [4, 5, 6];
-const ACTION_HIT_EPVH: usize = 6;
-
-/// Counters the agent keeps about its own operation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ChromeStats {
-    /// Accesses observed on sampled sets.
-    pub sampled_accesses: u64,
-    /// SARSA updates applied to the Q-table.
-    pub q_updates: u64,
-    /// ε-greedy explorations taken.
-    pub explorations: u64,
-    /// Bypass actions chosen.
-    pub bypasses: u64,
-    /// Rewards assigned by address match (re-requested within window).
-    pub matched_rewards: u64,
-    /// Rewards assigned at EQ eviction (never re-requested).
-    pub unmatched_rewards: u64,
-    /// EQ FIFO overflows (pushes that evicted the oldest entry).
-    pub eq_overflows: u64,
-}
-
-impl ChromeStats {
-    /// Q-table updates per kilo sampled accesses (paper Table VII).
-    pub fn upksa(&self) -> f64 {
-        if self.sampled_accesses == 0 {
-            0.0
-        } else {
-            self.q_updates as f64 * 1000.0 / self.sampled_accesses as f64
-        }
-    }
-}
-
-/// The CHROME policy (also serves as N-CHROME via
-/// [`ChromeConfig::n_chrome`]).
-pub struct Chrome {
-    cfg: ChromeConfig,
-    qtable: QTable,
-    eq: EvalQueue,
-    epv: Vec<u8>,
-    num_sets: usize,
-    ways: usize,
+/// The hardware-LLC environment: the paper's feature extraction and
+/// reward sources, bound to [`AccessInfo`] / [`SystemFeedback`].
+#[derive(Debug)]
+pub struct HwEnv {
+    features: FeatureSelection,
+    rewards: RewardTable,
+    concurrency_aware: bool,
     multicore: bool,
-    rng: SmallRng,
-    pending_epv: u8,
     /// Per-core last accessed line (for the delta feature).
     last_line: Vec<u64>,
     /// Per-core rolling hash of the last four PCs (for the PC-sequence
     /// feature).
     pc_history: Vec<[u64; 4]>,
-    /// Agent-internal statistics.
-    pub stats: ChromeStats,
-    sink: TelemetrySink,
-    name: &'static str,
 }
 
-impl std::fmt::Debug for Chrome {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Chrome")
-            .field("name", &self.name)
-            .field("stats", &self.stats)
-            .finish_non_exhaustive()
-    }
-}
-
-impl Chrome {
-    /// Create a CHROME agent with the given configuration.
-    pub fn new(cfg: ChromeConfig) -> Self {
-        let qtable = QTable::new(
-            cfg.features.count(),
-            cfg.sub_tables,
-            cfg.sub_table_entries,
-            cfg.q_init(),
-        );
-        let eq = EvalQueue::new(cfg.sampled_sets, cfg.eq_fifo_len);
-        let name = if cfg.concurrency_aware {
-            "CHROME"
-        } else {
-            "N-CHROME"
-        };
-        Chrome {
-            rng: SmallRng::seed_from_u64(cfg.seed),
-            qtable,
-            eq,
-            epv: Vec::new(),
-            num_sets: 0,
-            ways: 0,
+impl HwEnv {
+    fn new(cfg: &ChromeConfig) -> Self {
+        HwEnv {
+            features: cfg.features,
+            rewards: cfg.rewards,
+            concurrency_aware: cfg.concurrency_aware,
             multicore: false,
-            pending_epv: 1,
             last_line: Vec::new(),
             pc_history: Vec::new(),
-            stats: ChromeStats::default(),
-            sink: TelemetrySink::noop(),
-            name,
-            cfg,
         }
     }
 
-    /// The active configuration.
-    pub fn config(&self) -> &ChromeConfig {
-        &self.cfg
+    /// Size the per-core feature history for `cores` cores.
+    fn set_cores(&mut self, cores: usize) {
+        self.multicore = cores > 1;
+        self.last_line = vec![0; cores.max(1)];
+        self.pc_history = vec![[0; 4]; cores.max(1)];
     }
+}
 
-    #[inline]
-    fn idx(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
-    }
+impl Environment for HwEnv {
+    type Access = AccessInfo;
+    type Ctx = SystemFeedback;
 
     /// Extract the state feature vector for an access (paper §IV-A):
     /// PC signature hashed with the hit/miss bit, the is_prefetch bit
     /// and (in multicore systems) the core id; plus the physical page
     /// number. Returns the features in a fixed buffer.
-    fn state_of(&mut self, info: &AccessInfo, hit: bool) -> ([u64; 2], usize) {
+    fn state(&mut self, info: &AccessInfo, hit: bool) -> ([u64; 2], usize) {
         let core_part = if self.multicore {
             (info.core as u64 + 1) << 24
         } else {
@@ -144,7 +81,7 @@ impl Chrome {
             mix64(info.pc ^ ((hit as u64) << 62) ^ ((info.is_prefetch as u64) << 61) ^ core_part);
         let pn = info.line.page_number();
         let core = info.core.min(self.last_line.len().saturating_sub(1));
-        let state = match self.cfg.features {
+        let state = match self.features {
             FeatureSelection::PcOnly => ([pc_sig, 0], 1),
             FeatureSelection::PnOnly => ([pn, 0], 1),
             FeatureSelection::PcAndPn => ([pc_sig, pn], 2),
@@ -175,145 +112,141 @@ impl Chrome {
         state
     }
 
-    /// ε-greedy action selection among `legal` actions. Exact Q ties —
-    /// common under optimistic initialization — break uniformly at
-    /// random, so an untrained agent does not collapse onto one action.
-    fn select_action(&mut self, state: &[u64], legal: &[usize]) -> usize {
-        if self.rng.gen_f64() < self.cfg.epsilon {
-            self.stats.explorations += 1;
-            return legal[self.rng.gen_range(0..legal.len())];
-        }
-        let mut best = [0usize; 8];
-        let mut n = 0;
-        let mut best_q = f64::NEG_INFINITY;
-        for &a in legal {
-            let q = self.qtable.q_state(state, a);
-            if q > best_q + 1e-9 {
-                best_q = q;
-                best[0] = a;
-                n = 1;
-            } else if (q - best_q).abs() <= 1e-9 {
-                best[n] = a;
-                n += 1;
-            }
-        }
-        if n == 1 {
-            return best[0];
-        }
-        // Exact Q ties are the signature of an untrained state. Break
-        // them by a fixed, defensive preference — insert at mid priority
-        // on a miss, keep (lowest eviction priority) on a hit, bypass
-        // last — so undertrained states behave like SRRIP instead of
-        // acting randomly. *Learned* preferences still win outright: a
-        // thrashing state's insert actions are driven negative while
-        // bypass keeps its optimistic initial value, so bypass is chosen
-        // without ever being tie-broken.
-        const TIE_RANK: [u8; NUM_ACTIONS] = [
-            3, // bypass: last resort
-            1, // insert at EPV0 (protect)
-            0, // insert at EPV1 (neutral default)
-            2, // insert at EPV2 (evict-first)
-            0, // hit: EPV0 (keep)
-            1, // hit: EPV1
-            2, // hit: EPV2 (mark dead)
-        ];
-        *best[..n]
-            .iter()
-            .min_by_key(|&&a| TIE_RANK[a])
-            .expect("nonempty tie set")
+    fn key(&self, info: &AccessInfo) -> u64 {
+        info.line.0
     }
 
-    /// Reward-match step (Algorithm 1, lines 3–8): if this access's
-    /// address sits unrewarded in the sampled set's FIFO, the earlier
-    /// action is now evaluated by whether the access hit.
-    fn match_reward(&mut self, si: usize, info: &AccessInfo, hit: bool) {
-        let reward = if hit {
-            self.cfg.rewards.requested_hit(info.is_prefetch)
+    fn lane(&self, info: &AccessInfo) -> usize {
+        info.core
+    }
+
+    fn matched_reward(&self, info: &AccessInfo, hit: bool) -> f64 {
+        if hit {
+            self.rewards.requested_hit(info.is_prefetch)
         } else {
-            self.cfg.rewards.requested_miss(info.is_prefetch)
-        };
-        if let Some(entry) = self.eq.fifo(si).find_unrewarded(info.line.0) {
-            entry.reward = Some(reward);
-            self.stats.matched_rewards += 1;
-            if cfg!(feature = "telemetry") {
-                self.sink.emit(
-                    info.cycle,
-                    info.core as u32,
-                    EventKind::RewardApplied {
-                        reward,
-                        matched: true,
-                    },
-                );
-            }
+            self.rewards.requested_miss(info.is_prefetch)
         }
     }
 
-    /// Record the executed action in the EQ and, on FIFO overflow,
-    /// finalize the evicted entry's reward and run the SARSA update
-    /// (Algorithm 1, lines 21–38).
-    fn record_and_train(
-        &mut self,
-        si: usize,
-        state: &[u64],
-        action: usize,
-        trigger_hit: bool,
-        info: &AccessInfo,
-        feedback: &SystemFeedback,
-    ) {
-        let entry = EqEntry {
-            state: state.to_vec(),
-            action,
-            trigger_hit,
-            line: info.line.0,
-            core: info.core,
-            reward: None,
+    fn unmatched_reward(&self, feedback: &SystemFeedback, entry: &EqEntry) -> f64 {
+        let accurate = if entry.trigger_hit {
+            entry.action == ACTION_HIT_EPVH
+        } else {
+            entry.action == ACTION_BYPASS
         };
-        let capacity = self.eq.capacity();
-        if let Some((mut evicted, next)) = self.eq.fifo(si).push(entry, capacity) {
-            self.stats.eq_overflows += 1;
-            if evicted.reward.is_none() {
-                let accurate = if evicted.trigger_hit {
-                    evicted.action == ACTION_HIT_EPVH
-                } else {
-                    evicted.action == ACTION_BYPASS
-                };
-                let obstructed = self.cfg.concurrency_aware && feedback.is_obstructed(evicted.core);
-                let reward = self.cfg.rewards.not_requested(accurate, obstructed);
-                evicted.reward = Some(reward);
-                self.stats.unmatched_rewards += 1;
-                if cfg!(feature = "telemetry") {
-                    self.sink.emit(
-                        info.cycle,
-                        info.core as u32,
-                        EventKind::RewardApplied {
-                            reward,
-                            matched: false,
-                        },
-                    );
-                }
-            }
-            let reward = evicted.reward.expect("assigned above");
-            let target = match next {
-                Some((next_state, next_action)) => {
-                    reward + self.cfg.gamma * self.qtable.q_state(&next_state, next_action)
-                }
-                None => reward,
-            };
-            if cfg!(feature = "telemetry") && self.sink.is_enabled() {
-                let delta = target - self.qtable.q_state(&evicted.state, evicted.action);
-                self.sink.emit(
-                    info.cycle,
-                    info.core as u32,
-                    EventKind::QUpdate {
-                        delta,
-                        action: evicted.action as u8,
-                    },
-                );
-            }
-            self.qtable
-                .update(&evicted.state, evicted.action, target, self.cfg.alpha);
-            self.stats.q_updates += 1;
+        let obstructed = self.concurrency_aware && feedback.is_obstructed(entry.lane);
+        self.rewards.not_requested(accurate, obstructed)
+    }
+}
+
+/// Observer that forwards the agent's per-decision outcomes to the
+/// telemetry sink, stamped with the triggering access's cycle and core.
+struct SinkObserver<'a> {
+    sink: &'a TelemetrySink,
+    cycle: u64,
+    core: u32,
+}
+
+impl DecisionObserver for SinkObserver<'_> {
+    fn reward_matched(&mut self, reward: f64) {
+        if cfg!(feature = "telemetry") {
+            self.sink.emit(
+                self.cycle,
+                self.core,
+                EventKind::RewardApplied {
+                    reward,
+                    matched: true,
+                },
+            );
         }
+    }
+
+    fn reward_unmatched(&mut self, reward: f64) {
+        if cfg!(feature = "telemetry") {
+            self.sink.emit(
+                self.cycle,
+                self.core,
+                EventKind::RewardApplied {
+                    reward,
+                    matched: false,
+                },
+            );
+        }
+    }
+
+    fn wants_q_delta(&self) -> bool {
+        cfg!(feature = "telemetry") && self.sink.is_enabled()
+    }
+
+    fn q_update(&mut self, delta: f64, action: usize) {
+        self.sink.emit(
+            self.cycle,
+            self.core,
+            EventKind::QUpdate {
+                delta,
+                action: action as u8,
+            },
+        );
+    }
+}
+
+/// The CHROME policy (also serves as N-CHROME via
+/// [`ChromeConfig::n_chrome`]).
+pub struct Chrome {
+    cfg: ChromeConfig,
+    agent: Agent<HwEnv>,
+    epv: Vec<u8>,
+    num_sets: usize,
+    ways: usize,
+    pending_epv: u8,
+    sink: TelemetrySink,
+    name: &'static str,
+}
+
+impl std::fmt::Debug for Chrome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chrome")
+            .field("name", &self.name)
+            .field("stats", self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Chrome {
+    /// Create a CHROME agent with the given configuration.
+    pub fn new(cfg: ChromeConfig) -> Self {
+        let engine = RlEngine::new(EngineConfig::from(&cfg));
+        let env = HwEnv::new(&cfg);
+        let name = if cfg.concurrency_aware {
+            "CHROME"
+        } else {
+            "N-CHROME"
+        };
+        Chrome {
+            agent: Agent::new(env, engine),
+            epv: Vec::new(),
+            num_sets: 0,
+            ways: 0,
+            pending_epv: 1,
+            sink: TelemetrySink::noop(),
+            name,
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ChromeConfig {
+        &self.cfg
+    }
+
+    /// Agent-internal statistics.
+    pub fn stats(&self) -> &ChromeStats {
+        &self.agent.engine.stats
+    }
+
+    #[inline]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
     }
 }
 
@@ -321,26 +254,20 @@ impl LlcPolicy for Chrome {
     fn initialize(&mut self, num_sets: usize, ways: usize, cores: usize) {
         self.num_sets = num_sets;
         self.ways = ways;
-        self.multicore = cores > 1;
         self.epv = vec![EPV_MAX; num_sets * ways];
-        self.last_line = vec![0; cores.max(1)];
-        self.pc_history = vec![[0; 4]; cores.max(1)];
+        self.agent.env.set_cores(cores);
     }
 
     fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, feedback: &SystemFeedback) {
         let si = sampled_index(set, self.num_sets, self.cfg.sampled_sets);
-        if let Some(si) = si {
-            self.stats.sampled_accesses += 1;
-            self.match_reward(si, info, true);
-        }
-        let (buf, n) = self.state_of(info, true);
-        let state = &buf[..n];
-        let action = self.select_action(state, &HIT_ACTIONS);
+        let mut obs = SinkObserver {
+            sink: &self.sink,
+            cycle: info.cycle,
+            core: info.core as u32,
+        };
+        let d = self.agent.on_access(si, info, true, feedback, &mut obs);
         let i = self.idx(set, way);
-        self.epv[i] = (action - 4) as u8;
-        if let Some(si) = si {
-            self.record_and_train(si, state, action, true, info, feedback);
-        }
+        self.epv[i] = (d.action - 4) as u8;
     }
 
     fn on_miss(
@@ -350,21 +277,16 @@ impl LlcPolicy for Chrome {
         feedback: &SystemFeedback,
     ) -> FillDecision {
         let si = sampled_index(set, self.num_sets, self.cfg.sampled_sets);
-        if let Some(si) = si {
-            self.stats.sampled_accesses += 1;
-            self.match_reward(si, info, false);
-        }
-        let (buf, n) = self.state_of(info, false);
-        let state = &buf[..n];
-        let action = self.select_action(state, &MISS_ACTIONS);
-        if let Some(si) = si {
-            self.record_and_train(si, state, action, false, info, feedback);
-        }
-        if action == ACTION_BYPASS {
-            self.stats.bypasses += 1;
+        let mut obs = SinkObserver {
+            sink: &self.sink,
+            cycle: info.cycle,
+            core: info.core as u32,
+        };
+        let d = self.agent.on_access(si, info, false, feedback, &mut obs);
+        if d.action == ACTION_BYPASS {
             FillDecision::Bypass
         } else {
-            self.pending_epv = (action - 1) as u8;
+            self.pending_epv = (d.action - 1) as u8;
             FillDecision::Insert
         }
     }
@@ -403,10 +325,10 @@ impl LlcPolicy for Chrome {
 
     fn epoch_probe(&self) -> PolicyEpochProbe {
         PolicyEpochProbe {
-            eq_occupancy: self.eq.mean_occupancy(),
-            eq_overflows: self.stats.eq_overflows,
+            eq_occupancy: self.agent.engine.eq().mean_occupancy(),
+            eq_overflows: self.stats().eq_overflows,
             epsilon: self.cfg.epsilon,
-            mean_q_mag: self.qtable.mean_abs_q(),
+            mean_q_mag: self.agent.engine.qtable().mean_abs_q(),
         }
     }
 
@@ -415,15 +337,13 @@ impl LlcPolicy for Chrome {
     }
 
     fn report(&self) -> Vec<(String, f64)> {
+        let stats = self.stats();
         vec![
-            ("upksa".into(), self.stats.upksa()),
-            ("q_updates".into(), self.stats.q_updates as f64),
-            (
-                "sampled_accesses".into(),
-                self.stats.sampled_accesses as f64,
-            ),
-            ("explorations".into(), self.stats.explorations as f64),
-            ("agent_bypasses".into(), self.stats.bypasses as f64),
+            ("upksa".into(), stats.upksa()),
+            ("q_updates".into(), stats.q_updates as f64),
+            ("sampled_accesses".into(), stats.sampled_accesses as f64),
+            ("explorations".into(), stats.explorations as f64),
+            ("agent_bypasses".into(), stats.bypasses as f64),
         ]
     }
 
@@ -492,7 +412,7 @@ mod tests {
         let (mut p, fb) = mk();
         p.on_miss(0, &info(1, 0x400, 0, false), &fb); // set 0 sampled
         p.on_miss(1, &info(2, 0x400, 0, false), &fb); // set 1 not
-        assert_eq!(p.stats.sampled_accesses, 1);
+        assert_eq!(p.stats().sampled_accesses, 1);
     }
 
     #[test]
@@ -543,8 +463,12 @@ mod tests {
         for l in 0..20u64 {
             p.on_miss(0, &info(l * 64, 0x400, 0, false), &fb);
         }
-        assert!(p.stats.q_updates >= 10, "updates = {}", p.stats.q_updates);
-        assert!(p.stats.unmatched_rewards > 0);
+        assert!(
+            p.stats().q_updates >= 10,
+            "updates = {}",
+            p.stats().q_updates
+        );
+        assert!(p.stats().unmatched_rewards > 0);
     }
 
     #[test]
@@ -552,7 +476,7 @@ mod tests {
         let (mut p, fb) = mk();
         p.on_miss(0, &info(64, 0x400, 0, false), &fb);
         p.on_hit(0, 0, &info(64, 0x400, 0, false), &fb);
-        assert_eq!(p.stats.matched_rewards, 1);
+        assert_eq!(p.stats().matched_rewards, 1);
     }
 
     #[test]
@@ -573,13 +497,13 @@ mod tests {
             p.on_miss(set, &info(l * 64, 0x400, 0, false), &fb);
         }
         let late_bypass_rate = {
-            let before = p.stats.bypasses;
+            let before = p.stats().bypasses;
             let before_total = 10_000u64;
             for l in 0..before_total {
                 let set = (l % 64) as usize;
                 p.on_miss(set, &info((1 << 40) + l * 64, 0x400, 0, false), &fb);
             }
-            (p.stats.bypasses - before) as f64 / before_total as f64
+            (p.stats().bypasses - before) as f64 / before_total as f64
         };
         assert!(
             late_bypass_rate > 0.5,
@@ -606,7 +530,7 @@ mod tests {
                 p.on_hit((l % 64) as usize, 0, &info(l * 64, 0x700, 0, false), &fb);
             }
         }
-        let before = p.stats.bypasses;
+        let before = p.stats().bypasses;
         for l in 0..1000u64 {
             p.on_miss(
                 ((l * 7) % 64) as usize,
@@ -614,7 +538,7 @@ mod tests {
                 &fb,
             );
         }
-        let rate = (p.stats.bypasses - before) as f64 / 1000.0;
+        let rate = (p.stats().bypasses - before) as f64 / 1000.0;
         // hit-trained PC signature differs from miss signature, so this
         // checks the agent does not degenerate into always-bypass
         assert!(rate < 0.9, "rate = {rate}");
@@ -634,7 +558,7 @@ mod tests {
         for l in 0..100u64 {
             p.on_miss(0, &info(l * 64, 0x400, 1, false), &fb);
         }
-        assert!(p.stats.q_updates > 50);
+        assert!(p.stats().q_updates > 50);
     }
 
     #[test]
@@ -692,7 +616,7 @@ mod tests {
                     let _ = p.on_miss(set, &i, &fb);
                 }
             }
-            assert!(p.stats.sampled_accesses > 0, "{features:?}");
+            assert!(p.stats().sampled_accesses > 0, "{features:?}");
         }
     }
 
@@ -709,9 +633,9 @@ mod tests {
         let a1 = info(0, 0x400, 0, false);
         let a2 = info(64 * 64, 0x400, 0, false); // delta 64 lines
         let a3 = info(64 * 65, 0x400, 0, false); // delta 1 line
-        let _ = p.state_of(&a1, false);
-        let (s2, _) = p.state_of(&a2, false);
-        let (s3, _) = p.state_of(&a3, false);
+        let _ = p.agent.env.state(&a1, false);
+        let (s2, _) = p.agent.env.state(&a2, false);
+        let (s3, _) = p.agent.env.state(&a3, false);
         assert_ne!(s2[1], s3[1], "different strides must differ in state");
     }
 
@@ -726,9 +650,9 @@ mod tests {
         // same current context, different preceding PC history
         let warm = |p: &mut Chrome, pcs: [u64; 3]| {
             for pc in pcs {
-                let _ = p.state_of(&info(0, pc, 0, false), false);
+                let _ = p.agent.env.state(&info(0, pc, 0, false), false);
             }
-            p.state_of(&info(64, 0x400, 0, false), false)
+            p.agent.env.state(&info(64, 0x400, 0, false), false)
         };
         let (sa, _) = warm(&mut p, [0x1, 0x2, 0x3]);
         let (sb, _) = warm(&mut p, [0x9, 0x8, 0x7]);

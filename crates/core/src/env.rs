@@ -1,0 +1,320 @@
+//! The environment abstraction: what CHROME's SARSA engine needs to
+//! know about the thing it manages, and nothing more.
+//!
+//! The paper instantiates the agent against a hardware LLC (features =
+//! PC signature + page number, rewards = Table II, obstruction =
+//! C-AMAT). An [`Environment`] packages exactly that instance-specific
+//! surface — feature extraction, the EQ match key, the per-decision
+//! lane, and both reward sources — so the identical engine can drive
+//! other access streams (the `chrome-serve` KV cache rewards with
+//! observed hit/miss latency deltas instead). [`Agent`] composes an
+//! environment with an [`RlEngine`] and runs Algorithm 1's per-access
+//! flow in the exact order of the original hardware agent; the
+//! `agent_equiv` test pins that order byte-for-byte.
+
+use crate::engine::{RlEngine, ACTION_BYPASS, HIT_ACTIONS, MISS_ACTIONS};
+use crate::eq::EqEntry;
+
+/// An access stream the SARSA engine can manage.
+pub trait Environment {
+    /// One access/request (the hardware LLC's `AccessInfo`, a serving
+    /// cache's request).
+    type Access;
+    /// System feedback consulted when a dead-block reward is assigned
+    /// (the hardware's `SystemFeedback`; a shard's pressure snapshot).
+    type Ctx: ?Sized;
+
+    /// Extract the state feature vector for an access. Returns a fixed
+    /// buffer plus the number of active features; may update internal
+    /// feature history (last line, PC history, EWMAs).
+    fn state(&mut self, access: &Self::Access, hit: bool) -> ([u64; 2], usize);
+
+    /// The EQ match key: a later access with the same key assigns this
+    /// decision its reward.
+    fn key(&self, access: &Self::Access) -> u64;
+
+    /// The lane (core, tenant, shard) charged with the decision — used
+    /// by concurrency-aware dead-block rewards.
+    fn lane(&self, access: &Self::Access) -> usize;
+
+    /// Reward for an earlier action whose key was re-requested, judged
+    /// by whether the current request hit.
+    fn matched_reward(&self, access: &Self::Access, hit: bool) -> f64;
+
+    /// Reward for an action whose key was never re-requested within the
+    /// EQ window (the entry aged out of its FIFO).
+    fn unmatched_reward(&self, ctx: &Self::Ctx, entry: &EqEntry) -> f64;
+
+    /// Legal actions for a hit/miss trigger. The default is the paper's
+    /// 7-action space: bypass/insert-at-EPV on a miss, re-assign-EPV on
+    /// a hit.
+    fn legal_actions(hit: bool) -> &'static [usize] {
+        if hit {
+            &HIT_ACTIONS
+        } else {
+            &MISS_ACTIONS
+        }
+    }
+}
+
+/// Per-decision hooks so wrappers can observe what [`Agent::on_access`]
+/// did (telemetry emission) without the engine depending on a sink.
+/// Every method defaults to a no-op.
+pub trait DecisionObserver {
+    /// A delayed reward was assigned by key match.
+    fn reward_matched(&mut self, _reward: f64) {}
+    /// A dead-block reward was assigned at EQ eviction.
+    fn reward_unmatched(&mut self, _reward: f64) {}
+    /// True to have the training step compute the pre-update TD delta
+    /// (costs an extra Q lookup; off by default).
+    fn wants_q_delta(&self) -> bool {
+        false
+    }
+    /// A SARSA update moved `action`'s Q-value by `delta` (only called
+    /// when [`DecisionObserver::wants_q_delta`] returned true).
+    fn q_update(&mut self, _delta: f64, _action: usize) {}
+}
+
+/// The observer that observes nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl DecisionObserver for NoObserver {}
+
+/// What one access decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The selected action (paper encoding: 0 bypass, 1–3 insert at
+    /// EPV a−1, 4–6 re-assign EPV a−4).
+    pub action: usize,
+    /// True when the access landed on a sampled set/bucket and was
+    /// recorded in the EQ.
+    pub sampled: bool,
+    /// The state feature buffer the action was selected against.
+    pub state: [u64; 2],
+    /// Number of active features in `state`.
+    pub features: usize,
+}
+
+/// A SARSA agent bound to an environment: the engine plus the
+/// per-access control flow of Algorithm 1.
+#[derive(Debug)]
+pub struct Agent<E: Environment> {
+    /// The environment (feature extraction + reward source).
+    pub env: E,
+    /// The environment-agnostic SARSA engine.
+    pub engine: RlEngine,
+}
+
+impl<E: Environment> Agent<E> {
+    /// Bind `env` to `engine`.
+    pub fn new(env: E, engine: RlEngine) -> Self {
+        Agent { env, engine }
+    }
+
+    /// Run one access through the full decision + training flow:
+    /// reward-match (sampled only), feature extraction, ε-greedy
+    /// selection, EQ record + SARSA train (sampled only). `si` is the
+    /// sampled FIFO index, `None` when the access is unsampled (it then
+    /// only selects an action).
+    ///
+    /// The step order is exactly the paper agent's; reordering it moves
+    /// RNG draws and Q-updates and breaks byte-equivalence.
+    pub fn on_access(
+        &mut self,
+        si: Option<usize>,
+        access: &E::Access,
+        hit: bool,
+        ctx: &E::Ctx,
+        obs: &mut impl DecisionObserver,
+    ) -> Decision {
+        if let Some(si) = si {
+            self.engine.stats.sampled_accesses += 1;
+            let reward = self.env.matched_reward(access, hit);
+            if self.engine.try_match(si, self.env.key(access), reward) {
+                obs.reward_matched(reward);
+            }
+        }
+        let (buf, n) = self.env.state(access, hit);
+        let state = &buf[..n];
+        let action = self.engine.select(state, E::legal_actions(hit));
+        if let Some(si) = si {
+            let env = &self.env;
+            let outcome = self.engine.record(
+                si,
+                state,
+                action,
+                hit,
+                env.key(access),
+                env.lane(access),
+                |entry| env.unmatched_reward(ctx, entry),
+                obs.wants_q_delta(),
+            );
+            if let Some(out) = outcome {
+                if let Some(reward) = out.unmatched {
+                    obs.reward_unmatched(reward);
+                }
+                if let Some(delta) = out.delta {
+                    obs.q_update(delta, out.action);
+                }
+            }
+        }
+        if !hit && action == ACTION_BYPASS {
+            self.engine.stats.bypasses += 1;
+        }
+        Decision {
+            action,
+            sampled: si.is_some(),
+            state: buf,
+            features: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChromeConfig;
+    use crate::engine::{EngineConfig, ACTION_HIT_EPVH};
+
+    /// A toy environment: key-identity features, fixed rewards, lane 0.
+    struct ToyEnv {
+        matched: f64,
+        unmatched: f64,
+    }
+
+    impl Environment for ToyEnv {
+        type Access = u64;
+        type Ctx = ();
+
+        fn state(&mut self, access: &u64, hit: bool) -> ([u64; 2], usize) {
+            ([*access, hit as u64], 2)
+        }
+        fn key(&self, access: &u64) -> u64 {
+            *access
+        }
+        fn lane(&self, _: &u64) -> usize {
+            0
+        }
+        fn matched_reward(&self, _: &u64, hit: bool) -> f64 {
+            if hit {
+                self.matched
+            } else {
+                -self.matched
+            }
+        }
+        fn unmatched_reward(&self, _: &(), entry: &EqEntry) -> f64 {
+            if entry.trigger_hit {
+                self.unmatched
+            } else {
+                -self.unmatched
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        matched: u32,
+        unmatched: u32,
+        updates: u32,
+    }
+
+    impl DecisionObserver for CountingObserver {
+        fn reward_matched(&mut self, _: f64) {
+            self.matched += 1;
+        }
+        fn reward_unmatched(&mut self, _: f64) {
+            self.unmatched += 1;
+        }
+        fn wants_q_delta(&self) -> bool {
+            true
+        }
+        fn q_update(&mut self, _: f64, _: usize) {
+            self.updates += 1;
+        }
+    }
+
+    fn agent() -> Agent<ToyEnv> {
+        let cfg = EngineConfig {
+            eq_fifo_len: 4,
+            ..EngineConfig::from(&ChromeConfig::default())
+        };
+        Agent::new(
+            ToyEnv {
+                matched: 20.0,
+                unmatched: 10.0,
+            },
+            RlEngine::new(cfg),
+        )
+    }
+
+    #[test]
+    fn unsampled_access_selects_without_recording() {
+        let mut a = agent();
+        let d = a.on_access(None, &7, false, &(), &mut NoObserver);
+        assert!(!d.sampled);
+        assert!(MISS_ACTIONS.contains(&d.action));
+        assert_eq!(a.engine.stats.sampled_accesses, 0);
+        assert_eq!(a.engine.eq().total_entries(), 0);
+    }
+
+    #[test]
+    fn observer_sees_match_and_training() {
+        let mut a = agent();
+        let mut obs = CountingObserver::default();
+        a.on_access(Some(0), &42, false, &(), &mut obs);
+        // same key again → the recorded action is matched
+        a.on_access(Some(0), &42, true, &(), &mut obs);
+        assert_eq!(obs.matched, 1);
+        assert_eq!(a.engine.stats.matched_rewards, 1);
+        // overflow the 4-deep FIFO with distinct keys → unmatched
+        // rewards + q-updates flow through the observer
+        for k in 100..110u64 {
+            a.on_access(Some(0), &k, false, &(), &mut obs);
+        }
+        assert!(obs.unmatched > 0, "dead-block rewards observed");
+        assert_eq!(obs.updates as u64, a.engine.stats.q_updates);
+    }
+
+    #[test]
+    fn hit_actions_only_on_hits() {
+        let mut a = agent();
+        for k in 0..50u64 {
+            let d = a.on_access(Some((k % 4) as usize), &k, true, &(), &mut NoObserver);
+            assert!(HIT_ACTIONS.contains(&d.action), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn legal_action_default_covers_paper_space() {
+        assert_eq!(ToyEnv::legal_actions(false), &MISS_ACTIONS);
+        assert_eq!(ToyEnv::legal_actions(true), &HIT_ACTIONS);
+        assert!(ToyEnv::legal_actions(true).contains(&ACTION_HIT_EPVH));
+    }
+
+    #[test]
+    fn bypass_stat_counts_only_miss_bypasses() {
+        let mut a = agent();
+        // drive the miss state's insert actions down so bypass wins
+        let state = ([7u64, 0u64], 2);
+        for action in [1, 2, 3] {
+            for _ in 0..400 {
+                a.engine.record(
+                    0,
+                    &state.0[..state.1],
+                    action,
+                    false,
+                    1,
+                    0,
+                    |_| -20.0,
+                    false,
+                );
+            }
+        }
+        let before = a.engine.stats.bypasses;
+        for _ in 0..20 {
+            a.on_access(None, &7, false, &(), &mut NoObserver);
+        }
+        assert!(a.engine.stats.bypasses > before, "bypass learned");
+    }
+}

@@ -12,11 +12,13 @@ pub struct EqEntry {
     pub action: usize,
     /// True if the action was triggered by a cache hit.
     pub trigger_hit: bool,
-    /// Line address the action concerned (hashed to 16 bits in the
-    /// hardware accounting; kept exact here for correctness).
-    pub line: u64,
-    /// Issuing core (for concurrency-aware dead-block rewards).
-    pub core: usize,
+    /// Match key the action concerned — the line address in the
+    /// hardware LLC (hashed to 16 bits in the hardware accounting, kept
+    /// exact here for correctness), the key hash in a serving cache.
+    pub key: u64,
+    /// Issuing lane — core, tenant or shard — for concurrency-aware
+    /// dead-block rewards.
+    pub lane: usize,
     /// Assigned reward, if any yet.
     pub reward: Option<f64>,
 }
@@ -31,13 +33,13 @@ pub struct EqFifo {
 pub type NextSa = Option<(Vec<u64>, usize)>;
 
 impl EqFifo {
-    /// Find the newest unrewarded entry for `line` and return a mutable
+    /// Find the newest unrewarded entry for `key` and return a mutable
     /// reference to it.
-    pub fn find_unrewarded(&mut self, line: u64) -> Option<&mut EqEntry> {
+    pub fn find_unrewarded(&mut self, key: u64) -> Option<&mut EqEntry> {
         self.entries
             .iter_mut()
             .rev()
-            .find(|e| e.line == line && e.reward.is_none())
+            .find(|e| e.key == key && e.reward.is_none())
     }
 
     /// Push a new entry; if the FIFO exceeds `capacity`, pop and return
@@ -132,13 +134,13 @@ impl EvalQueue {
 mod tests {
     use super::*;
 
-    fn entry(line: u64, action: usize) -> EqEntry {
+    fn entry(key: u64, action: usize) -> EqEntry {
         EqEntry {
             state: vec![1, 2],
             action,
             trigger_hit: false,
-            line,
-            core: 0,
+            key,
+            lane: 0,
             reward: None,
         }
     }
@@ -157,7 +159,7 @@ mod tests {
         f.push(entry(1, 0), 2);
         f.push(entry(2, 1), 2);
         let (evicted, next) = f.push(entry(3, 2), 2).expect("overflow");
-        assert_eq!(evicted.line, 1);
+        assert_eq!(evicted.key, 1);
         let (next_state, next_action) = next.expect("peek");
         assert_eq!(next_action, 1);
         assert_eq!(next_state, vec![1, 2]);

@@ -37,12 +37,16 @@
 
 pub mod agent;
 pub mod config;
+pub mod engine;
+pub mod env;
 pub mod eq;
 pub mod qtable;
 pub mod rewards;
 
 pub use agent::Chrome;
 pub use config::{ChromeConfig, FeatureSelection};
+pub use engine::{ChromeStats, EngineConfig, RlEngine};
+pub use env::{Agent, Decision, DecisionObserver, Environment, NoObserver};
 pub use rewards::RewardTable;
 
 /// Build the paper's CHROME configuration.

@@ -12,8 +12,8 @@ fn entry(line: u64, action: usize) -> EqEntry {
         state: vec![line, line >> 8],
         action,
         trigger_hit: action >= 4,
-        line,
-        core: 0,
+        key: line,
+        lane: 0,
         reward: None,
     }
 }
@@ -94,7 +94,7 @@ fn eq_fifo_is_fifo() {
         let mut evictions = Vec::new();
         for (i, &l) in lines.iter().enumerate() {
             if let Some((evicted, next)) = fifo.push(entry(l, i % NUM_ACTIONS), cap) {
-                evictions.push(evicted.line);
+                evictions.push(evicted.key);
                 assert!(next.is_some(), "case {case}: FIFO nonempty after eviction");
             }
             assert!(fifo.len() <= cap, "case {case}: over capacity");
@@ -122,7 +122,7 @@ fn eq_find_respects_filters() {
             fifo.push(entry(rng.gen_range(0u64..8), i % NUM_ACTIONS), 64);
         }
         if let Some(e) = fifo.find_unrewarded(probe) {
-            assert_eq!(e.line, probe, "case {case}: wrong line");
+            assert_eq!(e.key, probe, "case {case}: wrong line");
             assert!(e.reward.is_none(), "case {case}: rewarded entry returned");
             e.reward = Some(1.0);
         }

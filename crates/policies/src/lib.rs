@@ -16,6 +16,12 @@
 //!
 //! All schemes implement [`chrome_sim::LlcPolicy`] and can be
 //! instantiated by name via [`build_policy`].
+//!
+//! These are the hardware-LLC baselines. Their serving-cache
+//! counterparts (LRU/SLRU/LFU/LFUDA/GDSF over byte-budgeted shards)
+//! live in `chrome-serve::heuristics`, behind that crate's per-shard
+//! `ShardPolicy` trait — the eviction ideas carry over, the metadata
+//! (sizes, miss costs, resident sets) does not.
 
 pub mod care;
 pub mod common;

@@ -1,0 +1,213 @@
+//! The servebench measurement harness: drive N client threads against
+//! one [`ServeCache`] and report hit ratio, latency percentiles and
+//! throughput — byte-identically reproducible at any thread count.
+//!
+//! Determinism comes from three choices:
+//!
+//! 1. the request stream is **pre-generated** from a seed derived via
+//!    [`chrome_exec::workload_seed`] (stream name + shard count), so
+//!    thread scheduling can never perturb what is asked;
+//! 2. requests are **partitioned by shard** and each worker thread
+//!    owns a disjoint set of shards (`shard % threads == t`), so every
+//!    shard sees its requests in exactly the generated order no matter
+//!    how many workers exist;
+//! 3. latencies are **virtual** (hit cost + key-derived backend cost),
+//!    so percentiles are functions of the access pattern alone.
+//!
+//! Only wall-clock figures (`rps`, `wall_ms`) vary between runs; every
+//! counter and percentile is a pure function of `(params, seed)`.
+
+use std::time::Instant;
+
+use chrome_exec::workload_seed;
+
+use crate::cache::{CacheStats, ServeCache, ServeConfig};
+use crate::policy::PolicyKind;
+use crate::stream::{Request, RequestStream, StreamKind};
+
+/// One benchmark cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchParams {
+    /// Policy under test.
+    pub policy: PolicyKind,
+    /// Request stream kind.
+    pub stream: StreamKind,
+    /// Client threads (clamped to at least 1).
+    pub threads: usize,
+    /// Total requests.
+    pub requests: usize,
+    /// Keys per tenant.
+    pub keyspace: u64,
+    /// Root seed (stream + per-shard RNG derivation).
+    pub seed: u64,
+    /// Shard count (power of two).
+    pub shards: usize,
+    /// Slots per shard.
+    pub shard_slots: usize,
+    /// Value-byte budget per shard.
+    pub shard_bytes: u64,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams {
+            policy: PolicyKind::Chrome,
+            stream: StreamKind::MixedTenant,
+            threads: 8,
+            requests: 200_000,
+            keyspace: 20_000,
+            seed: 0xC42,
+            shards: 16,
+            shard_slots: 512,
+            shard_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// One cell's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Stream name.
+    pub stream: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Merged counters.
+    pub stats: CacheStats,
+    /// Virtual service-latency median (µs).
+    pub p50_us: u32,
+    /// Virtual service-latency 99th percentile (µs).
+    pub p99_us: u32,
+    /// Wall-clock duration (ms) — machine-dependent.
+    pub wall_ms: f64,
+    /// Requests per wall-clock second — machine-dependent.
+    pub rps: f64,
+}
+
+/// Run one benchmark cell.
+pub fn run(p: &BenchParams) -> BenchResult {
+    // the stream seed depends on (stream, shards, seed) but NOT the
+    // thread count: any -j produces the same requests
+    let stream_seed = workload_seed(p.stream.name(), p.shards as u32, p.seed);
+    let requests = RequestStream::generate(p.stream, p.requests, p.keyspace, stream_seed);
+    let cache = ServeCache::new(&ServeConfig {
+        policy: p.policy,
+        shards: p.shards,
+        shard_slots: p.shard_slots,
+        shard_bytes: p.shard_bytes,
+        seed: p.seed,
+    });
+
+    // partition per shard, preserving stream order within each shard
+    let mut by_shard: Vec<Vec<Request>> = (0..p.shards).map(|_| Vec::new()).collect();
+    for r in &requests {
+        by_shard[cache.shard_index(r.key)].push(*r);
+    }
+
+    let threads = p.threads.clamp(1, p.shards);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cache = &cache;
+            let by_shard = &by_shard;
+            scope.spawn(move || {
+                // each worker owns shards ≡ t (mod threads): disjoint
+                // ownership keeps per-shard order equal at any -j
+                for shard in (t..by_shard.len()).step_by(threads) {
+                    for r in &by_shard[shard] {
+                        cache.access(r);
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let hist = cache.histogram();
+    BenchResult {
+        policy: p.policy.name(),
+        stream: p.stream.name(),
+        threads,
+        stats: cache.stats(),
+        p50_us: hist.percentile(0.50),
+        p99_us: hist.percentile(0.99),
+        wall_ms: wall * 1e3,
+        rps: p.requests as f64 / wall,
+    }
+}
+
+/// Run one cell and also return the cache's decision-event JSONL
+/// (empty unless the policy keeps a ring).
+pub fn run_with_events(p: &BenchParams) -> (BenchResult, String) {
+    let stream_seed = workload_seed(p.stream.name(), p.shards as u32, p.seed);
+    let requests = RequestStream::generate(p.stream, p.requests, p.keyspace, stream_seed);
+    let cache = ServeCache::new(&ServeConfig {
+        policy: p.policy,
+        shards: p.shards,
+        shard_slots: p.shard_slots,
+        shard_bytes: p.shard_bytes,
+        seed: p.seed,
+    });
+    for r in &requests {
+        cache.access(r);
+    }
+    let hist = cache.histogram();
+    let result = BenchResult {
+        policy: p.policy.name(),
+        stream: p.stream.name(),
+        threads: 1,
+        stats: cache.stats(),
+        p50_us: hist.percentile(0.50),
+        p99_us: hist.percentile(0.99),
+        wall_ms: 0.0,
+        rps: 0.0,
+    };
+    (result, cache.events_jsonl())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(policy: PolicyKind, stream: StreamKind, threads: usize) -> BenchParams {
+        BenchParams {
+            policy,
+            stream,
+            threads,
+            requests: 20_000,
+            keyspace: 4_000,
+            shards: 8,
+            shard_slots: 128,
+            shard_bytes: 64 * 1024,
+            ..BenchParams::default()
+        }
+    }
+
+    #[test]
+    fn counters_are_thread_count_invariant() {
+        let base = run(&quick(PolicyKind::Chrome, StreamKind::MixedTenant, 1));
+        for threads in [2, 8] {
+            let r = run(&quick(PolicyKind::Chrome, StreamKind::MixedTenant, threads));
+            assert_eq!(r.stats, base.stats, "threads={threads}");
+            assert_eq!((r.p50_us, r.p99_us), (base.p50_us, base.p99_us));
+        }
+    }
+
+    #[test]
+    fn percentiles_order_sanely() {
+        let r = run(&quick(PolicyKind::Lru, StreamKind::Zipf, 4));
+        assert!(r.p50_us <= r.p99_us);
+        assert!(r.stats.hit_ratio() > 0.0);
+        assert_eq!(r.stats.errors, 0);
+    }
+
+    #[test]
+    fn events_variant_matches_plain_run() {
+        let p = quick(PolicyKind::Chrome, StreamKind::Zipf, 1);
+        let plain = run(&p);
+        let (with_events, jsonl) = run_with_events(&p);
+        assert_eq!(plain.stats, with_events.stats);
+        assert!(!jsonl.is_empty());
+    }
+}

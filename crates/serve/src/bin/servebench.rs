@@ -1,0 +1,295 @@
+//! Serving-cache benchmark: drive client threads against the sharded
+//! KV cache under each policy and report hit ratio, virtual-latency
+//! percentiles and wall-clock throughput.
+//!
+//! ```text
+//! servebench [--policies A,B,...] [--stream zipf|scan|churn|mixed]
+//!            [--threads N] [--requests N] [--keyspace N] [--seed S]
+//!            [--shards N] [--shard-slots N] [--shard-bytes N]
+//!            [--quick] [--out FILE] [--baseline FILE]
+//!            [--gate-chrome] [--telemetry-out FILE]
+//! ```
+//!
+//! Counters and percentiles are byte-reproducible for a fixed seed at
+//! any `--threads`; only `rps`/`wall_ms` are machine-dependent. With
+//! `--out FILE` a machine-readable summary is written (the checked-in
+//! `BENCH_serve_throughput.json` is one of these). With `--baseline
+//! FILE` the run exits non-zero if any matching policy row's hit ratio
+//! fell below the baseline's by more than one point, or aggregate
+//! throughput fell below 30% of the baseline's — the CI smoke gate.
+//! `--gate-chrome` additionally requires CHROME to beat plain LRU on
+//! hit ratio (the paper's serve-side acceptance claim). With
+//! `--telemetry-out FILE` the CHROME run's per-decision event JSONL
+//! (features, action, Q-estimate, rewards) is captured as well.
+
+use chrome_exec::json;
+use chrome_serve::{bench, BenchParams, BenchResult, PolicyKind, StreamKind};
+
+/// Tolerated wall-clock regression vs the checked-in baseline.
+const RPS_REGRESSION_FLOOR: f64 = 0.3;
+/// Tolerated absolute hit-ratio regression vs the baseline.
+const HIT_RATIO_SLACK: f64 = 0.01;
+
+fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_u64(name: &str) -> Option<u64> {
+    arg_string(name).map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("{name} wants an integer, got {s}"))
+    })
+}
+
+fn params_from_args() -> BenchParams {
+    let mut p = BenchParams::default();
+    if arg_flag("--quick") {
+        p.requests = 30_000;
+        p.keyspace = 5_000;
+        p.shards = 8;
+        p.shard_slots = 256;
+        p.shard_bytes = 128 * 1024;
+    }
+    if let Some(s) = arg_string("--stream") {
+        p.stream = StreamKind::parse(&s).unwrap_or_else(|| panic!("unknown stream {s}"));
+    }
+    if let Some(v) = arg_u64("--threads") {
+        p.threads = v as usize;
+    }
+    if let Some(v) = arg_u64("--requests") {
+        p.requests = v as usize;
+    }
+    if let Some(v) = arg_u64("--keyspace") {
+        p.keyspace = v;
+    }
+    if let Some(v) = arg_u64("--seed") {
+        p.seed = v;
+    }
+    if let Some(v) = arg_u64("--shards") {
+        p.shards = v as usize;
+    }
+    if let Some(v) = arg_u64("--shard-slots") {
+        p.shard_slots = v as usize;
+    }
+    if let Some(v) = arg_u64("--shard-bytes") {
+        p.shard_bytes = v;
+    }
+    p
+}
+
+fn main() {
+    let base = params_from_args();
+    let policies: Vec<PolicyKind> = match arg_string("--policies") {
+        Some(s) => s
+            .split(',')
+            .filter(|x| !x.is_empty())
+            .map(|x| PolicyKind::parse(x).unwrap_or_else(|| panic!("unknown policy {x}")))
+            .collect(),
+        None => PolicyKind::all().to_vec(),
+    };
+
+    println!(
+        "== servebench: {} stream, {} requests, keyspace {}, {} shards x {} slots / {} KiB, {} \
+         threads ==",
+        base.stream.name(),
+        base.requests,
+        base.keyspace,
+        base.shards,
+        base.shard_slots,
+        base.shard_bytes / 1024,
+        base.threads,
+    );
+    println!(
+        "{:<8} {:>9} {:>10} {:>10} {:>8} {:>8} {:>12} {:>7}",
+        "policy", "hit%", "bypasses", "evictions", "p50us", "p99us", "req/s", "errors"
+    );
+
+    let mut rows: Vec<BenchResult> = Vec::with_capacity(policies.len());
+    for policy in &policies {
+        let r = bench::run(&BenchParams {
+            policy: *policy,
+            ..base
+        });
+        println!(
+            "{:<8} {:>8.2}% {:>10} {:>10} {:>8} {:>8} {:>12.0} {:>7}",
+            r.policy,
+            r.stats.hit_ratio() * 100.0,
+            r.stats.bypasses,
+            r.stats.evictions,
+            r.p50_us,
+            r.p99_us,
+            r.rps,
+            r.stats.errors,
+        );
+        assert_eq!(
+            r.stats.errors, 0,
+            "{}: read-path integrity failure",
+            r.policy
+        );
+        rows.push(r);
+    }
+
+    let total_requests: u64 = rows.iter().map(|r| r.stats.requests).sum();
+    let total_wall_sec: f64 = rows.iter().map(|r| r.wall_ms / 1e3).sum();
+    let aggregate_rps = total_requests as f64 / total_wall_sec.max(1e-9);
+    println!(
+        "aggregate: {aggregate_rps:.0} req/s across {} policies",
+        rows.len()
+    );
+
+    if arg_flag("--gate-chrome") {
+        gate_chrome(&rows);
+    }
+
+    if let Some(path) = arg_string("--telemetry-out") {
+        let (_, jsonl) = bench::run_with_events(&BenchParams {
+            policy: PolicyKind::Chrome,
+            ..base
+        });
+        std::fs::write(&path, &jsonl).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!(
+            "wrote {path} ({} decision-event lines)",
+            jsonl.lines().count()
+        );
+    }
+
+    if let Some(path) = arg_string("--out") {
+        let payload = render_json(&base, &rows, aggregate_rps);
+        std::fs::write(&path, payload).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = arg_string("--baseline") {
+        gate_baseline(&path, &base, &rows, aggregate_rps);
+    }
+}
+
+/// The paper's serve-side claim: the learned policy beats plain LRU on
+/// hit ratio for the mixed-tenant churn stream.
+fn gate_chrome(rows: &[BenchResult]) {
+    let find = |name: &str| rows.iter().find(|r| r.policy == name);
+    let (Some(chrome), Some(lru)) = (find("chrome"), find("lru")) else {
+        eprintln!("GATE ERROR: --gate-chrome needs both chrome and lru in --policies");
+        std::process::exit(1);
+    };
+    let (c, l) = (chrome.stats.hit_ratio(), lru.stats.hit_ratio());
+    println!("chrome-vs-lru gate: chrome {:.4} vs lru {:.4}", c, l);
+    if c <= l {
+        eprintln!("CHROME GATE FAILED: chrome hit ratio {c:.4} does not beat lru {l:.4}");
+        std::process::exit(1);
+    }
+}
+
+/// CI regression gate against a checked-in baseline file: per-policy
+/// hit ratios within slack, aggregate throughput above the floor. Only
+/// applies when the baseline ran comparable parameters.
+fn gate_baseline(path: &str, base: &BenchParams, rows: &[BenchResult], aggregate_rps: f64) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|| panic!("{path}: malformed JSON"));
+    let num = |k: &str| doc.get(k).and_then(json::JsonValue::as_u64);
+    let comparable = doc.get("stream").and_then(json::JsonValue::as_str)
+        == Some(base.stream.name())
+        && num("requests") == Some(base.requests as u64)
+        && num("keyspace") == Some(base.keyspace)
+        && num("shards") == Some(base.shards as u64)
+        && num("seed") == Some(base.seed);
+    if !comparable {
+        println!("baseline gate: {path} ran different parameters; skipping comparison");
+        return;
+    }
+    let mut failed = false;
+    if let Some(policies) = doc.get("policies").and_then(json::JsonValue::as_arr) {
+        for base_row in policies {
+            let (Some(name), Some(base_hit)) = (
+                base_row.get("policy").and_then(json::JsonValue::as_str),
+                base_row.get("hit_ratio").and_then(json::JsonValue::as_f64),
+            ) else {
+                continue;
+            };
+            let Some(current) = rows.iter().find(|r| r.policy == name) else {
+                continue;
+            };
+            let hit = current.stats.hit_ratio();
+            if hit + HIT_RATIO_SLACK < base_hit {
+                eprintln!(
+                    "HIT-RATIO REGRESSION: {name} {hit:.4} vs baseline {base_hit:.4} \
+                     (slack {HIT_RATIO_SLACK})"
+                );
+                failed = true;
+            }
+        }
+    }
+    if let Some(base_rps) = doc.get("aggregate_rps").and_then(json::JsonValue::as_f64) {
+        let floor = base_rps * RPS_REGRESSION_FLOOR;
+        println!(
+            "baseline gate: current {aggregate_rps:.0} req/s vs baseline {base_rps:.0} \
+             (floor {floor:.0})"
+        );
+        if aggregate_rps < floor {
+            eprintln!(
+                "THROUGHPUT REGRESSION: {aggregate_rps:.0} req/s is below 30% of the baseline \
+                 {base_rps:.0}"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// A JSON string literal (escaped and quoted).
+fn quoted(s: &str) -> String {
+    format!("\"{}\"", json::escape(s))
+}
+
+fn render_json(base: &BenchParams, rows: &[BenchResult], aggregate_rps: f64) -> String {
+    let policy_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"policy\":{},\"requests\":{},\"hits\":{},\"misses\":{},\
+                 \"admits\":{},\"bypasses\":{},\"evictions\":{},\"errors\":{},\
+                 \"hit_ratio\":{:.6},\"p50_us\":{},\"p99_us\":{},\"rps\":{:.0},\
+                 \"wall_ms\":{:.3}}}",
+                quoted(r.policy),
+                r.stats.requests,
+                r.stats.hits,
+                r.stats.misses,
+                r.stats.admits,
+                r.stats.bypasses,
+                r.stats.evictions,
+                r.stats.errors,
+                r.stats.hit_ratio(),
+                r.p50_us,
+                r.p99_us,
+                r.rps,
+                r.wall_ms,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"name\": \"serve_throughput\",\n  \"stream\": {},\n  \"requests\": {},\n  \
+         \"keyspace\": {},\n  \"shards\": {},\n  \"shard_slots\": {},\n  \"shard_bytes\": {},\n  \
+         \"threads\": {},\n  \"seed\": {},\n  \"policies\": [\n{}\n  ],\n  \
+         \"aggregate_rps\": {:.0}\n}}\n",
+        quoted(base.stream.name()),
+        base.requests,
+        base.keyspace,
+        base.shards,
+        base.shard_slots,
+        base.shard_bytes,
+        base.threads,
+        base.seed,
+        policy_rows.join(",\n"),
+        aggregate_rps,
+    )
+}

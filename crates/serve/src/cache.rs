@@ -1,0 +1,501 @@
+//! The concurrent in-memory KV cache: power-of-two sharding, per-shard
+//! fine-grained locking, byte-budgeted segments, and a zero-copy read
+//! path.
+//!
+//! A key maps to a shard by `mix64(key) & (shards − 1)`; each shard is
+//! an independent `Mutex<Shard>` holding its own hash index, slot
+//! arena, replacement policy and statistics, so threads touching
+//! different shards never contend. Reads go through
+//! [`ServeCache::get_with`]: the caller's closure runs against the
+//! stored value bytes *in place* under the shard lock — no copy-out,
+//! the serving-cache idiom for handing bytes to a response writer.
+//!
+//! Every shard also keeps a pressure window: when the last
+//! `PRESSURE_WINDOW` requests evicted faster than any admission could
+//! pay off, the shard flags itself as thrashing — the serving analog
+//! of the paper's LLC-obstruction signal, consumed by the agent's
+//! dead-block rewards.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use chrome_exec::splitmix64;
+use chrome_sim::types::mix64;
+use chrome_telemetry::export::events_jsonl;
+
+use crate::policy::{PolicyKind, ShardPolicy, ShardPressure};
+use crate::serve_agent::HIT_US;
+use crate::stream::Request;
+
+/// Requests per shard-pressure window.
+const PRESSURE_WINDOW: u64 = 1024;
+
+/// Latency histogram ceiling (µs); larger samples clamp into the top
+/// bucket. Backend costs are < 1000 µs by construction.
+const HIST_BUCKETS: usize = 1024;
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Replacement/admission policy per shard.
+    pub policy: PolicyKind,
+    /// Number of shards (must be a power of two).
+    pub shards: usize,
+    /// Slot arena size per shard.
+    pub shard_slots: usize,
+    /// Value-byte budget per shard.
+    pub shard_bytes: u64,
+    /// Root seed; per-shard streams derive from it.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            policy: PolicyKind::Chrome,
+            shards: 16,
+            shard_slots: 512,
+            shard_bytes: 256 * 1024,
+            seed: 0xC42,
+        }
+    }
+}
+
+/// Per-shard (and merged) operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that went to the backend.
+    pub misses: u64,
+    /// Missed objects admitted into the cache.
+    pub admits: u64,
+    /// Missed objects the policy refused to store.
+    pub bypasses: u64,
+    /// Objects evicted to make room.
+    pub evictions: u64,
+    /// Integrity failures on the read path (always 0 unless a policy
+    /// corrupts the slot bookkeeping).
+    pub errors: u64,
+}
+
+impl CacheStats {
+    /// Fold another shard's counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.admits += other.admits;
+        self.bypasses += other.bypasses;
+        self.evictions += other.evictions;
+        self.errors += other.errors;
+    }
+
+    /// Hits per request.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Fixed-bucket (1 µs) latency histogram; mergeable across shards so
+/// percentiles are identical at any thread count.
+#[derive(Debug, Clone)]
+pub struct LatencyHist {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: vec![0; HIST_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHist {
+    /// Record one sample (µs).
+    pub fn record(&mut self, us: u32) {
+        let b = (us as usize).min(HIST_BUCKETS - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// The `p`-quantile (0 < p ≤ 1) in µs; 0 when empty.
+    pub fn percentile(&self, p: f64) -> u32 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (us, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return us as u32;
+            }
+        }
+        (HIST_BUCKETS - 1) as u32
+    }
+}
+
+/// One stored object.
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    value: Vec<u8>,
+}
+
+/// Deterministic value bytes for `key`: an 8-byte key prefix (checked
+/// on every hit) padded with a key-derived fill byte to the logical
+/// object size.
+fn make_value(req: &Request) -> Vec<u8> {
+    let size = req.size() as usize;
+    let mut v = vec![(mix64(req.key) & 0xFF) as u8; size];
+    v[..8].copy_from_slice(&req.key.to_le_bytes());
+    v
+}
+
+/// One lock-striped cache segment.
+struct Shard {
+    map: HashMap<u64, u32>,
+    entries: Vec<Option<Entry>>,
+    free: Vec<u32>,
+    policy: Box<dyn ShardPolicy>,
+    bytes: u64,
+    budget: u64,
+    pressure: ShardPressure,
+    window_requests: u64,
+    window_evictions: u64,
+    stats: CacheStats,
+    hist: LatencyHist,
+}
+
+impl Shard {
+    fn new(slots: usize, budget: u64, policy: Box<dyn ShardPolicy>) -> Self {
+        Shard {
+            map: HashMap::with_capacity(slots),
+            entries: (0..slots).map(|_| None).collect(),
+            free: (0..slots as u32).rev().collect(),
+            policy,
+            bytes: 0,
+            budget,
+            pressure: ShardPressure::default(),
+            window_requests: 0,
+            window_evictions: 0,
+            stats: CacheStats::default(),
+            hist: LatencyHist::default(),
+        }
+    }
+
+    /// Roll the pressure window: at each boundary, the last window's
+    /// eviction rate decides the thrashing flag for the next.
+    fn tick(&mut self) {
+        if self.window_requests >= PRESSURE_WINDOW {
+            self.pressure.thrashing = self.window_evictions * 3 > self.window_requests;
+            self.window_requests = 0;
+            self.window_evictions = 0;
+        }
+        self.window_requests += 1;
+    }
+
+    fn evict_one(&mut self) {
+        let victim = self.policy.choose_victim();
+        let entry = self.entries[victim as usize]
+            .take()
+            .expect("victim slot is resident");
+        self.map.remove(&entry.key);
+        self.bytes -= entry.value.len() as u64;
+        self.free.push(victim);
+        self.policy.on_remove(victim);
+        self.stats.evictions += 1;
+        self.window_evictions += 1;
+    }
+
+    fn insert(&mut self, req: &Request) {
+        let size = u64::from(req.size());
+        if size > self.budget {
+            self.stats.bypasses += 1; // can never fit
+            return;
+        }
+        while self.bytes + size > self.budget || self.free.is_empty() {
+            self.evict_one();
+        }
+        let slot = self.free.pop().expect("freed above");
+        let value = make_value(req);
+        self.bytes += value.len() as u64;
+        self.map.insert(req.key, slot);
+        self.entries[slot as usize] = Some(Entry {
+            key: req.key,
+            value,
+        });
+        self.policy.on_insert(slot, req, &self.pressure);
+        self.stats.admits += 1;
+    }
+
+    /// The full request path; `Some` with the closure's result on a
+    /// hit, `None` on a miss (after running admission).
+    fn get_with<R>(&mut self, req: &Request, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        self.tick();
+        self.stats.requests += 1;
+        if let Some(&slot) = self.map.get(&req.key) {
+            self.stats.hits += 1;
+            self.hist.record(HIT_US);
+            self.policy.on_hit(slot, req, &self.pressure);
+            let entry = self.entries[slot as usize]
+                .as_ref()
+                .expect("mapped slot is resident");
+            if entry.value[..8] != req.key.to_le_bytes() {
+                self.stats.errors += 1;
+            }
+            Some(f(&entry.value))
+        } else {
+            self.stats.misses += 1;
+            self.hist.record(req.miss_cost_us());
+            if self.policy.admit(req, &self.pressure) {
+                self.insert(req);
+            } else {
+                self.stats.bypasses += 1;
+            }
+            None
+        }
+    }
+}
+
+/// The sharded, lock-striped cache.
+pub struct ServeCache {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+}
+
+impl ServeCache {
+    /// Build the shard array for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.shards` is a nonzero power of two and the
+    /// per-shard geometry is nonzero.
+    pub fn new(cfg: &ServeConfig) -> Self {
+        assert!(
+            cfg.shards.is_power_of_two(),
+            "shard count must be a power of two for mask selection"
+        );
+        assert!(cfg.shard_slots > 0 && cfg.shard_bytes > 0, "empty shard");
+        let shards = (0..cfg.shards)
+            .map(|s| {
+                let seed = splitmix64(cfg.seed ^ (s as u64));
+                let policy = cfg.policy.build(cfg.shard_slots, seed);
+                Mutex::new(Shard::new(cfg.shard_slots, cfg.shard_bytes, policy))
+            })
+            .collect();
+        ServeCache {
+            shards,
+            mask: (cfg.shards - 1) as u64,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `key` (power-of-two mask over the mixed hash).
+    pub fn shard_index(&self, key: u64) -> usize {
+        (mix64(key) & self.mask) as usize
+    }
+
+    /// Zero-copy read path: on a hit, run `f` over the stored bytes in
+    /// place under the shard lock and return its result; on a miss,
+    /// run the admission/eviction path and return `None`.
+    pub fn get_with<R>(&self, req: &Request, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let shard = &self.shards[self.shard_index(req.key)];
+        shard.lock().expect("shard lock poisoned").get_with(req, f)
+    }
+
+    /// Serve one request, touching the value on a hit. Returns true on
+    /// a hit.
+    pub fn access(&self, req: &Request) -> bool {
+        self.get_with(req, |bytes| {
+            debug_assert!(!bytes.is_empty());
+        })
+        .is_some()
+    }
+
+    /// Counters merged across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.merge(&s.lock().expect("shard lock poisoned").stats);
+        }
+        total
+    }
+
+    /// Latency histogram merged across shards.
+    pub fn histogram(&self) -> LatencyHist {
+        let mut total = LatencyHist::default();
+        for s in &self.shards {
+            total.merge(&s.lock().expect("shard lock poisoned").hist);
+        }
+        total
+    }
+
+    /// Value bytes currently resident, across shards.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").bytes)
+            .sum()
+    }
+
+    /// Concatenated JSONL of every shard's retained decision events
+    /// (empty for policies that keep no ring).
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.shards {
+            let shard = s.lock().expect("shard lock poisoned");
+            if let Some(ring) = shard.policy.events() {
+                out.push_str(&events_jsonl(ring));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{RequestStream, StreamKind};
+
+    fn small(policy: PolicyKind) -> ServeCache {
+        ServeCache::new(&ServeConfig {
+            policy,
+            shards: 4,
+            shard_slots: 32,
+            shard_bytes: 32 * 1024,
+            seed: 7,
+        })
+    }
+
+    fn req(key: u64) -> Request {
+        Request { key, tenant: 0 }
+    }
+
+    #[test]
+    fn second_touch_hits_with_intact_bytes() {
+        let cache = small(PolicyKind::Lru);
+        assert!(!cache.access(&req(42)));
+        let got = cache.get_with(&req(42), |bytes| {
+            (
+                bytes.len(),
+                u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            )
+        });
+        let (len, key) = got.expect("second touch hits");
+        assert_eq!(key, 42);
+        assert_eq!(len, req(42).size() as usize);
+        assert_eq!(cache.stats().errors, 0);
+    }
+
+    #[test]
+    fn byte_budget_caps_residency() {
+        let cache = small(PolicyKind::Lru);
+        for k in 0..10_000 {
+            cache.access(&req(k));
+        }
+        assert!(cache.resident_bytes() <= 4 * 32 * 1024);
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "budget forced evictions");
+        assert_eq!(stats.requests, 10_000);
+        assert_eq!(stats.hits + stats.misses, stats.requests);
+        assert_eq!(stats.admits, stats.misses, "LRU admits every miss");
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = small(PolicyKind::Lru);
+        let mut seen = [false; 4];
+        for k in 0..64 {
+            seen[cache.shard_index(k)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn every_policy_survives_a_zipf_run() {
+        for policy in PolicyKind::all() {
+            let cache = small(policy);
+            for r in RequestStream::generate(StreamKind::Zipf, 20_000, 2_000, 11) {
+                cache.access(&r);
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.errors, 0, "{}", policy.name());
+            assert!(
+                stats.hit_ratio() > 0.2,
+                "{}: hit ratio {:.3}",
+                policy.name(),
+                stats.hit_ratio()
+            );
+            assert_eq!(
+                stats.admits + stats.bypasses,
+                stats.misses,
+                "{}: every miss either admits or bypasses",
+                policy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_cache_exports_decision_events() {
+        let cache = small(PolicyKind::Chrome);
+        for r in RequestStream::generate(StreamKind::Zipf, 5_000, 500, 3) {
+            cache.access(&r);
+        }
+        let jsonl = cache.events_jsonl();
+        assert!(jsonl.contains("\"kind\":\"serve_decision\""));
+        assert!(jsonl.contains("\"kind\":\"q_update\""));
+        // every line parses as a JSON object
+        for line in jsonl.lines() {
+            assert!(chrome_exec::json::parse(line).is_some(), "bad line {line}");
+        }
+        let lru = small(PolicyKind::Lru);
+        lru.access(&req(1));
+        assert!(lru.events_jsonl().is_empty(), "heuristics keep no ring");
+    }
+
+    #[test]
+    fn pressure_window_flags_thrashing_scans() {
+        // a pure scan over a tiny shard evicts on ~every insert
+        let cache = ServeCache::new(&ServeConfig {
+            policy: PolicyKind::Lru,
+            shards: 1,
+            shard_slots: 16,
+            shard_bytes: 16 * 1024,
+            seed: 1,
+        });
+        for r in RequestStream::generate(StreamKind::Scan, 3 * PRESSURE_WINDOW as usize, 1 << 20, 5)
+        {
+            cache.access(&r);
+        }
+        let shard = cache.shards[0].lock().unwrap();
+        assert!(shard.pressure.thrashing, "scan storm must flag thrashing");
+    }
+}

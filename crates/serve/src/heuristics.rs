@@ -1,0 +1,462 @@
+//! The heuristic baseline policies: LRU, SLRU, LFU, LFUDA, GDSF.
+//!
+//! LRU and SLRU keep exact recency order in intrusive [`DList`]s. The
+//! frequency family (LFU, LFUDA, GDSF) uses Redis-style sampled
+//! eviction: draw `K` resident slots uniformly and evict the
+//! worst-priority candidate, which keeps every operation O(1) instead
+//! of maintaining a priority queue. With small shards the sample is
+//! effectively exhaustive; at scale it is the standard approximation.
+
+use chrome_sim::rng::SmallRng;
+
+use crate::policy::{DList, ShardPolicy, ShardPressure, NIL};
+use crate::stream::Request;
+
+/// Candidates drawn per sampled eviction.
+const SAMPLE_K: usize = 8;
+
+/// Exact least-recently-used.
+#[derive(Debug)]
+pub struct Lru {
+    list: DList,
+}
+
+impl Lru {
+    /// LRU over `cap` slots.
+    pub fn new(cap: usize) -> Self {
+        Lru {
+            list: DList::new(cap),
+        }
+    }
+}
+
+impl ShardPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+    fn on_hit(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        self.list.move_to_front(slot);
+    }
+    fn on_insert(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        self.list.push_front(slot);
+    }
+    fn choose_victim(&mut self) -> u32 {
+        self.list.back().expect("victim requested from empty shard")
+    }
+    fn on_remove(&mut self, slot: u32) {
+        self.list.remove(slot);
+    }
+}
+
+/// Segmented LRU: new objects enter a probation segment and are only
+/// promoted to the protected segment on a second touch, so one-shot
+/// objects (scans) never displace proven-reusable ones.
+#[derive(Debug)]
+pub struct Slru {
+    probation: DList,
+    protected: DList,
+    /// 1 when the slot sits in the protected segment.
+    seg: Vec<u8>,
+    protected_cap: usize,
+}
+
+impl Slru {
+    /// SLRU over `cap` slots with an ~80% protected segment.
+    pub fn new(cap: usize) -> Self {
+        Slru {
+            probation: DList::new(cap),
+            protected: DList::new(cap),
+            seg: vec![0; cap],
+            protected_cap: (cap * 4 / 5).max(1),
+        }
+    }
+}
+
+impl ShardPolicy for Slru {
+    fn name(&self) -> &'static str {
+        "slru"
+    }
+    fn on_hit(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        if self.seg[slot as usize] == 1 {
+            self.protected.move_to_front(slot);
+            return;
+        }
+        // promote; demote the protected back into probation if full
+        self.probation.remove(slot);
+        if self.protected.len() >= self.protected_cap {
+            if let Some(demoted) = self.protected.pop_back() {
+                self.seg[demoted as usize] = 0;
+                self.probation.push_front(demoted);
+            }
+        }
+        self.seg[slot as usize] = 1;
+        self.protected.push_front(slot);
+    }
+    fn on_insert(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        self.seg[slot as usize] = 0;
+        self.probation.push_front(slot);
+    }
+    fn choose_victim(&mut self) -> u32 {
+        self.probation
+            .back()
+            .or_else(|| self.protected.back())
+            .expect("victim requested from empty shard")
+    }
+    fn on_remove(&mut self, slot: u32) {
+        if self.seg[slot as usize] == 1 {
+            self.protected.remove(slot);
+        } else {
+            self.probation.remove(slot);
+        }
+    }
+}
+
+/// Dense set of resident slots supporting O(1) insert/remove and
+/// uniform sampling — the substrate for sampled eviction.
+#[derive(Debug)]
+pub struct ResidentSet {
+    slots: Vec<u32>,
+    /// Position of each slot in `slots`, [`NIL`] when absent.
+    pos: Vec<u32>,
+}
+
+impl ResidentSet {
+    /// An empty set over slots `0..cap`.
+    pub fn new(cap: usize) -> Self {
+        ResidentSet {
+            slots: Vec::with_capacity(cap),
+            pos: vec![NIL; cap],
+        }
+    }
+
+    /// Resident count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Add `slot` (must be absent).
+    pub fn insert(&mut self, slot: u32) {
+        debug_assert_eq!(self.pos[slot as usize], NIL);
+        self.pos[slot as usize] = self.slots.len() as u32;
+        self.slots.push(slot);
+    }
+
+    /// Remove `slot` (must be present) by swap-remove.
+    pub fn remove(&mut self, slot: u32) {
+        let p = self.pos[slot as usize];
+        debug_assert_ne!(p, NIL);
+        let last = *self.slots.last().expect("non-empty on remove");
+        self.slots.swap_remove(p as usize);
+        if last != slot {
+            self.pos[last as usize] = p;
+        }
+        self.pos[slot as usize] = NIL;
+    }
+
+    /// A uniformly random resident slot.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        self.slots[rng.gen_range(0..self.slots.len())]
+    }
+}
+
+/// Evict the minimum-priority slot among `SAMPLE_K` uniform draws;
+/// when the whole set fits in the sample budget, scan it exhaustively
+/// instead (draws with replacement would miss slots). Ties break
+/// toward the lower slot id so results are deterministic for a fixed
+/// RNG stream.
+fn sampled_victim(set: &ResidentSet, rng: &mut SmallRng, pri: impl Fn(u32) -> f64) -> u32 {
+    debug_assert!(!set.is_empty());
+    let mut victim = NIL;
+    let mut victim_pri = f64::INFINITY;
+    let consider = |s: u32, victim: &mut u32, victim_pri: &mut f64| {
+        let p = pri(s);
+        if p < *victim_pri || (p == *victim_pri && s < *victim) {
+            *victim = s;
+            *victim_pri = p;
+        }
+    };
+    if set.len() <= SAMPLE_K {
+        for &s in &set.slots {
+            consider(s, &mut victim, &mut victim_pri);
+        }
+    } else {
+        for _ in 0..SAMPLE_K {
+            consider(set.sample(rng), &mut victim, &mut victim_pri);
+        }
+    }
+    victim
+}
+
+/// Least-frequently-used with saturating counters and sampled eviction.
+#[derive(Debug)]
+pub struct Lfu {
+    freq: Vec<u32>,
+    set: ResidentSet,
+    rng: SmallRng,
+}
+
+impl Lfu {
+    /// LFU over `cap` slots.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        Lfu {
+            freq: vec![0; cap],
+            set: ResidentSet::new(cap),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ShardPolicy for Lfu {
+    fn name(&self) -> &'static str {
+        "lfu"
+    }
+    fn on_hit(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        let f = &mut self.freq[slot as usize];
+        *f = f.saturating_add(1);
+    }
+    fn on_insert(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        self.freq[slot as usize] = 1;
+        self.set.insert(slot);
+    }
+    fn choose_victim(&mut self) -> u32 {
+        let freq = &self.freq;
+        sampled_victim(&self.set, &mut self.rng, |s| freq[s as usize] as f64)
+    }
+    fn on_remove(&mut self, slot: u32) {
+        self.set.remove(slot);
+    }
+}
+
+/// LFU with dynamic aging: priority = age-floor-at-insert + hit count,
+/// and each eviction raises the floor to the victim's priority, so a
+/// formerly-hot object cannot squat on its historical popularity.
+#[derive(Debug)]
+pub struct Lfuda {
+    pri: Vec<f64>,
+    age: f64,
+    set: ResidentSet,
+    rng: SmallRng,
+}
+
+impl Lfuda {
+    /// LFUDA over `cap` slots.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        Lfuda {
+            pri: vec![0.0; cap],
+            age: 0.0,
+            set: ResidentSet::new(cap),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ShardPolicy for Lfuda {
+    fn name(&self) -> &'static str {
+        "lfuda"
+    }
+    fn on_hit(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        self.pri[slot as usize] += 1.0;
+    }
+    fn on_insert(&mut self, slot: u32, _req: &Request, _p: &ShardPressure) {
+        self.pri[slot as usize] = self.age + 1.0;
+        self.set.insert(slot);
+    }
+    fn choose_victim(&mut self) -> u32 {
+        let pri = &self.pri;
+        let victim = sampled_victim(&self.set, &mut self.rng, |s| pri[s as usize]);
+        self.age = self.pri[victim as usize];
+        victim
+    }
+    fn on_remove(&mut self, slot: u32) {
+        self.set.remove(slot);
+    }
+}
+
+/// Greedy-Dual-Size-Frequency: priority = floor + hits · cost/size, so
+/// small, expensive-to-refetch objects outrank big cheap ones.
+#[derive(Debug)]
+pub struct Gdsf {
+    freq: Vec<u32>,
+    pri: Vec<f64>,
+    age: f64,
+    set: ResidentSet,
+    rng: SmallRng,
+}
+
+impl Gdsf {
+    /// GDSF over `cap` slots.
+    pub fn new(cap: usize, seed: u64) -> Self {
+        Gdsf {
+            freq: vec![0; cap],
+            pri: vec![0.0; cap],
+            age: 0.0,
+            set: ResidentSet::new(cap),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn value(req: &Request) -> f64 {
+        f64::from(req.miss_cost_us()) / f64::from(req.size())
+    }
+}
+
+impl ShardPolicy for Gdsf {
+    fn name(&self) -> &'static str {
+        "gdsf"
+    }
+    fn on_hit(&mut self, slot: u32, req: &Request, _p: &ShardPressure) {
+        let s = slot as usize;
+        self.freq[s] = self.freq[s].saturating_add(1);
+        self.pri[s] = self.age + f64::from(self.freq[s]) * Self::value(req);
+    }
+    fn on_insert(&mut self, slot: u32, req: &Request, _p: &ShardPressure) {
+        let s = slot as usize;
+        self.freq[s] = 1;
+        self.pri[s] = self.age + Self::value(req);
+        self.set.insert(slot);
+    }
+    fn choose_victim(&mut self) -> u32 {
+        let pri = &self.pri;
+        let victim = sampled_victim(&self.set, &mut self.rng, |s| pri[s as usize]);
+        self.age = self.pri[victim as usize];
+        victim
+    }
+    fn on_remove(&mut self, slot: u32) {
+        self.set.remove(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(key: u64) -> Request {
+        Request { key, tenant: 0 }
+    }
+
+    const P: ShardPressure = ShardPressure { thrashing: false };
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut p = Lru::new(4);
+        for s in 0..4 {
+            p.on_insert(s, &req(s as u64), &P);
+        }
+        p.on_hit(0, &req(0), &P); // 0 is hot again; 1 is now coldest
+        assert_eq!(p.choose_victim(), 1);
+        p.on_remove(1);
+        assert_eq!(p.choose_victim(), 2);
+    }
+
+    #[test]
+    fn slru_protects_re_referenced_objects() {
+        let mut p = Slru::new(8);
+        for s in 0..4 {
+            p.on_insert(s, &req(s as u64), &P);
+        }
+        p.on_hit(3, &req(3), &P); // 3 → protected
+                                  // probation back is 0 (oldest single-touch object)
+        assert_eq!(p.choose_victim(), 0);
+        p.on_remove(0);
+        p.on_remove(1);
+        p.on_remove(2);
+        // only the protected object remains
+        assert_eq!(p.choose_victim(), 3);
+    }
+
+    #[test]
+    fn slru_demotes_when_protected_overflows() {
+        let mut p = Slru::new(5); // protected_cap = 4
+        for s in 0..5 {
+            p.on_insert(s, &req(s as u64), &P);
+        }
+        for s in 0..5 {
+            p.on_hit(s, &req(s as u64), &P); // fifth promotion demotes 0
+        }
+        // slot 0 got demoted back to probation → it is the victim
+        assert_eq!(p.choose_victim(), 0);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        // cap 8 with K=8 sampling ≈ exhaustive
+        let mut p = Lfu::new(8, 3);
+        for s in 0..8 {
+            p.on_insert(s, &req(s as u64), &P);
+        }
+        for s in 0..8u32 {
+            for _ in 0..s {
+                p.on_hit(s, &req(s as u64), &P);
+            }
+        }
+        // slot 0 has freq 1, everything else higher
+        assert_eq!(p.choose_victim(), 0);
+    }
+
+    #[test]
+    fn lfuda_aging_lets_new_objects_displace_old_hot_ones() {
+        let mut p = Lfuda::new(4, 9);
+        p.on_insert(0, &req(0), &P);
+        for _ in 0..50 {
+            p.on_hit(0, &req(0), &P); // pri ≈ 51
+        }
+        p.on_insert(1, &req(1), &P); // pri 1
+        assert_eq!(p.choose_victim(), 1);
+        p.on_remove(1);
+        self::assert_age_floor(&p); // age floor now 1.0
+                                    // a fresh insert now starts at age+1 = 2, not hopelessly behind;
+                                    // after evicting the hot object once, the floor jumps to ~51
+        p.on_insert(2, &req(2), &P);
+        let v = p.choose_victim();
+        assert_eq!(v, 2, "newest object still lowest priority");
+        p.on_remove(2);
+        let v = p.choose_victim();
+        assert_eq!(v, 0);
+        p.on_remove(0);
+        p.on_insert(3, &req(3), &P);
+        assert!(p.age >= 51.0, "floor tracked the hot victim: {}", p.age);
+        assert!(p.pri[3] > 51.0, "new insert rides the raised floor");
+    }
+
+    fn assert_age_floor(p: &Lfuda) {
+        assert!((p.age - 1.0).abs() < 1e-9, "age = {}", p.age);
+    }
+
+    #[test]
+    fn gdsf_prefers_cheap_large_victims() {
+        let mut p = Gdsf::new(8, 5);
+        // find two keys with contrasting cost/size value
+        let mut best = (0u64, 0.0f64);
+        let mut worst = (0u64, f64::INFINITY);
+        for k in 0..200u64 {
+            let v = Gdsf::value(&req(k));
+            if v > best.1 {
+                best = (k, v);
+            }
+            if v < worst.1 {
+                worst = (k, v);
+            }
+        }
+        p.on_insert(0, &req(best.0), &P);
+        p.on_insert(1, &req(worst.0), &P);
+        assert_eq!(p.choose_victim(), 1, "cheap/large object evicts first");
+    }
+
+    #[test]
+    fn resident_set_swap_remove_keeps_positions() {
+        let mut s = ResidentSet::new(8);
+        for slot in [3, 5, 7] {
+            s.insert(slot);
+        }
+        s.remove(3); // 7 swaps into 3's position
+        assert_eq!(s.len(), 2);
+        s.remove(7);
+        s.remove(5);
+        assert!(s.is_empty());
+    }
+}

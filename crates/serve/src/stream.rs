@@ -1,0 +1,283 @@
+//! Deterministic request-stream generators for the serving cache.
+//!
+//! Four CDN-style access characters, all driven by one [`SmallRng`] so a
+//! seed fully determines the key sequence:
+//!
+//! * **zipf** — a skewed hot set (classic CDN popularity),
+//! * **scan** — a sequential sweep with no short-term reuse (backup /
+//!   analytics traffic; pure cache pollution),
+//! * **churn** — a zipf hot set whose identity rotates periodically
+//!   (content catalogs rolling over),
+//! * **mixed** — four tenants interleaved on one cache: a zipf tenant, a
+//!   scanning tenant, a churning tenant, and a uniform-random tenant.
+//!   This is the acceptance workload: a recency-only policy caches the
+//!   scan/uniform pollution, while an admission-learning agent can
+//!   route it around the cache.
+//!
+//! Zipf sampling reuses the memoized inverse-CDF tables from
+//! `chrome-traces`, and benchmark seeds derive through
+//! `chrome_exec::workload_seed` so grid cells never share streams.
+
+use chrome_sim::rng::SmallRng;
+use chrome_sim::types::mix64;
+use chrome_traces::zipf::Zipf;
+
+/// Salt for deriving a key's value size.
+const SIZE_SALT: u64 = 0x5A1D_515E;
+/// Salt for deriving a key's backend miss cost.
+const COST_SALT: u64 = 0xC057_7AB1;
+
+/// One cache request. Size and backend cost are pure functions of the
+/// key (every generator and every thread count observes identical
+/// objects), so results stay byte-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The key being fetched.
+    pub key: u64,
+    /// Issuing tenant (0 for single-tenant streams).
+    pub tenant: u8,
+}
+
+impl Request {
+    /// Logical object size in bytes, 64..4032, derived from the key.
+    pub fn size(&self) -> u32 {
+        64 + (mix64(self.key ^ SIZE_SALT) % 3968) as u32
+    }
+
+    /// Backend fetch latency on a miss, in virtual microseconds,
+    /// 80..1000, derived from the key.
+    pub fn miss_cost_us(&self) -> u32 {
+        80 + (mix64(self.key ^ COST_SALT) % 920) as u32
+    }
+}
+
+/// Which access character to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Skewed stationary popularity.
+    Zipf,
+    /// Sequential sweep, no short-term reuse.
+    Scan,
+    /// Zipf hot set that rotates its identity.
+    Churn,
+    /// Four tenants (zipf + scan + churn + uniform) interleaved.
+    MixedTenant,
+}
+
+impl StreamKind {
+    /// All stream kinds, for sweeps.
+    pub fn all() -> [StreamKind; 4] {
+        [
+            StreamKind::Zipf,
+            StreamKind::Scan,
+            StreamKind::Churn,
+            StreamKind::MixedTenant,
+        ]
+    }
+
+    /// Stable name (CLI + JSON + seed derivation).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamKind::Zipf => "zipf",
+            StreamKind::Scan => "scan",
+            StreamKind::Churn => "churn",
+            StreamKind::MixedTenant => "mixed",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<StreamKind> {
+        match s {
+            "zipf" => Some(StreamKind::Zipf),
+            "scan" => Some(StreamKind::Scan),
+            "churn" => Some(StreamKind::Churn),
+            "mixed" => Some(StreamKind::MixedTenant),
+            _ => None,
+        }
+    }
+}
+
+/// Zipf skew for the hot-set tenants (classic CDN popularity).
+const ALPHA: f64 = 1.0;
+/// Churn streams rotate their hot set every this many drawn requests.
+const CHURN_PHASE: u64 = 20_000;
+/// Offset applied per churn phase (keys the hot set shifts by).
+const CHURN_SHIFT: u64 = 997;
+
+/// A deterministic request generator over `keyspace` keys per tenant.
+#[derive(Debug)]
+pub struct RequestStream {
+    kind: StreamKind,
+    keyspace: u64,
+    rng: SmallRng,
+    zipf: Zipf,
+    /// Scan cursor.
+    pos: u64,
+    /// Requests drawn so far (drives churn phases).
+    served: u64,
+}
+
+impl RequestStream {
+    /// A generator over `keyspace` keys (per tenant) seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyspace == 0`.
+    pub fn new(kind: StreamKind, keyspace: u64, seed: u64) -> Self {
+        assert!(keyspace > 0, "empty keyspace");
+        RequestStream {
+            kind,
+            keyspace,
+            rng: SmallRng::seed_from_u64(seed),
+            zipf: Zipf::new(keyspace as usize, ALPHA),
+            pos: 0,
+            served: 0,
+        }
+    }
+
+    /// Tenants keep disjoint key ranges so one cache serves them all
+    /// without aliasing.
+    #[inline]
+    fn tenant_key(&self, tenant: u8, local: u64) -> u64 {
+        u64::from(tenant) * self.keyspace + (local % self.keyspace)
+    }
+
+    fn zipf_key(&mut self, tenant: u8) -> u64 {
+        let rank = self.zipf.sample(&mut self.rng) as u64;
+        self.tenant_key(tenant, rank)
+    }
+
+    fn scan_key(&mut self, tenant: u8) -> u64 {
+        let k = self.tenant_key(tenant, self.pos);
+        self.pos += 1;
+        k
+    }
+
+    fn churn_key(&mut self, tenant: u8) -> u64 {
+        // same skew as zipf, but the rank→key mapping shifts each
+        // phase: yesterday's hot keys go cold and a new set heats up
+        let rank = self.zipf.sample(&mut self.rng) as u64;
+        let phase = self.served / CHURN_PHASE;
+        self.tenant_key(tenant, rank + phase * CHURN_SHIFT)
+    }
+
+    fn uniform_key(&mut self, tenant: u8) -> u64 {
+        let local = self.rng.gen_range(0..self.keyspace);
+        self.tenant_key(tenant, local)
+    }
+
+    /// Draw the next request.
+    pub fn next_request(&mut self) -> Request {
+        let req = match self.kind {
+            StreamKind::Zipf => Request {
+                key: self.zipf_key(0),
+                tenant: 0,
+            },
+            StreamKind::Scan => Request {
+                key: self.scan_key(0),
+                tenant: 0,
+            },
+            StreamKind::Churn => Request {
+                key: self.churn_key(0),
+                tenant: 0,
+            },
+            StreamKind::MixedTenant => {
+                // 40% zipf, 25% scan, 25% churn, 10% uniform
+                let draw = self.rng.gen_range(0u64..100);
+                if draw < 40 {
+                    Request {
+                        key: self.zipf_key(0),
+                        tenant: 0,
+                    }
+                } else if draw < 65 {
+                    Request {
+                        key: self.scan_key(1),
+                        tenant: 1,
+                    }
+                } else if draw < 90 {
+                    Request {
+                        key: self.churn_key(2),
+                        tenant: 2,
+                    }
+                } else {
+                    Request {
+                        key: self.uniform_key(3),
+                        tenant: 3,
+                    }
+                }
+            }
+        };
+        self.served += 1;
+        req
+    }
+
+    /// Generate `n` requests up front (the benchmark pre-generates so
+    /// thread scheduling can never perturb the stream).
+    pub fn generate(kind: StreamKind, n: usize, keyspace: u64, seed: u64) -> Vec<Request> {
+        let mut s = RequestStream::new(kind, keyspace, seed);
+        (0..n).map(|_| s.next_request()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_attributes_are_key_pure() {
+        let a = Request { key: 99, tenant: 0 };
+        let b = Request { key: 99, tenant: 3 };
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.miss_cost_us(), b.miss_cost_us());
+        assert!((64..4032).contains(&a.size()));
+        assert!((80..1000).contains(&a.miss_cost_us()));
+    }
+
+    #[test]
+    fn scan_sweeps_sequentially() {
+        let reqs = RequestStream::generate(StreamKind::Scan, 10, 1 << 20, 7);
+        let keys: Vec<u64> = reqs.iter().map(|r| r.key).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_keys() {
+        let reqs = RequestStream::generate(StreamKind::Zipf, 50_000, 10_000, 3);
+        let hot = reqs.iter().filter(|r| r.key < 100).count();
+        assert!(hot > 20_000, "hot-100 share = {hot}/50000");
+    }
+
+    #[test]
+    fn churn_rotates_the_hot_set() {
+        let n = CHURN_PHASE as usize * 2;
+        let reqs = RequestStream::generate(StreamKind::Churn, n, 1 << 20, 3);
+        let head: std::collections::HashSet<u64> = reqs[..1000].iter().map(|r| r.key).collect();
+        let tail: std::collections::HashSet<u64> = reqs[n - 1000..].iter().map(|r| r.key).collect();
+        let shared = head.intersection(&tail).count();
+        assert!(
+            shared * 2 < head.len().min(tail.len()),
+            "hot sets barely overlap across phases (shared {shared})"
+        );
+    }
+
+    #[test]
+    fn mixed_uses_all_tenants_with_disjoint_ranges() {
+        let keyspace = 10_000u64;
+        let reqs = RequestStream::generate(StreamKind::MixedTenant, 20_000, keyspace, 11);
+        let mut seen = [false; 4];
+        for r in &reqs {
+            seen[r.tenant as usize] = true;
+            let lo = u64::from(r.tenant) * keyspace;
+            assert!((lo..lo + keyspace).contains(&r.key), "{r:?} out of range");
+        }
+        assert_eq!(seen, [true; 4], "all four tenants appear");
+    }
+
+    #[test]
+    fn stream_names_roundtrip() {
+        for kind in StreamKind::all() {
+            assert_eq!(StreamKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(StreamKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Determinism guarantees for the serving stack (ISSUE 6 satellite):
+//! identical seeds produce identical key sequences at any thread
+//! count, grid-derived seeds produce distinct sequences, and full
+//! benchmark results are byte-identical for a fixed seed at any `-j`.
+
+use chrome_exec::workload_seed;
+use chrome_serve::{bench, BenchParams, PolicyKind, RequestStream, StreamKind};
+
+const KEYSPACE: u64 = 8_000;
+
+fn keys(kind: StreamKind, seed: u64, n: usize) -> Vec<u64> {
+    RequestStream::generate(kind, n, KEYSPACE, seed)
+        .iter()
+        .map(|r| r.key)
+        .collect()
+}
+
+#[test]
+fn identical_seeds_give_identical_sequences() {
+    for kind in StreamKind::all() {
+        let a = keys(kind, 0xABCD, 5_000);
+        let b = keys(kind, 0xABCD, 5_000);
+        assert_eq!(a, b, "{} diverged for equal seeds", kind.name());
+    }
+}
+
+#[test]
+fn different_seeds_give_different_sequences() {
+    for kind in StreamKind::all() {
+        if kind == StreamKind::Scan {
+            continue; // a pure sweep ignores its seed by construction
+        }
+        let a = keys(kind, 1, 5_000);
+        let b = keys(kind, 2, 5_000);
+        assert_ne!(a, b, "{} ignored its seed", kind.name());
+    }
+}
+
+#[test]
+fn grid_derived_seeds_are_distinct_per_cell() {
+    // chrome_exec::workload_seed keys the stream on (workload, cores,
+    // seed): every grid cell gets its own stream, and the same cell
+    // always gets the same one
+    let mut seeds = Vec::new();
+    for kind in StreamKind::all() {
+        for shards in [8u32, 16, 32] {
+            for root in [0xC42u64, 7] {
+                seeds.push(workload_seed(kind.name(), shards, root));
+            }
+        }
+    }
+    let mut unique = seeds.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), seeds.len(), "grid seed collision");
+    assert_eq!(
+        workload_seed("mixed", 16, 0xC42),
+        workload_seed("mixed", 16, 0xC42),
+        "derivation is stable"
+    );
+    // and distinct cells produce genuinely distinct streams
+    let a = keys(
+        StreamKind::MixedTenant,
+        workload_seed("mixed", 16, 0xC42),
+        2_000,
+    );
+    let b = keys(
+        StreamKind::MixedTenant,
+        workload_seed("mixed", 32, 0xC42),
+        2_000,
+    );
+    assert_ne!(a, b);
+}
+
+#[test]
+fn bench_results_are_byte_identical_at_any_thread_count() {
+    // the acceptance-criterion claim, for every policy on the mixed
+    // stream: counters and percentiles are a pure function of the
+    // seed, never of the worker count
+    for policy in [PolicyKind::Lru, PolicyKind::Chrome] {
+        let mut baseline = None;
+        for threads in [1usize, 3, 8] {
+            let r = bench::run(&BenchParams {
+                policy,
+                stream: StreamKind::MixedTenant,
+                threads,
+                requests: 24_000,
+                keyspace: 4_000,
+                seed: 0xD15C,
+                shards: 8,
+                shard_slots: 128,
+                shard_bytes: 64 * 1024,
+            });
+            let fingerprint = (r.stats, r.p50_us, r.p99_us);
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(base) => assert_eq!(
+                    *base,
+                    fingerprint,
+                    "{} diverged at {threads} threads",
+                    policy.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn chrome_beats_lru_on_the_mixed_stream() {
+    // scaled-down version of the servebench acceptance gate, kept in
+    // the suite so a regression fails fast without the full benchmark
+    let cell = |policy| {
+        bench::run(&BenchParams {
+            policy,
+            stream: StreamKind::MixedTenant,
+            threads: 8,
+            requests: 60_000,
+            keyspace: 8_000,
+            seed: 0xC42,
+            shards: 8,
+            shard_slots: 256,
+            shard_bytes: 128 * 1024,
+        })
+    };
+    let chrome = cell(PolicyKind::Chrome);
+    let lru = cell(PolicyKind::Lru);
+    assert_eq!(chrome.stats.errors + lru.stats.errors, 0);
+    assert!(
+        chrome.stats.hit_ratio() > lru.stats.hit_ratio(),
+        "chrome {:.4} must beat lru {:.4}",
+        chrome.stats.hit_ratio(),
+        lru.stats.hit_ratio()
+    );
+}

@@ -89,6 +89,11 @@ impl SystemFeedback {
 /// Implementors keep their own per-block metadata, indexed by
 /// `(set, way)`; the cache guarantees `set < num_sets` and `way < ways`
 /// as given to [`LlcPolicy::initialize`].
+///
+/// This is the *hardware* binding of cache management: the learned
+/// agent in `chrome-core` is generic over an `Environment` trait, and
+/// its `HwEnv` implementation adapts these callbacks (the same engine
+/// also drives the software serving cache in `chrome-serve`).
 pub trait LlcPolicy {
     /// Called once before simulation with the LLC geometry.
     fn initialize(&mut self, num_sets: usize, ways: usize, cores: usize);

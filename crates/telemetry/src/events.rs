@@ -50,6 +50,19 @@ pub enum EventKind {
         /// Epoch index.
         epoch: u64,
     },
+    /// A serving-cache agent decision: the per-decision state the
+    /// decision-forensics work keys on (feature slice values, the chosen
+    /// action, and its Q-estimate at decision time).
+    ServeDecision {
+        /// First state feature (flow signature).
+        f1: u64,
+        /// Second state feature (key neighborhood).
+        f2: u64,
+        /// Chosen action (paper encoding, 0..=6).
+        action: u8,
+        /// Q-estimate of the chosen action at decision time.
+        q: f64,
+    },
 }
 
 impl EventKind {
@@ -62,6 +75,7 @@ impl EventKind {
             EventKind::QUpdate { .. } => "q_update",
             EventKind::PredictorVerdict { .. } => "predictor_verdict",
             EventKind::EpochBoundary { .. } => "epoch_boundary",
+            EventKind::ServeDecision { .. } => "serve_decision",
         }
     }
 }
