@@ -1,0 +1,92 @@
+//! Forensics sweep: the audit-vs-oracle experiment family.
+//!
+//! For each SPEC workload, run CHROME and N-CHROME with per-decision
+//! auditing, judge every decision against the offline Belady/MIN
+//! oracle, and assemble a divergence table plus the full JSONL + "why"
+//! markdown report under `results/`.
+//!
+//! Flags (the usual experiment subset): `--cores N`,
+//! `--instructions N`, `--warmup N`, `--seed N`, `--quick`, `--full`,
+//! `--homo-workloads N` (workload-list cap, default 4).
+
+use chrome_bench::{RunParams, TableWriter};
+use chrome_forensics::{
+    join_segment, render_markdown, run_hardware, summarize, SimSource, SimSpec,
+};
+use chrome_traces::spec::spec_workloads;
+
+fn main() {
+    let params = RunParams::from_args();
+    let count = params.homo_workloads.unwrap_or(4);
+    let workloads: Vec<&str> = spec_workloads().into_iter().take(count).collect();
+
+    let mut table = TableWriter::new(
+        "forensics_sweep",
+        &[
+            "workload",
+            "scheme",
+            "decisions",
+            "join%",
+            "hit%",
+            "MIN%",
+            "diverge%",
+            "calib",
+        ],
+    );
+    let mut summaries = Vec::new();
+    for wl in &workloads {
+        for aware in [true, false] {
+            let spec = SimSpec {
+                source: SimSource::Workload((*wl).to_string()),
+                cores: params.cores,
+                instructions: params.instructions,
+                warmup: params.warmup,
+                seed: params.seed,
+                audit_cap: params.audit.unwrap_or(1 << 22),
+            };
+            let run = match run_hardware(&spec, aware) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("forensics_sweep: {wl}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let joined: Vec<_> = run
+                .segments
+                .iter()
+                .zip(&run.verdicts)
+                .map(|(seg, v)| join_segment(seg, v))
+                .collect();
+            let s = summarize(wl, run.scheme, &run.segments, &joined);
+            table.row(vec![
+                (*wl).to_string(),
+                run.scheme.to_string(),
+                s.decisions.to_string(),
+                format!("{:.2}", s.join_rate() * 100.0),
+                format!("{:.2}", s.realized_hit_ratio * 100.0),
+                format!("{:.2}", s.min_hit_ratio * 100.0),
+                format!("{:.2}", s.divergence_rate() * 100.0),
+                format!("{:.2}", s.reward_calibration),
+            ]);
+            summaries.push(s);
+        }
+    }
+
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("mkdir results");
+    let jsonl: String = summaries
+        .iter()
+        .map(|s| format!("{}\n", s.to_json()))
+        .collect();
+    std::fs::write(dir.join("forensics_sweep.jsonl"), jsonl).expect("write jsonl");
+    std::fs::write(
+        dir.join("forensics_sweep.md"),
+        render_markdown("forensics_sweep", &["pc", "pn"], &summaries),
+    )
+    .expect("write markdown");
+    table.finish().expect("write tsv");
+    println!(
+        "wrote results/forensics_sweep.jsonl and results/forensics_sweep.md ({} runs)",
+        summaries.len()
+    );
+}

@@ -56,6 +56,10 @@ pub struct RunParams {
     pub homo_workloads: Option<usize>,
     /// Paint live grid progress to stderr (tests switch it off).
     pub progress: bool,
+    /// Record a per-decision audit trail bounded to this many records
+    /// (`--audit N`); populates [`SchemeResult::audit`] for auditable
+    /// policies (CHROME and its ablations).
+    pub audit: Option<usize>,
 }
 
 impl Default for RunParams {
@@ -77,6 +81,7 @@ impl Default for RunParams {
             mixes: None,
             homo_workloads: None,
             progress: true,
+            audit: None,
         }
     }
 }
@@ -161,6 +166,10 @@ impl RunParams {
                     p.homo_workloads =
                         Some(args[i].parse().expect("--homo-workloads takes a number"));
                 }
+                "--audit" => {
+                    i += 1;
+                    p.audit = Some(args[i].parse().expect("--audit takes a record cap"));
+                }
                 "--quick" => {
                     p.instructions /= 10;
                     p.warmup /= 10;
@@ -212,6 +221,9 @@ pub struct SchemeResult {
     /// Telemetry artifact files this run exported (empty without
     /// `--telemetry-out`).
     pub artifacts: Vec<PathBuf>,
+    /// Binary per-decision audit trail (empty unless
+    /// [`RunParams::audit`] was set and the policy is auditable).
+    pub audit: Vec<u8>,
 }
 
 impl SchemeResult {
@@ -306,6 +318,9 @@ pub(crate) fn run_traces(
     if track_unused {
         sys.enable_unused_tracking();
     }
+    if let Some(cap) = params.audit {
+        sys.enable_audit(0, cap);
+    }
     if params.telemetry_out.is_some() || params.record_epochs || params.profile {
         let cfg = TelemetryConfig {
             profile: params.profile,
@@ -331,6 +346,11 @@ pub(crate) fn run_traces(
     } else {
         Vec::new()
     };
+    let audit = if params.audit.is_some() {
+        sys.audit_bytes()
+    } else {
+        Vec::new()
+    };
     SchemeResult {
         scheme: scheme.to_string(),
         results,
@@ -338,6 +358,7 @@ pub(crate) fn run_traces(
         epochs,
         attrib,
         artifacts,
+        audit,
     }
 }
 

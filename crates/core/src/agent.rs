@@ -18,11 +18,11 @@ use chrome_sim::policy::{
     sampled_index, AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback,
 };
 use chrome_sim::types::{mix64, LineAddr};
-use chrome_telemetry::{EventKind, PolicyEpochProbe, TelemetrySink};
+use chrome_telemetry::{AuditLog, EventKind, PolicyEpochProbe, RewardRecord, TelemetrySink};
 
 use crate::config::{ChromeConfig, FeatureSelection};
 use crate::engine::{EngineConfig, RlEngine, ACTION_BYPASS, ACTION_HIT_EPVH};
-use crate::env::{Agent, DecisionObserver, Environment};
+use crate::env::{Agent, DecisionObserver, DecisionSnapshot, Environment};
 use crate::eq::EqEntry;
 use crate::rewards::RewardTable;
 
@@ -140,15 +140,19 @@ impl Environment for HwEnv {
 }
 
 /// Observer that forwards the agent's per-decision outcomes to the
-/// telemetry sink, stamped with the triggering access's cycle and core.
+/// telemetry sink, stamped with the triggering access's cycle and
+/// core, and (when auditing) snapshots every decision and reward into
+/// the policy's audit log. Audit capture is explicit opt-in, so it is
+/// not gated behind the `telemetry` feature.
 struct SinkObserver<'a> {
     sink: &'a TelemetrySink,
+    audit: Option<&'a mut AuditLog>,
     cycle: u64,
     core: u32,
 }
 
 impl DecisionObserver for SinkObserver<'_> {
-    fn reward_matched(&mut self, reward: f64) {
+    fn reward_matched(&mut self, id: u64, reward: f64) {
         if cfg!(feature = "telemetry") {
             self.sink.emit(
                 self.cycle,
@@ -159,9 +163,16 @@ impl DecisionObserver for SinkObserver<'_> {
                 },
             );
         }
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.push_reward(RewardRecord {
+                id,
+                matched: true,
+                reward,
+            });
+        }
     }
 
-    fn reward_unmatched(&mut self, reward: f64) {
+    fn reward_unmatched(&mut self, id: u64, reward: f64) {
         if cfg!(feature = "telemetry") {
             self.sink.emit(
                 self.cycle,
@@ -171,6 +182,13 @@ impl DecisionObserver for SinkObserver<'_> {
                     matched: false,
                 },
             );
+        }
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.push_reward(RewardRecord {
+                id,
+                matched: false,
+                reward,
+            });
         }
     }
 
@@ -188,6 +206,16 @@ impl DecisionObserver for SinkObserver<'_> {
             },
         );
     }
+
+    fn wants_decisions(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    fn decision(&mut self, snap: &DecisionSnapshot) {
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.push_decision(snap.to_record());
+        }
+    }
 }
 
 /// The CHROME policy (also serves as N-CHROME via
@@ -200,6 +228,7 @@ pub struct Chrome {
     ways: usize,
     pending_epv: u8,
     sink: TelemetrySink,
+    audit: Option<AuditLog>,
     name: &'static str,
 }
 
@@ -229,6 +258,7 @@ impl Chrome {
             ways: 0,
             pending_epv: 1,
             sink: TelemetrySink::noop(),
+            audit: None,
             name,
             cfg,
         }
@@ -262,6 +292,7 @@ impl LlcPolicy for Chrome {
         let si = sampled_index(set, self.num_sets, self.cfg.sampled_sets);
         let mut obs = SinkObserver {
             sink: &self.sink,
+            audit: self.audit.as_mut(),
             cycle: info.cycle,
             core: info.core as u32,
         };
@@ -279,6 +310,7 @@ impl LlcPolicy for Chrome {
         let si = sampled_index(set, self.num_sets, self.cfg.sampled_sets);
         let mut obs = SinkObserver {
             sink: &self.sink,
+            audit: self.audit.as_mut(),
             cycle: info.cycle,
             core: info.core as u32,
         };
@@ -321,6 +353,15 @@ impl LlcPolicy for Chrome {
 
     fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.sink = sink;
+    }
+
+    fn enable_audit(&mut self, stream: u32, cap: usize) -> bool {
+        self.audit = Some(AuditLog::new(stream, cap));
+        true
+    }
+
+    fn audit(&self) -> Option<&AuditLog> {
+        self.audit.as_ref()
     }
 
     fn epoch_probe(&self) -> PolicyEpochProbe {
@@ -618,6 +659,63 @@ mod tests {
             }
             assert!(p.stats().sampled_accesses > 0, "{features:?}");
         }
+    }
+
+    #[test]
+    fn audit_trail_records_every_decision_in_order() {
+        use chrome_telemetry::{parse_audit, AuditRecord};
+        let (mut p, fb) = mk();
+        assert!(LlcPolicy::enable_audit(&mut p, 3, 4096));
+        for l in 0..300u64 {
+            let set = (l % 64) as usize;
+            if l % 4 == 3 {
+                p.on_hit(set, 0, &info((l % 8) * 64, 0x400, 0, false), &fb);
+            } else {
+                let _ = p.on_miss(set, &info(l * 64, 0x400, 0, false), &fb);
+            }
+        }
+        let log = LlcPolicy::audit(&p).expect("auditing enabled");
+        let segs = parse_audit(&log.to_bytes()).expect("well-formed blob");
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].stream, 3);
+        let mut decisions = 0u64;
+        let mut last_id = None;
+        let mut seen = std::collections::HashSet::new();
+        for r in &segs[0].records {
+            match r {
+                AuditRecord::Decision(d) => {
+                    assert!(Some(d.id) > last_id, "ids arrive in decision order");
+                    last_id = Some(d.id);
+                    seen.insert(d.id);
+                    decisions += 1;
+                }
+                AuditRecord::Reward(w) => {
+                    assert!(seen.contains(&w.id), "reward settles a seen decision");
+                }
+            }
+        }
+        assert_eq!(decisions, 300, "every access decided and was recorded");
+        assert_eq!(decisions, p.stats().decisions);
+    }
+
+    #[test]
+    fn audit_capture_does_not_perturb_the_agent() {
+        let run = |audit: bool| {
+            let (mut p, fb) = mk();
+            if audit {
+                LlcPolicy::enable_audit(&mut p, 0, 1 << 16);
+            }
+            for l in 0..2000u64 {
+                let set = (l % 64) as usize;
+                if l % 3 == 0 {
+                    p.on_hit(set, 0, &info((l % 16) * 64, 0x400, 0, false), &fb);
+                } else {
+                    let _ = p.on_miss(set, &info(l * 64, 0x400, 0, false), &fb);
+                }
+            }
+            *p.stats()
+        };
+        assert_eq!(run(false), run(true), "snapshotting is read-only");
     }
 
     #[test]

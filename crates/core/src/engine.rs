@@ -66,6 +66,9 @@ pub struct ChromeStats {
     pub unmatched_rewards: u64,
     /// EQ FIFO overflows (pushes that evicted the oldest entry).
     pub eq_overflows: u64,
+    /// Decisions made (every access, sampled or not). Doubles as the
+    /// audit trail's monotonic decision-id counter.
+    pub decisions: u64,
 }
 
 impl ChromeStats {
@@ -128,6 +131,8 @@ impl From<&ChromeConfig> for EngineConfig {
 /// telemetry without the engine depending on a sink.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainOutcome {
+    /// Decision id of the trained (EQ-evicted) entry.
+    pub id: u64,
     /// Reward assigned at eviction because the entry was never
     /// re-requested (`None` if it had already been matched).
     pub unmatched: Option<f64>,
@@ -220,16 +225,14 @@ impl RlEngine {
 
     /// Reward-match step (Algorithm 1, lines 3–8): if `key` sits
     /// unrewarded in FIFO `si`, the earlier action is now evaluated by
-    /// the current request's outcome. Returns true when a reward was
-    /// assigned.
-    pub fn try_match(&mut self, si: usize, key: u64, reward: f64) -> bool {
-        if let Some(entry) = self.eq.fifo(si).find_unrewarded(key) {
-            entry.reward = Some(reward);
-            self.stats.matched_rewards += 1;
-            true
-        } else {
-            false
-        }
+    /// the current request's outcome. Returns the matched entry's
+    /// decision id when a reward was assigned.
+    pub fn try_match(&mut self, si: usize, key: u64, reward: f64) -> Option<u64> {
+        let entry = self.eq.fifo(si).find_unrewarded(key)?;
+        entry.reward = Some(reward);
+        let id = entry.id;
+        self.stats.matched_rewards += 1;
+        Some(id)
     }
 
     /// Record the executed action in FIFO `si` and, on overflow,
@@ -242,6 +245,7 @@ impl RlEngine {
     pub fn record(
         &mut self,
         si: usize,
+        id: u64,
         state: &[u64],
         action: usize,
         trigger_hit: bool,
@@ -251,6 +255,7 @@ impl RlEngine {
         want_delta: bool,
     ) -> Option<TrainOutcome> {
         let entry = EqEntry {
+            id,
             state: state.to_vec(),
             action,
             trigger_hit,
@@ -281,6 +286,7 @@ impl RlEngine {
             .update(&evicted.state, evicted.action, target, self.cfg.alpha);
         self.stats.q_updates += 1;
         Some(TrainOutcome {
+            id: evicted.id,
             unmatched,
             action: evicted.action,
             delta,
@@ -320,7 +326,7 @@ mod tests {
         let mut e = engine();
         let state = [77u64, 88u64];
         for _ in 0..300 {
-            e.record(0, &state, 0, false, 1, 0, |_| 25.0, false);
+            e.record(0, 0, &state, 0, false, 1, 0, |_| 25.0, false);
         }
         // drive bypass far above the others; it must win despite having
         // the worst tie rank
@@ -336,11 +342,11 @@ mod tests {
         let state = [3u64, 4u64];
         for i in 0..e.config().eq_fifo_len as u64 {
             assert!(e
-                .record(0, &state, 2, false, i, 0, |_| 0.0, false)
+                .record(0, i, &state, 2, false, i, 0, |_| 0.0, false)
                 .is_none());
         }
         let out = e
-            .record(0, &state, 2, false, 999, 0, |_| -10.0, false)
+            .record(0, 999, &state, 2, false, 999, 0, |_| -10.0, false)
             .expect("overflow");
         assert_eq!(out.unmatched, Some(-10.0));
         assert_eq!(out.action, 2);
@@ -352,11 +358,11 @@ mod tests {
     fn matched_entry_keeps_its_reward_at_overflow() {
         let mut e = engine();
         let state = [5u64, 6u64];
-        e.record(0, &state, 1, false, 42, 0, |_| 0.0, false);
-        assert!(e.try_match(0, 42, 20.0));
-        assert!(!e.try_match(0, 42, 20.0), "already rewarded");
+        e.record(0, 7, &state, 1, false, 42, 0, |_| 0.0, false);
+        assert_eq!(e.try_match(0, 42, 20.0), Some(7));
+        assert!(e.try_match(0, 42, 20.0).is_none(), "already rewarded");
         for i in 0..e.config().eq_fifo_len as u64 {
-            e.record(0, &state, 1, false, 1000 + i, 0, |_| -7.0, false);
+            e.record(0, 100 + i, &state, 1, false, 1000 + i, 0, |_| -7.0, false);
         }
         // the matched entry was evicted first; its unmatched slot is None
         assert_eq!(e.stats.matched_rewards, 1);
@@ -368,11 +374,11 @@ mod tests {
         let mut e = engine();
         let state = [10u64, 11u64];
         for i in 0..e.config().eq_fifo_len as u64 {
-            e.record(0, &state, 3, false, i, 0, |_| 0.0, false);
+            e.record(0, i, &state, 3, false, i, 0, |_| 0.0, false);
         }
         let q_before = e.q(&state, 3);
         let out = e
-            .record(0, &state, 3, false, 500, 0, |_| 12.0, true)
+            .record(0, 500, &state, 3, false, 500, 0, |_| 12.0, true)
             .expect("overflow");
         let delta = out.delta.expect("requested");
         // target = 12 + γ·q(next); delta = target − q_before

@@ -14,6 +14,7 @@
 
 use crate::engine::{RlEngine, ACTION_BYPASS, HIT_ACTIONS, MISS_ACTIONS};
 use crate::eq::EqEntry;
+use crate::qtable::NUM_ACTIONS;
 
 /// An access stream the SARSA engine can manage.
 pub trait Environment {
@@ -57,14 +58,71 @@ pub trait Environment {
     }
 }
 
+/// Everything [`Agent::on_access`] knew at decision time, offered to
+/// observers that asked for full decision snapshots (the audit trail).
+/// Building one costs `features × actions` pure Q reads, so it is
+/// gated behind [`DecisionObserver::wants_decisions`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionSnapshot<'a> {
+    /// Monotonic decision id (the EQ linkage id); reward callbacks
+    /// reference it.
+    pub id: u64,
+    /// Active feature-slice values.
+    pub state: &'a [u64],
+    /// True when the triggering access hit.
+    pub hit: bool,
+    /// True when the access landed on a sampled set/bucket.
+    pub sampled: bool,
+    /// True when ε-greedy exploration overrode the greedy choice.
+    pub explored: bool,
+    /// The chosen action.
+    pub action: usize,
+    /// The EQ match key.
+    pub key: u64,
+    /// The issuing lane.
+    pub lane: usize,
+    /// Per-feature Q components `q[f][a]` (rows beyond the active
+    /// feature count are zero). Q(s,a) is the max over features.
+    pub q: [[f64; NUM_ACTIONS]; 2],
+}
+
+impl DecisionSnapshot<'_> {
+    /// Convert to an audit-log record (Q components narrowed to f32).
+    pub fn to_record(&self) -> chrome_telemetry::DecisionRecord {
+        let mut state = [0u64; 2];
+        state[..self.state.len()].copy_from_slice(self.state);
+        let mut q = [[0f32; NUM_ACTIONS]; 2];
+        for (row, src) in q.iter_mut().zip(self.q.iter()) {
+            for (v, s) in row.iter_mut().zip(src.iter()) {
+                *v = *s as f32;
+            }
+        }
+        chrome_telemetry::DecisionRecord {
+            id: self.id,
+            key: self.key,
+            state,
+            lane: self.lane as u32,
+            features: self.state.len() as u8,
+            action: self.action as u8,
+            hit: self.hit,
+            sampled: self.sampled,
+            explored: self.explored,
+            q,
+        }
+    }
+}
+
 /// Per-decision hooks so wrappers can observe what [`Agent::on_access`]
 /// did (telemetry emission) without the engine depending on a sink.
-/// Every method defaults to a no-op.
+/// Every method defaults to a no-op. Reward callbacks carry the
+/// decision id the reward settles, so observers can link them back to
+/// earlier [`DecisionSnapshot`]s.
 pub trait DecisionObserver {
-    /// A delayed reward was assigned by key match.
-    fn reward_matched(&mut self, _reward: f64) {}
-    /// A dead-block reward was assigned at EQ eviction.
-    fn reward_unmatched(&mut self, _reward: f64) {}
+    /// A delayed reward was assigned by key match to decision `id`.
+    fn reward_matched(&mut self, _id: u64, _reward: f64) {}
+    /// A dead-block reward was assigned to decision `id` at EQ
+    /// eviction.
+    fn reward_unmatched(&mut self, _id: u64, _reward: f64) {}
     /// True to have the training step compute the pre-update TD delta
     /// (costs an extra Q lookup; off by default).
     fn wants_q_delta(&self) -> bool {
@@ -73,6 +131,14 @@ pub trait DecisionObserver {
     /// A SARSA update moved `action`'s Q-value by `delta` (only called
     /// when [`DecisionObserver::wants_q_delta`] returned true).
     fn q_update(&mut self, _delta: f64, _action: usize) {}
+    /// True to receive a full [`DecisionSnapshot`] per access (costs
+    /// the per-feature Q reads; off by default).
+    fn wants_decisions(&self) -> bool {
+        false
+    }
+    /// A decision was made (only called when
+    /// [`DecisionObserver::wants_decisions`] returned true).
+    fn decision(&mut self, _snap: &DecisionSnapshot) {}
 }
 
 /// The observer that observes nothing.
@@ -128,20 +194,45 @@ impl<E: Environment> Agent<E> {
         ctx: &E::Ctx,
         obs: &mut impl DecisionObserver,
     ) -> Decision {
+        let id = self.engine.stats.decisions;
+        self.engine.stats.decisions += 1;
         if let Some(si) = si {
             self.engine.stats.sampled_accesses += 1;
             let reward = self.env.matched_reward(access, hit);
-            if self.engine.try_match(si, self.env.key(access), reward) {
-                obs.reward_matched(reward);
+            if let Some(matched) = self.engine.try_match(si, self.env.key(access), reward) {
+                obs.reward_matched(matched, reward);
             }
         }
         let (buf, n) = self.env.state(access, hit);
         let state = &buf[..n];
+        let explorations_before = self.engine.stats.explorations;
         let action = self.engine.select(state, E::legal_actions(hit));
+        if obs.wants_decisions() {
+            // pure Q reads: no RNG draw, no table write, so snapshotting
+            // cannot perturb byte-equivalence
+            let mut q = [[0.0; NUM_ACTIONS]; 2];
+            for (f, row) in q.iter_mut().enumerate().take(n) {
+                for (a, slot) in row.iter_mut().enumerate() {
+                    *slot = self.engine.qtable().q_feature(f, state[f], a);
+                }
+            }
+            obs.decision(&DecisionSnapshot {
+                id,
+                state,
+                hit,
+                sampled: si.is_some(),
+                explored: self.engine.stats.explorations != explorations_before,
+                action,
+                key: self.env.key(access),
+                lane: self.env.lane(access),
+                q,
+            });
+        }
         if let Some(si) = si {
             let env = &self.env;
             let outcome = self.engine.record(
                 si,
+                id,
                 state,
                 action,
                 hit,
@@ -152,7 +243,7 @@ impl<E: Environment> Agent<E> {
             );
             if let Some(out) = outcome {
                 if let Some(reward) = out.unmatched {
-                    obs.reward_unmatched(reward);
+                    obs.reward_unmatched(out.id, reward);
                 }
                 if let Some(delta) = out.delta {
                     obs.q_update(delta, out.action);
@@ -217,20 +308,30 @@ mod tests {
         matched: u32,
         unmatched: u32,
         updates: u32,
+        decisions: Vec<u64>,
+        rewarded_ids: Vec<u64>,
     }
 
     impl DecisionObserver for CountingObserver {
-        fn reward_matched(&mut self, _: f64) {
+        fn reward_matched(&mut self, id: u64, _: f64) {
             self.matched += 1;
+            self.rewarded_ids.push(id);
         }
-        fn reward_unmatched(&mut self, _: f64) {
+        fn reward_unmatched(&mut self, id: u64, _: f64) {
             self.unmatched += 1;
+            self.rewarded_ids.push(id);
         }
         fn wants_q_delta(&self) -> bool {
             true
         }
         fn q_update(&mut self, _: f64, _: usize) {
             self.updates += 1;
+        }
+        fn wants_decisions(&self) -> bool {
+            true
+        }
+        fn decision(&mut self, snap: &DecisionSnapshot) {
+            self.decisions.push(snap.id);
         }
     }
 
@@ -274,6 +375,13 @@ mod tests {
         }
         assert!(obs.unmatched > 0, "dead-block rewards observed");
         assert_eq!(obs.updates as u64, a.engine.stats.q_updates);
+        // decision ids are issued in order and every reward settles a
+        // decision the observer already saw
+        assert!(obs.decisions.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(obs.decisions.len() as u64, a.engine.stats.decisions);
+        for id in &obs.rewarded_ids {
+            assert!(obs.decisions.contains(id), "reward for unseen id {id}");
+        }
     }
 
     #[test]
@@ -300,6 +408,7 @@ mod tests {
         for action in [1, 2, 3] {
             for _ in 0..400 {
                 a.engine.record(
+                    0,
                     0,
                     &state.0[..state.1],
                     action,

@@ -6,6 +6,9 @@ use std::collections::VecDeque;
 /// One recorded action awaiting (or holding) its reward.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EqEntry {
+    /// Decision id linking this entry to the audit trail — monotonic
+    /// per engine, assigned at decision time.
+    pub id: u64,
     /// State feature vector at decision time.
     pub state: Vec<u64>,
     /// Action index executed.
@@ -136,6 +139,7 @@ mod tests {
 
     fn entry(key: u64, action: usize) -> EqEntry {
         EqEntry {
+            id: key,
             state: vec![1, 2],
             action,
             trigger_hit: false,

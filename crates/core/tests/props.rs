@@ -9,6 +9,7 @@ const CASES: usize = 64;
 
 fn entry(line: u64, action: usize) -> EqEntry {
     EqEntry {
+        id: line,
         state: vec![line, line >> 8],
         action,
         trigger_hit: action >= 4,

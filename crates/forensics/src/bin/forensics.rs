@@ -1,0 +1,255 @@
+//! Decision-forensics driver: audited runs, offline Belady oracle,
+//! and trace-grounded "why" reports.
+//!
+//! ```text
+//! forensics sim    [--workload NAME | --trace FILE.ctf] [--cores N]
+//!                  [--instructions N] [--warmup N] [--seed S]
+//!                  [--audit-cap N] [--out DIR] [--quick]
+//! forensics serve  [--stream zipf|scan|churn|mixed] [--requests N]
+//!                  [--keyspace N] [--shards N] [--shard-slots N]
+//!                  [--shard-bytes N] [--seed S] [--audit-cap N]
+//!                  [--out DIR] [--quick]
+//! forensics oracle --trace FILE.ctf
+//! ```
+//!
+//! `sim` and `serve` each run CHROME and its concurrency-unaware
+//! ablation, join every audited decision against the oracle, and write
+//! `<out>/forensics_<label>.jsonl` (one summary object per policy) and
+//! `<out>/forensics_<label>.md` (the human-readable report). The
+//! process exits non-zero unless every run joins ≥ 99% of its recorded
+//! decisions and reports a divergence rate inside [0, 1] — which is
+//! what lets CI call this binary directly as its smoke gate. `oracle`
+//! prints the standalone Belady bound of a raw trace file.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use chrome_forensics::{
+    join_segment, render_markdown, run_hardware, run_serve, summarize, trace_min_bound, SimSource,
+    SimSpec, Summary,
+};
+use chrome_serve::{BenchParams, PolicyKind, StreamKind};
+
+fn arg_string(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_u64(name: &str) -> Option<u64> {
+    arg_string(name).map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("{name} wants an integer, got {s}"))
+    })
+}
+
+fn out_dir() -> PathBuf {
+    PathBuf::from(arg_string("--out").unwrap_or_else(|| "results".into()))
+}
+
+/// Write the JSONL + markdown artifact pair and echo where they went.
+fn write_reports(label: &str, feature_names: &[&str], summaries: &[Summary]) {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+    let jsonl: String = summaries
+        .iter()
+        .map(|s| format!("{}\n", s.to_json()))
+        .collect();
+    let jsonl_path = dir.join(format!("forensics_{label}.jsonl"));
+    std::fs::write(&jsonl_path, jsonl)
+        .unwrap_or_else(|e| panic!("writing {}: {e}", jsonl_path.display()));
+    let md_path = dir.join(format!("forensics_{label}.md"));
+    std::fs::write(&md_path, render_markdown(label, feature_names, summaries))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", md_path.display()));
+    println!("wrote {} and {}", jsonl_path.display(), md_path.display());
+}
+
+/// The acceptance gate both subcommands and CI rely on.
+fn gate(summaries: &[Summary]) -> Result<(), String> {
+    for s in summaries {
+        if s.joined == 0 {
+            return Err(format!("{}/{}: no decisions joined", s.label, s.policy));
+        }
+        if s.join_rate() < 0.99 {
+            return Err(format!(
+                "{}/{}: join rate {:.4} below 0.99",
+                s.label,
+                s.policy,
+                s.join_rate()
+            ));
+        }
+        let d = s.divergence_rate();
+        if !(0.0..=1.0).contains(&d) {
+            return Err(format!(
+                "{}/{}: divergence rate {d} outside [0,1]",
+                s.label, s.policy
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn print_summary(s: &Summary) {
+    println!(
+        "{:<10} {:<9} decisions {:>8} joined {:>6.2}% hit {:>6.2}% MIN {:>6.2}% \
+         diverge {:>6.2}% calib {:.2}",
+        s.label,
+        s.policy,
+        s.decisions,
+        s.join_rate() * 100.0,
+        s.realized_hit_ratio * 100.0,
+        s.min_hit_ratio * 100.0,
+        s.divergence_rate() * 100.0,
+        s.reward_calibration,
+    );
+}
+
+fn cmd_sim() -> Result<(), String> {
+    let mut spec = SimSpec::default();
+    if arg_flag("--quick") {
+        spec.instructions = 200_000;
+        spec.warmup = 20_000;
+        spec.cores = 1;
+    }
+    let label = match (arg_string("--trace"), arg_string("--workload")) {
+        (Some(path), _) => {
+            let p = PathBuf::from(path);
+            let label = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| "trace".into());
+            spec.source = SimSource::Trace(p);
+            label
+        }
+        (None, Some(w)) => {
+            spec.source = SimSource::Workload(w.clone());
+            w
+        }
+        (None, None) => "mcf".to_string(), // the SimSpec default
+    };
+    if let Some(v) = arg_u64("--cores") {
+        spec.cores = v as usize;
+    }
+    if let Some(v) = arg_u64("--instructions") {
+        spec.instructions = v;
+    }
+    if let Some(v) = arg_u64("--warmup") {
+        spec.warmup = v;
+    }
+    if let Some(v) = arg_u64("--seed") {
+        spec.seed = v;
+    }
+    if let Some(v) = arg_u64("--audit-cap") {
+        spec.audit_cap = v as usize;
+    }
+
+    let mut summaries = Vec::new();
+    for aware in [true, false] {
+        let run = run_hardware(&spec, aware)?;
+        let joined: Vec<_> = run
+            .segments
+            .iter()
+            .zip(&run.verdicts)
+            .map(|(seg, v)| join_segment(seg, v))
+            .collect();
+        let s = summarize(&label, run.scheme, &run.segments, &joined);
+        print_summary(&s);
+        summaries.push(s);
+    }
+    write_reports(&label, &["pc", "pn"], &summaries);
+    gate(&summaries)
+}
+
+fn cmd_serve() -> Result<(), String> {
+    let mut p = BenchParams::default();
+    if arg_flag("--quick") {
+        p.requests = 30_000;
+        p.keyspace = 5_000;
+        p.shards = 8;
+        p.shard_slots = 256;
+        p.shard_bytes = 128 * 1024;
+    }
+    if let Some(s) = arg_string("--stream") {
+        p.stream = StreamKind::parse(&s).ok_or_else(|| format!("unknown stream {s}"))?;
+    }
+    if let Some(v) = arg_u64("--requests") {
+        p.requests = v as usize;
+    }
+    if let Some(v) = arg_u64("--keyspace") {
+        p.keyspace = v;
+    }
+    if let Some(v) = arg_u64("--shards") {
+        p.shards = v as usize;
+    }
+    if let Some(v) = arg_u64("--shard-slots") {
+        p.shard_slots = v as usize;
+    }
+    if let Some(v) = arg_u64("--shard-bytes") {
+        p.shard_bytes = v;
+    }
+    if let Some(v) = arg_u64("--seed") {
+        p.seed = v;
+    }
+    let audit_cap = arg_u64("--audit-cap").unwrap_or(1 << 22) as usize;
+    let label = format!("serve_{}", p.stream.name());
+
+    let mut summaries = Vec::new();
+    for kind in [PolicyKind::Chrome, PolicyKind::ChromeNc] {
+        let run = run_serve(&BenchParams { policy: kind, ..p }, audit_cap)?;
+        if run.stream_join < 1.0 {
+            return Err(format!(
+                "{}: audited decisions disagree with the regenerated stream (join {:.6})",
+                run.result.policy, run.stream_join
+            ));
+        }
+        let joined: Vec<_> = run
+            .segments
+            .iter()
+            .zip(&run.verdicts)
+            .map(|(seg, v)| join_segment(seg, v))
+            .collect();
+        let s = summarize(&label, run.result.policy, &run.segments, &joined);
+        print_summary(&s);
+        summaries.push(s);
+    }
+    write_reports(&label, &["flow", "neighborhood"], &summaries);
+    gate(&summaries)
+}
+
+fn cmd_oracle() -> Result<(), String> {
+    let path = arg_string("--trace").ok_or("oracle needs --trace FILE.ctf")?;
+    let (accesses, bound) = trace_min_bound(path.as_ref())?;
+    println!(
+        "{path}: {accesses} line accesses, Belady LLC hit-ratio bound {:.4}",
+        bound
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    let result = match cmd.as_str() {
+        "sim" => cmd_sim(),
+        "serve" => cmd_serve(),
+        "oracle" => cmd_oracle(),
+        other => Err(format!(
+            "usage: forensics <sim|serve|oracle> [flags] (got {other:?})"
+        )),
+    };
+    match result {
+        Ok(()) => {
+            println!("forensics gate: OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("forensics: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,575 @@
+//! Joining the audit trail against the oracle, and rendering the
+//! result as machine-readable JSONL and a human-readable markdown
+//! "why" report.
+//!
+//! The join is positional: the oracle is computed over the decision-key
+//! sequence extracted from the audit segment itself, so the k-th
+//! decision of a segment pairs with the k-th verdict by construction.
+//! Rewards join by decision id. Divergence is judged per decision:
+//!
+//! * **miss-side** — the agent inserted (action ≠ 0) while MIN says the
+//!   block never pays off, or bypassed while MIN retains it to a hit;
+//! * **hit-side** — the agent marked the line for early eviction
+//!   (action 6) while MIN keeps it to its next use, or protected it
+//!   (actions 4–5) while MIN lets it die.
+//!
+//! For every diverging decision the per-feature Q components recorded
+//! at decision time are differenced against the oracle-preferred
+//! action, attributing the divergence to the feature whose vote moved
+//! the choice furthest — the "why" in the report.
+
+use chrome_telemetry::{AuditRecord, AuditSegment, DecisionRecord, AUDIT_FEATURES};
+
+use crate::oracle::OracleVerdict;
+
+/// Actions that insert on a miss (EPV a−1).
+const MISS_INSERTS: [usize; 3] = [1, 2, 3];
+/// Hit actions that protect the line (EPV a−4 below highest).
+const HIT_PROTECTS: [usize; 2] = [4, 5];
+/// The hit action that marks the line for early eviction.
+const HIT_DEMOTE: u8 = 6;
+
+/// One audited decision joined with its oracle verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinedDecision {
+    /// The recorded decision.
+    pub decision: DecisionRecord,
+    /// MIN's hindsight for the same access.
+    pub verdict: OracleVerdict,
+    /// The reward this decision eventually received, if one was
+    /// recorded before the log capped.
+    pub reward: Option<f64>,
+    /// The agent contradicted the oracle (see module docs).
+    pub diverged: bool,
+    /// The action the oracle prefers (bypass/demote for dead blocks;
+    /// otherwise the agent's best-valued insert/protect action).
+    pub oracle_action: u8,
+    /// Per-feature Q difference `q[f][chosen] − q[f][oracle_action]`.
+    pub qdelta: [f32; AUDIT_FEATURES],
+    /// Feature whose vote moved the choice furthest (argmax |qdelta|).
+    pub driving_feature: u8,
+}
+
+/// Sum of per-feature components: the engine's value for `action`
+/// restricted to the recorded snapshot.
+fn q_total(d: &DecisionRecord, action: usize) -> f32 {
+    (0..d.features as usize).map(|f| d.q[f][action]).sum()
+}
+
+/// The agent's best-valued action among `candidates`.
+fn best_of(d: &DecisionRecord, candidates: &[usize]) -> u8 {
+    let mut best = candidates[0];
+    for &a in &candidates[1..] {
+        if q_total(d, a) > q_total(d, best) {
+            best = a;
+        }
+    }
+    best as u8
+}
+
+/// Judge one decision against its verdict.
+pub fn judge(d: &DecisionRecord, v: OracleVerdict, reward: Option<f64>) -> JoinedDecision {
+    let (diverged, oracle_action) = if d.hit {
+        let demoted = d.action == HIT_DEMOTE;
+        let oracle_action = if v.survived {
+            best_of(d, &HIT_PROTECTS)
+        } else {
+            HIT_DEMOTE
+        };
+        (demoted == v.survived, oracle_action)
+    } else {
+        let inserted = d.action != 0;
+        // worth inserting only when MIN retains the block to a hit
+        let oracle_action = if v.survived {
+            best_of(d, &MISS_INSERTS)
+        } else {
+            0
+        };
+        (inserted != v.survived, oracle_action)
+    };
+    let mut qdelta = [0f32; AUDIT_FEATURES];
+    let mut driving = 0u8;
+    for f in 0..(d.features as usize).min(AUDIT_FEATURES) {
+        qdelta[f] = d.q[f][d.action as usize] - d.q[f][oracle_action as usize];
+        if qdelta[f].abs() > qdelta[driving as usize].abs() {
+            driving = f as u8;
+        }
+    }
+    JoinedDecision {
+        decision: *d,
+        verdict: v,
+        reward,
+        diverged,
+        oracle_action,
+        qdelta,
+        driving_feature: driving,
+    }
+}
+
+/// Join one segment's decisions with verdicts (positional) and rewards
+/// (by id). `verdicts` must align with the segment's decision sequence.
+pub fn join_segment(seg: &AuditSegment, verdicts: &[OracleVerdict]) -> Vec<JoinedDecision> {
+    let mut rewards: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for r in &seg.records {
+        if let AuditRecord::Reward(w) = r {
+            rewards.insert(w.id, w.reward);
+        }
+    }
+    seg.records
+        .iter()
+        .filter_map(|r| match r {
+            AuditRecord::Decision(d) => Some(d),
+            AuditRecord::Reward(_) => None,
+        })
+        .zip(verdicts)
+        .map(|(d, &v)| judge(d, v, rewards.get(&d.id).copied()))
+        .collect()
+}
+
+/// Per-workload regret accounting, aggregated over every joined
+/// decision of one (label, policy) run.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Workload / stream label.
+    pub label: String,
+    /// Policy name.
+    pub policy: String,
+    /// Decision records retained in the audit trail.
+    pub decisions: u64,
+    /// Decisions joined to an oracle verdict.
+    pub joined: u64,
+    /// Audit records dropped at record time (log full).
+    pub dropped: u64,
+    /// Decisions with a joined reward record.
+    pub rewarded: u64,
+    /// Decisions where ε-greedy exploration overrode the greedy choice.
+    pub explored: u64,
+    /// Hit ratio the agent realized over the audited sequence.
+    pub realized_hit_ratio: f64,
+    /// Belady bound over the same sequence.
+    pub min_hit_ratio: f64,
+    /// Decisions contradicting the oracle.
+    pub diverged: u64,
+    /// Miss-side decisions and their divergences.
+    pub miss_decisions: u64,
+    /// Miss-side divergences.
+    pub miss_diverged: u64,
+    /// Inserted a block MIN never retains to a hit (pollution).
+    pub insert_when_dead: u64,
+    /// Bypassed a block MIN retains to a hit (lost hit).
+    pub bypass_when_alive: u64,
+    /// Hit-side decisions.
+    pub hit_decisions: u64,
+    /// Hit-side divergences.
+    pub hit_diverged: u64,
+    /// Protected a line MIN lets die.
+    pub protect_when_dead: u64,
+    /// Demoted a line MIN keeps to its next use.
+    pub demote_when_alive: u64,
+    /// Divergences among explored decisions.
+    pub explored_diverged: u64,
+    /// How often each feature drove a divergence.
+    pub feature_driving: [u64; AUDIT_FEATURES],
+    /// Mean |qdelta| per feature over diverging decisions.
+    pub feature_mean_abs_qdelta: [f64; AUDIT_FEATURES],
+    /// Mean reward of oracle-agreeing rewarded decisions.
+    pub mean_reward_agree: f64,
+    /// Mean reward of diverging rewarded decisions.
+    pub mean_reward_diverge: f64,
+    /// Fraction of rewarded decisions whose reward sign agrees with the
+    /// oracle's approval (reward > 0 ⇔ not diverged) — the
+    /// reward-vs-realized-outcome calibration figure.
+    pub reward_calibration: f64,
+}
+
+impl Summary {
+    /// Diverging fraction of joined decisions.
+    pub fn divergence_rate(&self) -> f64 {
+        if self.joined == 0 {
+            0.0
+        } else {
+            self.diverged as f64 / self.joined as f64
+        }
+    }
+
+    /// Joined fraction of retained decisions.
+    pub fn join_rate(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.joined as f64 / self.decisions as f64
+        }
+    }
+
+    /// One JSONL line (self-describing, append-friendly).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"policy\":\"{}\",\"decisions\":{},\"joined\":{},\
+             \"join_rate\":{:.6},\"dropped\":{},\"rewarded\":{},\"explored\":{},\
+             \"realized_hit_ratio\":{:.6},\"min_hit_ratio\":{:.6},\
+             \"diverged\":{},\"divergence_rate\":{:.6},\
+             \"miss_decisions\":{},\"miss_diverged\":{},\
+             \"insert_when_dead\":{},\"bypass_when_alive\":{},\
+             \"hit_decisions\":{},\"hit_diverged\":{},\
+             \"protect_when_dead\":{},\"demote_when_alive\":{},\
+             \"explored_diverged\":{},\
+             \"feature_driving\":[{},{}],\
+             \"feature_mean_abs_qdelta\":[{:.6},{:.6}],\
+             \"mean_reward_agree\":{:.6},\"mean_reward_diverge\":{:.6},\
+             \"reward_calibration\":{:.6}}}",
+            chrome_exec::json::escape(&self.label),
+            chrome_exec::json::escape(&self.policy),
+            self.decisions,
+            self.joined,
+            self.join_rate(),
+            self.dropped,
+            self.rewarded,
+            self.explored,
+            self.realized_hit_ratio,
+            self.min_hit_ratio,
+            self.diverged,
+            self.divergence_rate(),
+            self.miss_decisions,
+            self.miss_diverged,
+            self.insert_when_dead,
+            self.bypass_when_alive,
+            self.hit_decisions,
+            self.hit_diverged,
+            self.protect_when_dead,
+            self.demote_when_alive,
+            self.explored_diverged,
+            self.feature_driving[0],
+            self.feature_driving[1],
+            self.feature_mean_abs_qdelta[0],
+            self.feature_mean_abs_qdelta[1],
+            self.mean_reward_agree,
+            self.mean_reward_diverge,
+            self.reward_calibration,
+        )
+    }
+}
+
+/// Aggregate joined decisions from all segments of one run.
+pub fn summarize(
+    label: &str,
+    policy: &str,
+    segments: &[AuditSegment],
+    joined: &[Vec<JoinedDecision>],
+) -> Summary {
+    let mut s = Summary {
+        label: label.to_string(),
+        policy: policy.to_string(),
+        ..Summary::default()
+    };
+    let mut abs_qdelta_sum = [0f64; AUDIT_FEATURES];
+    let mut reward_agree = (0u64, 0f64); // (count, sum)
+    let mut reward_diverge = (0u64, 0f64);
+    let mut sign_agreements = 0u64;
+    let mut realized_hits = 0u64;
+    let mut min_hits = 0u64;
+    for seg in segments {
+        s.dropped += seg.dropped;
+        s.decisions += seg
+            .records
+            .iter()
+            .filter(|r| matches!(r, AuditRecord::Decision(_)))
+            .count() as u64;
+    }
+    for j in joined.iter().flatten() {
+        s.joined += 1;
+        let d = &j.decision;
+        realized_hits += u64::from(d.hit);
+        min_hits += u64::from(j.verdict.min_hit);
+        s.explored += u64::from(d.explored);
+        if d.hit {
+            s.hit_decisions += 1;
+            if j.diverged {
+                s.hit_diverged += 1;
+                if j.verdict.survived {
+                    s.demote_when_alive += 1;
+                } else {
+                    s.protect_when_dead += 1;
+                }
+            }
+        } else {
+            s.miss_decisions += 1;
+            if j.diverged {
+                s.miss_diverged += 1;
+                if j.verdict.survived {
+                    s.bypass_when_alive += 1;
+                } else {
+                    s.insert_when_dead += 1;
+                }
+            }
+        }
+        if j.diverged {
+            s.diverged += 1;
+            s.explored_diverged += u64::from(d.explored);
+            s.feature_driving[j.driving_feature as usize] += 1;
+            for (sum, dq) in abs_qdelta_sum.iter_mut().zip(&j.qdelta) {
+                *sum += f64::from(dq.abs());
+            }
+        }
+        if let Some(r) = j.reward {
+            s.rewarded += 1;
+            if j.diverged {
+                reward_diverge.0 += 1;
+                reward_diverge.1 += r;
+            } else {
+                reward_agree.0 += 1;
+                reward_agree.1 += r;
+            }
+            if (r > 0.0) != j.diverged {
+                sign_agreements += 1;
+            }
+        }
+    }
+    if s.joined > 0 {
+        s.realized_hit_ratio = realized_hits as f64 / s.joined as f64;
+        s.min_hit_ratio = min_hits as f64 / s.joined as f64;
+    }
+    if s.diverged > 0 {
+        for (mean, sum) in s.feature_mean_abs_qdelta.iter_mut().zip(&abs_qdelta_sum) {
+            *mean = sum / s.diverged as f64;
+        }
+    }
+    if reward_agree.0 > 0 {
+        s.mean_reward_agree = reward_agree.1 / reward_agree.0 as f64;
+    }
+    if reward_diverge.0 > 0 {
+        s.mean_reward_diverge = reward_diverge.1 / reward_diverge.0 as f64;
+    }
+    if s.rewarded > 0 {
+        s.reward_calibration = sign_agreements as f64 / s.rewarded as f64;
+    }
+    s
+}
+
+/// Render the full markdown report: the summary table, a per-run "why"
+/// narrative, and CHROME-vs-ablation deltas where both are present.
+pub fn render_markdown(title: &str, feature_names: &[&str], summaries: &[Summary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Forensics report: {title}\n\n"));
+    out.push_str(
+        "| label | policy | decisions | joined | hit% | MIN% | diverge% | \
+         miss div | hit div | calibration |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for s in summaries {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.1}% | {:.2}% | {:.2}% | {:.2}% | {} | {} | {:.2} |\n",
+            s.label,
+            s.policy,
+            s.decisions,
+            s.join_rate() * 100.0,
+            s.realized_hit_ratio * 100.0,
+            s.min_hit_ratio * 100.0,
+            s.divergence_rate() * 100.0,
+            s.miss_diverged,
+            s.hit_diverged,
+            s.reward_calibration,
+        ));
+    }
+    out.push('\n');
+    for s in summaries {
+        out.push_str(&format!("## {} / {}\n\n", s.label, s.policy));
+        out.push_str(&format!(
+            "{} of {} joined decisions diverged from Belady ({:.2}%); the run realized a \
+             {:.2}% hit ratio against a {:.2}% clairvoyant bound.\n\n",
+            s.diverged,
+            s.joined,
+            s.divergence_rate() * 100.0,
+            s.realized_hit_ratio * 100.0,
+            s.min_hit_ratio * 100.0,
+        ));
+        out.push_str(&format!(
+            "- miss side: {} of {} diverged — {} polluting inserts of never-reused blocks, \
+             {} bypasses of blocks MIN retains to a hit\n",
+            s.miss_diverged, s.miss_decisions, s.insert_when_dead, s.bypass_when_alive,
+        ));
+        out.push_str(&format!(
+            "- hit side: {} of {} diverged — {} protections of dying lines, {} early-eviction \
+             marks on lines MIN keeps\n",
+            s.hit_diverged, s.hit_decisions, s.protect_when_dead, s.demote_when_alive,
+        ));
+        if s.diverged > 0 {
+            let total: u64 = s.feature_driving.iter().sum();
+            let top = (0..AUDIT_FEATURES)
+                .max_by_key(|&f| s.feature_driving[f])
+                .unwrap_or(0);
+            let name = feature_names.get(top).copied().unwrap_or("feature");
+            out.push_str(&format!(
+                "- attribution: `{}` drove {} of {} divergences ({:.0}%), mean |ΔQ| {:.3} \
+                 vs {:.3} for the other feature\n",
+                name,
+                s.feature_driving[top],
+                total,
+                if total > 0 {
+                    s.feature_driving[top] as f64 / total as f64 * 100.0
+                } else {
+                    0.0
+                },
+                s.feature_mean_abs_qdelta[top],
+                s.feature_mean_abs_qdelta[1 - top.min(1)],
+            ));
+        }
+        out.push_str(&format!(
+            "- calibration: rewarded decisions agree with the oracle's sign {:.0}% of the \
+             time (mean reward {:.3} when agreeing, {:.3} when diverging); {} of {} \
+             divergences came from ε-exploration\n\n",
+            s.reward_calibration * 100.0,
+            s.mean_reward_agree,
+            s.mean_reward_diverge,
+            s.explored_diverged,
+            s.diverged,
+        ));
+    }
+    // ablation deltas: pair each label's first two policies
+    let mut labels: Vec<&str> = summaries.iter().map(|s| s.label.as_str()).collect();
+    labels.dedup();
+    for label in labels {
+        let of_label: Vec<&Summary> = summaries.iter().filter(|s| s.label == label).collect();
+        if of_label.len() >= 2 {
+            let (a, b) = (of_label[0], of_label[1]);
+            out.push_str(&format!(
+                "**{} vs {} on {}**: divergence {:.2}% vs {:.2}% ({:+.2} pts), hit ratio \
+                 {:.2}% vs {:.2}% ({:+.2} pts against a shared {:.2}% MIN bound).\n\n",
+                a.policy,
+                b.policy,
+                label,
+                a.divergence_rate() * 100.0,
+                b.divergence_rate() * 100.0,
+                (a.divergence_rate() - b.divergence_rate()) * 100.0,
+                a.realized_hit_ratio * 100.0,
+                b.realized_hit_ratio * 100.0,
+                (a.realized_hit_ratio - b.realized_hit_ratio) * 100.0,
+                a.min_hit_ratio * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chrome_telemetry::{AuditLog, RewardRecord, AUDIT_ACTIONS};
+
+    fn decision(id: u64, key: u64, hit: bool, action: u8) -> DecisionRecord {
+        let mut q = [[0f32; AUDIT_ACTIONS]; AUDIT_FEATURES];
+        // feature 0 strongly favors the chosen action
+        q[0][action as usize] = 2.0;
+        q[1][action as usize] = 0.5;
+        DecisionRecord {
+            id,
+            key,
+            state: [key * 3, key * 7],
+            lane: 0,
+            features: 2,
+            action,
+            hit,
+            sampled: true,
+            explored: id.is_multiple_of(4),
+            q,
+        }
+    }
+
+    #[test]
+    fn miss_divergence_is_insert_vs_survival() {
+        let dead = OracleVerdict {
+            min_hit: false,
+            reused: false,
+            survived: false,
+        };
+        let alive = OracleVerdict {
+            min_hit: false,
+            reused: true,
+            survived: true,
+        };
+        // inserted a dead block: diverged, oracle prefers bypass
+        let j = judge(&decision(0, 1, false, 2), dead, None);
+        assert!(j.diverged);
+        assert_eq!(j.oracle_action, 0);
+        assert_eq!(j.driving_feature, 0, "feature 0 held the larger vote");
+        // bypassed a live block: diverged, oracle prefers an insert
+        let j = judge(&decision(1, 1, false, 0), alive, None);
+        assert!(j.diverged);
+        assert!(MISS_INSERTS.contains(&(j.oracle_action as usize)));
+        // inserted a live block: agreement
+        assert!(!judge(&decision(2, 1, false, 3), alive, None).diverged);
+        // bypassed a dead block: agreement
+        assert!(!judge(&decision(3, 1, false, 0), dead, None).diverged);
+    }
+
+    #[test]
+    fn hit_divergence_is_demotion_vs_survival() {
+        let stays = OracleVerdict {
+            min_hit: true,
+            reused: true,
+            survived: true,
+        };
+        let dies = OracleVerdict {
+            min_hit: true,
+            reused: true,
+            survived: false,
+        };
+        assert!(judge(&decision(0, 1, true, 6), stays, None).diverged);
+        assert!(judge(&decision(1, 1, true, 4), dies, None).diverged);
+        assert_eq!(judge(&decision(2, 1, true, 4), dies, None).oracle_action, 6);
+        assert!(!judge(&decision(3, 1, true, 5), stays, None).diverged);
+        assert!(!judge(&decision(4, 1, true, 6), dies, None).diverged);
+    }
+
+    #[test]
+    fn join_pairs_positionally_and_by_id() {
+        let mut log = AuditLog::new(0, 64);
+        log.push_decision(decision(10, 1, false, 2));
+        log.push_decision(decision(11, 2, false, 0));
+        log.push_reward(RewardRecord {
+            id: 10,
+            matched: true,
+            reward: 5.0,
+        });
+        let segs = chrome_telemetry::parse_audit(&log.to_bytes()).unwrap();
+        let verdicts = vec![OracleVerdict::default(); 2];
+        let joined = join_segment(&segs[0], &verdicts);
+        assert_eq!(joined.len(), 2);
+        assert_eq!(joined[0].reward, Some(5.0));
+        assert_eq!(joined[1].reward, None);
+    }
+
+    #[test]
+    fn summary_accounting_and_render() {
+        let mut log = AuditLog::new(0, 64);
+        log.push_decision(decision(0, 1, false, 2)); // insert, dead -> diverge
+        log.push_decision(decision(1, 2, false, 0)); // bypass, dead -> agree
+        log.push_decision(decision(2, 3, true, 6)); // demote, survives -> diverge
+        log.push_reward(RewardRecord {
+            id: 1,
+            matched: false,
+            reward: 3.0,
+        });
+        let segs = chrome_telemetry::parse_audit(&log.to_bytes()).unwrap();
+        let dead = OracleVerdict::default();
+        let stays = OracleVerdict {
+            min_hit: true,
+            reused: true,
+            survived: true,
+        };
+        let joined = vec![join_segment(&segs[0], &[dead, dead, stays])];
+        let s = summarize("toy", "CHROME", &segs, &joined);
+        assert_eq!(s.decisions, 3);
+        assert_eq!(s.joined, 3);
+        assert_eq!(s.diverged, 2);
+        assert_eq!(s.insert_when_dead, 1);
+        assert_eq!(s.demote_when_alive, 1);
+        assert_eq!(s.rewarded, 1);
+        assert!((s.reward_calibration - 1.0).abs() < 1e-12);
+        assert!((s.divergence_rate() - 2.0 / 3.0).abs() < 1e-12);
+        let json = s.to_json();
+        assert!(chrome_exec::json::parse(&json).is_some(), "JSONL parses");
+        let md = render_markdown("toy", &["pc", "pn"], &[s]);
+        assert!(md.contains("diverged from Belady"));
+        assert!(md.contains("| toy | CHROME |"));
+    }
+}

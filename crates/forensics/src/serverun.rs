@@ -1,0 +1,133 @@
+//! Audited serving-cache runs: drive the sharded KV cache with the
+//! CHROME policy (or its concurrency-unaware ablation), audit every
+//! shard's decisions, and compute the per-shard next-request oracle.
+//!
+//! Each shard is its own audit stream and its own oracle group: the
+//! shard router is a pure key hash, so a shard's decision sequence is
+//! exactly its request subsequence. The oracle is size-aware — object
+//! sizes are a pure function of the key (the same function the cache
+//! uses), so MIN plays against the genuine slot *and* byte budgets.
+//!
+//! `stream_join` cross-checks the audit against an independently
+//! regenerated request stream: the k-th audited decision of shard `s`
+//! must carry the key of the k-th generated request routed to `s`.
+//! That validates the join the reports rely on end to end.
+
+use chrome_exec::workload_seed;
+use chrome_serve::{bench, BenchParams, BenchResult, Request, RequestStream};
+use chrome_sim::types::mix64;
+use chrome_telemetry::{parse_audit, AuditSegment};
+
+use crate::oracle::{min_oracle, GroupCapacity, OracleVerdict};
+use crate::simrun::decision_keys;
+
+/// One audited serve run with its oracle verdicts.
+#[derive(Debug)]
+pub struct ServeRun {
+    /// Benchmark outcome (policy name inside).
+    pub result: BenchResult,
+    /// Parsed audit segments, one per shard, in shard order.
+    pub segments: Vec<AuditSegment>,
+    /// Oracle verdicts aligned with each segment's decision sequence.
+    pub verdicts: Vec<Vec<OracleVerdict>>,
+    /// Fraction of audited decisions whose key matches the
+    /// independently regenerated request stream (1.0 = perfect join).
+    pub stream_join: f64,
+}
+
+/// Object size for `key` — the cache's own key-pure size function.
+fn size_of(key: u64) -> u64 {
+    u64::from(Request { key, tenant: 0 }.size())
+}
+
+/// Run one audited serve cell and compute the per-shard oracle.
+pub fn run_serve(p: &BenchParams, audit_cap: usize) -> Result<ServeRun, String> {
+    let (result, blob) = bench::run_audited(p, audit_cap);
+    let segments = parse_audit(&blob)?;
+    let verdicts: Vec<Vec<OracleVerdict>> = segments
+        .iter()
+        .map(|seg| {
+            let keys = decision_keys(seg);
+            min_oracle(
+                &keys,
+                GroupCapacity {
+                    slots: p.shard_slots,
+                    bytes: Some(p.shard_bytes),
+                },
+                |_| 0, // a segment IS one shard: a single group
+                size_of,
+            )
+        })
+        .collect();
+
+    // regenerate the stream and replay the router to validate the join
+    let stream_seed = workload_seed(p.stream.name(), p.shards as u32, p.seed);
+    let requests = RequestStream::generate(p.stream, p.requests, p.keyspace, stream_seed);
+    let mask = (p.shards - 1) as u64;
+    let mut expected: Vec<Vec<u64>> = vec![Vec::new(); p.shards];
+    for r in &requests {
+        expected[(mix64(r.key) & mask) as usize].push(r.key);
+    }
+    let mut total = 0u64;
+    let mut matched = 0u64;
+    for seg in &segments {
+        let audited = decision_keys(seg);
+        let want = &expected[seg.stream as usize];
+        total += audited.len() as u64;
+        matched += audited.iter().zip(want).filter(|(a, b)| a == b).count() as u64;
+    }
+    let stream_join = if total == 0 {
+        0.0
+    } else {
+        matched as f64 / total as f64
+    };
+    Ok(ServeRun {
+        result,
+        segments,
+        verdicts,
+        stream_join,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chrome_serve::{PolicyKind, StreamKind};
+
+    fn quick(policy: PolicyKind) -> BenchParams {
+        BenchParams {
+            policy,
+            stream: StreamKind::MixedTenant,
+            threads: 4,
+            requests: 20_000,
+            keyspace: 4_000,
+            shards: 8,
+            shard_slots: 128,
+            shard_bytes: 64 * 1024,
+            ..BenchParams::default()
+        }
+    }
+
+    #[test]
+    fn serve_run_joins_the_regenerated_stream_exactly() {
+        let run = run_serve(&quick(PolicyKind::Chrome), 1 << 20).expect("runs");
+        assert_eq!(run.segments.len(), 8, "one segment per shard");
+        assert!(
+            (run.stream_join - 1.0).abs() < 1e-12,
+            "positional key join must be perfect, got {}",
+            run.stream_join
+        );
+        let decisions: usize = run.verdicts.iter().map(Vec::len).sum();
+        assert_eq!(decisions as u64, run.result.stats.requests);
+        // the oracle's bound dominates the realized hit ratio
+        let min_hits: usize = run.verdicts.iter().flatten().filter(|v| v.min_hit).count();
+        assert!(min_hits as f64 / decisions as f64 >= run.result.stats.hit_ratio());
+    }
+
+    #[test]
+    fn unaware_ablation_runs_too() {
+        let run = run_serve(&quick(PolicyKind::ChromeNc), 1 << 20).expect("runs");
+        assert_eq!(run.result.policy, "chrome-nc");
+        assert!((run.stream_join - 1.0).abs() < 1e-12);
+    }
+}

@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use chrome_exec::workload_seed;
 
-use crate::cache::{CacheStats, ServeCache, ServeConfig};
+use crate::cache::{CacheStats, PolicyTiming, ServeCache, ServeConfig};
 use crate::policy::PolicyKind;
 use crate::stream::{Request, RequestStream, StreamKind};
 
@@ -46,6 +46,9 @@ pub struct BenchParams {
     pub shard_slots: usize,
     /// Value-byte budget per shard.
     pub shard_bytes: u64,
+    /// Time the policy's decision path (see
+    /// [`ServeConfig::time_policy`]).
+    pub time_policy: bool,
 }
 
 impl Default for BenchParams {
@@ -60,6 +63,20 @@ impl Default for BenchParams {
             shards: 16,
             shard_slots: 512,
             shard_bytes: 256 * 1024,
+            time_policy: false,
+        }
+    }
+}
+
+impl BenchParams {
+    fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            policy: self.policy,
+            shards: self.shards,
+            shard_slots: self.shard_slots,
+            shard_bytes: self.shard_bytes,
+            seed: self.seed,
+            time_policy: self.time_policy,
         }
     }
 }
@@ -83,21 +100,47 @@ pub struct BenchResult {
     pub wall_ms: f64,
     /// Requests per wall-clock second — machine-dependent.
     pub rps: f64,
+    /// Decision-path timing, when [`BenchParams::time_policy`] was set.
+    pub timing: Option<PolicyTiming>,
+}
+
+/// Where the decision-event stream went: how much the run produced,
+/// how much the bounded rings kept, and how much an export cap cut.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventsMeta {
+    /// Decision events the run offered to the rings.
+    pub offered: u64,
+    /// Stored events the bounded rings later overwrote.
+    pub overwritten: u64,
+    /// JSONL lines actually exported.
+    pub exported: u64,
+    /// Retained lines dropped by an explicit export cap.
+    pub truncated: u64,
 }
 
 /// Run one benchmark cell.
 pub fn run(p: &BenchParams) -> BenchResult {
+    run_inner(p, None).0
+}
+
+/// Run one cell with per-decision audit recording on (bounded to
+/// `audit_cap` records per shard), returning the merged binary audit
+/// trail alongside the result. The blob is byte-identical at any
+/// thread count.
+pub fn run_audited(p: &BenchParams, audit_cap: usize) -> (BenchResult, Vec<u8>) {
+    let (result, audit) = run_inner(p, Some(audit_cap));
+    (result, audit.expect("audit requested"))
+}
+
+fn run_inner(p: &BenchParams, audit_cap: Option<usize>) -> (BenchResult, Option<Vec<u8>>) {
     // the stream seed depends on (stream, shards, seed) but NOT the
     // thread count: any -j produces the same requests
     let stream_seed = workload_seed(p.stream.name(), p.shards as u32, p.seed);
     let requests = RequestStream::generate(p.stream, p.requests, p.keyspace, stream_seed);
-    let cache = ServeCache::new(&ServeConfig {
-        policy: p.policy,
-        shards: p.shards,
-        shard_slots: p.shard_slots,
-        shard_bytes: p.shard_bytes,
-        seed: p.seed,
-    });
+    let cache = ServeCache::new(&p.serve_config());
+    if let Some(cap) = audit_cap {
+        cache.enable_audit(cap);
+    }
 
     // partition per shard, preserving stream order within each shard
     let mut by_shard: Vec<Vec<Request>> = (0..p.shards).map(|_| Vec::new()).collect();
@@ -125,7 +168,7 @@ pub fn run(p: &BenchParams) -> BenchResult {
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
 
     let hist = cache.histogram();
-    BenchResult {
+    let result = BenchResult {
         policy: p.policy.name(),
         stream: p.stream.name(),
         threads,
@@ -134,21 +177,29 @@ pub fn run(p: &BenchParams) -> BenchResult {
         p99_us: hist.percentile(0.99),
         wall_ms: wall * 1e3,
         rps: p.requests as f64 / wall,
-    }
+        timing: cache.timing(),
+    };
+    let audit = audit_cap.map(|_| cache.audit_bytes());
+    (result, audit)
 }
 
 /// Run one cell and also return the cache's decision-event JSONL
 /// (empty unless the policy keeps a ring).
 pub fn run_with_events(p: &BenchParams) -> (BenchResult, String) {
+    let (result, jsonl, _) = run_with_events_capped(p, None);
+    (result, jsonl)
+}
+
+/// Like [`run_with_events`], but drop retained lines past `max_events`
+/// and account for everything the export did not keep in the returned
+/// [`EventsMeta`].
+pub fn run_with_events_capped(
+    p: &BenchParams,
+    max_events: Option<u64>,
+) -> (BenchResult, String, EventsMeta) {
     let stream_seed = workload_seed(p.stream.name(), p.shards as u32, p.seed);
     let requests = RequestStream::generate(p.stream, p.requests, p.keyspace, stream_seed);
-    let cache = ServeCache::new(&ServeConfig {
-        policy: p.policy,
-        shards: p.shards,
-        shard_slots: p.shard_slots,
-        shard_bytes: p.shard_bytes,
-        seed: p.seed,
-    });
+    let cache = ServeCache::new(&p.serve_config());
     for r in &requests {
         cache.access(r);
     }
@@ -162,8 +213,29 @@ pub fn run_with_events(p: &BenchParams) -> (BenchResult, String) {
         p99_us: hist.percentile(0.99),
         wall_ms: 0.0,
         rps: 0.0,
+        timing: cache.timing(),
     };
-    (result, cache.events_jsonl())
+    let jsonl = cache.events_jsonl();
+    let retained = jsonl.lines().count() as u64;
+    let (offered, overwritten) = cache.events_meta();
+    let (jsonl, exported) = match max_events {
+        Some(cap) if retained > cap => {
+            let mut kept = String::new();
+            for line in jsonl.lines().take(cap as usize) {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+            (kept, cap)
+        }
+        _ => (jsonl, retained),
+    };
+    let meta = EventsMeta {
+        offered,
+        overwritten,
+        exported,
+        truncated: retained - exported,
+    };
+    (result, jsonl, meta)
 }
 
 #[cfg(test)]
@@ -209,5 +281,61 @@ mod tests {
         let (with_events, jsonl) = run_with_events(&p);
         assert_eq!(plain.stats, with_events.stats);
         assert!(!jsonl.is_empty());
+    }
+
+    #[test]
+    fn events_cap_truncates_and_accounts() {
+        let p = quick(PolicyKind::Chrome, StreamKind::Zipf, 1);
+        let (_, full, meta_full) = run_with_events_capped(&p, None);
+        let retained = full.lines().count() as u64;
+        assert_eq!(meta_full.exported, retained);
+        assert_eq!(meta_full.truncated, 0);
+        assert!(meta_full.offered >= retained + meta_full.overwritten);
+
+        let cap = retained / 2;
+        let (_, capped, meta) = run_with_events_capped(&p, Some(cap));
+        assert_eq!(capped.lines().count() as u64, cap);
+        assert_eq!(meta.exported, cap);
+        assert_eq!(meta.truncated, retained - cap);
+        // the capped export is a prefix of the full one
+        assert!(full.starts_with(&capped));
+    }
+
+    #[test]
+    fn timing_is_collected_only_on_request() {
+        let mut p = quick(PolicyKind::Chrome, StreamKind::Zipf, 1);
+        assert!(run(&p).timing.is_none());
+        p.time_policy = true;
+        let timed = run(&p);
+        let t = timed.timing.expect("timing requested");
+        assert!(t.admit_calls > 0 && t.hit_calls > 0);
+        assert!(t.total_ns() > 0);
+        assert_eq!(
+            t.admit_calls, timed.stats.misses,
+            "admit runs on every miss"
+        );
+        assert_eq!(t.hit_calls, timed.stats.hits);
+    }
+
+    #[test]
+    fn audited_run_matches_plain_and_parses() {
+        let p = quick(PolicyKind::Chrome, StreamKind::MixedTenant, 4);
+        let plain = run(&p);
+        let (audited, blob) = run_audited(&p, 1 << 20);
+        assert_eq!(plain.stats, audited.stats, "auditing must not perturb");
+        let segs = chrome_telemetry::parse_audit(&blob).expect("audit blob parses");
+        assert_eq!(segs.len(), p.shards, "one segment per shard");
+        for (i, seg) in segs.iter().enumerate() {
+            assert_eq!(seg.stream, i as u32, "segments in shard order");
+        }
+        let decisions: u64 = segs
+            .iter()
+            .flat_map(|s| &s.records)
+            .filter(|r| matches!(r, chrome_telemetry::AuditRecord::Decision(_)))
+            .count() as u64;
+        assert_eq!(
+            decisions, plain.stats.requests,
+            "every request is one audited decision"
+        );
     }
 }

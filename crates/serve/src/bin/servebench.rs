@@ -7,7 +7,8 @@
 //!            [--threads N] [--requests N] [--keyspace N] [--seed S]
 //!            [--shards N] [--shard-slots N] [--shard-bytes N]
 //!            [--quick] [--out FILE] [--baseline FILE]
-//!            [--gate-chrome] [--telemetry-out FILE]
+//!            [--gate-chrome] [--telemetry-out FILE] [--max-events N]
+//!            [--time-policy]
 //! ```
 //!
 //! Counters and percentiles are byte-reproducible for a fixed seed at
@@ -20,7 +21,12 @@
 //! `--gate-chrome` additionally requires CHROME to beat plain LRU on
 //! hit ratio (the paper's serve-side acceptance claim). With
 //! `--telemetry-out FILE` the CHROME run's per-decision event JSONL
-//! (features, action, Q-estimate, rewards) is captured as well.
+//! (features, action, Q-estimate, rewards) is captured as well,
+//! bounded by `--max-events N` (default 1,000,000 lines) with a
+//! `meta` trailer line accounting for everything not kept.
+//! `--time-policy` measures wall time inside each policy's decision
+//! callbacks and reports ns/call per policy — the instrument behind
+//! the "where does CHROME's throughput gap come from" question.
 
 use chrome_exec::json;
 use chrome_serve::{bench, BenchParams, BenchResult, PolicyKind, StreamKind};
@@ -82,6 +88,7 @@ fn params_from_args() -> BenchParams {
     if let Some(v) = arg_u64("--shard-bytes") {
         p.shard_bytes = v;
     }
+    p.time_policy = arg_flag("--time-policy");
     p
 }
 
@@ -129,6 +136,21 @@ fn main() {
             r.rps,
             r.stats.errors,
         );
+        if let Some(t) = r.timing.as_ref() {
+            println!(
+                "         decision path: {:.0} ns/call (admit {:.0}ns x{}, hit {:.0}ns x{}, \
+                 victim {:.0}ns x{}, insert {:.0}ns x{})",
+                t.mean_ns(),
+                per_call(t.admit_ns, t.admit_calls),
+                t.admit_calls,
+                per_call(t.hit_ns, t.hit_calls),
+                t.hit_calls,
+                per_call(t.victim_ns, t.victim_calls),
+                t.victim_calls,
+                per_call(t.insert_ns, t.insert_calls),
+                t.insert_calls,
+            );
+        }
         assert_eq!(
             r.stats.errors, 0,
             "{}: read-path integrity failure",
@@ -150,14 +172,26 @@ fn main() {
     }
 
     if let Some(path) = arg_string("--telemetry-out") {
-        let (_, jsonl) = bench::run_with_events(&BenchParams {
-            policy: PolicyKind::Chrome,
-            ..base
-        });
+        let cap = arg_u64("--max-events").unwrap_or(1_000_000);
+        let (_, mut jsonl, meta) = bench::run_with_events_capped(
+            &BenchParams {
+                policy: PolicyKind::Chrome,
+                ..base
+            },
+            Some(cap),
+        );
+        // trailer line: what the bounded rings and the cap dropped, so
+        // a consumer can tell a short file from a truncated one
+        jsonl.push_str(&format!(
+            "{{\"kind\":\"meta\",\"offered\":{},\"overwritten\":{},\"exported\":{},\
+             \"truncated\":{},\"max_events\":{}}}\n",
+            meta.offered, meta.overwritten, meta.exported, meta.truncated, cap
+        ));
         std::fs::write(&path, &jsonl).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!(
-            "wrote {path} ({} decision-event lines)",
-            jsonl.lines().count()
+            "wrote {path} ({} decision-event lines; {} offered, {} overwritten in-ring, {} \
+             dropped by --max-events {cap})",
+            meta.exported, meta.offered, meta.overwritten, meta.truncated
         );
     }
 
@@ -251,15 +285,40 @@ fn quoted(s: &str) -> String {
     format!("\"{}\"", json::escape(s))
 }
 
+/// Mean nanoseconds for one callback lane (0 when never called).
+fn per_call(ns: u64, calls: u64) -> f64 {
+    if calls == 0 {
+        0.0
+    } else {
+        ns as f64 / calls as f64
+    }
+}
+
 fn render_json(base: &BenchParams, rows: &[BenchResult], aggregate_rps: f64) -> String {
     let policy_rows: Vec<String> = rows
         .iter()
         .map(|r| {
+            let timing = r
+                .timing
+                .as_ref()
+                .map(|t| {
+                    format!(
+                        ",\"policy_ns_per_call\":{:.1},\"admit_ns_per_call\":{:.1},\
+                         \"hit_ns_per_call\":{:.1},\"victim_ns_per_call\":{:.1},\
+                         \"insert_ns_per_call\":{:.1}",
+                        t.mean_ns(),
+                        per_call(t.admit_ns, t.admit_calls),
+                        per_call(t.hit_ns, t.hit_calls),
+                        per_call(t.victim_ns, t.victim_calls),
+                        per_call(t.insert_ns, t.insert_calls),
+                    )
+                })
+                .unwrap_or_default();
             format!(
                 "    {{\"policy\":{},\"requests\":{},\"hits\":{},\"misses\":{},\
                  \"admits\":{},\"bypasses\":{},\"evictions\":{},\"errors\":{},\
                  \"hit_ratio\":{:.6},\"p50_us\":{},\"p99_us\":{},\"rps\":{:.0},\
-                 \"wall_ms\":{:.3}}}",
+                 \"wall_ms\":{:.3}{timing}}}",
                 quoted(r.policy),
                 r.stats.requests,
                 r.stats.hits,

@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use chrome_exec::splitmix64;
 use chrome_sim::types::mix64;
@@ -47,6 +48,11 @@ pub struct ServeConfig {
     pub shard_bytes: u64,
     /// Root seed; per-shard streams derive from it.
     pub seed: u64,
+    /// Measure wall time spent inside policy callbacks (admission,
+    /// hit bookkeeping, victim selection, insert bookkeeping). Off by
+    /// default: the `Instant` reads cost more than a heuristic's whole
+    /// callback, so timing is opt-in for overhead studies only.
+    pub time_policy: bool,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +63,60 @@ impl Default for ServeConfig {
             shard_slots: 512,
             shard_bytes: 256 * 1024,
             seed: 0xC42,
+            time_policy: false,
+        }
+    }
+}
+
+/// Wall time spent inside the replacement policy's callbacks, split by
+/// callback, merged across shards. Only collected when
+/// [`ServeConfig::time_policy`] is set; the numbers are
+/// machine-dependent (unlike every counter in [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyTiming {
+    /// Nanoseconds inside `admit` (the decision path on every miss).
+    pub admit_ns: u64,
+    /// Calls to `admit`.
+    pub admit_calls: u64,
+    /// Nanoseconds inside `on_hit`.
+    pub hit_ns: u64,
+    /// Calls to `on_hit`.
+    pub hit_calls: u64,
+    /// Nanoseconds inside `choose_victim`.
+    pub victim_ns: u64,
+    /// Calls to `choose_victim`.
+    pub victim_calls: u64,
+    /// Nanoseconds inside `on_insert`.
+    pub insert_ns: u64,
+    /// Calls to `on_insert`.
+    pub insert_calls: u64,
+}
+
+impl PolicyTiming {
+    /// Fold another shard's timing into this one.
+    pub fn merge(&mut self, other: &PolicyTiming) {
+        self.admit_ns += other.admit_ns;
+        self.admit_calls += other.admit_calls;
+        self.hit_ns += other.hit_ns;
+        self.hit_calls += other.hit_calls;
+        self.victim_ns += other.victim_ns;
+        self.victim_calls += other.victim_calls;
+        self.insert_ns += other.insert_ns;
+        self.insert_calls += other.insert_calls;
+    }
+
+    /// Total nanoseconds across all four callbacks.
+    pub fn total_ns(&self) -> u64 {
+        self.admit_ns + self.hit_ns + self.victim_ns + self.insert_ns
+    }
+
+    /// Mean nanoseconds per policy call (0 when nothing was timed).
+    pub fn mean_ns(&self) -> f64 {
+        let calls = self.admit_calls + self.hit_calls + self.victim_calls + self.insert_calls;
+        if calls == 0 {
+            0.0
+        } else {
+            self.total_ns() as f64 / calls as f64
         }
     }
 }
@@ -188,10 +248,11 @@ struct Shard {
     window_evictions: u64,
     stats: CacheStats,
     hist: LatencyHist,
+    timing: Option<PolicyTiming>,
 }
 
 impl Shard {
-    fn new(slots: usize, budget: u64, policy: Box<dyn ShardPolicy>) -> Self {
+    fn new(slots: usize, budget: u64, policy: Box<dyn ShardPolicy>, timed: bool) -> Self {
         Shard {
             map: HashMap::with_capacity(slots),
             entries: (0..slots).map(|_| None).collect(),
@@ -204,6 +265,25 @@ impl Shard {
             window_evictions: 0,
             stats: CacheStats::default(),
             hist: LatencyHist::default(),
+            timing: timed.then(PolicyTiming::default),
+        }
+    }
+
+    /// Start the clock for one policy callback, if timing is on.
+    fn clock_start(&self) -> Option<Instant> {
+        self.timing.is_some().then(Instant::now)
+    }
+
+    /// Charge an elapsed callback to `(ns, calls)` picked by `lane`.
+    fn clock_stop(
+        &mut self,
+        t0: Option<Instant>,
+        lane: fn(&mut PolicyTiming) -> (&mut u64, &mut u64),
+    ) {
+        if let (Some(t0), Some(timing)) = (t0, self.timing.as_mut()) {
+            let (ns, calls) = lane(timing);
+            *ns += t0.elapsed().as_nanos() as u64;
+            *calls += 1;
         }
     }
 
@@ -219,7 +299,9 @@ impl Shard {
     }
 
     fn evict_one(&mut self) {
+        let t0 = self.clock_start();
         let victim = self.policy.choose_victim();
+        self.clock_stop(t0, |t| (&mut t.victim_ns, &mut t.victim_calls));
         let entry = self.entries[victim as usize]
             .take()
             .expect("victim slot is resident");
@@ -248,7 +330,9 @@ impl Shard {
             key: req.key,
             value,
         });
+        let t0 = self.clock_start();
         self.policy.on_insert(slot, req, &self.pressure);
+        self.clock_stop(t0, |t| (&mut t.insert_ns, &mut t.insert_calls));
         self.stats.admits += 1;
     }
 
@@ -260,7 +344,9 @@ impl Shard {
         if let Some(&slot) = self.map.get(&req.key) {
             self.stats.hits += 1;
             self.hist.record(HIT_US);
+            let t0 = self.clock_start();
             self.policy.on_hit(slot, req, &self.pressure);
+            self.clock_stop(t0, |t| (&mut t.hit_ns, &mut t.hit_calls));
             let entry = self.entries[slot as usize]
                 .as_ref()
                 .expect("mapped slot is resident");
@@ -271,7 +357,10 @@ impl Shard {
         } else {
             self.stats.misses += 1;
             self.hist.record(req.miss_cost_us());
-            if self.policy.admit(req, &self.pressure) {
+            let t0 = self.clock_start();
+            let admitted = self.policy.admit(req, &self.pressure);
+            self.clock_stop(t0, |t| (&mut t.admit_ns, &mut t.admit_calls));
+            if admitted {
                 self.insert(req);
             } else {
                 self.stats.bypasses += 1;
@@ -304,7 +393,12 @@ impl ServeCache {
             .map(|s| {
                 let seed = splitmix64(cfg.seed ^ (s as u64));
                 let policy = cfg.policy.build(cfg.shard_slots, seed);
-                Mutex::new(Shard::new(cfg.shard_slots, cfg.shard_bytes, policy))
+                Mutex::new(Shard::new(
+                    cfg.shard_slots,
+                    cfg.shard_bytes,
+                    policy,
+                    cfg.time_policy,
+                ))
             })
             .collect();
         ServeCache {
@@ -378,6 +472,66 @@ impl ServeCache {
         }
         out
     }
+
+    /// `(offered, overwritten)` event counts summed over every shard's
+    /// ring: how many decision events the run produced versus how many
+    /// the bounded rings have already discarded.
+    pub fn events_meta(&self) -> (u64, u64) {
+        let mut offered = 0;
+        let mut overwritten = 0;
+        for s in &self.shards {
+            let shard = s.lock().expect("shard lock poisoned");
+            if let Some(ring) = shard.policy.events() {
+                offered += ring.offered();
+                overwritten += ring.overwritten();
+            }
+        }
+        (offered, overwritten)
+    }
+
+    /// Turn on per-decision audit recording in every shard, each shard
+    /// tagged as its own stream and bounded to `cap` records. Returns
+    /// the number of shards whose policy supports auditing (0 for
+    /// heuristics).
+    pub fn enable_audit(&self, cap: usize) -> usize {
+        let mut enabled = 0;
+        for (i, s) in self.shards.iter().enumerate() {
+            let mut shard = s.lock().expect("shard lock poisoned");
+            if shard.policy.enable_audit(i as u32, cap) {
+                enabled += 1;
+            }
+        }
+        enabled
+    }
+
+    /// The audit trail as one binary blob: each shard's segment in
+    /// shard-index order. Since requests are routed to shards by a
+    /// pure key hash and each shard is single-writer, the blob is
+    /// byte-identical at any thread count — the same argument that
+    /// makes [`ServeCache::events_jsonl`] deterministic.
+    pub fn audit_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let shard = s.lock().expect("shard lock poisoned");
+            if let Some(log) = shard.policy.audit() {
+                out.extend_from_slice(&log.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Policy-callback timing merged across shards; `None` unless the
+    /// cache was built with [`ServeConfig::time_policy`].
+    pub fn timing(&self) -> Option<PolicyTiming> {
+        let mut total: Option<PolicyTiming> = None;
+        for s in &self.shards {
+            let shard = s.lock().expect("shard lock poisoned");
+            if let Some(t) = shard.timing.as_ref() {
+                total.get_or_insert_with(PolicyTiming::default).merge(t);
+            }
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +546,7 @@ mod tests {
             shard_slots: 32,
             shard_bytes: 32 * 1024,
             seed: 7,
+            time_policy: false,
         })
     }
 
@@ -490,6 +645,7 @@ mod tests {
             shard_slots: 16,
             shard_bytes: 16 * 1024,
             seed: 1,
+            time_policy: false,
         });
         for r in RequestStream::generate(StreamKind::Scan, 3 * PRESSURE_WINDOW as usize, 1 << 20, 5)
         {

@@ -15,7 +15,7 @@
 //! per-node allocation, mirroring the way hardware policies keep RRPV
 //! state per way rather than boxed nodes.
 
-use chrome_telemetry::EventRing;
+use chrome_telemetry::{AuditLog, EventRing};
 
 use crate::heuristics::{Gdsf, Lfu, Lfuda, Lru, Slru};
 use crate::serve_agent::ChromeServePolicy;
@@ -68,6 +68,21 @@ pub trait ShardPolicy: Send {
     fn events(&self) -> Option<&EventRing> {
         None
     }
+
+    /// Start recording a per-decision audit trail into a bounded log
+    /// tagged with `stream` (the shard index), holding at most `cap`
+    /// records. Returns true when the policy supports auditing; the
+    /// default (heuristics have no decision stream) refuses.
+    fn enable_audit(&mut self, stream: u32, cap: usize) -> bool {
+        let _ = (stream, cap);
+        false
+    }
+
+    /// The recorded audit trail, if auditing was enabled and the
+    /// policy supports it.
+    fn audit(&self) -> Option<&AuditLog> {
+        None
+    }
 }
 
 /// The selectable shard policies.
@@ -85,11 +100,15 @@ pub enum PolicyKind {
     Gdsf,
     /// CHROME: the online-RL agent drives admission and eviction.
     Chrome,
+    /// N-CHROME serve analog: the same agent with the thrashing
+    /// (obstruction-analog) signal masked out of its rewards — the
+    /// forensics ablation baseline.
+    ChromeNc,
 }
 
 impl PolicyKind {
     /// All policies, for sweeps.
-    pub fn all() -> [PolicyKind; 6] {
+    pub fn all() -> [PolicyKind; 7] {
         [
             PolicyKind::Lru,
             PolicyKind::Slru,
@@ -97,6 +116,7 @@ impl PolicyKind {
             PolicyKind::Lfuda,
             PolicyKind::Gdsf,
             PolicyKind::Chrome,
+            PolicyKind::ChromeNc,
         ]
     }
 
@@ -109,6 +129,7 @@ impl PolicyKind {
             PolicyKind::Lfuda => "lfuda",
             PolicyKind::Gdsf => "gdsf",
             PolicyKind::Chrome => "chrome",
+            PolicyKind::ChromeNc => "chrome-nc",
         }
     }
 
@@ -121,6 +142,7 @@ impl PolicyKind {
             "lfuda" => Some(PolicyKind::Lfuda),
             "gdsf" => Some(PolicyKind::Gdsf),
             "chrome" => Some(PolicyKind::Chrome),
+            "chrome-nc" => Some(PolicyKind::ChromeNc),
             _ => None,
         }
     }
@@ -136,6 +158,7 @@ impl PolicyKind {
             PolicyKind::Lfuda => Box::new(Lfuda::new(cap, seed)),
             PolicyKind::Gdsf => Box::new(Gdsf::new(cap, seed)),
             PolicyKind::Chrome => Box::new(ChromeServePolicy::new(cap, seed)),
+            PolicyKind::ChromeNc => Box::new(ChromeServePolicy::new_unaware(cap, seed)),
         }
     }
 }

@@ -29,9 +29,9 @@
 
 use chrome_core::engine::{EngineConfig, RlEngine, ACTION_BYPASS, ACTION_HIT_EPVH};
 use chrome_core::eq::EqEntry;
-use chrome_core::{Agent, DecisionObserver, Environment, RewardTable};
+use chrome_core::{Agent, DecisionObserver, DecisionSnapshot, Environment, RewardTable};
 use chrome_sim::types::mix64;
-use chrome_telemetry::{EventKind, EventRing, TraceEvent};
+use chrome_telemetry::{AuditLog, EventKind, EventRing, RewardRecord, TraceEvent};
 
 use crate::policy::{DList, ShardPolicy, ShardPressure};
 use crate::stream::Request;
@@ -62,6 +62,9 @@ const REUSE_THRESHOLDS: [u16; 3] = [1, 3, 8];
 #[derive(Debug)]
 pub struct ServeEnv {
     rewards: RewardTable,
+    /// False for the N-CHROME ablation: the thrashing signal is masked
+    /// out of dead-key rewards.
+    concurrency_aware: bool,
     /// EWMA of observed hit latencies (µs).
     hit_ewma: f64,
     /// EWMA of observed miss (backend fetch) latencies (µs).
@@ -88,6 +91,7 @@ impl ServeEnv {
         };
         ServeEnv {
             rewards,
+            concurrency_aware: true,
             hit_ewma: f64::from(HIT_US),
             miss_ewma: NOMINAL_GAP_US + f64::from(HIT_US),
             sketch: vec![0; SKETCH_SLOTS],
@@ -161,14 +165,17 @@ impl Environment for ServeEnv {
         } else {
             entry.action == ACTION_BYPASS
         };
-        self.rewards.not_requested(accurate, pressure.thrashing) * self.scale()
+        let obstructed = self.concurrency_aware && pressure.thrashing;
+        self.rewards.not_requested(accurate, obstructed) * self.scale()
     }
 }
 
 /// Observer that forwards reward/Q-update telemetry into the shard's
-/// event ring.
+/// event ring and (when auditing) snapshots decisions and rewards into
+/// the shard's audit log.
 struct RingObserver<'a> {
     ring: &'a mut EventRing,
+    audit: Option<&'a mut AuditLog>,
     cycle: u64,
     lane: u32,
 }
@@ -181,20 +188,32 @@ impl RingObserver<'_> {
             kind,
         });
     }
+
+    fn audit_reward(&mut self, id: u64, matched: bool, reward: f64) {
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.push_reward(RewardRecord {
+                id,
+                matched,
+                reward,
+            });
+        }
+    }
 }
 
 impl DecisionObserver for RingObserver<'_> {
-    fn reward_matched(&mut self, reward: f64) {
+    fn reward_matched(&mut self, id: u64, reward: f64) {
         self.emit(EventKind::RewardApplied {
             reward,
             matched: true,
         });
+        self.audit_reward(id, true, reward);
     }
-    fn reward_unmatched(&mut self, reward: f64) {
+    fn reward_unmatched(&mut self, id: u64, reward: f64) {
         self.emit(EventKind::RewardApplied {
             reward,
             matched: false,
         });
+        self.audit_reward(id, false, reward);
     }
     fn wants_q_delta(&self) -> bool {
         true
@@ -204,6 +223,14 @@ impl DecisionObserver for RingObserver<'_> {
             delta,
             action: action as u8,
         });
+    }
+    fn wants_decisions(&self) -> bool {
+        self.audit.is_some()
+    }
+    fn decision(&mut self, snap: &DecisionSnapshot) {
+        if let Some(audit) = self.audit.as_deref_mut() {
+            audit.push_decision(snap.to_record());
+        }
     }
 }
 
@@ -242,20 +269,40 @@ pub struct ChromeServePolicy {
     /// Decision counter; the telemetry cycle stamp.
     clock: u64,
     ring: EventRing,
+    audit: Option<AuditLog>,
+    name: &'static str,
 }
 
 impl ChromeServePolicy {
     /// A CHROME policy for a shard with `cap` slots; `seed` drives the
     /// ε-greedy exploration stream.
     pub fn new(cap: usize, seed: u64) -> Self {
+        Self::build(cap, seed, true)
+    }
+
+    /// The N-CHROME ablation: identical except the thrashing signal is
+    /// masked out of its dead-key rewards.
+    pub fn new_unaware(cap: usize, seed: u64) -> Self {
+        Self::build(cap, seed, false)
+    }
+
+    fn build(cap: usize, seed: u64, concurrency_aware: bool) -> Self {
+        let mut env = ServeEnv::new();
+        env.concurrency_aware = concurrency_aware;
         ChromeServePolicy {
-            agent: Agent::new(ServeEnv::new(), RlEngine::new(engine_config(seed))),
+            agent: Agent::new(env, RlEngine::new(engine_config(seed))),
             lists: [DList::new(cap), DList::new(cap), DList::new(cap)],
             order: [0, 1, 2],
             slot_list: vec![0; cap],
             pending_epv: 0,
             clock: 0,
             ring: EventRing::new(RING_CAPACITY, RING_SAMPLE),
+            audit: None,
+            name: if concurrency_aware {
+                "chrome"
+            } else {
+                "chrome-nc"
+            },
         }
     }
 
@@ -276,6 +323,7 @@ impl ChromeServePolicy {
         let si = self.bucket(req.key);
         let mut obs = RingObserver {
             ring: &mut self.ring,
+            audit: self.audit.as_mut(),
             cycle: self.clock,
             lane: u32::from(req.tenant),
         };
@@ -297,7 +345,7 @@ impl ChromeServePolicy {
 
 impl ShardPolicy for ChromeServePolicy {
     fn name(&self) -> &'static str {
-        "chrome"
+        self.name
     }
 
     fn admit(&mut self, req: &Request, pressure: &ShardPressure) -> bool {
@@ -356,6 +404,15 @@ impl ShardPolicy for ChromeServePolicy {
     fn events(&self) -> Option<&EventRing> {
         Some(&self.ring)
     }
+
+    fn enable_audit(&mut self, stream: u32, cap: usize) -> bool {
+        self.audit = Some(AuditLog::new(stream, cap));
+        true
+    }
+
+    fn audit(&self) -> Option<&AuditLog> {
+        self.audit.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -397,6 +454,7 @@ mod tests {
     fn unmatched_reward_credits_bypass_and_punishes_dead_inserts() {
         let env = ServeEnv::new();
         let dead_bypass = EqEntry {
+            id: 0,
             state: vec![1, 2],
             action: ACTION_BYPASS,
             trigger_hit: false,

@@ -90,6 +90,7 @@ fn bench_results_are_byte_identical_at_any_thread_count() {
                 shards: 8,
                 shard_slots: 128,
                 shard_bytes: 64 * 1024,
+                time_policy: false,
             });
             let fingerprint = (r.stats, r.p50_us, r.p99_us);
             match &baseline {
@@ -102,6 +103,37 @@ fn bench_results_are_byte_identical_at_any_thread_count() {
                 ),
             }
         }
+    }
+}
+
+#[test]
+fn audit_trail_is_byte_identical_at_any_thread_count() {
+    // the forensics acceptance criterion: the per-decision audit blob
+    // is a pure function of the seed, never of the worker count —
+    // segments are per-shard and merged in shard-index order
+    let cell = |threads| {
+        bench::run_audited(
+            &BenchParams {
+                policy: PolicyKind::Chrome,
+                stream: StreamKind::MixedTenant,
+                threads,
+                requests: 24_000,
+                keyspace: 4_000,
+                seed: 0xD15C,
+                shards: 8,
+                shard_slots: 128,
+                shard_bytes: 64 * 1024,
+                time_policy: false,
+            },
+            1 << 20,
+        )
+        .1
+    };
+    let solo = cell(1);
+    assert!(!solo.is_empty(), "audit blob must not be empty");
+    chrome_telemetry::parse_audit(&solo).expect("audit blob parses");
+    for threads in [3usize, 8] {
+        assert_eq!(solo, cell(threads), "audit diverged at {threads} threads");
     }
 }
 
@@ -120,6 +152,7 @@ fn chrome_beats_lru_on_the_mixed_stream() {
             shards: 8,
             shard_slots: 256,
             shard_bytes: 128 * 1024,
+            time_policy: false,
         })
     };
     let chrome = cell(PolicyKind::Chrome);

@@ -8,7 +8,7 @@
 
 use crate::overhead::StorageOverhead;
 use crate::types::LineAddr;
-use chrome_telemetry::{PolicyEpochProbe, TelemetrySink};
+use chrome_telemetry::{AuditLog, PolicyEpochProbe, TelemetrySink};
 
 /// Everything a policy may observe about one LLC access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +140,21 @@ pub trait LlcPolicy {
     /// all zeros.
     fn epoch_probe(&self) -> PolicyEpochProbe {
         PolicyEpochProbe::default()
+    }
+
+    /// Start recording a per-decision audit trail into a bounded log
+    /// tagged with `stream`, holding at most `cap` records. Returns
+    /// true when the policy supports auditing (only learned policies
+    /// with a decision stream do); the default refuses.
+    fn enable_audit(&mut self, stream: u32, cap: usize) -> bool {
+        let _ = (stream, cap);
+        false
+    }
+
+    /// The recorded audit trail, if auditing was enabled and the
+    /// policy supports it.
+    fn audit(&self) -> Option<&AuditLog> {
+        None
     }
 
     /// Human-readable scheme name ("LRU", "Hawkeye", "CHROME", ...).

@@ -625,6 +625,24 @@ impl System {
         self.hier.llc.policy.name()
     }
 
+    /// Turn on per-decision audit recording in the LLC policy, tagged
+    /// `stream` and bounded to `cap` records. Returns false when the
+    /// policy keeps no decision stream (heuristics).
+    pub fn enable_audit(&mut self, stream: u32, cap: usize) -> bool {
+        self.hier.llc.policy.enable_audit(stream, cap)
+    }
+
+    /// The recorded audit trail as a binary blob (empty unless
+    /// [`System::enable_audit`] was called on an auditable policy).
+    pub fn audit_bytes(&self) -> Vec<u8> {
+        self.hier
+            .llc
+            .policy
+            .audit()
+            .map(|log| log.to_bytes())
+            .unwrap_or_default()
+    }
+
     /// Immutable access to the memory hierarchy (stats, DRAM, feedback).
     pub fn hierarchy(&self) -> &MemHierarchy {
         &self.hier

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod attrib;
+pub mod audit;
 pub mod diff;
 pub mod epoch;
 pub mod events;
@@ -41,6 +42,10 @@ use std::path::{Path, PathBuf};
 use std::rc::Rc;
 
 pub use attrib::{AttribProfiler, RequestSpan, ServiceLevel, SpanBuilder, Stage, StageAccum};
+pub use audit::{
+    parse_audit, AuditLog, AuditRecord, AuditSegment, DecisionRecord, RewardRecord, AUDIT_ACTIONS,
+    AUDIT_FEATURES,
+};
 pub use epoch::{EpochRecord, EpochSeries, PolicyEpochProbe};
 pub use events::{EventKind, EventRing, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry};

@@ -1,0 +1,192 @@
+//! Schema round-trip tests for `export::events_jsonl`: every
+//! [`EventKind`] variant must export one well-formed JSON line whose
+//! kind name and args survive a parse by the workspace JSON reader.
+
+use chrome_exec::json::{parse, JsonValue};
+use chrome_telemetry::{export, EventKind, EventRing, TraceEvent};
+
+fn ring_with(kinds: Vec<EventKind>) -> EventRing {
+    let mut ring = EventRing::new(64, 1);
+    for (i, kind) in kinds.into_iter().enumerate() {
+        ring.offer(TraceEvent {
+            cycle: 100 + i as u64,
+            core: i as u32,
+            kind,
+        });
+    }
+    ring
+}
+
+/// Every variant, with values that exercise sign, zero, and large-u64
+/// edges of the encoding.
+fn all_variants() -> Vec<EventKind> {
+    vec![
+        EventKind::VictimChosen {
+            set: 2048,
+            way: 11,
+            line: u64::MAX >> 6,
+        },
+        EventKind::BypassTaken {
+            line: 0xDEAD_BEEF,
+            pc: 0x0040_1000,
+        },
+        EventKind::RewardApplied {
+            reward: -20.5,
+            matched: false,
+        },
+        EventKind::QUpdate {
+            delta: 0.03125,
+            action: 6,
+        },
+        EventKind::PredictorVerdict {
+            signature: 0xFEED_F00D,
+            friendly: true,
+        },
+        EventKind::EpochBoundary { epoch: 0 },
+        EventKind::ServeDecision {
+            f1: 77,
+            f2: 0,
+            action: 3,
+            q: -1.5,
+        },
+    ]
+}
+
+fn parsed_lines(ring: &EventRing) -> Vec<JsonValue> {
+    export::events_jsonl(ring)
+        .lines()
+        .map(|l| parse(l).unwrap_or_else(|| panic!("line is not valid JSON: {l}")))
+        .collect()
+}
+
+#[test]
+fn every_event_kind_round_trips_through_jsonl() {
+    let kinds = all_variants();
+    let ring = ring_with(kinds.clone());
+    let lines = parsed_lines(&ring);
+    assert_eq!(lines.len(), kinds.len(), "one line per variant");
+    for (i, (line, kind)) in lines.iter().zip(&kinds).enumerate() {
+        assert_eq!(
+            line.get("kind").and_then(JsonValue::as_str),
+            Some(kind.name()),
+            "line {i}"
+        );
+        assert_eq!(
+            line.get("cycle").and_then(JsonValue::as_u64),
+            Some(100 + i as u64)
+        );
+        assert_eq!(line.get("lane").and_then(JsonValue::as_u64), Some(i as u64));
+        let args = line.get("args").expect("args object");
+        match *kind {
+            EventKind::VictimChosen { set, way, line } => {
+                assert_eq!(
+                    args.get("set").and_then(JsonValue::as_u64),
+                    Some(u64::from(set))
+                );
+                assert_eq!(
+                    args.get("way").and_then(JsonValue::as_u64),
+                    Some(u64::from(way))
+                );
+                assert_eq!(args.get("line").and_then(JsonValue::as_u64), Some(line));
+            }
+            EventKind::BypassTaken { line, pc } => {
+                assert_eq!(args.get("line").and_then(JsonValue::as_u64), Some(line));
+                assert_eq!(args.get("pc").and_then(JsonValue::as_u64), Some(pc));
+            }
+            EventKind::RewardApplied { reward, matched } => {
+                assert_eq!(args.get("reward").and_then(JsonValue::as_f64), Some(reward));
+                assert_eq!(
+                    args.get("matched").and_then(JsonValue::as_bool),
+                    Some(matched)
+                );
+            }
+            EventKind::QUpdate { delta, action } => {
+                assert_eq!(args.get("delta").and_then(JsonValue::as_f64), Some(delta));
+                assert_eq!(
+                    args.get("action").and_then(JsonValue::as_u64),
+                    Some(u64::from(action))
+                );
+            }
+            EventKind::PredictorVerdict {
+                signature,
+                friendly,
+            } => {
+                assert_eq!(
+                    args.get("signature").and_then(JsonValue::as_u64),
+                    Some(signature)
+                );
+                assert_eq!(
+                    args.get("friendly").and_then(JsonValue::as_bool),
+                    Some(friendly)
+                );
+            }
+            EventKind::EpochBoundary { epoch } => {
+                assert_eq!(args.get("epoch").and_then(JsonValue::as_u64), Some(epoch));
+            }
+            EventKind::ServeDecision { f1, f2, action, q } => {
+                assert_eq!(args.get("f1").and_then(JsonValue::as_u64), Some(f1));
+                assert_eq!(args.get("f2").and_then(JsonValue::as_u64), Some(f2));
+                assert_eq!(
+                    args.get("action").and_then(JsonValue::as_u64),
+                    Some(u64::from(action))
+                );
+                assert_eq!(args.get("q").and_then(JsonValue::as_f64), Some(q));
+            }
+        }
+    }
+}
+
+#[test]
+fn jsonl_preserves_ring_order_oldest_first() {
+    let ring = ring_with(all_variants());
+    let lines = parsed_lines(&ring);
+    let cycles: Vec<u64> = lines
+        .iter()
+        .map(|l| l.get("cycle").and_then(JsonValue::as_u64).unwrap())
+        .collect();
+    let mut sorted = cycles.clone();
+    sorted.sort_unstable();
+    assert_eq!(cycles, sorted, "export order is offer order");
+}
+
+#[test]
+fn jsonl_of_wrapped_ring_keeps_only_the_tail() {
+    let mut ring = EventRing::new(4, 1);
+    for i in 0..10u64 {
+        ring.offer(TraceEvent {
+            cycle: i,
+            core: 0,
+            kind: EventKind::EpochBoundary { epoch: i },
+        });
+    }
+    let lines = parsed_lines(&ring);
+    assert_eq!(lines.len(), 4);
+    assert_eq!(lines[0].get("cycle").and_then(JsonValue::as_u64), Some(6));
+    assert_eq!(lines[3].get("cycle").and_then(JsonValue::as_u64), Some(9));
+}
+
+#[test]
+fn special_floats_stay_parseable() {
+    // JSON has no NaN/Infinity literals; the exporter must emit
+    // something the reader accepts for any f64 the policy produces.
+    let ring = ring_with(vec![
+        EventKind::RewardApplied {
+            reward: f64::NAN,
+            matched: true,
+        },
+        EventKind::QUpdate {
+            delta: f64::INFINITY,
+            action: 0,
+        },
+        EventKind::QUpdate {
+            delta: f64::NEG_INFINITY,
+            action: 1,
+        },
+    ]);
+    for line in export::events_jsonl(&ring).lines() {
+        assert!(
+            parse(line).is_some(),
+            "non-finite payload broke the line: {line}"
+        );
+    }
+}
