@@ -1,0 +1,22 @@
+//! Sampling validation: sampled-vs-full error table through the grid
+//! engine (`--jobs`, `--retries`, `--resume`, `--manifest`).
+//!
+//! Requires `--trace-dir` with traces recorded at the sampling
+//! granularity (the `simpoint` bin's `--record-missing` records them;
+//! the operating point is 5000-instruction intervals). `--sampling`
+//! selects the spec for the sampled cells only — the global grid axis
+//! is cleared before execution so the paired full-reference cells stay
+//! unsampled.
+
+use chrome_bench::experiments::sampling;
+use chrome_bench::{run_plans, RunParams};
+
+fn main() {
+    let mut params = RunParams::from_args();
+    // the plan reads the spec from `params.sampling` and pre-sets it
+    // on its sampled cells; leaving the global axis set would sample
+    // the full-reference cells too
+    let plan = sampling::plan(&params);
+    params.sampling = None;
+    std::process::exit(run_plans(&params, vec![plan]));
+}

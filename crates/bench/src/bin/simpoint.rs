@@ -1,0 +1,507 @@
+//! Representative-interval sampling toolkit.
+//!
+//! ```text
+//! simpoint cluster  --trace FILE --sampling k=<k>,ramp=<n> [--base-seed N]
+//! simpoint inspect  --trace FILE [--csv PATH]
+//! simpoint validate --trace-dir DIR [--sampling SPEC] [--scheme NAME]
+//!                   [--workloads N] [--cores N] [--instructions N]
+//!                   [--warmup N] [--interval N] [--base-seed N] [--jobs N]
+//!                   [--record-missing] [--out-table PATH] [--manifest PATH]
+//!                   [--resume] [--ipc-tol PCT] [--mpki-tol PCT]
+//!                   [--min-reduction X] [--check-kernels] [--no-progress]
+//! ```
+//!
+//! * `cluster` — build and print the deterministic sampling plan for one
+//!   trace: representative intervals, cluster weights, per-core start
+//!   positions and the detail-reduction factor.
+//! * `inspect` — dump the per-interval feature matrix (raw and
+//!   normalized) the clustering runs on.
+//! * `validate` — run full and sampled simulations for every registered
+//!   workload against recorded traces, emit the sampled-vs-full error
+//!   table (`results/sampling_validation.tsv` and `--out-table`), and
+//!   gate: IPC and MPKI within the tolerances on EVERY workload while
+//!   simulating at least `--min-reduction` times fewer detailed
+//!   instructions. `--check-kernels` additionally reruns each sampled
+//!   replay on the reference kernel and requires identical results.
+//!
+//! Exit codes: 0 pass, 1 gate/validation failure, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use chrome_bench::experiments::sampling;
+use chrome_bench::grid::{run_grid, sampled_cell_result};
+use chrome_bench::RunParams;
+use chrome_exec::{workload_seed, CellSpec};
+use chrome_sim::Kernel;
+use chrome_simpoint::features::DIM_NAMES;
+use chrome_simpoint::{build_plan, extract_features, ErrorRow, SamplingSpec};
+use chrome_tracefile::recorder::record_workload;
+use chrome_tracefile::{Codec, TraceFile, TraceIndex};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simpoint cluster --trace FILE --sampling k=<k>,ramp=<n> [--base-seed N]\n\
+         \x20      simpoint inspect --trace FILE [--csv PATH]\n\
+         \x20      simpoint validate --trace-dir DIR [--sampling SPEC] [--scheme NAME]\n\
+         \x20               [--workloads N] [--cores N] [--instructions N] [--warmup N]\n\
+         \x20               [--interval N] [--base-seed N] [--jobs N] [--record-missing]\n\
+         \x20               [--out-table PATH] [--manifest PATH] [--resume]\n\
+         \x20               [--ipc-tol PCT] [--mpki-tol PCT] [--min-reduction X]\n\
+         \x20               [--check-kernels] [--no-progress]"
+    );
+    exit(2);
+}
+
+struct Options {
+    command: String,
+    trace: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
+    sampling: String,
+    scheme: String,
+    workloads: Option<usize>,
+    cores: usize,
+    instructions: u64,
+    warmup: u64,
+    interval: u64,
+    base_seed: u64,
+    jobs: Option<usize>,
+    record_missing: bool,
+    out_table: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    resume: bool,
+    ipc_tol: f64,
+    mpki_tol: f64,
+    min_reduction: f64,
+    check_kernels: bool,
+    progress: bool,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = Options {
+        command: args.first().cloned().unwrap_or_default(),
+        trace: None,
+        trace_dir: None,
+        sampling: "k=26,ramp=2200,reps=3".to_string(),
+        scheme: "LRU".to_string(),
+        workloads: None,
+        cores: 1,
+        instructions: 6_000_000,
+        warmup: 60_000,
+        interval: 5_000,
+        base_seed: 0x5EED,
+        jobs: None,
+        record_missing: false,
+        out_table: None,
+        csv: None,
+        manifest: None,
+        resume: false,
+        ipc_tol: 3.0,
+        mpki_tol: 3.0,
+        min_reduction: 10.0,
+        check_kernels: false,
+        progress: true,
+    };
+    if opts.command.is_empty() {
+        usage();
+    }
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                opts.trace = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--trace-dir" => {
+                i += 1;
+                opts.trace_dir = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--sampling" => {
+                i += 1;
+                opts.sampling = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--scheme" => {
+                i += 1;
+                opts.scheme = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--workloads" => {
+                i += 1;
+                opts.workloads = Some(args[i].parse().expect("--workloads takes a number"));
+            }
+            "--cores" => {
+                i += 1;
+                opts.cores = args[i].parse().expect("--cores takes a number");
+            }
+            "--instructions" => {
+                i += 1;
+                opts.instructions = args[i].parse().expect("--instructions takes a number");
+            }
+            "--warmup" => {
+                i += 1;
+                opts.warmup = args[i].parse().expect("--warmup takes a number");
+            }
+            "--interval" => {
+                i += 1;
+                opts.interval = args[i].parse().expect("--interval takes a number");
+            }
+            "--base-seed" => {
+                i += 1;
+                opts.base_seed = args[i].parse().expect("--base-seed takes a number");
+            }
+            "--jobs" => {
+                i += 1;
+                opts.jobs = Some(args[i].parse().expect("--jobs takes a number"));
+            }
+            "--record-missing" => opts.record_missing = true,
+            "--out-table" => {
+                i += 1;
+                opts.out_table = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--csv" => {
+                i += 1;
+                opts.csv = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--manifest" => {
+                i += 1;
+                opts.manifest = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--resume" => opts.resume = true,
+            "--ipc-tol" => {
+                i += 1;
+                opts.ipc_tol = args[i].parse().expect("--ipc-tol takes a percentage");
+            }
+            "--mpki-tol" => {
+                i += 1;
+                opts.mpki_tol = args[i].parse().expect("--mpki-tol takes a percentage");
+            }
+            "--min-reduction" => {
+                i += 1;
+                opts.min_reduction = args[i].parse().expect("--min-reduction takes a factor");
+            }
+            "--check-kernels" => opts.check_kernels = true,
+            "--no-progress" => opts.progress = false,
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn spec_of(opts: &Options) -> SamplingSpec {
+    SamplingSpec::parse(&opts.sampling).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(2);
+    })
+}
+
+/// `cluster`: print the deterministic sampling plan for one trace.
+fn cluster(opts: &Options) -> i32 {
+    let path = opts.trace.clone().unwrap_or_else(|| usage());
+    let spec = spec_of(opts);
+    let tf = TraceFile::open(&path).unwrap_or_else(|e| {
+        eprintln!("opening {}: {e}", path.display());
+        exit(1);
+    });
+    let m = tf.manifest();
+    // cluster with the trace's own generator seed, exactly as grid
+    // cells do (their workload seed IS the generator seed)
+    let seed = m
+        .spec_field("seed")
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(opts.base_seed);
+    let plan = match build_plan(&tf, spec, seed) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("building plan: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "trace: {} ({} cores, {} instructions/core, interval {})",
+        path.display(),
+        m.cores.len(),
+        m.cores.first().map_or(0, |c| c.instructions),
+        m.interval_instr,
+    );
+    println!(
+        "plan: {} segments over {} aligned instructions, seed {seed:#x}",
+        plan.segments.len(),
+        plan.total_instructions,
+    );
+    println!("interval  weight    detail  starts");
+    for seg in &plan.segments {
+        let starts: Vec<String> = seg.start.iter().map(u64::to_string).collect();
+        println!(
+            "{:>8}  {:.6}  {:>8}  {}",
+            seg.interval,
+            seg.weight,
+            seg.detail,
+            starts.join(",")
+        );
+    }
+    println!(
+        "detailed instructions/core: {} (ramp {} per segment)",
+        plan.detailed_instructions, plan.spec.ramp,
+    );
+    0
+}
+
+/// `inspect`: dump the per-interval feature matrix.
+fn inspect(opts: &Options) -> i32 {
+    let path = opts.trace.clone().unwrap_or_else(|| usage());
+    let tf = TraceFile::open(&path).unwrap_or_else(|e| {
+        eprintln!("opening {}: {e}", path.display());
+        exit(1);
+    });
+    let cores = tf.manifest().cores.len();
+    let mut per_core = Vec::with_capacity(cores);
+    for c in 0..cores {
+        match tf.intervals_for(c) {
+            Ok(iv) => per_core.push(iv),
+            Err(e) => {
+                eprintln!("intervals for core {c}: {e}");
+                return 1;
+            }
+        }
+    }
+    let fs = extract_features(&per_core);
+    let mut out = String::from("interval,instructions");
+    for n in DIM_NAMES {
+        out.push_str(&format!(",{n}"));
+    }
+    for n in DIM_NAMES {
+        out.push_str(&format!(",norm_{n}"));
+    }
+    out.push('\n');
+    for j in 0..fs.len() {
+        out.push_str(&format!("{j},{}", fs.instructions[j]));
+        for v in fs.raw[j] {
+            out.push_str(&format!(",{v}"));
+        }
+        for v in fs.norm[j] {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    match &opts.csv {
+        Some(p) => {
+            if let Err(e) = std::fs::write(p, &out) {
+                eprintln!("writing {}: {e}", p.display());
+                return 1;
+            }
+            println!("inspect: wrote {} intervals to {}", fs.len(), p.display());
+        }
+        None => print!("{out}"),
+    }
+    0
+}
+
+/// Record any missing validation traces into `dir`.
+fn record_missing(opts: &Options, dir: &std::path::Path, workloads: &[String]) {
+    let index = TraceIndex::scan(dir).unwrap_or_else(|e| {
+        eprintln!("scanning {}: {e}", dir.display());
+        exit(1);
+    });
+    // quota past the measured end: fetch cursors lead retirement by the
+    // ROB contents, so the recording must cover the runahead too
+    let quota = opts.warmup + opts.instructions + 50_000;
+    for wl in workloads {
+        let seed = workload_seed(wl, opts.cores as u32, opts.base_seed);
+        if index.lookup(wl, opts.cores, seed).is_some() {
+            continue;
+        }
+        let name = format!("{}_c{}_s{seed:x}.ctf", wl.replace('+', "-"), opts.cores);
+        let path = dir.join(name);
+        eprintln!("recording {} ({} instructions/core)", path.display(), quota);
+        record_workload(
+            &path,
+            wl,
+            opts.cores,
+            seed,
+            quota,
+            Codec::Compact,
+            opts.interval,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("recording {wl}: {e}");
+            exit(1);
+        });
+    }
+}
+
+/// Rerun every sampled cell on the reference kernel and demand
+/// result-identity with the event-driven run.
+fn check_kernels(opts: &Options, params: &RunParams, workloads: &[String]) -> usize {
+    let dir = opts.trace_dir.clone().expect("checked in validate");
+    let index = TraceIndex::scan(&dir).unwrap_or_else(|e| {
+        eprintln!("scanning {}: {e}", dir.display());
+        exit(1);
+    });
+    let spec = spec_of(opts);
+    let mut mismatches = 0;
+    for wl in workloads {
+        let seed = workload_seed(wl, opts.cores as u32, opts.base_seed);
+        let Some(entry) = index.lookup(wl, opts.cores, seed) else {
+            eprintln!("kernel check: no trace for {wl}, skipping");
+            mismatches += 1;
+            continue;
+        };
+        let tf = TraceFile::open(&entry.path).unwrap_or_else(|e| {
+            eprintln!("opening {}: {e}", entry.path.display());
+            exit(1);
+        });
+        let cell = CellSpec {
+            experiment: sampling::NAME.to_string(),
+            workload: wl.clone(),
+            scheme: opts.scheme.clone(),
+            cores: opts.cores as u32,
+            instructions: opts.instructions,
+            warmup: opts.warmup,
+            seed: opts.base_seed,
+            prefetch: "paper".to_string(),
+            track_unused: false,
+            record_epochs: false,
+            trace: entry.hash_hex(),
+            sampling: opts.sampling.clone(),
+        };
+        let plan = chrome_simpoint::build_plan_windowed(
+            &tf,
+            spec,
+            cell.workload_seed(),
+            cell.warmup,
+            cell.instructions,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("plan for {wl}: {e}");
+            exit(1);
+        });
+        let event = sampled_cell_result(&cell, params, &tf, &plan, Kernel::EventDriven);
+        let reference = sampled_cell_result(&cell, params, &tf, &plan, Kernel::Reference);
+        if event == reference {
+            eprintln!("kernel check: {wl} identical");
+        } else {
+            eprintln!("kernel check: {wl} DIVERGED between kernels");
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+/// `validate`: full-vs-sampled error table with a hard gate.
+fn validate(opts: &Options) -> i32 {
+    let dir = opts.trace_dir.clone().unwrap_or_else(|| usage());
+    spec_of(opts); // reject malformed specs before any work
+    let params = RunParams {
+        cores: opts.cores,
+        instructions: opts.instructions,
+        warmup: opts.warmup,
+        seed: opts.base_seed,
+        jobs: opts.jobs,
+        resume: opts.resume,
+        manifest: opts.manifest.clone(),
+        trace_dir: Some(dir.clone()),
+        homo_workloads: opts.workloads,
+        progress: opts.progress,
+        // cells carry their own sampling spec; the global axis would
+        // sample the full-reference cells too
+        sampling: None,
+        ..RunParams::default()
+    };
+    let workloads = sampling::workloads(&params);
+    if opts.record_missing {
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+            eprintln!("creating {}: {e}", dir.display());
+            exit(1);
+        });
+        record_missing(opts, &dir, &workloads);
+    }
+    let cells = sampling::cells(&params, &workloads, &opts.scheme, &opts.sampling);
+    let report = run_grid(&params, cells);
+    let rows = sampling::error_rows(&workloads, &report.outcomes);
+    sampling::table(&rows).finish().unwrap_or_else(|e| {
+        eprintln!("writing results table: {e}");
+        exit(1);
+    });
+    if let Some(path) = &opts.out_table {
+        let mut tsv = ErrorRow::header();
+        tsv.push('\n');
+        for r in &rows {
+            tsv.push_str(&r.render());
+            tsv.push('\n');
+        }
+        if let Err(e) = std::fs::write(path, tsv) {
+            eprintln!("writing {}: {e}", path.display());
+            return 1;
+        }
+        eprintln!("validate: wrote {}", path.display());
+    }
+
+    let mut failures = 0usize;
+    if rows.len() != workloads.len() {
+        eprintln!(
+            "validate: only {} of {} workloads produced paired results",
+            rows.len(),
+            workloads.len()
+        );
+        failures += workloads.len() - rows.len();
+    }
+    for r in &rows {
+        let mut bad = Vec::new();
+        if r.ipc_err_pct() > opts.ipc_tol {
+            bad.push(format!(
+                "ipc err {:.2}% > {:.2}%",
+                r.ipc_err_pct(),
+                opts.ipc_tol
+            ));
+        }
+        if r.mpki_err_pct() > opts.mpki_tol {
+            bad.push(format!(
+                "mpki err {:.2}% > {:.2}%",
+                r.mpki_err_pct(),
+                opts.mpki_tol
+            ));
+        }
+        if r.reduction < opts.min_reduction {
+            bad.push(format!(
+                "reduction {:.1}x < {:.1}x",
+                r.reduction, opts.min_reduction
+            ));
+        }
+        if !bad.is_empty() {
+            eprintln!("validate: {} FAILED: {}", r.workload, bad.join(", "));
+            failures += 1;
+        }
+    }
+    if opts.check_kernels {
+        failures += check_kernels(opts, &params, &workloads);
+    }
+    if failures == 0 {
+        eprintln!(
+            "validate: PASS — {} workloads within ±{:.1}% IPC / ±{:.1}% MPKI at ≥{:.1}x reduction",
+            rows.len(),
+            opts.ipc_tol,
+            opts.mpki_tol,
+            opts.min_reduction
+        );
+        0
+    } else {
+        eprintln!("validate: FAIL — {failures} check(s) failed");
+        1
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let code = match opts.command.as_str() {
+        "cluster" => cluster(&opts),
+        "inspect" => inspect(&opts),
+        "validate" => validate(&opts),
+        _ => usage(),
+    };
+    exit(code);
+}

@@ -20,6 +20,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod overheads;
+pub mod sampling;
 pub mod tab07;
 
 use chrome_exec::{CellOutcome, CellSpec, EngineConfig};
@@ -69,6 +70,7 @@ pub(crate) fn cell(
         track_unused: false,
         record_epochs: false,
         trace: String::new(),
+        sampling: String::new(),
     }
 }
 

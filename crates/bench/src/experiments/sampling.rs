@@ -1,0 +1,120 @@
+//! Sampling validation: sampled-vs-full error table.
+//!
+//! For every workload, two cells run against the same recorded trace:
+//! a full simulation (warmup + measured budget) and a representative-
+//! interval sampled replay of the same budget. The assembled
+//! `sampling_validation.tsv` lists, per workload, the full and
+//! reconstructed IPC / MPKI / C-AMAT, their relative errors, and the
+//! detail-reduction factor — the table the `simpoint validate` gate
+//! (±3% IPC and MPKI at ≥10x reduction) asserts over.
+//!
+//! The plan pre-sets `CellSpec::sampling` on its sampled cells, so run
+//! it WITHOUT the global `--sampling` grid axis (which would sample the
+//! full-reference cells too); the `simpoint` binary strips it.
+
+use chrome_exec::CellOutcome;
+use chrome_simpoint::ErrorRow;
+use chrome_traces::all_workloads;
+
+use super::{cell, limit, ExperimentPlan};
+use crate::grid::{cell_value, CellResult};
+use crate::runner::RunParams;
+use crate::table::TableWriter;
+
+/// Experiment name (and primary TSV name).
+pub const NAME: &str = "sampling_validation";
+
+/// The validation workload list: every registered workload, capped by
+/// `--homo-workloads`.
+#[must_use]
+pub fn workloads(params: &RunParams) -> Vec<String> {
+    limit(
+        all_workloads().into_iter().map(str::to_string).collect(),
+        params.homo_workloads,
+    )
+}
+
+/// Build the paired cell list: `[full, sampled]` per workload, in
+/// workload order. Both cells share the workload identity (and thus the
+/// trace); only the sampled one carries the sampling spec.
+#[must_use]
+pub fn cells(
+    params: &RunParams,
+    workloads: &[String],
+    scheme: &str,
+    sampling: &str,
+) -> Vec<chrome_exec::CellSpec> {
+    let mut out = Vec::with_capacity(workloads.len() * 2);
+    for wl in workloads {
+        let full = cell(params, NAME, wl, scheme);
+        let mut sampled = full.clone();
+        sampled.sampling = sampling.to_string();
+        out.push(full);
+        out.push(sampled);
+    }
+    out
+}
+
+/// Pair the outcomes back into per-workload [`ErrorRow`]s. Workloads
+/// whose full or sampled cell failed are skipped (they surface through
+/// the grid's failure report instead).
+#[must_use]
+pub fn error_rows(workloads: &[String], out: &[CellOutcome<CellResult>]) -> Vec<ErrorRow> {
+    let mut rows = Vec::with_capacity(workloads.len());
+    for (i, wl) in workloads.iter().enumerate() {
+        let (Some(full), Some(sampled)) = (cell_value(out, 2 * i), cell_value(out, 2 * i + 1))
+        else {
+            continue;
+        };
+        rows.push(ErrorRow {
+            workload: wl.clone(),
+            full_ipc: full.ipc_sum(),
+            sampled_ipc: sampled.ipc_sum(),
+            full_mpki: full.report_metric("mpki").unwrap_or(f64::NAN),
+            sampled_mpki: sampled.report_metric("mpki").unwrap_or(f64::NAN),
+            full_camat: full.report_metric("camat").unwrap_or(f64::NAN),
+            sampled_camat: sampled.report_metric("camat").unwrap_or(f64::NAN),
+            reduction: sampled.report_metric("detail_reduction").unwrap_or(0.0),
+        });
+    }
+    rows
+}
+
+/// Render the error rows as the `sampling_validation` table.
+#[must_use]
+pub fn table(rows: &[ErrorRow]) -> TableWriter {
+    let header = ErrorRow::header();
+    let names: Vec<&str> = header.split('\t').collect();
+    let mut t = TableWriter::new(NAME, &names);
+    for r in rows {
+        t.row(r.render().split('\t').map(str::to_string).collect());
+    }
+    t
+}
+
+/// Standalone experiment plan form, for `run_plans`. Requires
+/// `--trace-dir` (sampled cells need recorded interval stats; record
+/// with `--interval 5000` — the operating point balances per-segment
+/// warmup-handoff bias against cluster-selection variance at that
+/// granularity); the sampling spec comes from `--sampling`, defaulting
+/// to the validated `k=26,ramp=2200,reps=3` operating point.
+#[must_use]
+pub fn plan(params: &RunParams) -> ExperimentPlan {
+    let wls = workloads(params);
+    let sampling = params
+        .sampling
+        .clone()
+        .unwrap_or_else(|| "k=26,ramp=2200,reps=3".to_string());
+    // the gate runs against the static LRU policy: it validates the
+    // sampling estimator itself. Online-learning schemes (CHROME) are
+    // path-dependent — sampled replay compresses the reward timeline
+    // ~10x, the agent's learning trajectory diverges from the full
+    // run's, and the gap is policy-state error the reconstruction
+    // cannot (and should not) hide. See EXPERIMENTS.md.
+    let cells = cells(params, &wls, "LRU", &sampling);
+    ExperimentPlan {
+        name: NAME,
+        cells,
+        assemble: Box::new(move |out| vec![table(&error_rows(&wls, out))]),
+    }
+}

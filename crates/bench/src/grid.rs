@@ -21,7 +21,9 @@ use chrome_sim::PrefetcherConfig;
 use chrome_tracefile::{TraceFile, TraceIndex};
 use chrome_traces::mix;
 
-use crate::runner::{run_traces, RunParams};
+use chrome_simpoint::{build_plan_windowed, reconstruct, SamplingSpec, WorkloadPlan};
+
+use crate::runner::{run_traces, run_traces_sampled, RunParams};
 
 /// Resolution table for file-backed cells: trace content hash (the
 /// [`CellSpec::trace`] value, fixed-width hex) to `.ctf` path. The hash
@@ -168,41 +170,32 @@ pub fn run_cell_with_traces(
         record_epochs: spec.record_epochs,
         ..RunParams::default()
     };
-    let traces = if spec.trace.is_empty() {
-        if spec.workload.contains('+') {
-            let names: Vec<&str> = spec.workload.split('+').collect();
-            mix::build_mix(&names, seed).unwrap_or_else(|| panic!("unknown mix {}", spec.workload))
-        } else {
-            mix::homogeneous(&spec.workload, params.cores, seed)
-                .unwrap_or_else(|| panic!("unknown workload {}", spec.workload))
+    let tf = (!spec.trace.is_empty()).then(|| open_spec_trace(spec, trace_files));
+    if !spec.sampling.is_empty() {
+        let tf = tf.unwrap_or_else(|| {
+            panic!(
+                "cell {} requests sampling ({}) but is not file-backed; \
+                 representative-interval sampling needs a recorded trace (--trace-dir)",
+                spec.label(),
+                spec.sampling
+            )
+        });
+        return run_sampled_cell(spec, &params, &tf);
+    }
+    let traces = match &tf {
+        Some(tf) => tf
+            .sources()
+            .unwrap_or_else(|e| panic!("streaming trace for {}: {e}", spec.label())),
+        None => {
+            if spec.workload.contains('+') {
+                let names: Vec<&str> = spec.workload.split('+').collect();
+                mix::build_mix(&names, seed)
+                    .unwrap_or_else(|| panic!("unknown mix {}", spec.workload))
+            } else {
+                mix::homogeneous(&spec.workload, params.cores, seed)
+                    .unwrap_or_else(|| panic!("unknown workload {}", spec.workload))
+            }
         }
-    } else {
-        let path = trace_files
-            .and_then(|m| m.get(&spec.trace))
-            .unwrap_or_else(|| {
-                panic!(
-                    "cell {} is file-backed (trace={}) but no trace map entry resolves it",
-                    spec.label(),
-                    spec.trace
-                )
-            });
-        let tf = TraceFile::open(path)
-            .unwrap_or_else(|e| panic!("opening trace {}: {e}", path.display()));
-        let m = tf.manifest();
-        assert_eq!(
-            m.hash_hex(),
-            spec.trace,
-            "trace file {} content hash diverged from the spec's",
-            path.display()
-        );
-        assert_eq!(
-            m.cores.len(),
-            params.cores,
-            "trace file {} holds the wrong number of core streams",
-            path.display()
-        );
-        tf.sources()
-            .unwrap_or_else(|e| panic!("streaming {}: {e}", path.display()))
     };
     let r = run_traces(
         &params,
@@ -215,6 +208,11 @@ pub fn run_cell_with_traces(
     let (eq_occupancy, eq_overflows) = r.epochs.records().last().map_or((0.0, 0), |last| {
         (last.policy.eq_occupancy, last.policy.eq_overflows)
     });
+    // every cell reports its aggregate MPKI and C-AMAT so sampled runs
+    // have a full-run value to validate against
+    let mut report = r.report;
+    report.push(("mpki".into(), reconstruct::aggregate_mpki(&r.results)));
+    report.push(("camat".into(), reconstruct::aggregate_camat(&r.results)));
     CellResult {
         ipc: r
             .results
@@ -229,10 +227,185 @@ pub fn run_cell_with_traces(
         evicted_unused: r.results.evicted_unused,
         evictions: r.results.llc.evictions,
         evictions_unused: r.results.llc.evictions_unused,
-        report: r.report,
+        report,
         eq_occupancy,
         eq_overflows,
         artifacts: r
+            .artifacts
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect(),
+    }
+}
+
+/// Resolve and open a file-backed cell's trace, cross-checking content
+/// hash and core count against the spec.
+fn open_spec_trace(spec: &CellSpec, trace_files: Option<&TraceMap>) -> TraceFile {
+    let path = trace_files
+        .and_then(|m| m.get(&spec.trace))
+        .unwrap_or_else(|| {
+            panic!(
+                "cell {} is file-backed (trace={}) but no trace map entry resolves it",
+                spec.label(),
+                spec.trace
+            )
+        });
+    let tf =
+        TraceFile::open(path).unwrap_or_else(|e| panic!("opening trace {}: {e}", path.display()));
+    let m = tf.manifest();
+    assert_eq!(
+        m.hash_hex(),
+        spec.trace,
+        "trace file {} content hash diverged from the spec's",
+        path.display()
+    );
+    assert_eq!(
+        m.cores.len() as u32,
+        spec.cores,
+        "trace file {} holds the wrong number of core streams",
+        path.display()
+    );
+    tf
+}
+
+/// Scale a per-interval counter rate up to the cell's full instruction
+/// budget: `Σ wⱼ · (counterⱼ / instrⱼ) · budget`, rounded. Keeps
+/// counter-valued [`CellResult`] fields comparable in magnitude to a
+/// full run's.
+fn weighted_scaled(
+    weights: &[f64],
+    results: &[chrome_sim::SimResults],
+    budget: u64,
+    counter: impl Fn(&chrome_sim::SimResults) -> u64,
+) -> u64 {
+    let wsum: f64 = weights.iter().sum();
+    let mut rate = 0.0;
+    for (w, r) in weights.iter().zip(results) {
+        let instr: u64 = r.per_core.iter().map(|c| c.instructions).sum();
+        if instr > 0 {
+            rate += w / wsum * counter(r) as f64 / instr as f64;
+        }
+    }
+    (rate * budget as f64).round() as u64
+}
+
+/// Reconstructed ratio of two counters, each first normalized to a
+/// per-instruction rate and instruction-weighted across intervals.
+fn weighted_ratio(
+    weights: &[f64],
+    results: &[chrome_sim::SimResults],
+    num: impl Fn(&chrome_sim::SimResults) -> u64,
+    den: impl Fn(&chrome_sim::SimResults) -> u64,
+) -> f64 {
+    let n = weighted_scaled(weights, results, 1_000_000, num) as f64;
+    let d = weighted_scaled(weights, results, 1_000_000, den) as f64;
+    if d > 0.0 {
+        n / d
+    } else {
+        0.0
+    }
+}
+
+/// Execute a sampled cell: build the deterministic sampling plan from
+/// the trace's interval stats, replay only the representative intervals
+/// (functional warmup + detailed ramp + measurement), and reconstruct
+/// full-run metrics from the weighted per-interval results.
+fn run_sampled_cell(spec: &CellSpec, params: &RunParams, tf: &TraceFile) -> CellResult {
+    assert!(
+        !spec.track_unused,
+        "cell {}: evicted-unused tracking is whole-run state and cannot \
+         be reconstructed from sampled intervals",
+        spec.label()
+    );
+    let sampling = SamplingSpec::parse(&spec.sampling)
+        .unwrap_or_else(|e| panic!("cell {}: {e}", spec.label()));
+    // window the plan to exactly what a full run of this cell measures
+    let plan = build_plan_windowed(
+        tf,
+        sampling,
+        spec.workload_seed(),
+        spec.warmup,
+        spec.instructions,
+    )
+    .unwrap_or_else(|e| panic!("cell {}: building sampling plan: {e}", spec.label()));
+    sampled_cell_result(spec, params, tf, &plan, chrome_sim::Kernel::default())
+}
+
+/// [`run_sampled_cell`] with a pre-built plan and explicit kernel — the
+/// `simpoint` binary's validation path reuses this to check kernel
+/// identity on the same plan.
+pub fn sampled_cell_result(
+    spec: &CellSpec,
+    params: &RunParams,
+    tf: &TraceFile,
+    plan: &WorkloadPlan,
+    kernel: chrome_sim::Kernel,
+) -> CellResult {
+    let traces = tf
+        .sources()
+        .unwrap_or_else(|e| panic!("streaming trace for {}: {e}", spec.label()));
+    let run = run_traces_sampled(
+        params,
+        traces,
+        &spec.scheme,
+        plan,
+        kernel,
+        &spec.workload,
+        Some(&spec.hash_hex()),
+    );
+    // functional control-variate pass: full interval coverage at zero
+    // detailed cost, pairing with the measured segments above
+    let profile_traces = tf
+        .sources()
+        .unwrap_or_else(|e| panic!("streaming trace for {}: {e}", spec.label()));
+    let profile = crate::runner::run_functional_profile(params, profile_traces, &spec.scheme, plan);
+    let weights: Vec<f64> = plan.segments.iter().map(|s| s.weight).collect();
+    let rec = reconstruct::reconstruct_with_profile(plan, &run.results, &profile);
+    let budget = spec.instructions * u64::from(spec.cores);
+    let llc = |f: fn(&chrome_sim::CacheStats) -> u64| move |r: &chrome_sim::SimResults| f(&r.llc);
+    let (eq_occupancy, eq_overflows) = run.epochs.records().last().map_or((0.0, 0), |last| {
+        (last.policy.eq_occupancy, last.policy.eq_overflows)
+    });
+    let mut report = run.report;
+    report.push(("sampled".into(), 1.0));
+    report.push(("mpki".into(), rec.mpki));
+    report.push(("camat".into(), rec.camat));
+    report.push(("segments".into(), plan.segments.len() as f64));
+    report.push((
+        "detail_reduction".into(),
+        plan.reduction(spec.warmup + spec.instructions),
+    ));
+    CellResult {
+        ipc: rec.per_core_ipc,
+        demand_miss_ratio: weighted_ratio(
+            &weights,
+            &run.results,
+            llc(|l| l.demand_misses),
+            llc(|l| l.demand_accesses),
+        ),
+        ephr: weighted_ratio(
+            &weights,
+            &run.results,
+            llc(|l| l.prefetch_useful),
+            llc(|l| l.prefetch_fills),
+        ),
+        bypass_coverage: weighted_ratio(&weights, &run.results, llc(|l| l.bypasses), |r| {
+            r.llc.bypasses
+                + (r.llc.demand_misses + r.llc.prefetch_misses).saturating_sub(r.llc.bypasses)
+        }),
+        bypassed_outcome: (0, 0, 0),
+        evicted_unused: (0, 0, 0),
+        evictions: weighted_scaled(&weights, &run.results, budget, llc(|l| l.evictions)),
+        evictions_unused: weighted_scaled(
+            &weights,
+            &run.results,
+            budget,
+            llc(|l| l.evictions_unused),
+        ),
+        report,
+        eq_occupancy,
+        eq_overflows,
+        artifacts: run
             .artifacts
             .iter()
             .map(|p| p.to_string_lossy().into_owned())
@@ -404,6 +577,27 @@ pub fn run_grid(params: &RunParams, mut cells: Vec<CellSpec>) -> GridReport<Cell
         .trace_dir
         .as_deref()
         .map(|dir| resolve_traces(&mut cells, dir));
+    if let Some(sampling) = &params.sampling {
+        assert!(
+            trace_files.is_some(),
+            "--sampling needs recorded interval stats; pass --trace-dir too"
+        );
+        SamplingSpec::parse(sampling).unwrap_or_else(|e| panic!("--sampling: {e}"));
+        let mut sampled = 0usize;
+        for cell in &mut cells {
+            // sampling folds into the spec hash, so sampled cells never
+            // share a checkpoint with full cells of the same identity
+            if !cell.trace.is_empty() {
+                cell.sampling = sampling.clone();
+                sampled += 1;
+            }
+        }
+        eprintln!(
+            "sampling: {sampled} of {} cells sampled with {sampling}; \
+             generator-backed cells stay full",
+            cells.len()
+        );
+    }
     let manifest = params
         .manifest
         .clone()
@@ -499,6 +693,7 @@ mod tests {
             track_unused: false,
             record_epochs: false,
             trace: String::new(),
+            sampling: String::new(),
         }
     }
 
@@ -508,6 +703,42 @@ mod tests {
         assert_eq!(r.ipc.len(), 1);
         assert!(r.ipc[0] > 0.0);
         assert!(r.artifacts.is_empty());
+    }
+
+    #[test]
+    fn sampled_cell_runs_and_reconstructs() {
+        let dir = std::env::temp_dir().join("chrome-bench-grid-sampled");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut spec = unit_spec();
+        spec.instructions = 60_000;
+        spec.warmup = 5_000;
+        chrome_tracefile::recorder::record_workload(
+            &dir.join("libquantum.ctf"),
+            &spec.workload,
+            1,
+            spec.workload_seed(),
+            80_000,
+            chrome_tracefile::Codec::Compact,
+            5_000,
+        )
+        .unwrap();
+        let map = resolve_traces(std::slice::from_mut(&mut spec), &dir);
+        let full = run_cell_with_traces(&spec, None, Some(&map));
+        spec.sampling = "k=3,ramp=1000".into();
+        let sampled = run_cell_with_traces(&spec, None, Some(&map));
+        // deterministic across repeats
+        let again = run_cell_with_traces(&spec, None, Some(&map));
+        assert_eq!(sampled, again);
+        // reconstruction lands in the right ballpark of the full run
+        assert!(sampled.ipc[0] > 0.0);
+        let rel = (sampled.ipc_sum() - full.ipc_sum()).abs() / full.ipc_sum();
+        assert!(rel < 0.25, "sampled IPC off by {:.1}%", rel * 100.0);
+        assert!(sampled.report_metric("sampled") == Some(1.0));
+        assert!(sampled.report_metric("mpki").is_some());
+        assert!(full.report_metric("mpki").is_some());
+        assert!(full.report_metric("sampled").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -60,6 +60,11 @@ pub struct RunParams {
     /// (`--audit N`); populates [`SchemeResult::audit`] for auditable
     /// policies (CHROME and its ablations).
     pub audit: Option<usize>,
+    /// Representative-interval sampling spec (`--sampling k=<k>,ramp=<n>`);
+    /// file-backed grid cells replay only clustered representative
+    /// intervals with functional warmup and reconstruct full-run
+    /// metrics. Requires `--trace-dir`.
+    pub sampling: Option<String>,
 }
 
 impl Default for RunParams {
@@ -82,6 +87,7 @@ impl Default for RunParams {
             homo_workloads: None,
             progress: true,
             audit: None,
+            sampling: None,
         }
     }
 }
@@ -169,6 +175,13 @@ impl RunParams {
                 "--audit" => {
                     i += 1;
                     p.audit = Some(args[i].parse().expect("--audit takes a record cap"));
+                }
+                "--sampling" => {
+                    i += 1;
+                    let spec = args.get(i).expect("--sampling takes k=<k>,ramp=<n>");
+                    chrome_simpoint::SamplingSpec::parse(spec)
+                        .unwrap_or_else(|e| panic!("--sampling: {e}"));
+                    p.sampling = Some(spec.clone());
                 }
                 "--quick" => {
                     p.instructions /= 10;
@@ -362,6 +375,102 @@ pub(crate) fn run_traces(
     }
 }
 
+/// The raw outputs of a sampled replay: one [`SimResults`] per
+/// representative interval, in plan order, plus the shared policy
+/// report and exported artifacts.
+pub(crate) struct SampledRun {
+    /// Per-interval measured results, plan order.
+    pub results: Vec<SimResults>,
+    /// Scheme-specific report metrics from the end-of-run policy state.
+    pub report: Vec<(String, f64)>,
+    /// Epoch-resolved telemetry (sequential across intervals).
+    pub epochs: EpochSeries,
+    /// Telemetry artifact files (includes `*_sampling.json`).
+    pub artifacts: Vec<PathBuf>,
+}
+
+/// Run `scheme` over a sampled-replay plan: functionally warm to each
+/// representative interval, run a detailed-but-unmeasured ramp, then
+/// measure. The sampling manifest is attached to the telemetry sink so
+/// exported artifact sets are self-describing.
+pub(crate) fn run_traces_sampled(
+    params: &RunParams,
+    traces: Vec<Box<dyn chrome_sim::trace::TraceSource>>,
+    scheme: &str,
+    plan: &chrome_simpoint::WorkloadPlan,
+    kernel: chrome_sim::Kernel,
+    label: &str,
+    artifact_tag: Option<&str>,
+) -> SampledRun {
+    let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let mut sys = System::with_policy(params.sim_config(), traces, policy);
+    if params.telemetry_out.is_some() || params.record_epochs {
+        sys.set_telemetry(TelemetrySink::recording(TelemetryConfig::default()));
+    }
+    sys.telemetry().set_sampling(sampling_manifest(plan));
+    let results = sys.run_sampled(&plan.to_sim_plan(), kernel);
+    let report = sys.hierarchy().llc.policy.report();
+    let epochs = sys
+        .telemetry()
+        .with(|t| t.epochs.clone())
+        .unwrap_or_default();
+    let artifacts = if let Some(dir) = &params.telemetry_out {
+        sys.telemetry()
+            .export(dir, &artifact_prefix(label, scheme, artifact_tag))
+            .unwrap_or_else(|e| panic!("telemetry export to {dir:?} failed: {e}"))
+    } else {
+        Vec::new()
+    };
+    SampledRun {
+        results,
+        report,
+        epochs,
+        artifacts,
+    }
+}
+
+/// Functional-only profiling pass over a plan's aligned interval grid:
+/// a fresh system (same scheme, same deterministic initial state as
+/// the sampled run) walks the whole trace with the functional model,
+/// yielding the per-interval control variates
+/// [`chrome_simpoint::reconstruct::reconstruct_with_profile`] pairs
+/// with detailed measurements. Costs zero detailed instructions.
+pub(crate) fn run_functional_profile(
+    params: &RunParams,
+    traces: Vec<Box<dyn chrome_sim::trace::TraceSource>>,
+    scheme: &str,
+    plan: &chrome_simpoint::WorkloadPlan,
+) -> chrome_sim::FunctionalProfile {
+    let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let mut sys = System::with_policy(params.sim_config(), traces, policy);
+    sys.run_functional_profile(&plan.boundaries)
+}
+
+/// JSON manifest describing a sampled run's shape — the contract
+/// `tldiff` uses to refuse silently diffing sampled against full runs.
+pub(crate) fn sampling_manifest(plan: &chrome_simpoint::WorkloadPlan) -> String {
+    let segments: Vec<String> = plan
+        .segments
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"interval\":{},\"weight\":{},\"detail\":{}}}",
+                s.interval,
+                chrome_exec::json::num(s.weight),
+                s.detail
+            )
+        })
+        .collect();
+    format!(
+        "{{\"spec\":\"{}\",\"segments\":[{}],\"total_instructions\":{},\
+         \"detailed_instructions\":{}}}",
+        plan.spec.render(),
+        segments.join(","),
+        plan.total_instructions,
+        plan.detailed_instructions,
+    )
+}
+
 /// Geometric mean of a slice (ignores non-positive values defensively).
 pub fn geomean(values: &[f64]) -> f64 {
     let vals: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
@@ -437,5 +546,193 @@ mod tests {
         };
         let r = run_mix(&params, &["mcf", "libquantum"], "LRU");
         assert_eq!(r.results.per_core.len(), 2);
+    }
+
+    /// Diagnostic (opt-in): isolate plan-selection error from
+    /// functional-gap state error. Runs every interval with contiguous
+    /// timed state (exhaustive plan, ramp 0), then reconstructs the
+    /// full-run metrics from the k-plan's representatives using those
+    /// oracle-state per-interval results. The residual is pure
+    /// clustering/selection error; the gap to a real sampled run is
+    /// functional-warmup state error.
+    ///
+    /// `SP_TRACE_DIR` must point at recorded traces;
+    /// `SP_WORKLOADS`/`SP_SCHEME`/`SP_SAMPLING` narrow the sweep.
+    #[test]
+    #[ignore = "diagnostic: needs recorded traces in SP_TRACE_DIR"]
+    fn oracle_state_reconstruction() {
+        use chrome_simpoint::{build_plan_windowed, reconstruct, SamplingSpec};
+        let dir = std::env::var("SP_TRACE_DIR").expect("SP_TRACE_DIR");
+        let wls = std::env::var("SP_WORKLOADS").unwrap_or_else(|_| "pr-or".into());
+        let scheme = std::env::var("SP_SCHEME").unwrap_or_else(|_| "LRU".into());
+        let spec_str =
+            std::env::var("SP_SAMPLING").unwrap_or_else(|_| "k=26,ramp=2200,reps=3".into());
+        let mut params = RunParams {
+            cores: 1,
+            instructions: 6_000_000,
+            warmup: 60_000,
+            ..Default::default()
+        };
+        // SP_PREFETCH=none isolates prefetcher-state divergence from
+        // demand-path divergence across functional gaps.
+        if std::env::var("SP_PREFETCH").as_deref() == Ok("none") {
+            params.prefetchers = chrome_sim::PrefetcherConfig::none();
+        }
+        let index = chrome_tracefile::TraceIndex::scan(std::path::Path::new(&dir)).unwrap();
+        for wl in wls.split(',') {
+            let seed = chrome_exec::workload_seed(wl, 1, params.seed);
+            let entry = index.lookup(wl, 1, seed).expect("trace recorded");
+            let tf = chrome_tracefile::TraceFile::open(&entry.path).unwrap();
+            let exhaustive = SamplingSpec {
+                k: usize::MAX / 2,
+                ramp: 0,
+                reps: 1,
+            };
+            let ex = build_plan_windowed(&tf, exhaustive, seed, params.warmup, params.instructions)
+                .unwrap();
+            let truth = run_traces_sampled(
+                &params,
+                tf.sources().unwrap(),
+                &scheme,
+                &ex,
+                chrome_sim::Kernel::EventDriven,
+                wl,
+                None,
+            );
+            let w_ex: Vec<f64> = ex.segments.iter().map(|s| s.weight).collect();
+            let full = reconstruct::reconstruct(&w_ex, &truth.results);
+            let spec = SamplingSpec::parse(&spec_str).unwrap();
+            let mut plan =
+                build_plan_windowed(&tf, spec, seed, params.warmup, params.instructions).unwrap();
+            // SP_RUNS=NxM replaces the clustered plan with N evenly
+            // spaced systematic runs of M consecutive intervals each —
+            // probes how state error scales with measured-run length.
+            if let Ok(runs) = std::env::var("SP_RUNS") {
+                let (n_runs, run_len) = runs.split_once('x').unwrap();
+                let (n_runs, run_len): (usize, usize) =
+                    (n_runs.parse().unwrap(), run_len.parse().unwrap());
+                let spacing = ex.segments.len() / n_runs;
+                let mut segs = Vec::new();
+                for r in 0..n_runs {
+                    let i = r * spacing + (spacing - run_len) / 2;
+                    let group = &ex.segments[i..i + run_len];
+                    segs.push(chrome_simpoint::Segment {
+                        interval: group[0].interval,
+                        weight: group.iter().map(|s| s.weight).sum(),
+                        start: group[0].start.clone(),
+                        detail: group.iter().map(|s| s.detail).sum(),
+                    });
+                }
+                plan.detailed_instructions = segs.iter().map(|s| s.detail + plan.spec.ramp).sum();
+                plan.segments = segs;
+            }
+            // SP_PROLOGUE=N prepends a weight-0 timed segment over the
+            // last N warmup instructions, mirroring the full run's
+            // timed warmup before the first functional gap.
+            if let Ok(n) = std::env::var("SP_PROLOGUE") {
+                let n: u64 = n.parse().unwrap();
+                let n = n.min(params.warmup);
+                if n > 0 {
+                    plan.segments.insert(
+                        0,
+                        chrome_simpoint::Segment {
+                            interval: usize::MAX,
+                            weight: 0.0,
+                            start: vec![params.warmup - n; 1],
+                            detail: n,
+                        },
+                    );
+                    plan.detailed_instructions += n;
+                }
+            }
+            let by_interval: std::collections::HashMap<usize, &chrome_sim::SimResults> = ex
+                .segments
+                .iter()
+                .zip(&truth.results)
+                .map(|(s, r)| (s.interval, r))
+                .collect();
+            let sel: Vec<chrome_sim::SimResults> = plan
+                .segments
+                .iter()
+                .filter(|s| s.interval != usize::MAX)
+                .map(|s| by_interval[&s.interval].clone())
+                .collect();
+            let w_sel: Vec<f64> = plan
+                .segments
+                .iter()
+                .filter(|s| s.interval != usize::MAX)
+                .map(|s| s.weight)
+                .collect();
+            let w: Vec<f64> = plan.segments.iter().map(|s| s.weight).collect();
+            let oracle = reconstruct::reconstruct(&w_sel, &sel);
+            let real_run = run_traces_sampled(
+                &params,
+                tf.sources().unwrap(),
+                &scheme,
+                &plan,
+                chrome_sim::Kernel::EventDriven,
+                wl,
+                None,
+            );
+            let real = reconstruct::reconstruct(&w, &real_run.results);
+            let pct = |a: f64, b: f64| 100.0 * (a - b) / b;
+            // SP_DETAIL=1 prints per-interval sampled-vs-oracle stat
+            // deltas to localize which machine state diverges.
+            if std::env::var("SP_DETAIL").as_deref() == Ok("1") {
+                for ((seg, s), o) in plan
+                    .segments
+                    .iter()
+                    .zip(&real_run.results)
+                    .filter(|(seg, _)| seg.interval != usize::MAX)
+                    .zip(&sel)
+                {
+                    eprintln!(
+                        "  iv {:>4} w {:.3}: ipc {:+6.2}% dmiss {:+6.2}% l2pf {:+6.2}% \
+                         llcpf {:+6.2}% pfuse {:+6.2}% shed {:+6.2}% [o: dmiss {} l2pf {} shed {}]",
+                        seg.interval,
+                        seg.weight,
+                        pct(s.ipc_sum(), o.ipc_sum()),
+                        pct(
+                            s.llc.demand_misses as f64,
+                            o.llc.demand_misses.max(1) as f64
+                        ),
+                        pct(
+                            s.l2.iter().map(|c| c.prefetch_accesses).sum::<u64>() as f64,
+                            o.l2.iter().map(|c| c.prefetch_accesses).sum::<u64>().max(1) as f64
+                        ),
+                        pct(
+                            s.llc.prefetch_accesses as f64,
+                            o.llc.prefetch_accesses.max(1) as f64
+                        ),
+                        pct(
+                            s.llc.prefetch_useful as f64,
+                            o.llc.prefetch_useful.max(1) as f64
+                        ),
+                        pct(
+                            (s.llc.prefetch_dropped
+                                + s.l2.iter().map(|c| c.prefetch_dropped).sum::<u64>())
+                                as f64,
+                            (o.llc.prefetch_dropped
+                                + o.l2.iter().map(|c| c.prefetch_dropped).sum::<u64>())
+                            .max(1) as f64
+                        ),
+                        o.llc.demand_misses,
+                        o.l2.iter().map(|c| c.prefetch_accesses).sum::<u64>(),
+                        o.llc.prefetch_dropped
+                            + o.l2.iter().map(|c| c.prefetch_dropped).sum::<u64>(),
+                    );
+                }
+            }
+            eprintln!(
+                "{wl}: full ipc {:.4} mpki {:.3} | oracle({}) ipc {:+.2}% mpki {:+.2}% | sampled ipc {:+.2}% mpki {:+.2}%",
+                full.ipc,
+                full.mpki,
+                plan.segments.len(),
+                pct(oracle.ipc, full.ipc),
+                pct(oracle.mpki, full.mpki),
+                pct(real.ipc, full.ipc),
+                pct(real.mpki, full.mpki),
+            );
+        }
     }
 }

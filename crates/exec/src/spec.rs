@@ -80,6 +80,12 @@ pub struct CellSpec {
     /// empty default keeps generator-backed hashes (and thus existing
     /// manifests) unchanged.
     pub trace: String,
+    /// Representative-interval sampling spec (`k=<k>,ramp=<n>` form),
+    /// empty for full simulation. Folded into the spec hash the same
+    /// conditional way as `trace`, so sampled and full runs of the same
+    /// cell never share a checkpoint and full-run hashes are unchanged.
+    /// Must not contain `;` (the canonical-form field separator).
+    pub sampling: String,
 }
 
 impl CellSpec {
@@ -106,6 +112,14 @@ impl CellSpec {
         if !self.trace.is_empty() {
             s.push_str(";trace=");
             s.push_str(&self.trace);
+        }
+        if !self.sampling.is_empty() {
+            debug_assert!(
+                !self.sampling.contains(';'),
+                "sampling spec must not contain the field separator"
+            );
+            s.push_str(";sampling=");
+            s.push_str(&self.sampling);
         }
         s
     }
@@ -155,6 +169,7 @@ mod tests {
             track_unused: false,
             record_epochs: false,
             trace: String::new(),
+            sampling: String::new(),
         }
     }
 
@@ -171,7 +186,7 @@ mod tests {
     fn every_field_feeds_the_spec_hash() {
         let base = spec();
         let mut variants = Vec::new();
-        for f in 0..11 {
+        for f in 0..12 {
             let mut v = base.clone();
             match f {
                 0 => v.experiment = "fig10".into(),
@@ -184,14 +199,15 @@ mod tests {
                 7 => v.prefetch = "ipcp".into(),
                 8 => v.track_unused = true,
                 9 => v.record_epochs = true,
-                _ => v.trace = "00000000deadbeef".into(),
+                10 => v.trace = "00000000deadbeef".into(),
+                _ => v.sampling = "k=5,ramp=2000".into(),
             }
             variants.push(v.spec_hash());
         }
         variants.push(base.spec_hash());
         variants.sort_unstable();
         variants.dedup();
-        assert_eq!(variants.len(), 12, "hash collision across field variants");
+        assert_eq!(variants.len(), 13, "hash collision across field variants");
     }
 
     #[test]
@@ -208,6 +224,22 @@ mod tests {
         let mut t2 = s.clone();
         t2.trace = "00000000deadbee0".into();
         assert_ne!(t.spec_hash(), t2.spec_hash());
+    }
+
+    #[test]
+    fn empty_sampling_keeps_legacy_canonical_form() {
+        // full-simulation specs must hash exactly as before the
+        // sampling axis existed, and a sampled cell can never resume
+        // from a full cell's checkpoint (or vice versa)
+        let s = spec();
+        assert!(!s.canonical().contains("sampling="));
+        let mut k5 = s.clone();
+        k5.sampling = "k=5,ramp=2000".into();
+        assert!(k5.canonical().ends_with(";sampling=k=5,ramp=2000"));
+        assert_ne!(s.spec_hash(), k5.spec_hash());
+        let mut k3 = s.clone();
+        k3.sampling = "k=3,ramp=2000".into();
+        assert_ne!(k5.spec_hash(), k3.spec_hash());
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn spec(workload: &str, scheme: &str) -> CellSpec {
         track_unused: false,
         record_epochs: false,
         trace: String::new(),
+        sampling: String::new(),
     }
 }
 

@@ -38,6 +38,12 @@ pub struct Core {
     pending: Option<TraceRecord>,
     /// Completion cycle of the most recent load (for `dep_prev`).
     pub last_load_completion: u64,
+    /// Total instructions pulled from the trace since construction
+    /// (each record counts `1 + nonmem_before`). This is the trace
+    /// *cursor*: sampled replay aligns functional-warmup and detailed
+    /// phases on fetch positions, which — unlike `retired` — never lag
+    /// behind the trace by in-flight ROB contents.
+    pub fetched: u64,
     /// Total instructions retired since construction.
     pub retired: u64,
     /// Cycles completed instructions spent waiting in the ROB for
@@ -81,6 +87,7 @@ impl Core {
             nonmem_left: 0,
             pending: None,
             last_load_completion: 0,
+            fetched: 0,
             retired: 0,
             rob_release_lag: 0,
             measure_start_retired: 0,
@@ -181,7 +188,7 @@ impl Core {
             let rec = match self.pending.take() {
                 Some(r) => r,
                 None => {
-                    let r = self.trace.next_record();
+                    let r = self.fetch_record();
                     if r.nonmem_before > 0 {
                         self.nonmem_left = r.nonmem_before;
                         self.pending = Some(r);
@@ -211,6 +218,33 @@ impl Core {
             n += 1;
         }
         n
+    }
+
+    /// Pull the next record from the trace, advancing the fetch cursor
+    /// by the record plus its leading non-memory run.
+    pub(crate) fn fetch_record(&mut self) -> TraceRecord {
+        let r = self.trace.next_record();
+        self.fetched += 1 + u64::from(r.nonmem_before);
+        r
+    }
+
+    /// Take the partially-issued pending record (clearing its remaining
+    /// non-memory run), so a mode switch can apply it functionally
+    /// instead of leaving the cursor mid-record.
+    pub(crate) fn take_pending(&mut self) -> Option<TraceRecord> {
+        self.nonmem_left = 0;
+        self.pending.take()
+    }
+
+    /// Drop all in-flight timing state (ROB contents, load-dependence
+    /// chain) at a functional/detailed mode switch. Fetched-but-unretired
+    /// instructions are discarded — sampled measurement is retire-delta
+    /// based, while trace alignment is fetch-cursor based, so the loss is
+    /// bounded by one ROB and never double-counted.
+    pub(crate) fn reset_timing(&mut self) {
+        self.rob.clear();
+        self.rob_len = 0;
+        self.last_load_completion = 0;
     }
 
     /// Instructions retired in the measurement region so far.

@@ -51,5 +51,5 @@ pub mod types;
 pub use config::{PrefetcherConfig, PrefetcherKind, SimConfig};
 pub use policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
 pub use stats::{CacheStats, CoreStats, SimResults};
-pub use system::{Kernel, System};
+pub use system::{FunctionalProfile, Kernel, SampledInterval, System};
 pub use types::{AccessKind, LineAddr, TraceRecord};

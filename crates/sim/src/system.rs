@@ -486,6 +486,245 @@ impl MemHierarchy {
         let _ = self.access_llc(core, pc, line, true, t_llc, &mut span);
     }
 
+    // ---- Functional path for sampled-replay warmup ----
+    //
+    // These mirror the timed access/fill/prefetch cascade above, driven
+    // by per-core *pseudo-clocks* instead of the real scheduler: cache
+    // contents, LLC policy state, prefetcher training, the MMU and the
+    // DRAM bank/bus model all update exactly as in timed mode, while
+    // MSHRs, C-AMAT accounting and latency spans are never touched. The
+    // pseudo-clock (see [`System::functional_warm_to`]) advances at the
+    // CPI the last detailed phase measured, so DRAM traffic arrives at
+    // a realistic density and the memory-controller prefetch shed test
+    // (`queue_delay > PREFETCH_SHED_CYCLES`) fires with the same
+    // burstiness as in the full run — shed-sensitive prefetcher and
+    // LLC warmup was by far the largest sampled-replay error source.
+
+    /// Functional `writeback_to_llc`: dirty victims that miss the LLC
+    /// become DRAM writes at the pseudo-clock, as in timed mode.
+    fn functional_writeback_llc(&mut self, line: LineAddr, cycle: u64) {
+        if !self.llc.writeback(line) {
+            self.dram.access(line, cycle, true);
+        }
+    }
+
+    fn functional_writeback_l2(&mut self, core: usize, line: LineAddr, cycle: u64) {
+        if self.l2[core].mark_dirty(line) {
+            return;
+        }
+        if let Some(ev) = self.l2[core].fill(line, true, false, cycle) {
+            if ev.dirty {
+                self.functional_writeback_llc(ev.line, cycle);
+            }
+        }
+    }
+
+    fn functional_fill_l2(&mut self, core: usize, line: LineAddr, is_prefetch: bool, cycle: u64) {
+        if self.l2[core].probe(line).is_some() {
+            return;
+        }
+        if let Some(ev) = self.l2[core].fill(line, false, is_prefetch, cycle) {
+            if ev.dirty {
+                self.functional_writeback_llc(ev.line, cycle);
+            }
+        }
+    }
+
+    fn functional_fill_l1(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        dirty: bool,
+        is_prefetch: bool,
+        cycle: u64,
+    ) {
+        if self.l1d[core].probe(line).is_some() {
+            return;
+        }
+        if let Some(ev) = self.l1d[core].fill(line, dirty, is_prefetch, cycle) {
+            if ev.dirty {
+                self.functional_writeback_l2(core, ev.line, cycle);
+            }
+        }
+    }
+
+    /// LLC leg of the functional path: policy callbacks, statistics,
+    /// eager fills and the DRAM traffic beneath a miss run exactly as
+    /// in timed mode (warming replacement/bypass state and the bank
+    /// queues), but there is no MSHR or C-AMAT activity. Returns the
+    /// completion estimate (hit latency or real DRAM completion) and
+    /// whether the access went to memory.
+    fn functional_access_llc(
+        &mut self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        is_prefetch: bool,
+        cycle: u64,
+    ) -> (u64, bool) {
+        let info = AccessInfo {
+            core,
+            pc,
+            line,
+            is_prefetch,
+            is_write: false,
+            cycle,
+        };
+        match self.llc.access(&info, &self.feedback) {
+            LlcOutcome::Hit { ready } => ((cycle + self.llc.latency).max(ready), false),
+            LlcOutcome::Miss {
+                bypassed,
+                writeback,
+            } => {
+                let done = self.dram.access(line, cycle + self.llc.latency, false);
+                if !bypassed {
+                    self.llc.set_ready(line, done);
+                }
+                if let Some(wb) = writeback {
+                    self.dram.access(wb, cycle, true);
+                }
+                (done, true)
+            }
+        }
+    }
+
+    fn functional_prefetch_l2(
+        &mut self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        train_l2: bool,
+        cycle: u64,
+    ) -> Option<u64> {
+        if let Some(ready) = self.l2[core].lookup(line, false, true) {
+            return Some((cycle + self.l2_latency).max(ready));
+        }
+        self.l2[core].stats.prefetch_accesses += 1;
+        self.l2[core].stats.prefetch_misses += 1;
+        // the real memory-controller shed test, against the pseudo-time
+        // bank queues — without it DRAM-bound workloads warm up far
+        // beyond timed reality
+        if self.llc.probe(line).is_none()
+            && self.dram.queue_delay(line, cycle) > PREFETCH_SHED_CYCLES
+        {
+            self.l2[core].stats.prefetch_dropped += 1;
+            return None;
+        }
+        if train_l2 {
+            self.functional_trigger_l2(core, pc, line, false, cycle);
+        }
+        let (done, _) = self.functional_access_llc(core, pc, line, true, cycle);
+        self.functional_fill_l2(core, line, true, done);
+        Some(done)
+    }
+
+    fn functional_prefetch(&mut self, core: usize, pc: u64, req: PrefetchRequest, cycle: u64) {
+        match req.fill {
+            FillLevel::L1 => {
+                if self.l1d[core].probe(req.line).is_some() {
+                    return;
+                }
+                self.l1d[core].stats.prefetch_accesses += 1;
+                self.l1d[core].stats.prefetch_misses += 1;
+                if let Some(ready) = self.functional_prefetch_l2(core, pc, req.line, true, cycle) {
+                    self.functional_fill_l1(core, req.line, false, true, ready);
+                }
+            }
+            FillLevel::L2 => {
+                let _ = self.functional_prefetch_l2(core, pc, req.line, false, cycle);
+            }
+            FillLevel::LlcOnly => {
+                if self.llc.probe(req.line).is_none()
+                    && self.dram.queue_delay(req.line, cycle) > PREFETCH_SHED_CYCLES
+                {
+                    self.llc.stats.prefetch_dropped += 1;
+                    return;
+                }
+                let _ = self.functional_access_llc(core, pc, req.line, true, cycle);
+            }
+        }
+    }
+
+    fn functional_trigger_l1(
+        &mut self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        hit: bool,
+        cycle: u64,
+    ) {
+        let mut proposals = std::mem::take(&mut self.scratch);
+        proposals.clear();
+        self.l1_pref[core].on_access(pc, line, hit, &mut proposals);
+        for req in proposals.drain(..) {
+            self.functional_prefetch(core, pc, req, cycle);
+        }
+        self.scratch = proposals;
+    }
+
+    fn functional_trigger_l2(
+        &mut self,
+        core: usize,
+        pc: u64,
+        line: LineAddr,
+        hit: bool,
+        cycle: u64,
+    ) {
+        let mut proposals = std::mem::take(&mut self.scratch);
+        proposals.clear();
+        self.l2_pref[core].on_access(pc, line, hit, &mut proposals);
+        for mut req in proposals.drain(..) {
+            // an L2-resident prefetcher cannot fill L1
+            if req.fill == FillLevel::L1 {
+                req.fill = FillLevel::L2;
+            }
+            self.functional_prefetch(core, pc, req, cycle);
+        }
+        self.scratch = proposals;
+    }
+
+    /// Apply one trace record functionally: the full demand cascade
+    /// (L1 → L2 → LLC → DRAM, prefetcher training included) at the
+    /// caller-supplied pseudo-clock, with no scheduler involvement.
+    /// Used by sampled replay to fast-forward between representative
+    /// intervals. Returns the estimated completion cycle of the demand
+    /// access (hit latency at whichever level served it, or the real
+    /// DRAM completion) and whether it went all the way to memory —
+    /// the warmup driver replays dependence chains and MSHR occupancy
+    /// from these, so pseudo-time stalls where the timed core stalls.
+    pub(crate) fn functional_access(
+        &mut self,
+        core: usize,
+        rec: &TraceRecord,
+        cycle: u64,
+    ) -> (u64, bool) {
+        let is_write = rec.kind == AccessKind::Store;
+        let line = self.mmu.translate(core, rec.vaddr);
+        self.l1d[core].stats.demand_accesses += 1;
+        if let Some(ready) = self.l1d[core].lookup(line, is_write, false) {
+            self.functional_trigger_l1(core, rec.pc, line, true, cycle);
+            return ((cycle + self.l1_latency).max(ready), false);
+        }
+        self.l1d[core].stats.demand_misses += 1;
+        self.functional_trigger_l1(core, rec.pc, line, false, cycle);
+        self.l2[core].stats.demand_accesses += 1;
+        let t_l2 = cycle + self.l1_latency;
+        let l2_res = self.l2[core].lookup(line, false, false);
+        self.functional_trigger_l2(core, rec.pc, line, l2_res.is_some(), cycle);
+        let (done, dram) = match l2_res {
+            Some(ready) => ((t_l2 + self.l2_latency).max(ready), false),
+            None => {
+                self.l2[core].stats.demand_misses += 1;
+                let r =
+                    self.functional_access_llc(core, rec.pc, line, false, t_l2 + self.l2_latency);
+                self.functional_fill_l2(core, line, false, r.0);
+                r
+            }
+        };
+        self.functional_fill_l1(core, line, is_write, false, done);
+        (done, dram)
+    }
+
     /// Reset all measurement counters (used at the warmup boundary).
     fn reset_stats(&mut self) {
         for c in &mut self.l1d {
@@ -517,6 +756,35 @@ pub enum Kernel {
     /// the ground-truth reference for differential testing and as the
     /// denominator of the throughput benchmark's speedup metric.
     Reference,
+}
+
+/// One representative interval of a sampled-replay plan (see
+/// [`System::run_sampled`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledInterval {
+    /// Per-core absolute trace fetch positions (instructions pulled,
+    /// counting non-memory runs) at which the measured interval starts.
+    /// Per-core rather than global because cores drift: each core's
+    /// position comes from its own manifest interval sums.
+    pub start: Vec<u64>,
+    /// Detailed-but-unmeasured lead-in instructions per core, simulated
+    /// with full timing after the functional fast-forward so MSHR, DRAM
+    /// and ROB state are realistic when measurement begins.
+    pub ramp: u64,
+    /// Measured instructions per core.
+    pub detail: u64,
+}
+
+/// Per-interval metrics from a functional-only profiling pass (see
+/// [`System::run_functional_profile`]): the cheap full-coverage
+/// auxiliary series that sampled reconstruction uses as control
+/// variates for its detailed measurements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FunctionalProfile {
+    /// Pseudo-clock cycles each aligned interval took.
+    pub cycles: Vec<u64>,
+    /// LLC demand misses in each aligned interval.
+    pub llc_misses: Vec<u64>,
 }
 
 /// The complete simulated machine.
@@ -872,10 +1140,21 @@ impl System {
         }
         // Measurement boundary: warmup telemetry is discarded so the
         // epoch series covers exactly the measured region.
-        self.hier.reset_stats();
         self.telemetry.clear();
-        self.epoch_base = CacheStats::default();
         self.epoch_seq = 0;
+        self.run_measured(instructions, kernel)
+    }
+
+    /// Reset measurement counters at the current cycle, run until every
+    /// core retires `instructions` more, and collect results. Shared by
+    /// [`System::run_with_kernel`] (once, after timed warmup) and
+    /// [`System::run_sampled`] (once per representative interval).
+    /// Telemetry is *not* cleared here, so a sampled run's epoch series
+    /// spans all of its measured intervals.
+    fn run_measured(&mut self, instructions: u64, kernel: Kernel) -> SimResults {
+        assert!(instructions > 0, "instruction quota must be positive");
+        self.hier.reset_stats();
+        self.epoch_base = CacheStats::default();
         let dram_reads0 = self.hier.dram.reads;
         let dram_writes0 = self.hier.dram.writes;
         self.obstructed_epochs = vec![0; self.cores.len()];
@@ -918,6 +1197,226 @@ impl System {
             self.epoch_scratch = partial;
         }
         self.collect_results(instructions, dram_reads0, dram_writes0)
+    }
+
+    /// Functionally fast-forward every core's trace cursor to the given
+    /// absolute per-core fetch position (no-op for cores already past
+    /// it). Every record on the way updates caches, policy state,
+    /// prefetchers and DRAM; in-flight timing state (ROB contents,
+    /// dependence chains) is discarded at the switch.
+    ///
+    /// Each core carries a *pseudo-clock* that starts at the shared
+    /// clock and paces itself the way the timed front end does: between
+    /// stalls, instructions issue at fetch-width speed, and the stalls
+    /// themselves are replayed from completion estimates — a ROB-window
+    /// clamp on the oldest in-flight load, `dep_prev` serialization on
+    /// the producer's completion at whatever level served it, and
+    /// L1-MSHR occupancy delaying the access itself. Average CPI then
+    /// *emerges* from the machine model instead of being imposed, and —
+    /// crucially — issue stays bursty: stall-then-drain spikes are what
+    /// push DRAM bank queues past the memory-controller shed threshold,
+    /// so a smooth average-CPI clock under-sheds prefetches by an order
+    /// of magnitude on stall-heavy workloads. Cores are interleaved
+    /// lowest-clock-first, so the DRAM model sees demand and prefetch
+    /// traffic at realistic density and ordering. At the end the shared
+    /// clock jumps to the farthest pseudo-clock, so the following
+    /// detailed ramp continues from DRAM queues that are genuinely warm
+    /// rather than fossilized in the past.
+    ///
+    /// Learned policies keep training through the fast-forward:
+    /// freezing them was measured to be far worse (greedy decisions
+    /// over a virgin/stale Q-table degenerate to a single tie-rank
+    /// action for the whole gap, and the policy arrives at the
+    /// measured segment untrained relative to the full run).
+    fn functional_warm_to(&mut self, targets: &[u64]) {
+        let n = self.cores.len();
+        let warmed: Vec<bool> = (0..n).map(|i| self.cores[i].fetched < targets[i]).collect();
+        let width = self.cfg.width as f64;
+        let rob_size = self.cfg.rob_size as u64;
+        let mut ft: Vec<f64> = vec![self.cycle as f64; n];
+        // In-flight loads per core as (fetch position, completion):
+        // the in-order retire window. Fetch cannot pass an incomplete
+        // load by more than the ROB size — the only front-end stall the
+        // timed core has, replayed here as a pseudo-clock jump.
+        let mut rob: Vec<std::collections::VecDeque<(u64, u64)>> = vec![Default::default(); n];
+        // Outstanding DRAM-bound misses per core, capped at the L1 MSHR
+        // capacity. As in timed `mshr_acquire`, a full file delays the
+        // *access* (not the front end) to the oldest completion.
+        let mshr_cap: Vec<usize> = (0..n).map(|i| self.hier.l1d[i].mshr.capacity()).collect();
+        let mut mshr: Vec<std::collections::VecDeque<u64>> = vec![Default::default(); n];
+        // Completion of each core's most recent load, for `dep_prev`
+        // serialization — pointer-chase chains run at MLP 1 in timed
+        // mode and must do so here too.
+        let mut last_load: Vec<u64> = vec![0; n];
+        loop {
+            // next record comes from the core whose pseudo-clock is
+            // furthest behind (deterministic: ties break by index)
+            let mut pick = None;
+            let mut best = f64::INFINITY;
+            for i in 0..n {
+                if self.cores[i].fetched < targets[i] && ft[i] < best {
+                    best = ft[i];
+                    pick = Some(i);
+                }
+            }
+            let Some(i) = pick else { break };
+            let core = &mut self.cores[i];
+            let rec = core.take_pending().unwrap_or_else(|| core.fetch_record());
+            let pos = core.fetched;
+            // Retire completed loads; stall fetch on the ROB window.
+            while let Some(&(p, done)) = rob[i].front() {
+                if (done as f64) <= ft[i] {
+                    rob[i].pop_front();
+                } else if p + rob_size <= pos {
+                    ft[i] = done as f64;
+                    rob[i].pop_front();
+                } else {
+                    break;
+                }
+            }
+            // The leading non-memory run issues at width per cycle.
+            ft[i] += f64::from(rec.nonmem_before) / width;
+            let mut at = ft[i];
+            if rec.dep_prev {
+                at = at.max(last_load[i] as f64);
+            }
+            while mshr[i].front().is_some_and(|&d| (d as f64) <= at) {
+                mshr[i].pop_front();
+            }
+            if mshr[i].len() >= mshr_cap[i] {
+                let oldest = mshr[i].pop_front().unwrap();
+                at = at.max(oldest as f64);
+            }
+            let (done, dram) = self.hier.functional_access(i, &rec, at as u64);
+            if dram {
+                mshr[i].push_back(done);
+            }
+            if rec.kind == AccessKind::Load {
+                last_load[i] = done;
+                rob[i].push_back((pos, done));
+            }
+            ft[i] += 1.0 / width;
+        }
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            if warmed[i] {
+                core.reset_timing();
+            }
+        }
+
+        // Rebase the shared clock onto pseudo-time so the detailed ramp
+        // runs against live DRAM queues instead of long-drained ones.
+        let end = ft.iter().fold(self.cycle as f64, |a, &b| a.max(b)) as u64;
+        self.cycle = end;
+        // No epoch machinery ran during the gap; realign the next
+        // boundary to the epoch grid so the ramp doesn't replay a burst
+        // of empty feedback epochs.
+        if self.cycle >= self.next_epoch {
+            let e = self.cfg.epoch_cycles;
+            self.next_epoch = (self.cycle / e + 1) * e;
+        }
+        // Pre-switch watermarks may lie arbitrarily far in the future
+        // (full-ROB stalls that no longer exist); after the switch every
+        // core is immediately due.
+        self.next_event.fill(self.cycle);
+        self.min_event = self.cycle;
+    }
+
+    /// Run detailed (timed, unmeasured) simulation until every core's
+    /// fetch cursor reaches its target position — the timing ramp that
+    /// re-establishes MSHR, DRAM-queue and ROB state after a functional
+    /// fast-forward.
+    fn run_detailed_until(&mut self, targets: &[u64], kernel: Kernel) {
+        while self.cores.iter().zip(targets).any(|(c, &t)| c.fetched < t) {
+            while !self.advance(kernel) {}
+        }
+    }
+
+    /// Sampled replay: for each representative interval, functionally
+    /// fast-forward to `start - ramp`, run a detailed-but-unmeasured
+    /// timing ramp to `start`, then measure `detail` instructions per
+    /// core. Returns one [`SimResults`] per interval, in plan order;
+    /// full-run metrics are reconstructed by weighting them with the
+    /// plan's cluster weights (see `chrome-simpoint`).
+    ///
+    /// Intervals must be sorted by ascending start position (traces are
+    /// forward-only). Overlapping phases degrade gracefully: a core
+    /// already past a functional or ramp target simply skips it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is empty, an interval's `start` length does
+    /// not match the core count, its `detail` is zero, or start
+    /// positions are not non-decreasing.
+    pub fn run_sampled(&mut self, plan: &[SampledInterval], kernel: Kernel) -> Vec<SimResults> {
+        assert!(
+            !plan.is_empty(),
+            "sampled plan must have at least one interval"
+        );
+        for w in plan.windows(2) {
+            assert!(
+                w[0].start.iter().zip(&w[1].start).all(|(a, b)| a <= b),
+                "sampled intervals must be sorted by start position"
+            );
+        }
+        self.telemetry.clear();
+        self.epoch_seq = 0;
+        let mut out = Vec::with_capacity(plan.len());
+        let mut warm_targets = Vec::with_capacity(self.cores.len());
+        for seg in plan {
+            assert_eq!(
+                seg.start.len(),
+                self.cores.len(),
+                "one start position per core"
+            );
+            warm_targets.clear();
+            warm_targets.extend(seg.start.iter().map(|s| s.saturating_sub(seg.ramp)));
+            self.functional_warm_to(&warm_targets);
+            self.run_detailed_until(&seg.start, kernel);
+            out.push(self.run_measured(seg.detail, kernel));
+        }
+        out
+    }
+
+    /// Functional-only profiling pass: walk every aligned interval with
+    /// the functional model (no detailed simulation at all), recording
+    /// per-interval pseudo-cycles and LLC demand misses. These are the
+    /// *control variates* sampled reconstruction pairs with detailed
+    /// measurements: the functional model tracks per-interval metric
+    /// *variation* far more tightly than any clustering of summary
+    /// features, so estimating `full = functional_total + weighted
+    /// mean(detailed − functional)` over the sampled intervals removes
+    /// most of the stratified estimator's selection variance.
+    ///
+    /// `boundaries[c]` holds core `c`'s cumulative fetch positions at
+    /// every aligned interval boundary (`n + 1` entries starting at 0).
+    /// Cycles are shared-clock deltas — exact for single-core traces,
+    /// a lowest-clock-sync approximation across cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundaries` is empty or disagrees with the core count.
+    pub fn run_functional_profile(&mut self, boundaries: &[Vec<u64>]) -> FunctionalProfile {
+        assert_eq!(
+            boundaries.len(),
+            self.cores.len(),
+            "one boundary list per core"
+        );
+        let n = boundaries.iter().map(|b| b.len()).min().unwrap_or(0);
+        assert!(n > 1, "profile needs at least one aligned interval");
+        let mut cycles = Vec::with_capacity(n - 1);
+        let mut llc_misses = Vec::with_capacity(n - 1);
+        let mut targets = vec![0u64; self.cores.len()];
+        for j in 1..n {
+            for (t, b) in targets.iter_mut().zip(boundaries) {
+                *t = b[j];
+            }
+            let cycle0 = self.cycle;
+            let miss0 = self.hier.llc.stats.demand_misses;
+            self.functional_warm_to(&targets);
+            cycles.push(self.cycle - cycle0);
+            llc_misses.push(self.hier.llc.stats.demand_misses - miss0);
+        }
+        FunctionalProfile { cycles, llc_misses }
     }
 
     fn collect_results(

@@ -1,0 +1,276 @@
+//! Deterministic k-means++ over interval feature vectors.
+//!
+//! Reproducibility is load-bearing: the sampling plan feeds the
+//! `CellSpec` checkpoint identity, so the same trace + spec + seed must
+//! pick the same representatives on every machine, at every job count.
+//! All randomness comes from a SplitMix64 stream seeded by the caller
+//! (the grid passes `workload_seed`), iteration order is fixed, and
+//! every tie breaks to the lowest index.
+
+use crate::features::DIMS;
+
+/// SplitMix64 stream over `chrome_exec`'s finalizer — the same mixing
+/// the grid uses for trace seeds, so plans and traces share one
+/// deterministic seed lineage.
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64 itself adds the golden-ratio increment before
+        // mixing; advancing state by it again keeps successive outputs
+        // decorrelated without repeating the first draw.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        chrome_exec::splitmix64(self.state)
+    }
+
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Output of [`cluster`]: a cluster id per point plus one
+/// representative point per cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster id for each input point.
+    pub assignment: Vec<usize>,
+    /// For each cluster, the index of the member closest to the final
+    /// centroid (lowest index on ties). Sorted ascending.
+    pub representatives: Vec<usize>,
+}
+
+fn dist2(a: &[f64; DIMS], b: &[f64; DIMS]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..DIMS {
+        let diff = a[d] - b[d];
+        s += diff * diff;
+    }
+    s
+}
+
+/// Index of the nearest centroid (lowest index on exact ties).
+fn nearest(point: &[f64; DIMS], centroids: &[[f64; DIMS]]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = dist2(point, centroid);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first center uniform, each further center drawn
+/// with probability proportional to its squared distance from the
+/// nearest already-chosen center.
+fn seed_centroids(points: &[[f64; DIMS]], k: usize, rng: &mut Rng) -> Vec<[f64; DIMS]> {
+    let n = points.len();
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[(rng.next_u64() % n as u64) as usize]);
+    let mut d2: Vec<f64> = points.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total > 0.0 {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        } else {
+            // all points coincide with a center; any pick is equivalent
+            (rng.next_u64() % n as u64) as usize
+        };
+        let c = points[idx];
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, &c));
+        }
+        centroids.push(c);
+    }
+    centroids
+}
+
+const MAX_ITERS: usize = 100;
+
+/// Independent k-means++ restarts per [`cluster`] call; the run with the
+/// lowest within-cluster sum of squares wins. Restarts are the standard
+/// SimPoint defence against an unlucky seeding leaving a whole behaviour
+/// region represented by a far-away centroid, which shows up directly as
+/// reconstruction bias on phase-heavy workloads.
+const RESTARTS: usize = 8;
+
+/// One k-means++ run from one seeding. Returns the assignment, final
+/// centroids and within-cluster sum of squares.
+fn run_once(
+    points: &[[f64; DIMS]],
+    k: usize,
+    rng: &mut Rng,
+) -> (Vec<usize>, Vec<[f64; DIMS]>, f64) {
+    let mut centroids = seed_centroids(points, k, rng);
+    let mut assignment: Vec<usize> = points.iter().map(|p| nearest(p, &centroids)).collect();
+    for _ in 0..MAX_ITERS {
+        // recompute centroids; empty clusters keep their previous one
+        let mut sums = vec![[0.0; DIMS]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &c) in points.iter().zip(&assignment) {
+            counts[c] += 1;
+            for d in 0..DIMS {
+                sums[c][d] += p[d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..DIMS {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        let next: Vec<usize> = points.iter().map(|p| nearest(p, &centroids)).collect();
+        let converged = next == assignment;
+        assignment = next;
+        if converged {
+            break;
+        }
+    }
+    let wcss = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &c)| dist2(p, &centroids[c]))
+        .sum();
+    (assignment, centroids, wcss)
+}
+
+/// Cluster `points` into (at most) `k` groups. With `k >= len`, every
+/// point is its own cluster — the degenerate exact-sampling case.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k` is zero.
+#[must_use]
+pub fn cluster(points: &[[f64; DIMS]], k: usize, seed: u64) -> Clustering {
+    assert!(!points.is_empty(), "cannot cluster zero points");
+    assert!(k > 0, "k must be positive");
+    let n = points.len();
+    if k >= n {
+        return Clustering {
+            assignment: (0..n).collect(),
+            representatives: (0..n).collect(),
+        };
+    }
+
+    // All restarts draw from one deterministic stream, so the whole
+    // selection is still a pure function of (points, k, seed).
+    let mut rng = Rng::new(seed);
+    let (mut assignment, mut centroids, mut best_wcss) = run_once(points, k, &mut rng);
+    for _ in 1..RESTARTS {
+        let (a, c, w) = run_once(points, k, &mut rng);
+        if w < best_wcss {
+            assignment = a;
+            centroids = c;
+            best_wcss = w;
+        }
+    }
+
+    // representative = member closest to its centroid, lowest index wins
+    let mut rep: Vec<Option<(usize, f64)>> = vec![None; k];
+    for (i, (p, &c)) in points.iter().zip(&assignment).enumerate() {
+        let d = dist2(p, &centroids[c]);
+        match rep[c] {
+            Some((_, best)) if best <= d => {}
+            _ => rep[c] = Some((i, d)),
+        }
+    }
+    let mut representatives: Vec<usize> = rep.into_iter().flatten().map(|(i, _)| i).collect();
+    representatives.sort_unstable();
+    Clustering {
+        assignment,
+        representatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, n: usize, spread: f64) -> Vec<[f64; DIMS]> {
+        (0..n)
+            .map(|i| {
+                let off = spread * (i as f64 / n as f64 - 0.5);
+                [center + off; DIMS]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separated_blobs_are_separated() {
+        let mut pts = blob(0.1, 10, 0.05);
+        pts.extend(blob(0.9, 10, 0.05));
+        let c = cluster(&pts, 2, 42);
+        // all points of a blob share a cluster, and the blobs differ
+        assert!(c.assignment[..10].iter().all(|&a| a == c.assignment[0]));
+        assert!(c.assignment[10..].iter().all(|&a| a == c.assignment[10]));
+        assert_ne!(c.assignment[0], c.assignment[10]);
+        assert_eq!(c.representatives.len(), 2);
+        // one representative from each blob
+        assert!(c.representatives[0] < 10 && c.representatives[1] >= 10);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut pts = blob(0.2, 17, 0.3);
+        pts.extend(blob(0.7, 23, 0.25));
+        let a = cluster(&pts, 4, 0xD00D);
+        let b = cluster(&pts, 4, 0xD00D);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_k_at_least_n() {
+        let pts = blob(0.5, 3, 0.1);
+        for k in [3, 5, 100] {
+            let c = cluster(&pts, k, 1);
+            assert_eq!(c.assignment, vec![0, 1, 2]);
+            assert_eq!(c.representatives, vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let pts = vec![[0.5; DIMS]; 8];
+        let c = cluster(&pts, 3, 9);
+        // every representative is a valid index and assignment covers
+        // each point exactly once
+        assert_eq!(c.assignment.len(), 8);
+        assert!(!c.representatives.is_empty());
+        assert!(c.representatives.iter().all(|&r| r < 8));
+    }
+
+    #[test]
+    fn representatives_are_cluster_members() {
+        let mut pts = blob(0.1, 12, 0.2);
+        pts.extend(blob(0.55, 9, 0.2));
+        pts.extend(blob(0.95, 7, 0.1));
+        let c = cluster(&pts, 3, 77);
+        for &r in &c.representatives {
+            // the representative's own assignment names the cluster it
+            // represents; membership is by construction
+            assert!(r < pts.len());
+        }
+        let mut reps_sorted = c.representatives.clone();
+        reps_sorted.dedup();
+        assert_eq!(reps_sorted.len(), c.representatives.len());
+    }
+}

@@ -1,12 +1,13 @@
 //! Inspect and validate a `.ctf` trace file.
 //!
 //! ```text
-//! traceinfo PATH [--intervals] [--verify] [--cross-check]
+//! traceinfo PATH [--intervals] [--intervals-csv PATH] [--verify] [--cross-check]
 //! ```
 //!
 //! By default prints the footer manifest (codec, quota, generator spec,
 //! content hash, per-core streams, compression rate) plus an interval
 //! summary. `--intervals` prints every per-interval stat row,
+//! `--intervals-csv` writes them to a CSV file (the clustering input),
 //! `--verify` fully decodes all streams and recomputes the content
 //! hash, and `--cross-check` re-runs the generator named in the
 //! manifest's spec and compares record-by-record. Any failure exits
@@ -21,12 +22,15 @@ use chrome_tracefile::{TraceFile, TraceFileError};
 struct Options {
     path: PathBuf,
     intervals: bool,
+    intervals_csv: Option<PathBuf>,
     verify: bool,
     cross_check: bool,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: traceinfo PATH [--intervals] [--verify] [--cross-check]");
+    eprintln!(
+        "usage: traceinfo PATH [--intervals] [--intervals-csv PATH] [--verify] [--cross-check]"
+    );
     exit(2);
 }
 
@@ -35,13 +39,20 @@ fn parse_args() -> Options {
     let mut opts = Options {
         path: PathBuf::new(),
         intervals: false,
+        intervals_csv: None,
         verify: false,
         cross_check: false,
     };
     let mut path = None;
-    for a in &args {
-        match a.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--intervals" => opts.intervals = true,
+            "--intervals-csv" => {
+                i += 1;
+                let p = args.get(i).unwrap_or_else(|| usage());
+                opts.intervals_csv = Some(PathBuf::from(p));
+            }
             "--verify" => opts.verify = true,
             "--cross-check" => opts.cross_check = true,
             "--help" | "-h" => usage(),
@@ -51,9 +62,40 @@ fn parse_args() -> Options {
                 usage();
             }
         }
+        i += 1;
     }
     opts.path = path.unwrap_or_else(|| usage());
     opts
+}
+
+/// Render every core's interval stats as one CSV table (the clustering
+/// input, inspectable without the `simpoint` bin). Recomputes stats for
+/// cores whose manifest predates interval recording.
+fn intervals_csv(tf: &TraceFile, out: &PathBuf) -> Result<(), TraceFileError> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(out)?);
+    writeln!(
+        f,
+        "core,interval,instructions,records,loads,stores,dep_loads,distinct_lines,min_line,max_line"
+    )?;
+    for i in 0..tf.manifest().cores.len() {
+        for (j, iv) in tf.intervals_for(i)?.iter().enumerate() {
+            writeln!(
+                f,
+                "{i},{j},{},{},{},{},{},{},{},{}",
+                iv.instructions,
+                iv.records,
+                iv.loads,
+                iv.stores,
+                iv.dep_loads,
+                iv.distinct_lines,
+                iv.min_line,
+                iv.max_line
+            )?;
+        }
+    }
+    f.flush()?;
+    Ok(())
 }
 
 fn main() {
@@ -111,6 +153,15 @@ fn main() {
     }
 
     let mut failed = false;
+    if let Some(csv) = &opts.intervals_csv {
+        match intervals_csv(&tf, csv) {
+            Ok(()) => println!("  intervals-csv: wrote {}", csv.display()),
+            Err(e) => {
+                eprintln!("  intervals-csv: FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
     if opts.verify {
         match tf.verify() {
             Ok(()) => println!("  verify: ok (streams decode, counts and hash match)"),

@@ -48,7 +48,7 @@ pub mod recorder;
 pub use format::{Codec, CoreManifest, IntervalStats, Manifest, TraceFileError};
 pub use index::{TraceEntry, TraceIndex};
 pub use reader::{FileSource, TraceFile};
-pub use recorder::{record_sources, record_workload};
+pub use recorder::{compute_intervals, record_sources, record_workload};
 
 use chrome_sim::types::TraceRecord;
 

@@ -88,6 +88,32 @@ impl TraceFile {
                 "streams do not end at the manifest".into(),
             ));
         }
+        // Interval-stat consistency: a zero interval length would make
+        // every downstream feature vector empty (division by the
+        // interval length, position reconstruction), so reject it here
+        // rather than let sampling silently select nothing. Recorded
+        // interval stats, when present, must tile the stream exactly;
+        // an empty interval list is legal (pre-interval-stats files)
+        // and handled by [`TraceFile::intervals_for`] recomputation.
+        if manifest.interval_instr == 0 {
+            return Err(TraceFileError::Corrupt(
+                "manifest interval length is zero".into(),
+            ));
+        }
+        for (i, core) in manifest.cores.iter().enumerate() {
+            if core.intervals.is_empty() {
+                continue;
+            }
+            let instr: u64 = core.intervals.iter().map(|iv| iv.instructions).sum();
+            let recs: u64 = core.intervals.iter().map(|iv| iv.records).sum();
+            if instr != core.instructions || recs != core.records {
+                return Err(TraceFileError::Corrupt(format!(
+                    "core {i} interval stats sum to {instr} instructions / {recs} records, \
+                     but the manifest totals are {} / {}",
+                    core.instructions, core.records
+                )));
+            }
+        }
         Ok(TraceFile {
             path: path.to_path_buf(),
             manifest,
@@ -156,6 +182,29 @@ impl TraceFile {
             });
         }
         Ok(())
+    }
+
+    /// Interval stats for one core: the manifest's recorded stats when
+    /// present, otherwise recomputed from a full decode of the stream
+    /// at the manifest's interval length (files recorded before
+    /// interval stats existed carry an empty list).
+    pub fn intervals_for(
+        &self,
+        core: usize,
+    ) -> Result<Vec<crate::format::IntervalStats>, TraceFileError> {
+        let cm = self
+            .manifest
+            .cores
+            .get(core)
+            .ok_or_else(|| TraceFileError::Corrupt(format!("no core {core} in this file")))?;
+        if !cm.intervals.is_empty() {
+            return Ok(cm.intervals.clone());
+        }
+        let records = self.decode_core(core)?;
+        Ok(crate::recorder::compute_intervals(
+            &records,
+            self.manifest.interval_instr,
+        ))
     }
 
     /// A streaming, infinite [`TraceSource`] over one core's stream.

@@ -81,6 +81,24 @@ fn fresh_interval() -> IntervalStats {
     }
 }
 
+/// Recompute interval stats from an already-decoded record stream —
+/// the same accumulator the recorder runs while capturing, exposed so
+/// files recorded before interval stats existed (or with a different
+/// interval length) can be clustered too. The leading `dep_prev`
+/// canonicalization is applied, matching what the recorder hashed.
+#[must_use]
+pub fn compute_intervals(records: &[TraceRecord], interval_instr: u64) -> Vec<IntervalStats> {
+    let mut acc = IntervalAcc::new(interval_instr.max(1));
+    for (i, rec) in records.iter().enumerate() {
+        let mut rec = *rec;
+        if i == 0 {
+            rec.dep_prev = false;
+        }
+        acc.push(&rec);
+    }
+    acc.finish()
+}
+
 /// Byte-counting writer so stream offsets fall out of the write path.
 struct CountingWriter<W: Write> {
     inner: W,
