@@ -15,6 +15,6 @@ pub mod table;
 
 pub use experiments::{all_plans, run_plans, ExperimentPlan};
 pub use grid::{resolve_traces, run_cell, run_cell_with_traces, run_grid, CellResult, TraceMap};
-pub use registry::{all_schemes, build_any_policy};
+pub use registry::{all_schemes, build_any_policy, build_any_slot};
 pub use runner::{geomean, run_mix, run_workload, RunParams, SchemeResult};
 pub use table::TableWriter;

@@ -2,11 +2,27 @@
 //! variant the experiments need.
 
 use chrome_core::{Chrome, ChromeConfig, FeatureSelection};
+use chrome_sim::policy::{BuiltinLru, PolicySlot};
 use chrome_sim::LlcPolicy;
 
 /// The scheme lineup of the paper's headline figures, in plot order.
 pub fn all_schemes() -> &'static [&'static str] {
     &["LRU", "Hawkeye", "Glider", "Mockingjay", "CARE", "CHROME"]
+}
+
+/// Build a scheme as a [`PolicySlot`] for simulation runs. `"LRU"`
+/// resolves to the simulator's built-in statically dispatched LRU
+/// (decision-identical to the boxed baseline — same stamp/scan
+/// algorithm — so results are unchanged); every other name goes
+/// through [`build_any_policy`]. Overhead accounting
+/// (`storage_overhead`) should keep using [`build_any_policy`], whose
+/// `"LRU"` models the 4-bit hardware encoding rather than the
+/// simulator's 64-bit stamps.
+pub fn build_any_slot(name: &str) -> Option<PolicySlot> {
+    if name == "LRU" {
+        return Some(PolicySlot::from(BuiltinLru::new()));
+    }
+    build_any_policy(name).map(PolicySlot::from)
 }
 
 /// Build any scheme by name. Beyond the baselines and `"CHROME"` /

@@ -6,7 +6,7 @@ use chrome_sim::{PrefetcherConfig, SimConfig, SimResults, System};
 use chrome_telemetry::{AttribProfiler, EpochSeries, TelemetryConfig, TelemetrySink};
 use chrome_traces::mix;
 
-use crate::registry::build_any_policy;
+use crate::registry::build_any_slot;
 
 /// Parameters for one experiment run. Command-line parsing for the
 /// experiment binaries lives in [`RunParams::from_args`].
@@ -326,7 +326,7 @@ pub(crate) fn run_traces(
     label: &str,
     artifact_tag: Option<&str>,
 ) -> SchemeResult {
-    let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let policy = build_any_slot(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut sys = System::with_policy(params.sim_config(), traces, policy);
     if track_unused {
         sys.enable_unused_tracking();
@@ -402,7 +402,7 @@ pub(crate) fn run_traces_sampled(
     label: &str,
     artifact_tag: Option<&str>,
 ) -> SampledRun {
-    let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let policy = build_any_slot(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut sys = System::with_policy(params.sim_config(), traces, policy);
     if params.telemetry_out.is_some() || params.record_epochs {
         sys.set_telemetry(TelemetrySink::recording(TelemetryConfig::default()));
@@ -441,7 +441,7 @@ pub(crate) fn run_functional_profile(
     scheme: &str,
     plan: &chrome_simpoint::WorkloadPlan,
 ) -> chrome_sim::FunctionalProfile {
-    let policy = build_any_policy(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
+    let policy = build_any_slot(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut sys = System::with_policy(params.sim_config(), traces, policy);
     sys.run_functional_profile(&plan.boundaries)
 }

@@ -256,7 +256,7 @@ impl RlEngine {
     ) -> Option<TrainOutcome> {
         let entry = EqEntry {
             id,
-            state: state.to_vec(),
+            state: crate::eq::EqState::from_slice(state),
             action,
             trigger_hit,
             key,

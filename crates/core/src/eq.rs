@@ -3,14 +3,64 @@
 
 use std::collections::VecDeque;
 
+/// Widest state feature vector any [`crate::env::Environment`] produces
+/// (the engine's feature buffer is `[u64; 2]` across the hardware LLC
+/// and the serving cache).
+pub const MAX_FEATURES: usize = 2;
+
+/// Inline state feature vector. Every sampled decision records its
+/// state into the EQ and the SARSA step reads two states back per
+/// overflow; with at most [`MAX_FEATURES`] features, a heap `Vec` here
+/// is one allocation per decision plus one clone per training step on
+/// the hottest policy path. Embedding the buffer makes [`EqEntry`]
+/// plain `Copy` data, so the EQ never touches the allocator after
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EqState {
+    buf: [u64; MAX_FEATURES],
+    len: u8,
+}
+
+impl EqState {
+    /// Capture `features` (at most [`MAX_FEATURES`] of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is wider than [`MAX_FEATURES`].
+    #[inline]
+    pub fn from_slice(features: &[u64]) -> Self {
+        let mut buf = [0u64; MAX_FEATURES];
+        buf[..features.len()].copy_from_slice(features);
+        EqState {
+            buf,
+            len: features.len() as u8,
+        }
+    }
+
+    /// The active features.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for EqState {
+    type Target = [u64];
+
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
 /// One recorded action awaiting (or holding) its reward.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EqEntry {
     /// Decision id linking this entry to the audit trail — monotonic
     /// per engine, assigned at decision time.
     pub id: u64,
     /// State feature vector at decision time.
-    pub state: Vec<u64>,
+    pub state: EqState,
     /// Action index executed.
     pub action: usize,
     /// True if the action was triggered by a cache hit.
@@ -33,9 +83,18 @@ pub struct EqFifo {
 }
 
 /// The SARSA "next" state-action peeked at eviction time.
-pub type NextSa = Option<(Vec<u64>, usize)>;
+pub type NextSa = Option<(EqState, usize)>;
 
 impl EqFifo {
+    /// A FIFO with room for `capacity` entries (plus the one transient
+    /// overflow slot `push` occupies before popping), so steady-state
+    /// operation never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EqFifo {
+            entries: VecDeque::with_capacity(capacity + 1),
+        }
+    }
+
     /// Find the newest unrewarded entry for `key` and return a mutable
     /// reference to it.
     pub fn find_unrewarded(&mut self, key: u64) -> Option<&mut EqEntry> {
@@ -52,7 +111,7 @@ impl EqFifo {
         self.entries.push_back(entry);
         if self.entries.len() > capacity {
             let evicted = self.entries.pop_front().expect("nonempty");
-            let next = self.entries.front().map(|e| (e.state.clone(), e.action));
+            let next = self.entries.front().map(|e| (e.state, e.action));
             Some((evicted, next))
         } else {
             None
@@ -86,7 +145,9 @@ impl EvalQueue {
     pub fn new(queues: usize, capacity: usize) -> Self {
         assert!(queues > 0 && capacity > 0, "degenerate EQ");
         EvalQueue {
-            fifos: (0..queues).map(|_| EqFifo::default()).collect(),
+            fifos: (0..queues)
+                .map(|_| EqFifo::with_capacity(capacity))
+                .collect(),
             capacity,
         }
     }
@@ -140,7 +201,7 @@ mod tests {
     fn entry(key: u64, action: usize) -> EqEntry {
         EqEntry {
             id: key,
-            state: vec![1, 2],
+            state: EqState::from_slice(&[1, 2]),
             action,
             trigger_hit: false,
             key,
@@ -166,7 +227,7 @@ mod tests {
         assert_eq!(evicted.key, 1);
         let (next_state, next_action) = next.expect("peek");
         assert_eq!(next_action, 1);
-        assert_eq!(next_state, vec![1, 2]);
+        assert_eq!(next_state.as_slice(), &[1, 2]);
     }
 
     #[test]

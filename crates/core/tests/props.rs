@@ -1,7 +1,7 @@
 //! Randomized invariant tests for CHROME's learning structures, driven
 //! by a seeded in-repo RNG so every run is deterministic.
 
-use chrome_core::eq::{EqEntry, EqFifo};
+use chrome_core::eq::{EqEntry, EqFifo, EqState};
 use chrome_core::qtable::{QTable, NUM_ACTIONS};
 use chrome_sim::rng::SmallRng;
 
@@ -10,7 +10,7 @@ const CASES: usize = 64;
 fn entry(line: u64, action: usize) -> EqEntry {
     EqEntry {
         id: line,
-        state: vec![line, line >> 8],
+        state: EqState::from_slice(&[line, line >> 8]),
         action,
         trigger_hit: action >= 4,
         key: line,

@@ -455,7 +455,7 @@ mod tests {
         let env = ServeEnv::new();
         let dead_bypass = EqEntry {
             id: 0,
-            state: vec![1, 2],
+            state: chrome_core::eq::EqState::from_slice(&[1, 2]),
             action: ACTION_BYPASS,
             trigger_hit: false,
             key: 9,
@@ -464,7 +464,7 @@ mod tests {
         };
         let dead_insert = EqEntry {
             action: 2,
-            ..dead_bypass.clone()
+            ..dead_bypass
         };
         assert!(env.unmatched_reward(&CALM, &dead_bypass) > 0.0);
         assert!(env.unmatched_reward(&CALM, &dead_insert) < 0.0);

@@ -109,10 +109,7 @@ impl PrivateCache {
     /// Look up `line` without updating replacement state.
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
         let base = self.set_of(line) * self.ways;
-        let key = key_of(line);
-        self.keys[base..base + self.ways]
-            .iter()
-            .position(|&k| k == key)
+        crate::probe::find_key(&self.keys[base..base + self.ways], key_of(line))
     }
 
     /// Look up `line`; on a hit, update LRU state and the dirty bit (for
@@ -121,10 +118,7 @@ impl PrivateCache {
     /// suppresses demand accounting. The caller updates stats counters.
     pub fn lookup(&mut self, line: LineAddr, is_write: bool, is_prefetch: bool) -> Option<u64> {
         let base = self.set_of(line) * self.ways;
-        let key = key_of(line);
-        let way = self.keys[base..base + self.ways]
-            .iter()
-            .position(|&k| k == key)?;
+        let way = crate::probe::find_key(&self.keys[base..base + self.ways], key_of(line))?;
         let i = base + way;
         self.tick += 1;
         self.lru[i] = self.tick;
@@ -150,15 +144,23 @@ impl PrivateCache {
     ) -> Option<Evicted> {
         debug_assert!(self.probe(line).is_none(), "double fill of resident line");
         let base = self.set_of(line) * self.ways;
-        // Prefer an invalid way.
-        let way = self.keys[base..base + self.ways]
-            .iter()
-            .position(|&k| k == 0)
-            .unwrap_or_else(|| {
-                (0..self.ways)
-                    .min_by_key(|&w| self.lru[base + w])
-                    .expect("nonzero ways")
-            });
+        // One fused pass: take the first invalid way if there is one,
+        // otherwise the first LRU-minimal way. Steady-state sets are
+        // full, so a separate invalid-way probe would scan every key
+        // and fail before the LRU scan even started.
+        let mut way = 0;
+        let mut best = u64::MAX;
+        for w in 0..self.ways {
+            let i = base + w;
+            if self.keys[i] == 0 {
+                way = w;
+                break;
+            }
+            if self.lru[i] < best {
+                best = self.lru[i];
+                way = w;
+            }
+        }
         let i = base + way;
         let evicted = if self.keys[i] != 0 {
             self.stats.evictions += 1;

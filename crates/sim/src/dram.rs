@@ -37,10 +37,47 @@ pub struct DramTiming {
     pub done: u64,
 }
 
+/// Precomputed shift/mask address decomposition, available when every
+/// geometry parameter (channels, ranks×banks, lines-per-row) is a
+/// power of two — which the default DDR4 config is. `l % 2^k` is
+/// `l & (2^k - 1)` and `l / 2^a / 2^b` is `l >> (a + b)`, so the pow2
+/// path produces bit-identical (channel, bank, row) triples to the
+/// div/mod fallback; it just does it without three 64-bit divisions on
+/// every DRAM access.
+#[derive(Debug, Clone, Copy)]
+struct Pow2Map {
+    ch_mask: u64,
+    ch_shift: u32,
+    bank_mask: u64,
+    /// `ch_shift + log2(banks) + log2(lines_per_row)`: one shift takes
+    /// the line address straight to the row number.
+    row_shift: u32,
+}
+
+impl Pow2Map {
+    fn new(cfg: &DramConfig) -> Option<Self> {
+        let channels = cfg.channels as u64;
+        let banks = (cfg.ranks * cfg.banks) as u64;
+        let lpr = cfg.lines_per_row;
+        if !(channels.is_power_of_two() && banks.is_power_of_two() && lpr.is_power_of_two()) {
+            return None;
+        }
+        let ch_shift = channels.trailing_zeros();
+        Some(Pow2Map {
+            ch_mask: channels - 1,
+            ch_shift,
+            bank_mask: banks - 1,
+            row_shift: ch_shift + banks.trailing_zeros() + lpr.trailing_zeros(),
+        })
+    }
+}
+
 /// The DRAM subsystem.
 #[derive(Debug)]
 pub struct Dram {
     cfg: DramConfig,
+    /// Shift/mask mapping fast path (`None` for non-pow2 geometries).
+    pow2: Option<Pow2Map>,
     channels: Vec<Channel>,
     /// Reads served.
     pub reads: u64,
@@ -75,6 +112,7 @@ impl Dram {
         );
         let banks_per_channel = cfg.ranks * cfg.banks;
         Dram {
+            pow2: Pow2Map::new(&cfg),
             channels: vec![
                 Channel {
                     bus_free: 0,
@@ -97,6 +135,12 @@ impl Dram {
     #[inline]
     fn map(&self, line: LineAddr) -> (usize, usize, u64) {
         let l = line.0;
+        if let Some(m) = self.pow2 {
+            let ch = (l & m.ch_mask) as usize;
+            let bank = ((l >> m.ch_shift) & m.bank_mask) as usize;
+            let row = l >> m.row_shift;
+            return (ch, bank, row);
+        }
         let ch = (l % self.cfg.channels as u64) as usize;
         let banks = (self.cfg.ranks * self.cfg.banks) as u64;
         let bank = ((l / self.cfg.channels as u64) % banks) as usize;
@@ -310,6 +354,32 @@ mod tests {
         let t2 = d.access_timed(LineAddr(0), 1000, false);
         assert!(t2.start >= t.done);
         assert!(t2.start <= t2.row_done && t2.row_done <= t2.xfer_start);
+    }
+
+    #[test]
+    fn pow2_map_matches_divmod_fallback() {
+        let cfg = DramConfig::default();
+        let fast = Dram::new(cfg);
+        assert!(fast.pow2.is_some(), "default geometry should be pow2");
+        // a Dram with the fallback forced, same geometry
+        let mut slow = Dram::new(cfg);
+        slow.pow2 = None;
+        let mut rng = crate::rng::SmallRng::seed_from_u64(0xD2A7);
+        for _ in 0..4096 {
+            let l = LineAddr(rng.next_u64() >> 8);
+            assert_eq!(fast.map(l), slow.map(l), "line {l:?}");
+        }
+    }
+
+    #[test]
+    fn non_pow2_geometry_uses_fallback() {
+        let cfg = DramConfig {
+            channels: 3,
+            ..DramConfig::default()
+        };
+        let d = Dram::new(cfg);
+        assert!(d.pow2.is_none());
+        assert_eq!(d.map(LineAddr(7)).0, 1); // 7 % 3
     }
 
     #[test]

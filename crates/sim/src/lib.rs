@@ -42,6 +42,7 @@ pub mod mshr;
 pub mod overhead;
 pub mod policy;
 pub mod prefetch;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod system;

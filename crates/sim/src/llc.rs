@@ -2,7 +2,7 @@
 
 use crate::config::CacheConfig;
 use crate::mshr::MshrFile;
-use crate::policy::{AccessInfo, CandidateLine, FillDecision, LlcPolicy, SystemFeedback};
+use crate::policy::{AccessInfo, CandidateLine, FillDecision, PolicySlot, SystemFeedback};
 use crate::stats::{CacheStats, EvictedUnusedTracker};
 use crate::types::LineAddr;
 use chrome_telemetry::{EventKind, TelemetrySink};
@@ -57,8 +57,10 @@ pub struct SharedLlc {
     last_fill: usize,
     /// Reused victim-candidate buffer: evictions do not allocate.
     victim_scratch: Vec<CandidateLine>,
-    /// The management policy (replacement + bypass decisions).
-    pub policy: Box<dyn LlcPolicy>,
+    /// The management policy (replacement + bypass decisions). The
+    /// built-in LRU baseline is statically dispatched; see
+    /// [`PolicySlot`].
+    pub policy: PolicySlot,
     /// Outstanding-miss tracking.
     pub mshr: MshrFile,
     /// Counters.
@@ -90,7 +92,8 @@ impl SharedLlc {
     ///
     /// Panics on a degenerate geometry (zero sets or ways) or a
     /// non-power-of-two set count (bitmask indexing).
-    pub fn new(cfg: &CacheConfig, cores: usize, mut policy: Box<dyn LlcPolicy>) -> Self {
+    pub fn new(cfg: &CacheConfig, cores: usize, policy: impl Into<PolicySlot>) -> Self {
+        let mut policy = policy.into();
         let sets = cfg.sets();
         assert!(sets > 0 && cfg.ways > 0, "degenerate LLC geometry");
         assert!(
@@ -157,10 +160,7 @@ impl SharedLlc {
     /// Look up `line` without side effects.
     pub fn probe(&self, line: LineAddr) -> Option<usize> {
         let base = self.set_of(line) * self.ways;
-        let key = key_of(line);
-        self.keys[base..base + self.ways]
-            .iter()
-            .position(|&k| k == key)
+        crate::probe::find_key(&self.keys[base..base + self.ways], key_of(line))
     }
 
     /// Perform a full access: policy callbacks, statistics, fills and
@@ -234,10 +234,7 @@ impl SharedLlc {
         feedback: &SystemFeedback,
     ) -> Option<LineAddr> {
         let base = set * self.ways;
-        let way = match self.keys[base..base + self.ways]
-            .iter()
-            .position(|&k| k == 0)
-        {
+        let way = match crate::probe::find_key(&self.keys[base..base + self.ways], 0) {
             Some(w) => w,
             None => {
                 let mut candidates = std::mem::take(&mut self.victim_scratch);

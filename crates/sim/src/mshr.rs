@@ -3,20 +3,46 @@
 
 use crate::types::LineAddr;
 
-/// A small MSHR file. Entries are `(line, ready_cycle)`; completed entries
-/// are reclaimed lazily. Linear scans are intentional — real MSHR files
-/// hold 16–64 entries, so a `Vec` beats a hash map here.
+/// Packed slot key: `(line << 1) | 1`, with `0` meaning "free slot" —
+/// the same encoding the cache set probes use, so MSHR lookups run
+/// through the same vectorized [`crate::probe::find_key`] kernel.
+#[inline]
+fn key_of(line: LineAddr) -> u64 {
+    debug_assert!(line.0 < 1 << 63, "line address overflows packed key");
+    (line.0 << 1) | 1
+}
+
+/// A small MSHR file, laid out as a fixed-capacity pool: one packed
+/// key array plus one ready-cycle array, allocated once at
+/// construction and never resized. Live entries are kept densely
+/// packed in `[0, live)` — freeing a completed entry swap-removes it
+/// (the last live entry moves into the hole), and registration appends
+/// at `live`. Keys are unique within the file (a same-line request
+/// merges instead of allocating), so every query is order-independent
+/// and the swap is invisible: lookups scan only the `live` prefix with
+/// the vectorized [`crate::probe::find_key`] kernel, never the full
+/// capacity, and there is no allocator traffic, ever.
 ///
-/// A `min_ready` watermark (earliest completion among tracked entries)
+/// A `min_ready` watermark (earliest completion among live entries)
 /// lets [`MshrFile::lookup`] skip the reclaim sweep entirely while
 /// `now < min_ready`: no entry can have completed, so the sweep would
-/// remove nothing. This takes the common hit-adjacent lookup from O(n)
-/// `retain` to a single comparison.
+/// free nothing. This takes the common hit-adjacent lookup from a
+/// full sweep to a single comparison.
+///
+/// Entries are never referenced from outside the file (callers
+/// interact by line address, not slot handle), so the pool needs no
+/// per-slot generation counters — there is no stale-handle hazard to
+/// defend against.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
-    entries: Vec<(LineAddr, u64)>,
-    capacity: usize,
-    /// Minimum `ready` among `entries`; `u64::MAX` when empty.
+    /// Packed line key per slot; live entries occupy `[0, live)`,
+    /// everything beyond is `0`.
+    keys: Box<[u64]>,
+    /// Completion cycle per slot, parallel to `keys`.
+    ready: Box<[u64]>,
+    /// Number of occupied slots (the packed prefix length).
+    live: usize,
+    /// Minimum `ready` among live slots; `u64::MAX` when empty.
     min_ready: u64,
 }
 
@@ -34,7 +60,7 @@ pub enum MshrOutcome {
 }
 
 impl MshrFile {
-    /// Create a file with `capacity` entries.
+    /// Create a file with `capacity` slots.
     ///
     /// # Panics
     ///
@@ -42,36 +68,49 @@ impl MshrFile {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
         MshrFile {
-            entries: Vec::with_capacity(capacity),
-            capacity,
+            keys: vec![0; capacity].into_boxed_slice(),
+            ready: vec![0; capacity].into_boxed_slice(),
+            live: 0,
             min_ready: u64::MAX,
         }
     }
 
-    /// Drop entries whose miss has completed by `now` and refresh the
-    /// `min_ready` watermark. Callers guard on the watermark, so this
-    /// only runs when at least one entry has actually completed.
+    /// Swap-remove entries whose miss has completed by `now` and
+    /// refresh the `min_ready` watermark. Callers guard on the
+    /// watermark, so this only runs when at least one entry has
+    /// actually completed.
     fn reclaim(&mut self, now: u64) {
-        self.entries.retain(|&(_, ready)| ready > now);
-        self.min_ready = self
-            .entries
-            .iter()
-            .map(|&(_, r)| r)
-            .min()
-            .unwrap_or(u64::MAX);
+        let mut min = u64::MAX;
+        let mut i = 0;
+        while i < self.live {
+            let r = self.ready[i];
+            if r <= now {
+                self.live -= 1;
+                self.keys[i] = self.keys[self.live];
+                self.ready[i] = self.ready[self.live];
+                self.keys[self.live] = 0;
+            } else {
+                min = min.min(r);
+                i += 1;
+            }
+        }
+        self.min_ready = min;
     }
 
     /// Check whether a miss to `line` at cycle `now` can be issued.
+    #[inline]
     pub fn lookup(&mut self, line: LineAddr, now: u64) -> MshrOutcome {
         if now >= self.min_ready {
             self.reclaim(now);
         }
-        if let Some(&(_, ready)) = self.entries.iter().find(|&&(l, _)| l == line) {
-            return MshrOutcome::Merged { ready };
+        if let Some(slot) = crate::probe::find_key(&self.keys[..self.live], key_of(line)) {
+            return MshrOutcome::Merged {
+                ready: self.ready[slot],
+            };
         }
-        if self.entries.len() >= self.capacity {
-            // every surviving entry has `ready > now`, so the watermark
-            // is the earliest cycle an entry frees
+        if self.live >= self.keys.len() {
+            // every live entry has `ready > now`, so the watermark is
+            // the earliest cycle a slot frees
             return MshrOutcome::Full {
                 free_at: self.min_ready,
             };
@@ -83,32 +122,32 @@ impl MshrFile {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if the file is over capacity (callers must
-    /// respect [`MshrOutcome::Full`]).
+    /// Panics if the file is full (callers must respect
+    /// [`MshrOutcome::Full`]).
+    #[inline]
     pub fn register(&mut self, line: LineAddr, ready: u64) {
-        debug_assert!(self.entries.len() < self.capacity, "MSHR overflow");
+        assert!(self.live < self.keys.len(), "MSHR overflow");
+        self.keys[self.live] = key_of(line);
+        self.ready[self.live] = ready;
+        self.live += 1;
         self.min_ready = self.min_ready.min(ready);
-        self.entries.push((line, ready));
     }
 
     /// Number of currently tracked (possibly stale) entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Entries still outstanding at cycle `now`, ignoring entries whose
-    /// miss has completed but which lazy reclamation has not dropped yet
+    /// miss has completed but which lazy reclamation has not freed yet
     /// (the epoch telemetry's occupancy probe).
     pub fn live_occupancy(&self, now: u64) -> usize {
-        self.entries
-            .iter()
-            .filter(|&&(_, ready)| ready > now)
-            .count()
+        self.ready[..self.live].iter().filter(|&&r| r > now).count()
     }
 
     /// Capacity of the file.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.keys.len()
     }
 }
 
@@ -174,5 +213,27 @@ mod tests {
         assert_eq!(m.occupancy(), 1);
         assert_eq!(m.lookup(LineAddr(3), 60), MshrOutcome::Available);
         assert_eq!(m.occupancy(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused_without_allocation() {
+        let mut m = MshrFile::new(3);
+        m.register(LineAddr(1), 10);
+        m.register(LineAddr(2), 1000);
+        m.register(LineAddr(3), 1000);
+        // line 1 completes; its slot is swap-filled and the next
+        // registration reuses the freed capacity
+        assert_eq!(m.lookup(LineAddr(4), 20), MshrOutcome::Available);
+        m.register(LineAddr(4), 500);
+        assert_eq!(m.occupancy(), 3);
+        assert_eq!(
+            m.lookup(LineAddr(2), 30),
+            MshrOutcome::Merged { ready: 1000 }
+        );
+        assert_eq!(
+            m.lookup(LineAddr(4), 30),
+            MshrOutcome::Merged { ready: 500 }
+        );
+        assert_eq!(m.live_occupancy(600), 2);
     }
 }

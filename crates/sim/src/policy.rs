@@ -171,6 +171,152 @@ pub trait LlcPolicy {
     fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead;
 }
 
+/// The LLC's policy slot: the built-in LRU baseline inlined as an enum
+/// arm, everything else behind the usual trait object.
+///
+/// LRU is both the paper's normalization reference and the throughput
+/// benchmark's fast lane, so its four per-access callbacks (`on_hit`,
+/// `on_miss`, `choose_victim`, `on_fill`) deserve static dispatch — a
+/// stamp write and a min-scan the optimizer can inline straight into
+/// [`crate::llc::SharedLlc::access`]. Learned and heuristic policies
+/// live in downstream crates (`chrome-policies`, `chrome-core`), which
+/// this crate cannot name, so they stay dynamically dispatched in the
+/// `Dyn` arm; their per-access work (sampler lookups, Q-table reads)
+/// dwarfs a vtable hop anyway.
+///
+/// `From` impls keep construction source-compatible: anywhere that used
+/// to pass a `Box<dyn LlcPolicy>` still compiles, and passing a bare
+/// [`BuiltinLru`] opts into the static arm.
+pub enum PolicySlot {
+    /// The built-in true-LRU baseline, statically dispatched.
+    Lru(BuiltinLru),
+    /// Any other management policy, through its vtable.
+    Dyn(Box<dyn LlcPolicy>),
+}
+
+impl From<BuiltinLru> for PolicySlot {
+    fn from(p: BuiltinLru) -> Self {
+        PolicySlot::Lru(p)
+    }
+}
+
+impl From<Box<dyn LlcPolicy>> for PolicySlot {
+    fn from(p: Box<dyn LlcPolicy>) -> Self {
+        PolicySlot::Dyn(p)
+    }
+}
+
+// Callers that box a concrete policy type (`Box<Chrome>`, `Box<Lru>`)
+// land in the `Dyn` arm too; the unsize coercion happens here rather
+// than at every call site.
+impl<P: LlcPolicy + 'static> From<Box<P>> for PolicySlot {
+    fn from(p: Box<P>) -> Self {
+        PolicySlot::Dyn(p)
+    }
+}
+
+macro_rules! slot_dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            PolicySlot::Lru($p) => $body,
+            PolicySlot::Dyn($p) => $body,
+        }
+    };
+}
+
+impl PolicySlot {
+    /// See [`LlcPolicy::initialize`].
+    pub fn initialize(&mut self, num_sets: usize, ways: usize, cores: usize) {
+        slot_dispatch!(self, p => p.initialize(num_sets, ways, cores))
+    }
+
+    /// See [`LlcPolicy::on_hit`].
+    #[inline]
+    pub fn on_hit(&mut self, set: usize, way: usize, info: &AccessInfo, feedback: &SystemFeedback) {
+        slot_dispatch!(self, p => p.on_hit(set, way, info, feedback))
+    }
+
+    /// See [`LlcPolicy::on_miss`].
+    #[inline]
+    pub fn on_miss(
+        &mut self,
+        set: usize,
+        info: &AccessInfo,
+        feedback: &SystemFeedback,
+    ) -> FillDecision {
+        slot_dispatch!(self, p => p.on_miss(set, info, feedback))
+    }
+
+    /// See [`LlcPolicy::choose_victim`].
+    #[inline]
+    pub fn choose_victim(
+        &mut self,
+        set: usize,
+        candidates: &[CandidateLine],
+        info: &AccessInfo,
+    ) -> usize {
+        slot_dispatch!(self, p => p.choose_victim(set, candidates, info))
+    }
+
+    /// See [`LlcPolicy::on_fill`].
+    #[inline]
+    pub fn on_fill(
+        &mut self,
+        set: usize,
+        way: usize,
+        info: &AccessInfo,
+        feedback: &SystemFeedback,
+    ) {
+        slot_dispatch!(self, p => p.on_fill(set, way, info, feedback))
+    }
+
+    /// See [`LlcPolicy::on_evict`].
+    #[inline]
+    pub fn on_evict(&mut self, set: usize, way: usize, line: LineAddr, was_hit: bool) {
+        slot_dispatch!(self, p => p.on_evict(set, way, line, was_hit))
+    }
+
+    /// See [`LlcPolicy::on_epoch`].
+    pub fn on_epoch(&mut self, feedback: &SystemFeedback) {
+        slot_dispatch!(self, p => p.on_epoch(feedback))
+    }
+
+    /// See [`LlcPolicy::set_telemetry`].
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        slot_dispatch!(self, p => p.set_telemetry(sink))
+    }
+
+    /// See [`LlcPolicy::epoch_probe`].
+    pub fn epoch_probe(&self) -> PolicyEpochProbe {
+        slot_dispatch!(self, p => p.epoch_probe())
+    }
+
+    /// See [`LlcPolicy::enable_audit`].
+    pub fn enable_audit(&mut self, stream: u32, cap: usize) -> bool {
+        slot_dispatch!(self, p => p.enable_audit(stream, cap))
+    }
+
+    /// See [`LlcPolicy::audit`].
+    pub fn audit(&self) -> Option<&AuditLog> {
+        slot_dispatch!(self, p => p.audit())
+    }
+
+    /// See [`LlcPolicy::name`].
+    pub fn name(&self) -> &str {
+        slot_dispatch!(self, p => p.name())
+    }
+
+    /// See [`LlcPolicy::report`].
+    pub fn report(&self) -> Vec<(String, f64)> {
+        slot_dispatch!(self, p => p.report())
+    }
+
+    /// See [`LlcPolicy::storage_overhead`].
+    pub fn storage_overhead(&self, llc_blocks: usize) -> StorageOverhead {
+        slot_dispatch!(self, p => p.storage_overhead(llc_blocks))
+    }
+}
+
 /// Returns `true` if `set` is one of the `sampled` observation sets used
 /// by sampling-based policies (Hawkeye, Mockingjay, CHROME). Sets are
 /// spaced evenly across the cache.

@@ -51,15 +51,81 @@ pub trait Prefetcher {
     fn name(&self) -> &str;
 }
 
-/// Construct a prefetcher of the given kind with the given degree.
-pub fn build(kind: PrefetcherKind, degree: usize) -> Box<dyn Prefetcher> {
-    match kind {
-        PrefetcherKind::None => Box::new(NoPrefetcher),
-        PrefetcherKind::NextLine => Box::new(NextLine { degree }),
-        PrefetcherKind::Stride => Box::new(StridePrefetcher::new(degree)),
-        PrefetcherKind::Streamer => Box::new(Streamer::new(degree)),
-        PrefetcherKind::Ipcp => Box::new(Ipcp::new(degree)),
+/// All built-in prefetchers as a closed enum. The memory hierarchy
+/// observes one of these per core per level on *every* L1/L2 access,
+/// so the dispatch is a jump table over inlined bodies instead of a
+/// vtable load + indirect call per access.
+#[derive(Debug, Clone)]
+pub enum AnyPrefetcher {
+    /// The null prefetcher.
+    None(NoPrefetcher),
+    /// Next-`degree`-lines.
+    NextLine(NextLine),
+    /// Per-PC stride (Fu & Patel).
+    Stride(StridePrefetcher),
+    /// Page-stream runner (Chen & Baer).
+    Streamer(Streamer),
+    /// IP classifier (Pakalapati & Panda).
+    Ipcp(Ipcp),
+}
+
+impl AnyPrefetcher {
+    /// Construct a prefetcher of the given kind with the given degree.
+    pub fn build(kind: PrefetcherKind, degree: usize) -> Self {
+        match kind {
+            PrefetcherKind::None => AnyPrefetcher::None(NoPrefetcher),
+            PrefetcherKind::NextLine => AnyPrefetcher::NextLine(NextLine { degree }),
+            PrefetcherKind::Stride => AnyPrefetcher::Stride(StridePrefetcher::new(degree)),
+            PrefetcherKind::Streamer => AnyPrefetcher::Streamer(Streamer::new(degree)),
+            PrefetcherKind::Ipcp => AnyPrefetcher::Ipcp(Ipcp::new(degree)),
+        }
     }
+
+    /// Statically-dispatched access hook; see [`Prefetcher::on_access`].
+    #[inline]
+    pub fn on_access(
+        &mut self,
+        pc: u64,
+        line: LineAddr,
+        hit: bool,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        match self {
+            AnyPrefetcher::None(p) => p.on_access(pc, line, hit, out),
+            AnyPrefetcher::NextLine(p) => p.on_access(pc, line, hit, out),
+            AnyPrefetcher::Stride(p) => p.on_access(pc, line, hit, out),
+            AnyPrefetcher::Streamer(p) => p.on_access(pc, line, hit, out),
+            AnyPrefetcher::Ipcp(p) => p.on_access(pc, line, hit, out),
+        }
+    }
+
+    /// Prefetcher name for diagnostics.
+    pub fn name(&self) -> &str {
+        match self {
+            AnyPrefetcher::None(p) => Prefetcher::name(p),
+            AnyPrefetcher::NextLine(p) => Prefetcher::name(p),
+            AnyPrefetcher::Stride(p) => Prefetcher::name(p),
+            AnyPrefetcher::Streamer(p) => Prefetcher::name(p),
+            AnyPrefetcher::Ipcp(p) => Prefetcher::name(p),
+        }
+    }
+}
+
+impl Prefetcher for AnyPrefetcher {
+    fn on_access(&mut self, pc: u64, line: LineAddr, hit: bool, out: &mut Vec<PrefetchRequest>) {
+        AnyPrefetcher::on_access(self, pc, line, hit, out)
+    }
+
+    fn name(&self) -> &str {
+        AnyPrefetcher::name(self)
+    }
+}
+
+/// Construct a boxed prefetcher of the given kind — retained for
+/// callers that plug custom [`Prefetcher`] impls alongside the
+/// built-ins; the simulator's own hot path uses [`AnyPrefetcher`].
+pub fn build(kind: PrefetcherKind, degree: usize) -> Box<dyn Prefetcher> {
+    Box::new(AnyPrefetcher::build(kind, degree))
 }
 
 #[inline]

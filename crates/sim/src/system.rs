@@ -8,8 +8,8 @@ use crate::dram::Dram;
 use crate::llc::{LlcOutcome, SharedLlc};
 use crate::mmu::Mmu;
 use crate::mshr::{MshrFile, MshrOutcome};
-use crate::policy::{AccessInfo, BuiltinLru, LlcPolicy, SystemFeedback};
-use crate::prefetch::{self, FillLevel, PrefetchRequest, Prefetcher};
+use crate::policy::{AccessInfo, BuiltinLru, PolicySlot, SystemFeedback};
+use crate::prefetch::{AnyPrefetcher, FillLevel, PrefetchRequest};
 use crate::stats::{CacheStats, CoreStats, SimResults};
 use crate::trace::TraceSource;
 use crate::types::{AccessKind, LineAddr, TraceRecord};
@@ -48,8 +48,8 @@ pub struct MemHierarchy {
     pub llc: SharedLlc,
     /// The DRAM subsystem.
     pub dram: Dram,
-    l1_pref: Vec<Box<dyn Prefetcher>>,
-    l2_pref: Vec<Box<dyn Prefetcher>>,
+    l1_pref: Vec<AnyPrefetcher>,
+    l2_pref: Vec<AnyPrefetcher>,
     mmu: Mmu,
     /// Per-core C-AMAT accounting at the LLC.
     pub camat: CamatTracker,
@@ -64,7 +64,7 @@ pub struct MemHierarchy {
 }
 
 impl MemHierarchy {
-    fn new(cfg: &SimConfig, policy: Box<dyn LlcPolicy>) -> Self {
+    fn new(cfg: &SimConfig, policy: PolicySlot) -> Self {
         let cores = cfg.cores;
         let mut camat = CamatTracker::new(cores);
         camat.set_epoch_boundary(cfg.epoch_cycles);
@@ -74,10 +74,10 @@ impl MemHierarchy {
             llc: SharedLlc::new(&cfg.llc(), cores, policy),
             dram: Dram::new(cfg.dram),
             l1_pref: (0..cores)
-                .map(|_| prefetch::build(cfg.prefetchers.l1, cfg.prefetch_degree))
+                .map(|_| AnyPrefetcher::build(cfg.prefetchers.l1, cfg.prefetch_degree))
                 .collect(),
             l2_pref: (0..cores)
-                .map(|_| prefetch::build(cfg.prefetchers.l2, cfg.prefetch_degree))
+                .map(|_| AnyPrefetcher::build(cfg.prefetchers.l2, cfg.prefetch_degree))
                 .collect(),
             mmu: Mmu::default_8gb(),
             camat,
@@ -831,7 +831,7 @@ impl System {
     ///
     /// Panics if `traces.len() != cfg.cores`.
     pub fn new(cfg: SimConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
-        Self::with_policy(cfg, traces, Box::new(BuiltinLru::new()))
+        Self::with_policy(cfg, traces, BuiltinLru::new())
     }
 
     /// Build a system with an explicit LLC management policy.
@@ -842,10 +842,10 @@ impl System {
     pub fn with_policy(
         cfg: SimConfig,
         traces: Vec<Box<dyn TraceSource>>,
-        policy: Box<dyn LlcPolicy>,
+        policy: impl Into<PolicySlot>,
     ) -> Self {
         assert_eq!(traces.len(), cfg.cores, "one trace per core required");
-        let hier = MemHierarchy::new(&cfg, policy);
+        let hier = MemHierarchy::new(&cfg, policy.into());
         let cores = traces
             .into_iter()
             .map(|t| Core::new(t, cfg.rob_size, cfg.width))

@@ -19,15 +19,13 @@ pub trait TraceSource {
     fn name(&self) -> &str;
 }
 
-impl TraceSource for Box<dyn TraceSource> {
-    fn next_record(&mut self) -> TraceRecord {
-        (**self).next_record()
-    }
-
-    fn name(&self) -> &str {
-        (**self).name()
-    }
-}
+// NOTE: deliberately NO `impl TraceSource for Box<dyn TraceSource>`.
+// Such a blanket impl lets an already-boxed source be boxed again
+// (`Box<Box<dyn TraceSource>>` coerced back to `Box<dyn TraceSource>`),
+// and every `next_record` — the single hottest call in the simulator —
+// then pays two dependent pointer loads plus two indirect calls.
+// Without it, double-boxing is a compile error and the per-core trace
+// read in `Core::fetch_record` is exactly one vtable hop.
 
 /// A simple strided loop over a working set: `base, base+stride, ...`
 /// wrapping at `span` bytes. Useful for tests and the quickstart example.
