@@ -69,6 +69,10 @@ struct CellTiming {
     workload: String,
     cores: usize,
     scheme: String,
+    /// Canonical mesh-NoC spec; empty = uniform-latency LLC. Part of
+    /// the cell key (suffix) only when set, so pre-NoC baselines keep
+    /// matching their cells.
+    noc: String,
     sim_cycles: u64,
     /// Total measured instructions (per-core quota x cores).
     instructions: u64,
@@ -89,7 +93,11 @@ impl CellTiming {
 
     /// Stable identity of a cell across runs (the gate's join key).
     fn key(&self) -> String {
-        format!("{}/{}c/{}", self.workload, self.cores, self.scheme)
+        if self.noc.is_empty() {
+            format!("{}/{}c/{}", self.workload, self.cores, self.scheme)
+        } else {
+            format!("{}/{}c/{}/noc", self.workload, self.cores, self.scheme)
+        }
     }
 }
 
@@ -101,6 +109,7 @@ fn run_once(
     workload: &str,
     cores: usize,
     scheme: &str,
+    noc: &str,
     kernel: Kernel,
 ) -> (f64, u64) {
     let traces = mix::homogeneous(workload, cores, params.seed)
@@ -108,7 +117,9 @@ fn run_once(
     let policy = build_any_slot(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut p = params.clone();
     p.cores = cores;
+    p.noc = noc.to_string();
     let mut sys = System::with_policy(p.sim_config(), traces, policy);
+    sys.set_step_workers(params.step_workers.max(1));
     // Warm caches, TLBs, DRAM rows and policy state outside the timed
     // region (the warmup quota is measured-but-discarded).
     if params.warmup > 0 {
@@ -126,17 +137,18 @@ fn time_cell(
     workload: &str,
     cores: usize,
     scheme: &str,
+    noc: &str,
     reps: usize,
 ) -> CellTiming {
     let mut event_elapsed = f64::INFINITY;
     let mut sim_cycles = 0;
     for _ in 0..reps.max(1) {
-        let (elapsed, cycles) = run_once(params, workload, cores, scheme, Kernel::EventDriven);
+        let (elapsed, cycles) = run_once(params, workload, cores, scheme, noc, Kernel::EventDriven);
         event_elapsed = event_elapsed.min(elapsed);
         sim_cycles = cycles;
     }
     let (reference_elapsed, ref_cycles) =
-        run_once(params, workload, cores, scheme, Kernel::Reference);
+        run_once(params, workload, cores, scheme, noc, Kernel::Reference);
     assert_eq!(
         sim_cycles, ref_cycles,
         "kernels must simulate identical cycle counts ({workload}/{cores}c/{scheme})"
@@ -145,6 +157,7 @@ fn time_cell(
         workload: workload.to_string(),
         cores,
         scheme: scheme.to_string(),
+        noc: noc.to_string(),
         sim_cycles,
         instructions: params.instructions * cores as u64,
         event_elapsed,
@@ -161,6 +174,7 @@ fn main() {
         "--out",
         "--baseline",
         "--merge-baseline",
+        "--noc-core-counts",
     ]);
     // Bench-specific quota defaults (the library default of 3M/core is
     // sized for experiments, not an 18-cell matrix); explicit
@@ -200,20 +214,41 @@ fn main() {
     );
 
     let mut cells = Vec::new();
+    let mut run = |workload: &str, cores: usize, scheme: &str, noc: &str| {
+        let cell = time_cell(&params, workload, cores, scheme, noc, reps);
+        println!(
+            "{:<24} {:>12.2} {:>12.2} {:>10.3} {:>8.2}x",
+            cell.key(),
+            cell.sim_cycles as f64 / cell.event_elapsed / 1e6,
+            cell.mips(),
+            cell.event_elapsed,
+            cell.speedup()
+        );
+        cells.push(cell);
+    };
     for workload in &workloads {
         for &cores in &core_counts {
             for scheme in &schemes {
-                let cell = time_cell(&params, workload, cores, scheme, reps);
-                println!(
-                    "{:<24} {:>12.2} {:>12.2} {:>10.3} {:>8.2}x",
-                    cell.key(),
-                    cell.sim_cycles as f64 / cell.event_elapsed / 1e6,
-                    cell.mips(),
-                    cell.event_elapsed,
-                    cell.speedup()
-                );
-                cells.push(cell);
+                run(workload, cores, scheme, "");
             }
+        }
+    }
+    // Mesh-NoC cells: the sliced-LLC hot path (routing, link queues,
+    // per-slice accounting) has its own cost profile, so it gets its own
+    // gated rows at the scaling sweep's machine sizes. One slice per
+    // four cores, matching the scaling_sweep experiment.
+    let noc_core_counts: Vec<usize> = arg_list("--noc-core-counts", &["16", "64"])
+        .iter()
+        .map(|s| s.parse().expect("--noc-core-counts takes numbers"))
+        .collect();
+    for &cores in &noc_core_counts {
+        let noc = chrome_noc::NocConfig {
+            slices: (cores / 4).max(1),
+            ..chrome_noc::NocConfig::default()
+        }
+        .canonical();
+        for scheme in &schemes {
+            run(&workloads[0], cores, scheme, &noc);
         }
     }
 
@@ -354,6 +389,12 @@ fn cells_from_json(path: &str, doc: &json::JsonValue) -> Vec<CellTiming> {
                     .as_str()
                     .unwrap_or_else(|| panic!("{path}: bad workload"))
                     .to_string(),
+                // Absent in pre-NoC baselines: tolerate, meaning "off".
+                noc: row
+                    .get("noc")
+                    .and_then(json::JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_string(),
                 cores: field("cores")
                     .as_u64()
                     .unwrap_or_else(|| panic!("{path}: bad cores")) as usize,
@@ -441,8 +482,13 @@ fn render_json(
     let cell_rows: Vec<String> = cells
         .iter()
         .map(|c| {
+            let noc = if c.noc.is_empty() {
+                String::new()
+            } else {
+                format!("\"noc\":{},", quoted(&c.noc))
+            };
             format!(
-                "    {{\"workload\":{},\"cores\":{},\"scheme\":{},\"sim_cycles\":{},\
+                "    {{\"workload\":{},\"cores\":{},\"scheme\":{},{noc}\"sim_cycles\":{},\
                  \"instructions\":{},\"event_elapsed_sec\":{:.4},\"reference_elapsed_sec\":{:.4},\
                  \"mips\":{:.3},\"speedup\":{:.3}}}",
                 quoted(&c.workload),

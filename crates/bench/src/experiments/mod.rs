@@ -21,6 +21,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod overheads;
 pub mod sampling;
+pub mod scaling;
 pub mod tab07;
 
 use chrome_exec::{CellOutcome, CellSpec, EngineConfig};
@@ -71,6 +72,8 @@ pub(crate) fn cell(
         record_epochs: false,
         trace: String::new(),
         sampling: String::new(),
+        noc: params.noc.clone(),
+        workers: params.step_workers as u32,
     }
 }
 

@@ -168,6 +168,8 @@ pub fn run_cell_with_traces(
         seed,
         telemetry_out: telemetry_out.map(Path::to_path_buf),
         record_epochs: spec.record_epochs,
+        noc: spec.noc.clone(),
+        step_workers: spec.workers as usize,
         ..RunParams::default()
     };
     let tf = (!spec.trace.is_empty()).then(|| open_spec_trace(spec, trace_files));
@@ -694,6 +696,8 @@ mod tests {
             record_epochs: false,
             trace: String::new(),
             sampling: String::new(),
+            noc: String::new(),
+            workers: 0,
         }
     }
 

@@ -65,6 +65,13 @@ pub struct RunParams {
     /// intervals with functional warmup and reconstruct full-run
     /// metrics. Requires `--trace-dir`.
     pub sampling: Option<String>,
+    /// Mesh-NoC spec in [`chrome_noc::NocConfig::canonical`] form
+    /// (`--noc slices=4,hop=2,...`); empty keeps the NoC off and the
+    /// simulator byte-identical to the uniform-latency model.
+    pub noc: String,
+    /// Worker threads for intra-simulation core stepping
+    /// (`--step-workers N`); 0 and 1 both mean sequential.
+    pub step_workers: usize,
 }
 
 impl Default for RunParams {
@@ -88,6 +95,8 @@ impl Default for RunParams {
             progress: true,
             audit: None,
             sampling: None,
+            noc: String::new(),
+            step_workers: 0,
         }
     }
 }
@@ -183,6 +192,19 @@ impl RunParams {
                         .unwrap_or_else(|e| panic!("--sampling: {e}"));
                     p.sampling = Some(spec.clone());
                 }
+                "--noc" => {
+                    i += 1;
+                    let spec = args.get(i).expect("--noc takes slices=..,hop=..,..");
+                    let cfg =
+                        chrome_noc::NocConfig::parse(spec).unwrap_or_else(|e| panic!("--noc: {e}"));
+                    // Canonicalize at the CLI boundary so spec hashes
+                    // never depend on key order or omitted defaults.
+                    p.noc = cfg.canonical();
+                }
+                "--step-workers" => {
+                    i += 1;
+                    p.step_workers = args[i].parse().expect("--step-workers takes a number");
+                }
                 "--quick" => {
                     p.instructions /= 10;
                     p.warmup /= 10;
@@ -209,9 +231,19 @@ impl RunParams {
     }
 
     /// The [`SimConfig`] this run implies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`RunParams::noc`] is non-empty but unparsable.
     pub fn sim_config(&self) -> SimConfig {
         let mut cfg = SimConfig::with_cores(self.cores);
         cfg.prefetchers = self.prefetchers;
+        if !self.noc.is_empty() {
+            cfg.noc = Some(
+                chrome_noc::NocConfig::parse(&self.noc)
+                    .unwrap_or_else(|e| panic!("bad noc spec {:?}: {e}", self.noc)),
+            );
+        }
         cfg
     }
 }
@@ -328,6 +360,7 @@ pub(crate) fn run_traces(
 ) -> SchemeResult {
     let policy = build_any_slot(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut sys = System::with_policy(params.sim_config(), traces, policy);
+    sys.set_step_workers(params.step_workers.max(1));
     if track_unused {
         sys.enable_unused_tracking();
     }
@@ -404,6 +437,7 @@ pub(crate) fn run_traces_sampled(
 ) -> SampledRun {
     let policy = build_any_slot(scheme).unwrap_or_else(|| panic!("unknown scheme {scheme}"));
     let mut sys = System::with_policy(params.sim_config(), traces, policy);
+    sys.set_step_workers(params.step_workers.max(1));
     if params.telemetry_out.is_some() || params.record_epochs {
         sys.set_telemetry(TelemetrySink::recording(TelemetryConfig::default()));
     }

@@ -1,0 +1,185 @@
+//! Differential tests for the mesh NoC and the deterministic
+//! work-stealing core stepper.
+//!
+//! Two independent equivalence claims are pinned here:
+//!
+//! 1. **Worker-count invariance.** Stepping cores through the parallel
+//!    phase-A/phase-B pool must be a pure scheduling transform: for any
+//!    worker count, both kernels, NoC off or on, the run produces
+//!    byte-identical [`SimResults`] and identical epoch telemetry to the
+//!    sequential stepper. Phase A (retire + issue planning) touches only
+//!    core-private state; phase B applies the plans in rotation order,
+//!    so shared-state mutation order is independent of which worker ran
+//!    which core.
+//! 2. **Kernel invariance under the NoC.** The event-driven kernel's
+//!    clock jumps must stay exact when LLC latency is no longer uniform
+//!    (per-slice routing, link contention).
+//!
+//! The NoC-*off* half of the matrix doubles as a regression guard: it
+//! re-checks that the parallel stepper reproduces exactly what the
+//! golden-digest tests hash.
+
+use chrome_bench::registry::{all_schemes, build_any_policy};
+use chrome_noc::NocConfig;
+use chrome_sim::{Kernel, SimConfig, System};
+use chrome_telemetry::{EpochSeries, TelemetryConfig, TelemetrySink};
+use chrome_traces::mix;
+
+/// Run one cell with an explicit kernel and stepping worker count.
+fn run_cell(
+    cfg: &SimConfig,
+    workload: &str,
+    scheme: &str,
+    kernel: Kernel,
+    workers: usize,
+    instructions: u64,
+    warmup: u64,
+) -> (chrome_sim::SimResults, EpochSeries) {
+    let traces = mix::homogeneous(workload, cfg.cores, 0x0C11).expect("known workload");
+    let policy = build_any_policy(scheme).expect("known scheme");
+    let mut sys = System::with_policy(cfg.clone(), traces, policy);
+    sys.set_step_workers(workers);
+    sys.set_telemetry(TelemetrySink::recording(TelemetryConfig::default()));
+    let results = sys.run_with_kernel(instructions, warmup, kernel);
+    let epochs = sys
+        .telemetry()
+        .with(|t| t.epochs.clone())
+        .unwrap_or_default();
+    (results, epochs)
+}
+
+/// Assert every (kernel × worker-count) combination agrees exactly with
+/// the sequential reference run of the same cell.
+fn assert_invariant(cfg: &SimConfig, workload: &str, scheme: &str, instructions: u64, warmup: u64) {
+    let (r_base, e_base) = run_cell(
+        cfg,
+        workload,
+        scheme,
+        Kernel::Reference,
+        1,
+        instructions,
+        warmup,
+    );
+    for kernel in [Kernel::Reference, Kernel::EventDriven] {
+        for workers in [1usize, 4, 8] {
+            if kernel == Kernel::Reference && workers == 1 {
+                continue; // that is the baseline itself
+            }
+            let (r, e) = run_cell(cfg, workload, scheme, kernel, workers, instructions, warmup);
+            assert_eq!(
+                r_base, r,
+                "SimResults diverged: {scheme} on {workload}, {} cores, \
+                 {kernel:?}, {workers} workers, noc={:?}",
+                cfg.cores, cfg.noc
+            );
+            assert_eq!(
+                e_base.records(),
+                e.records(),
+                "epoch series diverged: {scheme} on {workload}, {} cores, \
+                 {kernel:?}, {workers} workers, noc={:?}",
+                cfg.cores,
+                cfg.noc
+            );
+        }
+    }
+}
+
+/// A 4-slice mesh config sized for the small-test LLC.
+fn noc_on(cores: usize) -> SimConfig {
+    let mut cfg = SimConfig::small_test(cores);
+    cfg.noc = Some(NocConfig::default());
+    cfg
+}
+
+/// NoC off: the parallel stepper must reproduce today's sequential
+/// results bit-for-bit for every policy in the lineup.
+#[test]
+fn workers_are_invariant_with_noc_off() {
+    let cfg = SimConfig::small_test(4);
+    for scheme in ["LRU", "Hawkeye", "CHROME"] {
+        assert_invariant(&cfg, "mcf", scheme, 6_000, 600);
+    }
+}
+
+/// NoC on: routing and contention state must be insensitive to both the
+/// kernel and the worker count.
+#[test]
+fn workers_are_invariant_with_noc_on() {
+    let cfg = noc_on(4);
+    for scheme in ["LRU", "Hawkeye", "CHROME"] {
+        assert_invariant(&cfg, "mcf", scheme, 6_000, 600);
+    }
+}
+
+/// Every registered policy, NoC on, both kernels, 1 vs 8 workers — the
+/// broad sweep at a smaller budget.
+#[test]
+fn every_policy_is_worker_invariant_under_noc() {
+    let cfg = noc_on(4);
+    for scheme in all_schemes() {
+        assert_invariant(&cfg, "libquantum", scheme, 4_000, 400);
+    }
+}
+
+/// More cores than a worker pool can hold at once (16 cores, 4 workers)
+/// exercises claim contention and the steal path hard; an 8×-entry mesh
+/// also makes multi-hop routes common.
+#[test]
+fn sixteen_cores_exceeding_workers_are_invariant() {
+    let cfg = noc_on(16);
+    assert_invariant(&cfg, "mcf", "CHROME", 3_000, 300);
+}
+
+/// Single-core degenerate case: the pool must degrade to sequential
+/// stepping (tasks <= 1) without perturbing anything.
+#[test]
+fn single_core_pool_degrades_to_sequential() {
+    let cfg = noc_on(1);
+    assert_invariant(&cfg, "libquantum", "LRU", 6_000, 600);
+}
+
+/// Slice-count sweep: 1, 2 and 8 slices change the set-to-slice map and
+/// the mesh footprint; each must stay kernel- and worker-invariant.
+#[test]
+fn slice_counts_are_invariant() {
+    for slices in [1usize, 2, 8] {
+        let mut cfg = SimConfig::small_test(4);
+        cfg.noc = Some(NocConfig {
+            slices,
+            ..NocConfig::default()
+        });
+        assert_invariant(&cfg, "omnetpp", "LRU", 4_000, 400);
+    }
+}
+
+/// Deep contention: single-flit queues with a depth cap of 1 maximize
+/// backpressure, the hardest case for event-driven clock jumps.
+#[test]
+fn tight_queues_are_invariant() {
+    let mut cfg = SimConfig::small_test(8);
+    cfg.noc = Some(NocConfig {
+        slices: 8,
+        hop_latency: 3,
+        flits: 2,
+        queue_depth: 1,
+    });
+    for scheme in ["LRU", "CHROME"] {
+        assert_invariant(&cfg, "mcf", scheme, 4_000, 400);
+    }
+}
+
+/// The NoC must actually change timing (otherwise these tests prove
+/// nothing): the same cell with the mesh on must differ from the
+/// uniform-latency model.
+#[test]
+fn noc_actually_perturbs_timing() {
+    let off = SimConfig::small_test(4);
+    let on = noc_on(4);
+    let (r_off, _) = run_cell(&off, "mcf", "LRU", Kernel::Reference, 1, 6_000, 600);
+    let (r_on, _) = run_cell(&on, "mcf", "LRU", Kernel::Reference, 1, 6_000, 600);
+    assert_ne!(
+        r_off, r_on,
+        "a default mesh must add hop latency somewhere; identical results \
+         mean the NoC is not wired into the LLC path"
+    );
+}

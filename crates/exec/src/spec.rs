@@ -86,6 +86,18 @@ pub struct CellSpec {
     /// cell never share a checkpoint and full-run hashes are unchanged.
     /// Must not contain `;` (the canonical-form field separator).
     pub sampling: String,
+    /// Canonical mesh-NoC configuration (`slices=..,hop=..,flits=..,
+    /// depth=..` form), empty for the classic uniform-latency LLC.
+    /// Folded into the spec hash only when set, like `trace`, so NoC-off
+    /// hashes (and existing manifests) are unchanged. Must not contain
+    /// `;`.
+    pub noc: String,
+    /// Intra-simulation stepping threads; 0 (the default) and 1 both
+    /// mean the sequential kernels and stay out of the canonical form.
+    /// The parallel kernels are proven byte-identical, but the worker
+    /// count is still part of the cell identity so a resumed grid
+    /// re-runs cells whose execution mode was deliberately changed.
+    pub workers: u32,
 }
 
 impl CellSpec {
@@ -120,6 +132,18 @@ impl CellSpec {
             );
             s.push_str(";sampling=");
             s.push_str(&self.sampling);
+        }
+        if !self.noc.is_empty() {
+            debug_assert!(
+                !self.noc.contains(';'),
+                "noc spec must not contain the field separator"
+            );
+            s.push_str(";noc=");
+            s.push_str(&self.noc);
+        }
+        if self.workers > 1 {
+            s.push_str(";workers=");
+            s.push_str(&self.workers.to_string());
         }
         s
     }
@@ -170,6 +194,8 @@ mod tests {
             record_epochs: false,
             trace: String::new(),
             sampling: String::new(),
+            noc: String::new(),
+            workers: 0,
         }
     }
 
@@ -186,7 +212,7 @@ mod tests {
     fn every_field_feeds_the_spec_hash() {
         let base = spec();
         let mut variants = Vec::new();
-        for f in 0..12 {
+        for f in 0..14 {
             let mut v = base.clone();
             match f {
                 0 => v.experiment = "fig10".into(),
@@ -200,14 +226,16 @@ mod tests {
                 8 => v.track_unused = true,
                 9 => v.record_epochs = true,
                 10 => v.trace = "00000000deadbeef".into(),
-                _ => v.sampling = "k=5,ramp=2000".into(),
+                11 => v.sampling = "k=5,ramp=2000".into(),
+                12 => v.noc = "slices=4,hop=2,flits=1,depth=8".into(),
+                _ => v.workers = 8,
             }
             variants.push(v.spec_hash());
         }
         variants.push(base.spec_hash());
         variants.sort_unstable();
         variants.dedup();
-        assert_eq!(variants.len(), 13, "hash collision across field variants");
+        assert_eq!(variants.len(), 15, "hash collision across field variants");
     }
 
     #[test]
@@ -240,6 +268,29 @@ mod tests {
         let mut k3 = s.clone();
         k3.sampling = "k=3,ramp=2000".into();
         assert_ne!(k5.spec_hash(), k3.spec_hash());
+    }
+
+    #[test]
+    fn empty_noc_and_sequential_workers_keep_legacy_canonical_form() {
+        // NoC-off, sequentially-stepped specs must hash exactly as
+        // before the NoC axis existed, so existing manifests stay valid;
+        // workers 0 and 1 are the same identity (both sequential).
+        let s = spec();
+        assert!(!s.canonical().contains("noc="));
+        assert!(!s.canonical().contains("workers="));
+        let mut w1 = s.clone();
+        w1.workers = 1;
+        assert_eq!(s.spec_hash(), w1.spec_hash());
+        let mut noc = s.clone();
+        noc.noc = "slices=4,hop=2,flits=1,depth=8".into();
+        assert!(noc
+            .canonical()
+            .ends_with(";noc=slices=4,hop=2,flits=1,depth=8"));
+        assert_ne!(s.spec_hash(), noc.spec_hash());
+        let mut w8 = noc.clone();
+        w8.workers = 8;
+        assert!(w8.canonical().ends_with(";workers=8"));
+        assert_ne!(noc.spec_hash(), w8.spec_hash());
     }
 
     #[test]

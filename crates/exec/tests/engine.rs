@@ -22,6 +22,8 @@ fn spec(workload: &str, scheme: &str) -> CellSpec {
         record_epochs: false,
         trace: String::new(),
         sampling: String::new(),
+        noc: String::new(),
+        workers: 0,
     }
 }
 

@@ -1,0 +1,137 @@
+//! NoC configuration and its canonical spec-string codec.
+//!
+//! The config rides inside `CellSpec` (and therefore inside spec
+//! hashes) as a string, so the codec is strict about canonical form:
+//! [`NocConfig::parse`] accepts any subset of `key=value` pairs and
+//! [`NocConfig::canonical`] always renders every field in a fixed
+//! order. Binaries canonicalise user input once, at the CLI boundary,
+//! so two spellings of the same configuration can never split a
+//! checkpoint identity.
+
+/// Mesh NoC timing parameters. `Default` is a plausible small-mesh
+/// operating point; the *absence* of a config (an `Option` at the
+/// simulator layer) is what "NoC off" means — this struct has no
+/// disabled state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Number of address-interleaved LLC slices.
+    pub slices: usize,
+    /// Router-to-router propagation latency per hop, in cycles.
+    pub hop_latency: u64,
+    /// Cycles a message occupies each link (serialization: flits at one
+    /// flit per cycle).
+    pub flits: u64,
+    /// Bounded ingress-queue depth per directed link. A full queue
+    /// back-pressures: the message waits at the router until the
+    /// queue's oldest occupant drains.
+    pub queue_depth: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            slices: 4,
+            hop_latency: 2,
+            flits: 1,
+            queue_depth: 8,
+        }
+    }
+}
+
+impl NocConfig {
+    /// Parse a `key=value` comma-separated spec, e.g.
+    /// `"slices=8,hop=2,flits=1,depth=8"`. Missing keys take their
+    /// [`Default`] values; unknown keys and malformed values are
+    /// errors (a spec string feeds checkpoint identity, so silent
+    /// tolerance would be a footgun).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown keys, malformed
+    /// numbers, or out-of-range values (zero slices/flits/depth).
+    pub fn parse(spec: &str) -> Result<NocConfig, String> {
+        let mut cfg = NocConfig::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("noc spec `{part}`: expected key=value"))?;
+            let num: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("noc spec `{part}`: `{value}` is not a number"))?;
+            match key.trim() {
+                "slices" => cfg.slices = num as usize,
+                "hop" => cfg.hop_latency = num,
+                "flits" => cfg.flits = num,
+                "depth" => cfg.queue_depth = num as usize,
+                other => return Err(format!("noc spec: unknown key `{other}`")),
+            }
+        }
+        if cfg.slices == 0 {
+            return Err("noc spec: slices must be at least 1".into());
+        }
+        if cfg.flits == 0 {
+            return Err("noc spec: flits must be at least 1".into());
+        }
+        if cfg.queue_depth == 0 {
+            return Err("noc spec: depth must be at least 1".into());
+        }
+        Ok(cfg)
+    }
+
+    /// Fixed-order, every-field rendering. `parse(canonical(c)) == c`
+    /// and `canonical` is injective over configs, which is what lets
+    /// spec hashes treat the string as the config's identity.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "slices={},hop={},flits={},depth={}",
+            self.slices, self.hop_latency, self.flits, self.queue_depth
+        )
+    }
+}
+
+impl std::fmt::Display for NocConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_default() {
+        assert_eq!(NocConfig::parse("").unwrap(), NocConfig::default());
+    }
+
+    #[test]
+    fn canonical_roundtrips() {
+        let cfg = NocConfig {
+            slices: 8,
+            hop_latency: 3,
+            flits: 2,
+            queue_depth: 4,
+        };
+        assert_eq!(NocConfig::parse(&cfg.canonical()).unwrap(), cfg);
+        assert_eq!(cfg.canonical(), "slices=8,hop=3,flits=2,depth=4");
+    }
+
+    #[test]
+    fn partial_spec_fills_defaults() {
+        let cfg = NocConfig::parse("slices=2").unwrap();
+        assert_eq!(cfg.slices, 2);
+        assert_eq!(cfg.hop_latency, NocConfig::default().hop_latency);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(NocConfig::parse("slices").is_err());
+        assert!(NocConfig::parse("slices=x").is_err());
+        assert!(NocConfig::parse("teeth=3").is_err());
+        assert!(NocConfig::parse("slices=0").is_err());
+        assert!(NocConfig::parse("flits=0").is_err());
+        assert!(NocConfig::parse("depth=0").is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! A deterministic spin-waiting worker pool for intra-simulation
+//! parallelism.
+//!
+//! The simulator steps cores millions of times per second, so a round
+//! here must cost microseconds: workers are persistent and spin-wait on
+//! an atomic round counter instead of sleeping on a condvar (condvar
+//! wake latency alone would exceed a whole sequential round at these
+//! granularities). Within a round, tasks `0..n` are claimed dynamically
+//! by atomic increment — work-stealing in effect: a fast worker drains
+//! whatever a slow one has not claimed. This is only sound because the
+//! caller promises tasks are mutually independent; the simulator keeps
+//! every order-sensitive effect on the calling thread.
+//!
+//! Determinism therefore does not come from the pool scheduling (which
+//! is racy by design) but from the *task structure*: each task reads
+//! and writes state private to its index, so any claim order produces
+//! the same memory contents at the round barrier.
+//!
+//! # Round protocol
+//!
+//! All claim state is round-tagged. The claim word packs
+//! `(round << 24) | next`, so a straggler from a previous round can
+//! never claim an index of the current one: its compare-exchange
+//! carries the stale round tag and fails. The job pointer is published
+//! under a mutex together with its round, and validated against the
+//! claim word's round before use; the per-round task count is packed
+//! with the round the same way. A claimed task holds the round open
+//! (the caller waits for `done == tasks`), so the job closure outlives
+//! every invocation despite being borrowed from the caller's stack.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Bits of the claim word holding the next-task index; the rest hold
+/// the round tag. 2^24 tasks per round is far beyond any core count.
+const NEXT_BITS: u32 = 24;
+const NEXT_MASK: u64 = (1 << NEXT_BITS) - 1;
+const ROUND_MASK: u64 = u64::MAX >> NEXT_BITS;
+
+/// Type-erased job: the caller's closure with its lifetime erased. The
+/// round protocol guarantees no invocation outlives [`DetPool::run`].
+type RawJob = *const (dyn Fn(usize) + Sync + 'static);
+
+struct JobSlot {
+    round: u64,
+    job: Option<RawJob>,
+}
+
+// SAFETY: the raw pointer is only dereferenced by workers holding a
+// claim for the matching round, and `run` does not return until every
+// claim of its round is done; the pointee is `Sync`.
+unsafe impl Send for JobSlot {}
+
+struct Shared {
+    /// `(round << NEXT_BITS) | next_unclaimed_task`.
+    claim: AtomicU64,
+    /// `(round << NEXT_BITS) | task_count`, published before `claim`.
+    tasks: AtomicU64,
+    /// Completed tasks in the current round.
+    done: AtomicU64,
+    job: Mutex<JobSlot>,
+    shutdown: AtomicBool,
+}
+
+/// Persistent deterministic task pool. `run` executes `f(0..tasks)`
+/// across the pool (the calling thread participates) and returns after
+/// every task completed — a full barrier.
+pub struct DetPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    round: u64,
+}
+
+impl std::fmt::Debug for DetPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetPool")
+            .field("parallelism", &self.parallelism())
+            .field("round", &self.round)
+            .finish()
+    }
+}
+
+impl DetPool {
+    /// A pool with total parallelism `threads` (the calling thread
+    /// counts as one, so `threads - 1` workers are spawned).
+    /// `threads <= 1` spawns nothing and `run` degrades to a plain
+    /// sequential loop.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            claim: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            job: Mutex::new(JobSlot {
+                round: 0,
+                job: None,
+            }),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker(&shared))
+            })
+            .collect();
+        DetPool {
+            shared,
+            handles,
+            round: 0,
+        }
+    }
+
+    /// Total parallelism (workers + the calling thread).
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Run `f(i)` for every `i in 0..tasks` across the pool and wait
+    /// for all of them. Tasks must be mutually independent; claim order
+    /// is unspecified.
+    pub fn run(&mut self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        assert!(tasks as u64 <= NEXT_MASK, "too many tasks for one round");
+        if self.handles.is_empty() || tasks <= 1 {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        self.round = (self.round + 1) & ROUND_MASK;
+        let round = self.round;
+        let s = &*self.shared;
+        {
+            // SAFETY: erases the borrow lifetime; see JobSlot's Send
+            // justification — no call survives this function.
+            let raw: RawJob = unsafe {
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), RawJob>(
+                    f as *const (dyn Fn(usize) + Sync),
+                )
+            };
+            let mut slot = s.job.lock().unwrap();
+            slot.round = round;
+            slot.job = Some(raw);
+        }
+        s.tasks
+            .store(round << NEXT_BITS | tasks as u64, Ordering::Release);
+        s.done.store(0, Ordering::Release);
+        s.claim.store(round << NEXT_BITS, Ordering::Release);
+        // the calling thread claims alongside the workers
+        loop {
+            let c = s.claim.load(Ordering::Acquire);
+            let i = c & NEXT_MASK;
+            if c >> NEXT_BITS != round || i >= tasks as u64 {
+                break;
+            }
+            if s.claim
+                .compare_exchange_weak(c, c + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                f(i as usize);
+                s.done.fetch_add(1, Ordering::Release);
+            }
+        }
+        while s.done.load(Ordering::Acquire) < tasks as u64 {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl Drop for DetPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker(s: &Shared) {
+    let mut last = 0u64;
+    let mut spins = 0u32;
+    loop {
+        if s.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let c = s.claim.load(Ordering::Acquire);
+        let round = c >> NEXT_BITS;
+        if round == last {
+            spins += 1;
+            if spins < 1 << 12 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+            continue;
+        }
+        spins = 0;
+        let t = s.tasks.load(Ordering::Acquire);
+        if t >> NEXT_BITS != round {
+            continue; // torn snapshot across a round boundary; reload
+        }
+        let tasks = t & NEXT_MASK;
+        let i = c & NEXT_MASK;
+        if i >= tasks {
+            last = round; // arrived after the round drained
+            continue;
+        }
+        let Some(job) = ({
+            let slot = s.job.lock().unwrap();
+            (slot.round == round).then_some(slot.job).flatten()
+        }) else {
+            continue;
+        };
+        // claim-and-execute until this round drains
+        let mut c = c;
+        loop {
+            let i = c & NEXT_MASK;
+            if c >> NEXT_BITS != round || i >= tasks {
+                break;
+            }
+            match s
+                .claim
+                .compare_exchange_weak(c, c + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // SAFETY: round-tagged claim succeeded, so the job
+                    // of this round is still alive (the caller waits on
+                    // our done increment).
+                    unsafe { (*job)(i as usize) };
+                    s.done.fetch_add(1, Ordering::Release);
+                    c = s.claim.load(Ordering::Acquire);
+                }
+                Err(actual) => c = actual,
+            }
+        }
+        last = round;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let mut pool = DetPool::new(4);
+        for round in 0..200usize {
+            let n = (round * 7) % 33;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i} in round {round}");
+            }
+        }
+    }
+
+    /// The pattern the simulator uses: disjoint `&mut` access into a
+    /// slice through a shared base pointer.
+    #[test]
+    fn disjoint_slice_mutation_is_deterministic() {
+        struct Ptr(*mut u64);
+        unsafe impl Sync for Ptr {}
+        let run = |threads: usize| -> Vec<u64> {
+            let mut pool = DetPool::new(threads);
+            let mut data = vec![0u64; 257];
+            for round in 1..=100u64 {
+                let base = Ptr(data.as_mut_ptr());
+                // capture the Sync wrapper, not its raw-pointer field
+                let base = &base;
+                pool.run(data.len(), &|i| {
+                    let slot = unsafe { &mut *base.0.add(i) };
+                    *slot = slot.wrapping_mul(31).wrapping_add(round + i as u64);
+                });
+            }
+            data
+        };
+        let seq = run(1);
+        assert_eq!(run(2), seq);
+        assert_eq!(run(8), seq);
+    }
+
+    #[test]
+    fn zero_and_one_task_rounds_work() {
+        let mut pool = DetPool::new(3);
+        pool.run(0, &|_| panic!("no tasks to run"));
+        let hit = AtomicUsize::new(0);
+        pool.run(1, &|i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential() {
+        let mut pool = DetPool::new(1);
+        assert_eq!(pool.parallelism(), 1);
+        let order = Mutex::new(Vec::new());
+        pool.run(5, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -147,6 +147,10 @@ pub struct SimConfig {
     pub epoch_cycles: u64,
     /// Number of sampled LLC sets observed by sampling-based policies.
     pub sampled_sets: usize,
+    /// Mesh NoC timing between cores and address-interleaved LLC
+    /// slices. `None` (the default) keeps the classic uniform-latency
+    /// LLC, byte-identical to every pre-NoC result.
+    pub noc: Option<chrome_noc::NocConfig>,
 }
 
 impl SimConfig {
@@ -178,6 +182,7 @@ impl SimConfig {
             prefetch_degree: 2,
             epoch_cycles: 100_000,
             sampled_sets: 64,
+            noc: None,
         }
     }
 

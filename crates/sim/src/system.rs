@@ -3,7 +3,7 @@
 use crate::cache::PrivateCache;
 use crate::camat::{CamatEpoch, CamatTracker};
 use crate::config::SimConfig;
-use crate::core_model::Core;
+use crate::core_model::{Core, IssuePlan};
 use crate::dram::Dram;
 use crate::llc::{LlcOutcome, SharedLlc};
 use crate::mmu::Mmu;
@@ -39,6 +39,116 @@ fn mshr_acquire(mshr: &mut MshrFile, line: LineAddr, mut t: u64) -> Result<u64, 
 /// than queued behind demand traffic.
 const PREFETCH_SHED_CYCLES: u64 = 500;
 
+/// Mesh-NoC timing wrapped around the shared LLC: the cache is split
+/// into address-interleaved slices homed on mesh tiles, and every
+/// core↔slice message crosses the [`chrome_noc::Mesh`] contention
+/// model. Pure timing — hit/miss outcomes, policy decisions and fill
+/// contents are untouched, so the NoC only shifts *when* completions
+/// become visible, never *what* happens.
+pub struct NocState {
+    mesh: chrome_noc::Mesh,
+    /// Number of address-interleaved LLC slices.
+    slices: usize,
+    /// `llc sets - 1` (power-of-two asserted by the LLC), so the slice
+    /// interleave keys on the set index.
+    set_mask: u64,
+    /// Home tile of each slice (cores sit on tiles `0..cores`).
+    slice_tiles: Vec<usize>,
+    /// Cumulative accesses routed to each slice.
+    slice_accesses: Vec<u64>,
+    /// Counter snapshots at the last epoch boundary, so epoch records
+    /// carry per-epoch deltas.
+    epoch_slice_base: Vec<u64>,
+    epoch_link_base: Vec<u64>,
+}
+
+impl NocState {
+    fn new(cfg: chrome_noc::NocConfig, cores: usize, llc_sets: usize) -> Self {
+        let slices = cfg.slices;
+        let tiles = cores.max(slices);
+        let mesh = chrome_noc::Mesh::new(tiles, cfg);
+        let links = mesh.links();
+        NocState {
+            mesh,
+            slices,
+            set_mask: llc_sets as u64 - 1,
+            slice_tiles: (0..slices)
+                .map(|s| chrome_noc::slice_tile(s, slices, tiles))
+                .collect(),
+            slice_accesses: vec![0; slices],
+            epoch_slice_base: vec![0; slices],
+            epoch_link_base: vec![0; links],
+        }
+    }
+
+    /// Number of address-interleaved LLC slices.
+    pub fn slices(&self) -> usize {
+        self.slices
+    }
+
+    /// Cumulative accesses routed to each slice.
+    pub fn slice_accesses(&self) -> &[u64] {
+        &self.slice_accesses
+    }
+
+    /// The underlying mesh (geometry, link counters, message count).
+    pub fn mesh(&self) -> &chrome_noc::Mesh {
+        &self.mesh
+    }
+
+    /// Route a request from `core` to `line`'s home slice, departing at
+    /// `t`. Returns the arrival cycle at the slice and the slice index.
+    fn request(&mut self, core: usize, line: LineAddr, t: u64) -> (u64, usize) {
+        let set = (line.0 & self.set_mask) as usize;
+        let slice = chrome_noc::slice_of_set(set, self.slices);
+        self.slice_accesses[slice] += 1;
+        (self.mesh.route(core, self.slice_tiles[slice], t), slice)
+    }
+
+    /// Route the response for a request served by `slice` back to
+    /// `core`, departing at `t`. Returns the core-visible completion.
+    fn respond(&mut self, slice: usize, core: usize, t: u64) -> u64 {
+        self.mesh.route(self.slice_tiles[slice], core, t)
+    }
+
+    /// Per-slice access and per-link busy-cycle deltas since the
+    /// previous call, advancing the epoch baselines.
+    fn epoch_deltas(&mut self) -> (Vec<u64>, Vec<u64>) {
+        let slices = self
+            .slice_accesses
+            .iter()
+            .zip(&self.epoch_slice_base)
+            .map(|(a, b)| a - b)
+            .collect();
+        let links = self
+            .mesh
+            .link_busy()
+            .iter()
+            .zip(&self.epoch_link_base)
+            .map(|(a, b)| a - b)
+            .collect();
+        self.epoch_rebase();
+        (slices, links)
+    }
+
+    /// Snap the epoch baselines to the current counters (used at the
+    /// measurement boundary so the first measured epoch starts clean).
+    fn epoch_rebase(&mut self) {
+        self.epoch_slice_base.copy_from_slice(&self.slice_accesses);
+        self.epoch_link_base.copy_from_slice(self.mesh.link_busy());
+    }
+}
+
+/// Route a slice→core response through the mesh, or pass the time
+/// through untouched when the NoC is off.
+#[inline]
+fn noc_respond(noc: Option<&mut NocState>, slice: usize, core: usize, t: u64) -> u64 {
+    match noc {
+        Some(n) => n.respond(slice, core, t),
+        None => t,
+    }
+}
+
 /// The memory hierarchy: private L1D/L2 per core, a shared LLC, DRAM,
 /// prefetchers, the MMU and C-AMAT instrumentation.
 pub struct MemHierarchy {
@@ -48,6 +158,9 @@ pub struct MemHierarchy {
     pub llc: SharedLlc,
     /// The DRAM subsystem.
     pub dram: Dram,
+    /// Mesh-NoC timing between cores and LLC slices; `None` keeps the
+    /// classic uniform-latency LLC, byte-identical to pre-NoC results.
+    noc: Option<NocState>,
     l1_pref: Vec<AnyPrefetcher>,
     l2_pref: Vec<AnyPrefetcher>,
     mmu: Mmu,
@@ -73,6 +186,7 @@ impl MemHierarchy {
             l2: (0..cores).map(|_| PrivateCache::new(&cfg.l2)).collect(),
             llc: SharedLlc::new(&cfg.llc(), cores, policy),
             dram: Dram::new(cfg.dram),
+            noc: cfg.noc.map(|nc| NocState::new(nc, cores, cfg.llc().sets())),
             l1_pref: (0..cores)
                 .map(|_| AnyPrefetcher::build(cfg.prefetchers.l1, cfg.prefetch_degree))
                 .collect(),
@@ -191,6 +305,19 @@ impl MemHierarchy {
         if let Some(s) = span.as_mut() {
             s.mark_llc_entry(t_llc);
         }
+        // With the mesh NoC enabled, the request first crosses the mesh
+        // to the line's home slice; all LLC/DRAM math below then runs in
+        // slice-local time, and each completion is routed back before it
+        // becomes core-visible. With it off, both hops are the identity
+        // and every expression below is bit-for-bit the classic
+        // uniform-latency path. C-AMAT spans issue (`t_entry`) to the
+        // core-visible completion, so NoC queueing shows up as memory
+        // stall time exactly like MSHR or bank contention.
+        let t_entry = t_llc;
+        let (t_llc, slice) = match self.noc.as_mut() {
+            Some(noc) => noc.request(core, line, t_llc),
+            None => (t_llc, 0),
+        };
         let info = AccessInfo {
             core,
             pc,
@@ -199,11 +326,11 @@ impl MemHierarchy {
             is_write: false,
             cycle: t_llc,
         };
-        let ready = match self.llc.access(&info, &self.feedback) {
+        let done = match self.llc.access(&info, &self.feedback) {
             LlcOutcome::Hit { ready } => {
                 // the block may still be in flight: wait for its arrival
                 let base = t_llc + self.llc.latency;
-                let done = ready.max(base);
+                let done = noc_respond(self.noc.as_mut(), slice, core, ready.max(base));
                 if let Some(mut s) = span.take() {
                     s.mark(Stage::LlcLookup, base);
                     self.finish_span(s, ServiceLevel::Llc, Stage::FillWait, done, false);
@@ -214,41 +341,47 @@ impl MemHierarchy {
                 bypassed,
                 writeback,
             } => {
-                let ready = if is_prefetch {
+                // `ready` is the slice-side fill time (what the cache
+                // block and MSHR wait on); `done` is the core-visible
+                // completion after the response hop.
+                let (ready, done) = if is_prefetch {
                     // prefetches do not allocate MSHRs; shedding happens
                     // upstream in the prefetch path
                     let t = self
                         .dram
                         .access_timed(line, t_llc + self.llc.latency, false);
+                    let done = noc_respond(self.noc.as_mut(), slice, core, t.done);
                     if let Some(mut s) = span.take() {
                         s.mark(Stage::LlcLookup, t_llc + self.llc.latency);
                         s.mark(Stage::DramQueue, t.start);
                         s.mark(Stage::DramService, t.row_done);
                         s.mark(Stage::DramQueue, t.xfer_start);
-                        self.finish_span(s, ServiceLevel::Mem, Stage::DramTransfer, t.done, false);
+                        self.finish_span(s, ServiceLevel::Mem, Stage::DramTransfer, done, false);
                     }
-                    t.done
+                    (t.done, done)
                 } else {
                     match mshr_acquire(&mut self.llc.mshr, line, t_llc) {
                         Err(merged_ready) => {
                             // no LlcLookup mark: the merged completion may
                             // predate the lookup latency, and the whole
                             // remainder is one MSHR wait either way
+                            let done = noc_respond(self.noc.as_mut(), slice, core, merged_ready);
                             if let Some(s) = span.take() {
                                 self.finish_span(
                                     s,
                                     ServiceLevel::Llc,
                                     Stage::LlcMshrWait,
-                                    merged_ready,
+                                    done,
                                     true,
                                 );
                             }
-                            merged_ready
+                            (merged_ready, done)
                         }
                         Ok(t_issue) => {
                             let t = self
                                 .dram
                                 .access_timed(line, t_issue + self.llc.latency, false);
+                            let done = noc_respond(self.noc.as_mut(), slice, core, t.done);
                             if let Some(mut s) = span.take() {
                                 s.mark(Stage::LlcMshrWait, t_issue);
                                 s.mark(Stage::LlcLookup, t_issue + self.llc.latency);
@@ -259,12 +392,12 @@ impl MemHierarchy {
                                     s,
                                     ServiceLevel::Mem,
                                     Stage::DramTransfer,
-                                    t.done,
+                                    done,
                                     false,
                                 );
                             }
                             self.llc.mshr.register(line, t.done);
-                            t.done
+                            (t.done, done)
                         }
                     }
                 };
@@ -274,13 +407,13 @@ impl MemHierarchy {
                 if let Some(wb) = writeback {
                     self.dram.access(wb, t_llc, true);
                 }
-                ready
+                done
             }
         };
         if !is_prefetch {
-            self.camat.record(core, t_llc, ready);
+            self.camat.record(core, t_entry, done);
         }
-        ready
+        done
     }
 
     /// A demand access from `core`. Returns the completion cycle.
@@ -562,6 +695,14 @@ impl MemHierarchy {
         is_prefetch: bool,
         cycle: u64,
     ) -> (u64, bool) {
+        // Same NoC gating as the timed path, against the pseudo-clock:
+        // requests route to the home slice, completions route back, so
+        // functional warmup sees the same traffic skew and link pressure
+        // a timed run would.
+        let (cycle, slice) = match self.noc.as_mut() {
+            Some(noc) => noc.request(core, line, cycle),
+            None => (cycle, 0),
+        };
         let info = AccessInfo {
             core,
             pc,
@@ -571,7 +712,10 @@ impl MemHierarchy {
             cycle,
         };
         match self.llc.access(&info, &self.feedback) {
-            LlcOutcome::Hit { ready } => ((cycle + self.llc.latency).max(ready), false),
+            LlcOutcome::Hit { ready } => {
+                let done = (cycle + self.llc.latency).max(ready);
+                (noc_respond(self.noc.as_mut(), slice, core, done), false)
+            }
             LlcOutcome::Miss {
                 bypassed,
                 writeback,
@@ -583,7 +727,7 @@ impl MemHierarchy {
                 if let Some(wb) = writeback {
                     self.dram.access(wb, cycle, true);
                 }
-                (done, true)
+                (noc_respond(self.noc.as_mut(), slice, core, done), true)
             }
         }
     }
@@ -735,6 +879,14 @@ impl MemHierarchy {
         }
         self.llc.stats = Default::default();
         self.camat.reset_totals();
+        if let Some(noc) = &mut self.noc {
+            noc.epoch_rebase();
+        }
+    }
+
+    /// The mesh-NoC timing state, when enabled.
+    pub fn noc(&self) -> Option<&NocState> {
+        self.noc.as_ref()
     }
 }
 
@@ -812,6 +964,16 @@ pub struct System {
     /// Reused buffer for per-core epoch samples, so epoch boundaries do
     /// not allocate.
     epoch_scratch: Vec<CamatEpoch>,
+    /// Threads stepping cores within this simulation (1 = the classic
+    /// sequential kernels). See [`System::set_step_workers`].
+    step_workers: usize,
+    /// Persistent worker pool backing the parallel decode phase;
+    /// present exactly when `step_workers > 1`.
+    pool: Option<chrome_noc::DetPool>,
+    /// Per-core decoded issue plans for the parallel kernels.
+    plans: Vec<IssuePlan>,
+    /// Rotation-ordered due-core scratch for the parallel event kernel.
+    due: Vec<usize>,
 }
 
 impl std::fmt::Debug for System {
@@ -866,7 +1028,38 @@ impl System {
             next_event: vec![0; n],
             min_event: 0,
             epoch_scratch: Vec::with_capacity(n),
+            step_workers: 1,
+            pool: None,
+            plans: Vec::new(),
+            due: Vec::new(),
         }
+    }
+
+    /// Step cores with `workers` threads inside this one simulation
+    /// (1 = sequential, the default). The parallel kernels split each
+    /// stepped cycle into a decode phase (retire + issue-plan, all
+    /// core-private state, fanned across a work-stealing pool) and an
+    /// apply phase (every shared-hierarchy effect, replayed
+    /// sequentially in the exact rotation order of the sequential
+    /// kernels), so results are byte-identical at any worker count —
+    /// the `noc_equiv` differential suite in `chrome-bench` asserts it.
+    pub fn set_step_workers(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        self.step_workers = workers;
+        if workers > 1 {
+            self.pool = Some(chrome_noc::DetPool::new(workers));
+            self.plans = (0..self.cores.len())
+                .map(|_| IssuePlan::default())
+                .collect();
+        } else {
+            self.pool = None;
+            self.plans.clear();
+        }
+    }
+
+    /// Configured intra-simulation stepping threads.
+    pub fn step_workers(&self) -> usize {
+        self.step_workers
     }
 
     /// Attach a telemetry sink; it is forwarded to the LLC and the
@@ -925,6 +1118,9 @@ impl System {
     /// issues, unconditionally. Ground truth for the event-driven
     /// scheduler. Always returns `true` (a cycle was stepped).
     fn step_reference(&mut self) -> bool {
+        if self.pool.is_some() {
+            return self.step_reference_parallel();
+        }
         let cycle = self.cycle;
         let n = self.cores.len();
         let start = cycle as usize % n;
@@ -936,6 +1132,72 @@ impl System {
             let core = &mut self.cores[i];
             core.retire(cycle);
             core.issue(cycle, |rec, t| hier.demand_access(i, rec, t));
+        }
+        self.cycle += 1;
+        if self.cycle >= self.next_epoch {
+            self.end_epoch();
+        }
+        true
+    }
+
+    /// Phase A of the parallel kernels: retire and decode an issue plan
+    /// for each listed core, fanned across the pool. Sound because both
+    /// calls touch only core-private state (ROB head, trace cursor,
+    /// front-end queue) — instruction *selection* never depends on what
+    /// other cores do this cycle, only completion *times* do, and those
+    /// are assigned later in phase B. `due` picks between the full core
+    /// set (reference kernel) and the rotation-ordered due list (event
+    /// kernel).
+    fn plan_phase(&mut self, cycle: u64, due: bool) {
+        struct Ptr<T>(*mut T);
+        // SAFETY: the pool claims each task index exactly once per
+        // round, and task `i` dereferences only offset `i` (or the
+        // distinct due entry `due[k]`), so all `&mut` are disjoint.
+        unsafe impl<T> Sync for Ptr<T> {}
+        let pool = self.pool.as_mut().expect("parallel phase without a pool");
+        let n = self.cores.len();
+        let cores = Ptr(self.cores.as_mut_ptr());
+        let plans = Ptr(self.plans.as_mut_ptr());
+        // capture the Sync wrappers, not their raw-pointer fields
+        let (cores, plans) = (&cores, &plans);
+        if due {
+            let idx = &self.due;
+            pool.run(idx.len(), &|k| {
+                let i = idx[k];
+                let core = unsafe { &mut *cores.0.add(i) };
+                let plan = unsafe { &mut *plans.0.add(i) };
+                core.retire(cycle);
+                core.plan_issue(plan);
+            });
+        } else {
+            pool.run(n, &|i| {
+                let core = unsafe { &mut *cores.0.add(i) };
+                let plan = unsafe { &mut *plans.0.add(i) };
+                core.retire(cycle);
+                core.plan_issue(plan);
+            });
+        }
+    }
+
+    /// Reference kernel, parallel flavor: phase A decodes every core's
+    /// plan across the pool, phase B applies the plans sequentially in
+    /// the exact rotation order of [`System::step_reference`], so every
+    /// shared side effect (LLC policy updates, MSHR and DRAM traffic,
+    /// MMU allocation, telemetry) happens in the identical order and
+    /// the results are byte-identical to the sequential kernel.
+    fn step_reference_parallel(&mut self) -> bool {
+        let cycle = self.cycle;
+        self.plan_phase(cycle, false);
+        let n = self.cores.len();
+        let start = cycle as usize % n;
+        let hier = &mut self.hier;
+        for k in 0..n {
+            let i = start + k;
+            let i = if i >= n { i - n } else { i };
+            let core = &mut self.cores[i];
+            core.apply_issue(cycle, &self.plans[i], |rec, t| {
+                hier.demand_access(i, rec, t)
+            });
         }
         self.cycle += 1;
         if self.cycle >= self.next_epoch {
@@ -972,6 +1234,9 @@ impl System {
             }
             return false;
         }
+        if self.pool.is_some() {
+            return self.step_event_parallel();
+        }
         let n = self.cores.len();
         let start = cycle as usize % n;
         let hier = &mut self.hier;
@@ -993,6 +1258,48 @@ impl System {
         }
         // `min_event <= cycle` means min(next_event) <= cycle, so at
         // least one core was due: this pass always steps the clock.
+        self.min_event = min_next;
+        self.cycle = cycle + 1;
+        if self.cycle >= self.next_epoch {
+            self.end_epoch();
+        }
+        true
+    }
+
+    /// Event-driven kernel, parallel flavor: gather the due set in the
+    /// sequential kernel's rotation order, decode the due plans across
+    /// the pool, then apply and refresh watermarks sequentially. The
+    /// due-set condition and the watermark math are exactly those of
+    /// [`System::step_event`]; only the caller has already handled the
+    /// clock-jump case.
+    fn step_event_parallel(&mut self) -> bool {
+        let cycle = self.cycle;
+        let n = self.cores.len();
+        let start = cycle as usize % n;
+        let mut min_next = u64::MAX;
+        self.due.clear();
+        for k in 0..n {
+            let i = start + k;
+            let i = if i >= n { i - n } else { i };
+            let ev = self.next_event[i];
+            if ev > cycle {
+                min_next = min_next.min(ev);
+            } else {
+                self.due.push(i);
+            }
+        }
+        self.plan_phase(cycle, true);
+        let hier = &mut self.hier;
+        for k in 0..self.due.len() {
+            let i = self.due[k];
+            let core = &mut self.cores[i];
+            core.apply_issue(cycle, &self.plans[i], |rec, t| {
+                hier.demand_access(i, rec, t)
+            });
+            let next = core.next_activity(cycle + 1);
+            self.next_event[i] = next;
+            min_next = min_next.min(next);
+        }
         self.min_event = min_next;
         self.cycle = cycle + 1;
         if self.cycle >= self.next_epoch {
@@ -1059,6 +1366,10 @@ impl System {
         let llc = self.hier.llc.stats;
         let base = &self.epoch_base;
         let (dram_queue_avg, dram_queue_max) = self.hier.dram.bank_backlog(self.cycle);
+        let (noc_slice_accesses, noc_link_busy) = match self.hier.noc.as_mut() {
+            Some(noc) => noc.epoch_deltas(),
+            None => (Vec::new(), Vec::new()),
+        };
         let rec = EpochRecord {
             epoch: self.epoch_seq,
             end_cycle: self.cycle,
@@ -1091,6 +1402,8 @@ impl System {
             mshr_capacity: self.hier.llc.mshr.capacity() as u32,
             dram_queue_avg,
             dram_queue_max,
+            noc_slice_accesses,
+            noc_link_busy,
             policy: self.hier.llc.policy.epoch_probe(),
         };
         self.telemetry.emit(

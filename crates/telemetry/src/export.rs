@@ -102,13 +102,32 @@ fn epoch_csv_row(r: &EpochRecord) -> String {
         fmt_f64(r.policy.epsilon),
         fmt_f64(r.policy.mean_q_mag),
     );
+    for v in &r.noc_slice_accesses {
+        let _ = write!(row, ",{v}");
+    }
+    for v in &r.noc_link_busy {
+        let _ = write!(row, ",{v}");
+    }
     row
 }
 
-/// Render the epoch series as CSV (header + one row per epoch).
+/// Render the epoch series as CSV (header + one row per epoch). When
+/// the run had the mesh NoC enabled (the first record carries per-slice
+/// and per-link vectors), matching `noc_slice{i}` / `noc_link{i}`
+/// columns are appended after the scalar block; NoC-off output is
+/// unchanged.
 pub fn epoch_csv(series: &EpochSeries) -> String {
-    let cores = series.records().first().map_or(0, |r| r.camat.len());
+    let first = series.records().first();
+    let cores = first.map_or(0, |r| r.camat.len());
     let mut out = epoch_csv_header(cores);
+    if let Some(r) = first {
+        for i in 0..r.noc_slice_accesses.len() {
+            let _ = write!(out, ",noc_slice{i}");
+        }
+        for i in 0..r.noc_link_busy.len() {
+            let _ = write!(out, ",noc_link{i}");
+        }
+    }
     out.push('\n');
     for r in series.records() {
         out.push_str(&epoch_csv_row(r));
@@ -128,6 +147,17 @@ fn epoch_json(r: &EpochRecord) -> String {
     let camat: Vec<String> = r.camat.iter().map(|c| fmt_f64(*c)).collect();
     let amat: Vec<String> = r.amat.iter().map(|a| fmt_f64(*a)).collect();
     let obstructed: Vec<String> = r.obstructed.iter().map(|o| o.to_string()).collect();
+    // NoC keys only appear on NoC-enabled runs; JSONL is self-describing
+    // so NoC-off output stays byte-identical to the pre-NoC schema.
+    let noc = if r.noc_slice_accesses.is_empty() && r.noc_link_busy.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ",\"noc_slice_accesses\":[{}],\"noc_link_busy\":[{}]",
+            join_u64(&r.noc_slice_accesses),
+            join_u64(&r.noc_link_busy),
+        )
+    };
     format!(
         "{{\"epoch\":{},\"end_cycle\":{},\"camat\":[{}],\"amat\":[{}],\
          \"obstructed\":[{}],\"llc_active\":[{}],\"llc_accesses\":[{}],\
@@ -135,7 +165,7 @@ fn epoch_json(r: &EpochRecord) -> String {
          \"demand_accesses\":{},\"demand_misses\":{},\"bypasses\":{},\
          \"evictions\":{},\"writebacks\":{},\"mshr_occupancy\":{},\
          \"mshr_capacity\":{},\"dram_queue_avg\":{},\"dram_queue_max\":{},\
-         \"eq_occupancy\":{},\"eq_overflows\":{},\"epsilon\":{},\"mean_q_mag\":{}}}",
+         \"eq_occupancy\":{},\"eq_overflows\":{},\"epsilon\":{},\"mean_q_mag\":{}{}}}",
         r.epoch,
         r.end_cycle,
         camat.join(","),
@@ -158,6 +188,7 @@ fn epoch_json(r: &EpochRecord) -> String {
         r.policy.eq_overflows,
         fmt_f64(r.policy.epsilon),
         fmt_f64(r.policy.mean_q_mag),
+        noc,
     )
 }
 
@@ -481,6 +512,8 @@ mod tests {
             mshr_capacity: 64,
             dram_queue_avg: 12.25,
             dram_queue_max: 40,
+            noc_slice_accesses: Vec::new(),
+            noc_link_busy: Vec::new(),
             policy: PolicyEpochProbe {
                 eq_occupancy: 4.5,
                 eq_overflows: 2,
@@ -488,6 +521,15 @@ mod tests {
                 mean_q_mag: 1.25,
             },
         });
+        s
+    }
+
+    fn noc_series() -> EpochSeries {
+        let mut r = sample_series().records()[0].clone();
+        r.noc_slice_accesses = vec![60, 40];
+        r.noc_link_busy = vec![5, 0, 7, 1];
+        let mut s = EpochSeries::new();
+        s.push(r);
         s
     }
 
@@ -503,6 +545,35 @@ mod tests {
         assert_eq!(header.split(',').count(), row.split(',').count());
         assert!(row.contains(",0.001000,"));
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn noc_columns_appear_only_when_present() {
+        // NoC off: no noc columns or keys anywhere
+        let csv = epoch_csv(&sample_series());
+        assert!(!csv.contains("noc_"));
+        let jsonl = epoch_jsonl(&sample_series());
+        assert!(!jsonl.contains("noc_"));
+        // NoC on: per-slice and per-link columns, still rectangular
+        let csv = epoch_csv(&noc_series());
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let row = lines.next().unwrap();
+        assert!(header.ends_with(",noc_slice0,noc_slice1,noc_link0,noc_link1,noc_link2,noc_link3"));
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(row.ends_with(",60,40,5,0,7,1"));
+        let jsonl = epoch_jsonl(&noc_series());
+        assert!(jsonl.contains("\"noc_slice_accesses\":[60,40]"));
+        assert!(jsonl.contains("\"noc_link_busy\":[5,0,7,1]"));
+    }
+
+    #[test]
+    fn epoch_debug_hides_empty_noc_fields() {
+        let plain = format!("{:?}", sample_series().records()[0]);
+        assert!(!plain.contains("noc_"), "NoC-off Debug must match pre-NoC");
+        let noc = format!("{:?}", noc_series().records()[0]);
+        assert!(noc.contains("noc_slice_accesses: [60, 40]"));
+        assert!(noc.contains("noc_link_busy: [5, 0, 7, 1]"));
     }
 
     #[test]

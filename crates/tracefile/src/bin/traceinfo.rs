@@ -151,6 +151,28 @@ fn main() {
             }
         }
     }
+    if m.cores.len() > 1 {
+        // Instruction-count skew across cores: multi-core sims run until
+        // the slowest core's budget is met, so a skewed trace leaves the
+        // lighter cores replaying past their recorded window.
+        let counts: Vec<u64> = m.cores.iter().map(|c| c.instructions).collect();
+        let (min, max) = (
+            *counts.iter().min().unwrap_or(&0),
+            *counts.iter().max().unwrap_or(&0),
+        );
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+        let lightest = counts.iter().position(|&c| c == min).unwrap_or(0);
+        let heaviest = counts.iter().position(|&c| c == max).unwrap_or(0);
+        let skew = if mean > 0.0 {
+            100.0 * (max - min) as f64 / mean
+        } else {
+            0.0
+        };
+        println!(
+            "  skew: instructions min={min} (core {lightest}) max={max} (core {heaviest}) \
+             mean={mean:.0} spread={skew:.2}% of mean"
+        );
+    }
 
     let mut failed = false;
     if let Some(csv) = &opts.intervals_csv {
